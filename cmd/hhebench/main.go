@@ -1,0 +1,159 @@
+// Command hhebench regenerates every table and figure of the paper's
+// evaluation section from the reproduction's models.
+//
+// Usage:
+//
+//	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims] [-nonces N] [-enc-cap]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/eval"
+	"repro/internal/ff"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures")
+	nonces := flag.Int("nonces", 5, "nonce samples for cycle averaging (Table II)")
+	encCap := flag.Bool("enc-cap", false, "include client encryption throughput as a cap in Fig. 8")
+	csvDir := flag.String("csv", "", "also write machine-readable CSVs for every experiment into this directory")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			fatal(err)
+		}
+		err := eval.WriteAllCSV(func(name string) (io.WriteCloser, error) {
+			return os.Create(filepath.Join(*csvDir, name))
+		}, *nonces)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "hhebench: wrote CSVs to %s\n", *csvDir)
+	}
+
+	selected := map[string]bool{}
+	for _, e := range strings.Split(*experiment, ",") {
+		selected[strings.TrimSpace(e)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	out := os.Stdout
+	var t2 []eval.Table2Row
+	needT2 := want("table2") || want("table3") || want("claims") || want("energy")
+	if needT2 {
+		rows, err := eval.Table2(*nonces)
+		if err != nil {
+			fatal(err)
+		}
+		t2 = rows
+	}
+
+	ran := false
+	if want("table1") {
+		eval.RenderTable1(out, eval.Table1())
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("table2") {
+		eval.RenderTable2(out, t2)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("table3") {
+		rows, err := eval.Table3(t2)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderTable3(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("fig7") {
+		d, err := eval.Fig7()
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderFig7(out, d)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("fig8") {
+		rows, err := eval.Fig8(1.59, *encCap)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderFig8(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("claims") {
+		eval.RenderClaims(out, eval.ComputeClaims(t2))
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("schemes") {
+		rows, err := eval.SchemeComparison(ff.P17)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderSchemes(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("bitwidth") {
+		rows, err := eval.BitwidthStudy()
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderBitwidth(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("communication") {
+		rows, err := eval.Expansion(1 << 12)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderExpansion(out, rows)
+		small, err := eval.Expansion(32)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderExpansion(out, small)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("energy") {
+		rows, err := eval.EnergyRows(t2)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderEnergy(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("countermeasures") {
+		rows, err := eval.CountermeasureCosts(eval.PaperResults.CyclesPasta4)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderCountermeasures(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures)", *experiment))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hhebench:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestRunPasta4(t *testing.T) {
+	if err := run("pasta4", 17, 0, 0, false, true, "test", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	if err := run("pasta4", 17, 1, 2, true, true, "test", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWideModulus(t *testing.T) {
+	if err := run("pasta4", 33, 0, 0, false, true, "test", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidArgs(t *testing.T) {
+	if err := run("pasta9", 17, 0, 0, false, false, "t", ""); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if err := run("pasta4", 19, 0, 0, false, false, "t", ""); err == nil {
+		t.Fatal("bad width accepted")
+	}
+}

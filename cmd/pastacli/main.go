@@ -1,0 +1,130 @@
+// Command pastacli encrypts and decrypts files with the PASTA stream
+// cipher. Plaintext bytes are packed two per field element (valid for the
+// default 17-bit modulus); ciphertext elements are stored as little-
+// endian uint32 words behind a small header.
+//
+// Usage:
+//
+//	pastacli -mode enc -key-seed secret -nonce 7 -in plain.bin -out ct.pasta
+//	pastacli -mode dec -key-seed secret -in ct.pasta -out plain.bin
+package main
+
+import (
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+const magic = "PSTA"
+
+func main() {
+	mode := flag.String("mode", "", "enc or dec")
+	variant := flag.String("variant", "pasta4", "pasta3 or pasta4")
+	keySeed := flag.String("key-seed", "", "deterministic key seed (demo use; use a real KMS in production)")
+	nonce := flag.Uint64("nonce", 0, "public nonce (enc mode; must be unique per key)")
+	in := flag.String("in", "", "input file")
+	outPath := flag.String("out", "", "output file")
+	flag.Parse()
+
+	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, "pastacli:", err)
+		os.Exit(1)
+	}
+}
+
+func run(mode, variant, keySeed string, nonce uint64, in, out string) error {
+	if mode != "enc" && mode != "dec" {
+		return fmt.Errorf("-mode must be enc or dec")
+	}
+	if keySeed == "" || in == "" || out == "" {
+		return fmt.Errorf("-key-seed, -in and -out are required")
+	}
+	var v pasta.Variant
+	switch variant {
+	case "pasta3":
+		v = pasta.Pasta3
+	case "pasta4":
+		v = pasta.Pasta4
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	par := pasta.MustParams(v, ff.P17)
+	cipher, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, keySeed))
+	if err != nil {
+		return err
+	}
+	data, err := os.ReadFile(in)
+	if err != nil {
+		return err
+	}
+
+	if mode == "enc" {
+		elems := packBytes(data)
+		ct, err := cipher.Encrypt(nonce, elems)
+		if err != nil {
+			return err
+		}
+		buf := make([]byte, 0, 4+1+8+8+4*len(ct))
+		buf = append(buf, magic...)
+		buf = append(buf, byte(v))
+		buf = binary.LittleEndian.AppendUint64(buf, nonce)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(len(data)))
+		for _, e := range ct {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(e))
+		}
+		return os.WriteFile(out, buf, 0o644)
+	}
+
+	// dec
+	if len(data) < 21 || string(data[:4]) != magic {
+		return fmt.Errorf("%s is not a pastacli ciphertext", in)
+	}
+	if pasta.Variant(data[4]) != v {
+		return fmt.Errorf("ciphertext was made with a different variant; pass matching -variant")
+	}
+	hdrNonce := binary.LittleEndian.Uint64(data[5:13])
+	plainLen := binary.LittleEndian.Uint64(data[13:21])
+	body := data[21:]
+	if len(body)%4 != 0 {
+		return fmt.Errorf("truncated ciphertext body")
+	}
+	ct := make(ff.Vec, len(body)/4)
+	for i := range ct {
+		ct[i] = uint64(binary.LittleEndian.Uint32(body[4*i:]))
+	}
+	elems, err := cipher.Decrypt(hdrNonce, ct)
+	if err != nil {
+		return err
+	}
+	plain := unpackBytes(elems)
+	if uint64(len(plain)) < plainLen {
+		return fmt.Errorf("ciphertext shorter than declared plaintext length")
+	}
+	return os.WriteFile(out, plain[:plainLen], 0o644)
+}
+
+// packBytes packs two plaintext bytes per field element (≤ 65535 < p).
+func packBytes(data []byte) ff.Vec {
+	out := make(ff.Vec, (len(data)+1)/2)
+	for i := range out {
+		v := uint64(data[2*i])
+		if 2*i+1 < len(data) {
+			v |= uint64(data[2*i+1]) << 8
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func unpackBytes(elems ff.Vec) []byte {
+	out := make([]byte, 2*len(elems))
+	for i, e := range elems {
+		out[2*i] = byte(e)
+		out[2*i+1] = byte(e >> 8)
+	}
+	return out
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEncryptDecryptFile(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "plain.bin")
+	ct := filepath.Join(dir, "ct.pasta")
+	back := filepath.Join(dir, "back.bin")
+
+	data := make([]byte, 1000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	if err := os.WriteFile(plain, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("enc", "pasta4", "secret", 42, plain, ct); err != nil {
+		t.Fatal(err)
+	}
+	ctData, err := os.ReadFile(ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(ctData, data[:64]) {
+		t.Fatal("ciphertext contains plaintext")
+	}
+	if err := run("dec", "pasta4", "secret", 0, ct, back); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestOddLengthFile(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "p")
+	ct := filepath.Join(dir, "c")
+	back := filepath.Join(dir, "b")
+	if err := os.WriteFile(plain, []byte{1, 2, 3}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("enc", "pasta3", "k", 1, plain, ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dec", "pasta3", "k", 0, ct, back); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(back)
+	if !bytes.Equal(got, []byte{1, 2, 3}) {
+		t.Fatalf("roundtrip = %v", got)
+	}
+}
+
+func TestWrongKeyGivesGarbage(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "p")
+	ct := filepath.Join(dir, "c")
+	back := filepath.Join(dir, "b")
+	data := []byte("attack at dawn, attack at dawn!!")
+	if err := os.WriteFile(plain, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("enc", "pasta4", "right-key", 7, plain, ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dec", "pasta4", "wrong-key", 0, ct, back); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(back)
+	if bytes.Equal(got, data) {
+		t.Fatal("wrong key decrypted correctly")
+	}
+}
+
+func TestInvalidArgs(t *testing.T) {
+	dir := t.TempDir()
+	f := filepath.Join(dir, "f")
+	_ = os.WriteFile(f, []byte{1}, 0o644)
+	cases := []struct{ mode, variant, seed, in string }{
+		{"frobnicate", "pasta4", "k", f},
+		{"enc", "pasta9", "k", f},
+		{"enc", "pasta4", "", f},
+		{"enc", "pasta4", "k", filepath.Join(dir, "missing")},
+	}
+	for _, c := range cases {
+		if err := run(c.mode, c.variant, c.seed, 0, c.in, filepath.Join(dir, "out")); err == nil {
+			t.Errorf("run(%q, %q, %q) succeeded", c.mode, c.variant, c.seed)
+		}
+	}
+	// Decrypting a non-ciphertext file.
+	if err := run("dec", "pasta4", "k", 0, f, filepath.Join(dir, "out")); err == nil {
+		t.Error("decrypted a non-ciphertext file")
+	}
+}
+
+func TestVariantMismatchDetected(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "p")
+	ct := filepath.Join(dir, "c")
+	_ = os.WriteFile(plain, []byte("data"), 0o644)
+	if err := run("enc", "pasta4", "k", 1, plain, ct); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dec", "pasta3", "k", 0, ct, filepath.Join(dir, "b")); err == nil {
+		t.Fatal("variant mismatch not detected")
+	}
+}
+
+func TestPackUnpack(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 17} {
+		data := make([]byte, n)
+		for i := range data {
+			data[i] = byte(200 + i)
+		}
+		round := unpackBytes(packBytes(data))
+		if !bytes.Equal(round[:n], data) {
+			t.Errorf("n=%d: pack/unpack mismatch", n)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunTwoBlocks(t *testing.T) {
+	if err := run(2, 1, "pasta4", "test", true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunInvalidArgs(t *testing.T) {
+	if err := run(0, 1, "pasta4", "t", false); err == nil {
+		t.Fatal("zero blocks accepted")
+	}
+	if err := run(1, 1, "pasta9", "t", false); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+}

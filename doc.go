@@ -1,0 +1,13 @@
+// Package repro is a software reproduction of "PASTA on Edge:
+// Cryptoprocessor for Hybrid Homomorphic Encryption" (DATE 2025): the
+// PASTA-3/-4 HHE-enabling stream cipher, a cycle-accurate model of the
+// paper's hardware accelerator with a calibrated area model, a RISC-V
+// SoC co-simulation, an RLWE/BFV substrate for the FHE-client baseline
+// and the server-side homomorphic decryption, and a benchmark harness
+// that regenerates every table and figure of the paper's evaluation.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// substitutions, and EXPERIMENTS.md for paper-vs-measured results.
+// Benchmarks in bench_test.go regenerate the evaluation numbers; the
+// binaries under cmd/ print the full tables.
+package repro

@@ -1,0 +1,95 @@
+// Countermeasures explores the paper's future-scope security questions
+// (Sec. VI): it reproduces the SASTA-style single-fault observable on the
+// cryptoprocessor model, shows temporal redundancy detecting the fault,
+// and prints the modeled cost of each countermeasure alongside the
+// naive-Keccak design ablation.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/eval"
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/pasta"
+)
+
+func main() {
+	params := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key, err := pasta.NewRandomKey(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- 1. The SASTA observable -------------------------------------------
+	fmt.Println("1. Single-fault analysis (SASTA threat model)")
+	lastLayer := params.AffineLayers() - 1
+	_, _, delta, err := hw.FaultDemo(params, key, 7, 0,
+		hw.FaultSpec{Layer: lastLayer, Element: 3, Mask: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonzero := 0
+	for _, d := range delta {
+		if d != 0 {
+			nonzero++
+		}
+	}
+	fmt.Printf("   fault in the FINAL affine layer: keystream Δ has %d nonzero element(s)\n", nonzero)
+	fmt.Println("   → the fault bypasses every S-box; the attacker sees a structured,")
+	fmt.Println("     linearly propagated difference — the leakage SASTA exploits.")
+
+	_, _, delta2, err := hw.FaultDemo(params, key, 7, 0,
+		hw.FaultSpec{Layer: 1, Element: 3, Mask: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
+	nonzero2 := 0
+	for _, d := range delta2 {
+		if d != 0 {
+			nonzero2++
+		}
+	}
+	fmt.Printf("   fault in an EARLY affine layer: Δ has %d/%d nonzero elements (full diffusion)\n\n",
+		nonzero2, params.T)
+
+	// --- 2. Detection by temporal redundancy -------------------------------
+	fmt.Println("2. Temporal redundancy (compute twice, compare)")
+	acc, err := hw.NewAccelerator(params, key)
+	if err != nil {
+		log.Fatal(err)
+	}
+	msg := make(ff.Vec, params.T)
+	acc.Fault = &hw.FaultSpec{Layer: 2, Element: 1, Mask: 5}
+	if _, err := acc.RedundantEncryptBlock(7, 0, msg); err != nil {
+		fmt.Printf("   injected transient fault → %v\n\n", err)
+	} else {
+		log.Fatal("fault went undetected")
+	}
+
+	// --- 3. Countermeasure cost table ---------------------------------------
+	rows, err := eval.CountermeasureCosts(eval.PaperResults.CyclesPasta4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	eval.RenderCountermeasures(os.Stdout, rows)
+
+	// --- 4. Design ablation: the paper's Keccak optimization ----------------
+	fmt.Println("\n4. Ablation: parallel-squeeze Keccak vs naive single buffer")
+	fast, _ := hw.NewAccelerator(params, key)
+	slow, _ := hw.NewAccelerator(params, key)
+	slow.NaiveKeccak = true
+	rf, err := fast.KeyStream(1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rs, err := slow.KeyStream(1, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   parallel squeeze: %d cycles | naive: %d cycles (%.2f×)\n",
+		rf.Stats.Cycles, rs.Stats.Cycles, float64(rs.Stats.Cycles)/float64(rf.Stats.Cycles))
+	fmt.Println("   → Sec. IV-B: \"the clock cycle almost doubles for a naive Keccak\"")
+}

@@ -1,0 +1,412 @@
+// Package bfv implements a textbook BFV fully homomorphic encryption
+// scheme over the RNS RLWE substrate: key generation, public-key
+// encryption (the FHE client workload the paper's Table III baselines
+// accelerate), decryption, addition, plaintext multiplication, and
+// ciphertext multiplication with relinearization.
+//
+// Ciphertext–ciphertext multiplication uses an exact extended-RNS-basis
+// tensor product with big.Int reconstruction at the basis boundaries —
+// slower than production BEHZ/HPS RNS arithmetic but exact and simple,
+// which is what the HHE server-side demonstration needs (DESIGN.md
+// substitution table).
+package bfv
+
+import (
+	"fmt"
+	"math/big"
+
+	"repro/internal/rlwe"
+)
+
+// Params fixes a BFV instance.
+type Params struct {
+	N         int      // ring dimension (power of two)
+	Qs        []uint64 // ciphertext RNS primes
+	Ps        []uint64 // extension primes for exact tensoring
+	T         uint64   // plaintext modulus (PASTA's p for transciphering)
+	Eta       int      // centered-binomial noise parameter
+	RelinBits uint     // log2 of the relinearization decomposition base
+}
+
+// NewParams derives a parameter set: nQ ciphertext primes of qBits bits
+// plus enough extension primes for exact multiplication.
+func NewParams(n int, qBits uint, nQ int, t uint64) (Params, error) {
+	if t < 2 {
+		return Params{}, fmt.Errorf("bfv: plaintext modulus %d too small", t)
+	}
+	qs, err := rlwe.FindNTTPrimes(qBits, n, nQ)
+	if err != nil {
+		return Params{}, err
+	}
+	// Extension basis: Q·P > N·Q²/2 ⇒ |P| bits > nQ·qBits + log2(N).
+	logN := 0
+	for v := 1; v < n; v <<= 1 {
+		logN++
+	}
+	needBits := nQ*int(qBits) + logN + 2
+	nP := (needBits + int(qBits) - 2) / (int(qBits) - 1)
+	ps, err := rlwe.FindNTTPrimes(qBits-1, n, nP)
+	if err != nil {
+		return Params{}, err
+	}
+	// The bases must be disjoint; qBits-1 primes cannot collide with qBits
+	// primes, but guard anyway.
+	seen := map[uint64]bool{}
+	for _, q := range append(append([]uint64{}, qs...), ps...) {
+		if seen[q] {
+			return Params{}, fmt.Errorf("bfv: basis collision at %d", q)
+		}
+		seen[q] = true
+	}
+	return Params{N: n, Qs: qs, Ps: ps, T: t, Eta: 3, RelinBits: 24}, nil
+}
+
+// Context holds precomputed ring structures for a parameter set.
+type Context struct {
+	Params Params
+	RQ     *rlwe.RNSRing // ciphertext ring, basis Q
+	RQP    *rlwe.RNSRing // extended ring, basis Q ∪ P
+	Delta  *big.Int      // floor(Q / t)
+	tBig   *big.Int
+}
+
+// NewContext builds the rings and constants.
+func NewContext(p Params) (*Context, error) {
+	rq, err := rlwe.NewRNSRing(p.N, p.Qs)
+	if err != nil {
+		return nil, err
+	}
+	rqp, err := rlwe.NewRNSRing(p.N, append(append([]uint64{}, p.Qs...), p.Ps...))
+	if err != nil {
+		return nil, err
+	}
+	// Exactness requirement for the tensor product: Q·P > N·Q²/2.
+	lhs := new(big.Int).Set(rqp.Q)
+	rhs := new(big.Int).Mul(rq.Q, rq.Q)
+	rhs.Mul(rhs, big.NewInt(int64(p.N)))
+	rhs.Rsh(rhs, 1)
+	if lhs.Cmp(rhs) <= 0 {
+		return nil, fmt.Errorf("bfv: extension basis too small for exact tensoring")
+	}
+	tBig := new(big.Int).SetUint64(p.T)
+	delta := new(big.Int).Quo(rq.Q, tBig)
+	return &Context{Params: p, RQ: rq, RQP: rqp, Delta: delta, tBig: tBig}, nil
+}
+
+// Plaintext is a polynomial with coefficients in [0, T).
+type Plaintext []uint64
+
+// NewPlaintext returns the zero plaintext.
+func (c *Context) NewPlaintext() Plaintext { return make(Plaintext, c.Params.N) }
+
+// EncodeScalar places v (mod T) in the constant coefficient.
+func (c *Context) EncodeScalar(v uint64) Plaintext {
+	pt := c.NewPlaintext()
+	pt[0] = v % c.Params.T
+	return pt
+}
+
+// DecodeScalar reads the constant coefficient.
+func (pt Plaintext) DecodeScalar() uint64 { return pt[0] }
+
+// SecretKey is the RLWE secret (stored in both domains for convenience).
+type SecretKey struct {
+	sCoeff rlwe.RNSPoly
+	sNTT   rlwe.RNSPoly
+}
+
+// PublicKey is the standard RLWE public key, stored in the NTT domain.
+type PublicKey struct {
+	P0, P1 rlwe.RNSPoly
+}
+
+// RelinKey holds the base-2^w decomposition keys for s².
+type RelinKey struct {
+	pairs [][2]rlwe.RNSPoly // NTT domain: (−(a·s+e)+B^k·s², a)
+	base  uint
+}
+
+// Ciphertext is a (usually degree-1) BFV ciphertext in coefficient domain.
+type Ciphertext struct {
+	C []rlwe.RNSPoly
+}
+
+// Degree returns len(C) - 1.
+func (ct *Ciphertext) Degree() int { return len(ct.C) - 1 }
+
+// Clone deep-copies the ciphertext.
+func (ct *Ciphertext) Clone() *Ciphertext {
+	out := &Ciphertext{C: make([]rlwe.RNSPoly, len(ct.C))}
+	for i := range ct.C {
+		out.C[i] = ct.C[i].Clone()
+	}
+	return out
+}
+
+// KeyGen produces a secret, public, and relinearization key from the PRNG.
+func (c *Context) KeyGen(g *rlwe.PRNG) (*SecretKey, *PublicKey, *RelinKey) {
+	rq := c.RQ
+	sk := &SecretKey{sCoeff: rq.TernaryPoly(g)}
+	sk.sNTT = sk.sCoeff.Clone()
+	rq.NTT(sk.sNTT)
+
+	pk := &PublicKey{}
+	a := rq.UniformPoly(g) // treated as NTT-domain
+	e := rq.NoisePoly(g, c.Params.Eta)
+	rq.NTT(e)
+	// p0 = -(a·s + e), p1 = a.
+	p0 := rq.NewPoly()
+	rq.MulCoeff(p0, a, sk.sNTT)
+	rq.Add(p0, p0, e)
+	rq.Neg(p0, p0)
+	pk.P0, pk.P1 = p0, a
+
+	rlk := c.genRelinKey(g, sk)
+	return sk, pk, rlk
+}
+
+func (c *Context) genRelinKey(g *rlwe.PRNG, sk *SecretKey) *RelinKey {
+	rq := c.RQ
+	s2 := rq.NewPoly()
+	rq.MulCoeff(s2, sk.sNTT, sk.sNTT)
+	rq.INTT(s2)
+	return &RelinKey{
+		base:  c.Params.RelinBits,
+		pairs: c.genSwitchKey(g, sk, s2),
+	}
+}
+
+// deltaM returns Δ·m as an RNS polynomial in coefficient domain.
+func (c *Context) deltaM(pt Plaintext) rlwe.RNSPoly {
+	rq := c.RQ
+	out := rq.NewPoly()
+	v := new(big.Int)
+	for i, m := range pt {
+		if m == 0 {
+			continue
+		}
+		v.SetUint64(m % c.Params.T)
+		v.Mul(v, c.Delta)
+		rq.SetCoeffBig(out, i, v)
+	}
+	return out
+}
+
+// Encrypt performs public-key encryption: the exact client-side workload
+// of the paper's PKE baseline (one NTT of the ephemeral u plus two
+// inverse NTTs per modulus).
+func (c *Context) Encrypt(pk *PublicKey, pt Plaintext, g *rlwe.PRNG) *Ciphertext {
+	rq := c.RQ
+	u := rq.TernaryPoly(g)
+	rq.NTT(u)
+	e1 := rq.NoisePoly(g, c.Params.Eta)
+	e2 := rq.NoisePoly(g, c.Params.Eta)
+
+	c0 := rq.NewPoly()
+	rq.MulCoeff(c0, pk.P0, u)
+	rq.INTT(c0)
+	rq.Add(c0, c0, e1)
+	rq.Add(c0, c0, c.deltaM(pt))
+
+	c1 := rq.NewPoly()
+	rq.MulCoeff(c1, pk.P1, u)
+	rq.INTT(c1)
+	rq.Add(c1, c1, e2)
+
+	return &Ciphertext{C: []rlwe.RNSPoly{c0, c1}}
+}
+
+// EncryptSymmetric encrypts under the secret key (fresh ciphertexts with
+// lower noise; used for the HHE key transport in tests).
+func (c *Context) EncryptSymmetric(sk *SecretKey, pt Plaintext, g *rlwe.PRNG) *Ciphertext {
+	rq := c.RQ
+	a := rq.UniformPoly(g) // NTT domain
+	e := rq.NoisePoly(g, c.Params.Eta)
+
+	c0 := rq.NewPoly()
+	rq.MulCoeff(c0, a, sk.sNTT)
+	rq.INTT(c0)
+	rq.Neg(c0, c0)
+	rq.Add(c0, c0, e)
+	rq.Add(c0, c0, c.deltaM(pt))
+
+	c1 := a.Clone()
+	rq.INTT(c1)
+	return &Ciphertext{C: []rlwe.RNSPoly{c0, c1}}
+}
+
+// phase computes c0 + c1·s (+ c2·s² …) in coefficient domain.
+func (c *Context) phase(ct *Ciphertext, sk *SecretKey) rlwe.RNSPoly {
+	rq := c.RQ
+	acc := ct.C[0].Clone()
+	sPow := sk.sNTT.Clone()
+	for i := 1; i < len(ct.C); i++ {
+		term := ct.C[i].Clone()
+		rq.NTT(term)
+		rq.MulCoeff(term, term, sPow)
+		rq.INTT(term)
+		rq.Add(acc, acc, term)
+		if i+1 < len(ct.C) {
+			next := rq.NewPoly()
+			rq.MulCoeff(next, sPow, sk.sNTT)
+			sPow = next
+		}
+	}
+	return acc
+}
+
+// Decrypt recovers the plaintext: round(t/Q · (c0 + c1·s)) mod t.
+func (c *Context) Decrypt(ct *Ciphertext, sk *SecretKey) Plaintext {
+	rq := c.RQ
+	v := c.phase(ct, sk)
+	pt := c.NewPlaintext()
+	num := new(big.Int)
+	for i := 0; i < c.Params.N; i++ {
+		w := rq.ReconstructCentered(v, i)
+		num.Mul(w, c.tBig)
+		roundDiv(num, rq.Q)
+		num.Mod(num, c.tBig)
+		pt[i] = num.Uint64()
+	}
+	return pt
+}
+
+// roundDiv sets v = round(v / q) for signed v.
+func roundDiv(v *big.Int, q *big.Int) {
+	half := new(big.Int).Rsh(q, 1)
+	if v.Sign() >= 0 {
+		v.Add(v, half)
+	} else {
+		v.Sub(v, half)
+	}
+	v.Quo(v, q)
+}
+
+// NoiseBudget returns the remaining noise budget of ct in bits: log2(Q/2)
+// minus the log of the largest error coefficient. Decryption is correct
+// while the budget is positive.
+func (c *Context) NoiseBudget(ct *Ciphertext, sk *SecretKey, pt Plaintext) int {
+	rq := c.RQ
+	v := c.phase(ct, sk)
+	// err = v - Δ·m, centered.
+	dm := c.deltaM(pt)
+	rq.Sub(v, v, dm)
+	maxBits := 0
+	for i := 0; i < c.Params.N; i++ {
+		w := rq.ReconstructCentered(v, i)
+		if b := w.BitLen(); b > maxBits {
+			maxBits = b
+		}
+	}
+	return rq.Q.BitLen() - 1 - maxBits
+}
+
+// Add returns a + b (component-wise over matched degrees).
+func (c *Context) Add(a, b *Ciphertext) *Ciphertext {
+	la, lb := a, b
+	if len(la.C) < len(lb.C) {
+		la, lb = lb, la
+	}
+	out := la.Clone()
+	for i := range lb.C {
+		c.RQ.Add(out.C[i], out.C[i], lb.C[i])
+	}
+	return out
+}
+
+// Sub returns a - b.
+func (c *Context) Sub(a, b *Ciphertext) *Ciphertext {
+	nb := b.Clone()
+	for i := range nb.C {
+		c.RQ.Neg(nb.C[i], nb.C[i])
+	}
+	return c.Add(a, nb)
+}
+
+// AddPlain returns ct + m.
+func (c *Context) AddPlain(ct *Ciphertext, pt Plaintext) *Ciphertext {
+	out := ct.Clone()
+	c.RQ.Add(out.C[0], out.C[0], c.deltaM(pt))
+	return out
+}
+
+// SubPlainFrom returns m - ct (used by the HHE decryption circuit:
+// plaintext ciphertext-word minus encrypted keystream).
+func (c *Context) SubPlainFrom(pt Plaintext, ct *Ciphertext) *Ciphertext {
+	out := ct.Clone()
+	for i := range out.C {
+		c.RQ.Neg(out.C[i], out.C[i])
+	}
+	c.RQ.Add(out.C[0], out.C[0], c.deltaM(pt))
+	return out
+}
+
+// MulScalar returns k·ct for a plaintext scalar k ∈ [0, T).
+func (c *Context) MulScalar(ct *Ciphertext, k uint64) *Ciphertext {
+	out := ct.Clone()
+	kb := new(big.Int).SetUint64(k % c.Params.T)
+	for i := range out.C {
+		c.RQ.MulScalarBig(out.C[i], kb, out.C[i])
+	}
+	return out
+}
+
+// Mul returns a·b with relinearization back to degree 1.
+func (c *Context) Mul(a, b *Ciphertext, rlk *RelinKey) (*Ciphertext, error) {
+	if a.Degree() != 1 || b.Degree() != 1 {
+		return nil, fmt.Errorf("bfv: Mul requires degree-1 ciphertexts (got %d, %d)", a.Degree(), b.Degree())
+	}
+	e0, e1, e2 := c.tensor(a, b)
+	return c.relinearize(e0, e1, e2, rlk), nil
+}
+
+// tensor computes the scaled tensor product: round(t/Q · (a ⊗ b)) in
+// basis Q, exactly, via the extended basis Q∪P.
+func (c *Context) tensor(a, b *Ciphertext) (e0, e1, e2 rlwe.RNSPoly) {
+	rq, rqp := c.RQ, c.RQP
+	// Lift all four polys into the extended basis using centered
+	// representatives, then to NTT domain.
+	lift := func(p rlwe.RNSPoly) rlwe.RNSPoly {
+		out := rqp.NewPoly()
+		for i := 0; i < c.Params.N; i++ {
+			rqp.SetCoeffBig(out, i, rq.ReconstructCentered(p, i))
+		}
+		rqp.NTT(out)
+		return out
+	}
+	a0, a1 := lift(a.C[0]), lift(a.C[1])
+	b0, b1 := lift(b.C[0]), lift(b.C[1])
+
+	t0, t1, t2 := rqp.NewPoly(), rqp.NewPoly(), rqp.NewPoly()
+	tmp := rqp.NewPoly()
+	rqp.MulCoeff(t0, a0, b0)
+	rqp.MulCoeff(t1, a0, b1)
+	rqp.MulCoeff(tmp, a1, b0)
+	rqp.Add(t1, t1, tmp)
+	rqp.MulCoeff(t2, a1, b1)
+	rqp.INTT(t0)
+	rqp.INTT(t1)
+	rqp.INTT(t2)
+
+	// Scale each coefficient: round(t·v / Q), back into basis Q.
+	scale := func(p rlwe.RNSPoly) rlwe.RNSPoly {
+		out := rq.NewPoly()
+		num := new(big.Int)
+		for i := 0; i < c.Params.N; i++ {
+			w := rqp.ReconstructCentered(p, i) // exact integer tensor coeff
+			num.Mul(w, c.tBig)
+			roundDiv(num, rq.Q)
+			rq.SetCoeffBig(out, i, num)
+		}
+		return out
+	}
+	return scale(t0), scale(t1), scale(t2)
+}
+
+// relinearize folds the degree-2 component back using the relin key.
+func (c *Context) relinearize(e0, e1, e2 rlwe.RNSPoly, rlk *RelinKey) *Ciphertext {
+	p0, p1 := c.keySwitch(e2, rlk.pairs, rlk.base)
+	c.RQ.Add(p0, p0, e0)
+	c.RQ.Add(p1, p1, e1)
+	return &Ciphertext{C: []rlwe.RNSPoly{p0, p1}}
+}

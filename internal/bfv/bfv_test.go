@@ -1,0 +1,217 @@
+package bfv
+
+import (
+	"testing"
+
+	"repro/internal/rlwe"
+)
+
+// testContext: small but multiplication-capable parameters, plaintext
+// modulus = PASTA's p = 65537.
+func testContext(t *testing.T) (*Context, *SecretKey, *PublicKey, *RelinKey, *rlwe.PRNG) {
+	t.Helper()
+	par, err := NewParams(1024, 55, 3, 65537)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rlwe.NewPRNG("bfv-test", []byte{1})
+	sk, pk, rlk := ctx.KeyGen(g)
+	return ctx, sk, pk, rlk, g
+}
+
+func TestEncryptDecrypt(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	for _, v := range []uint64{0, 1, 2, 65536, 12345} {
+		ct := ctx.Encrypt(pk, ctx.EncodeScalar(v), g)
+		got := ctx.Decrypt(ct, sk).DecodeScalar()
+		if got != v%ctx.Params.T {
+			t.Fatalf("Dec(Enc(%d)) = %d", v, got)
+		}
+	}
+}
+
+func TestEncryptFullPolynomial(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i*i+7) % ctx.Params.T
+	}
+	ct := ctx.Encrypt(pk, pt, g)
+	back := ctx.Decrypt(ct, sk)
+	for i := range pt {
+		if back[i] != pt[i] {
+			t.Fatalf("coeff %d: %d != %d", i, back[i], pt[i])
+		}
+	}
+}
+
+func TestEncryptSymmetric(t *testing.T) {
+	ctx, sk, _, _, g := testContext(t)
+	ct := ctx.EncryptSymmetric(sk, ctx.EncodeScalar(424), g)
+	if got := ctx.Decrypt(ct, sk).DecodeScalar(); got != 424 {
+		t.Fatalf("symmetric Dec(Enc(424)) = %d", got)
+	}
+}
+
+func TestFreshNoiseBudgetPositive(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	pt := ctx.EncodeScalar(7)
+	ct := ctx.Encrypt(pk, pt, g)
+	if b := ctx.NoiseBudget(ct, sk, pt); b < 40 {
+		t.Fatalf("fresh noise budget = %d bits, want plenty", b)
+	}
+}
+
+func TestHomomorphicAdd(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	a := ctx.Encrypt(pk, ctx.EncodeScalar(30000), g)
+	b := ctx.Encrypt(pk, ctx.EncodeScalar(40000), g)
+	sum := ctx.Add(a, b)
+	want := (30000 + 40000) % ctx.Params.T
+	if got := ctx.Decrypt(sum, sk).DecodeScalar(); got != want {
+		t.Fatalf("Add: %d, want %d", got, want)
+	}
+	diff := ctx.Sub(a, b)
+	wantD := (30000 + ctx.Params.T - 40000) % ctx.Params.T
+	if got := ctx.Decrypt(diff, sk).DecodeScalar(); got != wantD {
+		t.Fatalf("Sub: %d, want %d", got, wantD)
+	}
+}
+
+func TestAddPlainAndSubPlainFrom(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	ct := ctx.Encrypt(pk, ctx.EncodeScalar(100), g)
+	got := ctx.Decrypt(ctx.AddPlain(ct, ctx.EncodeScalar(23)), sk).DecodeScalar()
+	if got != 123 {
+		t.Fatalf("AddPlain: %d, want 123", got)
+	}
+	// m - ct: 500 - 100 = 400.
+	got = ctx.Decrypt(ctx.SubPlainFrom(ctx.EncodeScalar(500), ct), sk).DecodeScalar()
+	if got != 400 {
+		t.Fatalf("SubPlainFrom: %d, want 400", got)
+	}
+}
+
+func TestMulScalar(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	ct := ctx.Encrypt(pk, ctx.EncodeScalar(1234), g)
+	out := ctx.MulScalar(ct, 56)
+	want := (1234 * 56) % ctx.Params.T
+	if got := ctx.Decrypt(out, sk).DecodeScalar(); got != want {
+		t.Fatalf("MulScalar: %d, want %d", got, want)
+	}
+}
+
+func TestHomomorphicMul(t *testing.T) {
+	ctx, sk, pk, rlk, g := testContext(t)
+	a := ctx.Encrypt(pk, ctx.EncodeScalar(251), g)
+	b := ctx.Encrypt(pk, ctx.EncodeScalar(431), g)
+	prod, err := ctx.Mul(a, b, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := (251 * 431) % ctx.Params.T
+	if got := ctx.Decrypt(prod, sk).DecodeScalar(); got != want {
+		t.Fatalf("Mul: %d, want %d", got, want)
+	}
+	if prod.Degree() != 1 {
+		t.Fatalf("relinearized degree = %d, want 1", prod.Degree())
+	}
+}
+
+func TestMulDepthTwo(t *testing.T) {
+	// x³ — the PASTA cube S-box shape: square then multiply.
+	ctx, sk, pk, rlk, g := testContext(t)
+	x := uint64(3017)
+	ct := ctx.Encrypt(pk, ctx.EncodeScalar(x), g)
+	sq, err := ctx.Mul(ct, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cube, err := ctx.Mul(sq, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := x * x % ctx.Params.T * x % ctx.Params.T
+	if got := ctx.Decrypt(cube, sk).DecodeScalar(); got != want {
+		t.Fatalf("x³: %d, want %d", got, want)
+	}
+}
+
+func TestMulPreservesPolynomialStructure(t *testing.T) {
+	// Negacyclic semantics: Enc(x)·Enc(x) encrypts x² as a polynomial.
+	ctx, sk, pk, rlk, g := testContext(t)
+	pt := ctx.NewPlaintext()
+	pt[1] = 1 // m = x
+	ct := ctx.Encrypt(pk, pt, g)
+	sq, err := ctx.Mul(ct, ct, rlk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := ctx.Decrypt(sq, sk)
+	for i, v := range back {
+		want := uint64(0)
+		if i == 2 {
+			want = 1
+		}
+		if v != want {
+			t.Fatalf("coeff %d = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMulRejectsHighDegree(t *testing.T) {
+	ctx, _, pk, rlk, g := testContext(t)
+	a := ctx.Encrypt(pk, ctx.EncodeScalar(1), g)
+	bad := &Ciphertext{C: append(a.Clone().C, ctx.RQ.NewPoly())}
+	if _, err := ctx.Mul(bad, a, rlk); err == nil {
+		t.Fatal("degree-2 input accepted")
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	if _, err := NewParams(1024, 55, 3, 1); err == nil {
+		t.Fatal("t=1 accepted")
+	}
+}
+
+func TestHomomorphicAffineExpression(t *testing.T) {
+	// k1·x + k2·y + c — one PASTA affine output element, homomorphically.
+	ctx, sk, pk, _, g := testContext(t)
+	x, y := uint64(111), uint64(222)
+	k1, k2, cst := uint64(7), uint64(9), uint64(5)
+	cx := ctx.Encrypt(pk, ctx.EncodeScalar(x), g)
+	cy := ctx.Encrypt(pk, ctx.EncodeScalar(y), g)
+	expr := ctx.Add(ctx.MulScalar(cx, k1), ctx.MulScalar(cy, k2))
+	expr = ctx.AddPlain(expr, ctx.EncodeScalar(cst))
+	want := (k1*x + k2*y + cst) % ctx.Params.T
+	if got := ctx.Decrypt(expr, sk).DecodeScalar(); got != want {
+		t.Fatalf("affine: %d, want %d", got, want)
+	}
+}
+
+func BenchmarkPKEEncryptN8192(b *testing.B) {
+	// The paper's PKE client baseline shape: N = 2^13, three moduli.
+	par, err := NewParams(8192, 55, 3, 65537)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx, err := NewContext(par)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := rlwe.NewPRNG("bench", []byte{9})
+	_, pk, _ := ctx.KeyGen(g)
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i) % ctx.Params.T
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.Encrypt(pk, pt, g)
+	}
+}

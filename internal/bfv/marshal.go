@@ -1,0 +1,220 @@
+package bfv
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ff"
+	"repro/internal/rlwe"
+)
+
+// Ciphertext serialization: a small header (degree, level, N) followed by
+// each residue polynomial bit-packed at its prime's width. This is the
+// wire format whose measured size drives the communication-expansion
+// experiment (the 10,000–100,000× FHE overhead of the paper's Sec. I).
+
+const ctMagic = 0x42465601 // "BFV",1
+
+// MarshalBinary serializes the ciphertext.
+func (ct *Ciphertext) MarshalBinary(c *Context) ([]byte, error) {
+	var out []byte
+	out = binary.LittleEndian.AppendUint32(out, ctMagic)
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(ct.C)))
+	out = binary.LittleEndian.AppendUint16(out, uint16(c.RQ.Level()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(c.Params.N))
+	for _, poly := range ct.C {
+		if len(poly) != c.RQ.Level() {
+			return nil, fmt.Errorf("bfv: ciphertext level mismatch")
+		}
+		for l, ring := range c.RQ.Rings {
+			w := uint(bits.Len64(ring.Q - 1))
+			packed, err := ff.PackBits(ff.Vec(poly[l]), w)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, packed...)
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalCiphertext parses a ciphertext serialized for this context.
+func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
+	if len(data) < 12 {
+		return nil, fmt.Errorf("bfv: ciphertext blob too short")
+	}
+	if binary.LittleEndian.Uint32(data) != ctMagic {
+		return nil, fmt.Errorf("bfv: bad ciphertext magic")
+	}
+	nPolys := int(binary.LittleEndian.Uint16(data[4:]))
+	level := int(binary.LittleEndian.Uint16(data[6:]))
+	n := int(binary.LittleEndian.Uint32(data[8:]))
+	if level != c.RQ.Level() || n != c.Params.N {
+		return nil, fmt.Errorf("bfv: ciphertext parameters (N=%d, L=%d) do not match context (N=%d, L=%d)",
+			n, level, c.Params.N, c.RQ.Level())
+	}
+	if nPolys < 2 || nPolys > 8 {
+		return nil, fmt.Errorf("bfv: implausible ciphertext degree %d", nPolys-1)
+	}
+	off := 12
+	ct := &Ciphertext{}
+	for p := 0; p < nPolys; p++ {
+		poly := c.RQ.NewPoly()
+		for l, ring := range c.RQ.Rings {
+			w := uint(bits.Len64(ring.Q - 1))
+			sz := ff.PackedSize(n, w)
+			if off+sz > len(data) {
+				return nil, fmt.Errorf("bfv: truncated ciphertext blob")
+			}
+			vals, err := ff.UnpackBits(data[off:off+sz], n, w)
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range vals {
+				if v >= ring.Q {
+					return nil, fmt.Errorf("bfv: residue %d out of range for prime %d", v, ring.Q)
+				}
+				poly[l][i] = v
+			}
+			off += sz
+		}
+		ct.C = append(ct.C, poly)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("bfv: %d trailing bytes in ciphertext blob", len(data)-off)
+	}
+	return ct, nil
+}
+
+// --- key material serialization ---------------------------------------------
+
+const (
+	pkMagic  = 0x42465602
+	rlkMagic = 0x42465603
+)
+
+// marshalRNSPoly appends the bit-packed residues of p.
+func (c *Context) marshalRNSPoly(out []byte, p rlwe.RNSPoly) ([]byte, error) {
+	for l, ring := range c.RQ.Rings {
+		w := uint(bits.Len64(ring.Q - 1))
+		packed, err := ff.PackBits(ff.Vec(p[l]), w)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, packed...)
+	}
+	return out, nil
+}
+
+// unmarshalRNSPoly reads one RNS polynomial, returning the new offset.
+func (c *Context) unmarshalRNSPoly(data []byte, off int) (rlwe.RNSPoly, int, error) {
+	p := c.RQ.NewPoly()
+	for l, ring := range c.RQ.Rings {
+		w := uint(bits.Len64(ring.Q - 1))
+		sz := ff.PackedSize(c.Params.N, w)
+		if off+sz > len(data) {
+			return nil, 0, fmt.Errorf("bfv: truncated polynomial")
+		}
+		vals, err := ff.UnpackBits(data[off:off+sz], c.Params.N, w)
+		if err != nil {
+			return nil, 0, err
+		}
+		for i, v := range vals {
+			if v >= ring.Q {
+				return nil, 0, fmt.Errorf("bfv: residue out of range")
+			}
+			p[l][i] = v
+		}
+		off += sz
+	}
+	return p, off, nil
+}
+
+// MarshalPublicKey serializes pk.
+func (pk *PublicKey) MarshalBinary(c *Context) ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, pkMagic)
+	var err error
+	for _, p := range []rlwe.RNSPoly{pk.P0, pk.P1} {
+		if out, err = c.marshalRNSPoly(out, p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalPublicKey parses a public key for this context.
+func (c *Context) UnmarshalPublicKey(data []byte) (*PublicKey, error) {
+	if len(data) < 4 || binary.LittleEndian.Uint32(data) != pkMagic {
+		return nil, fmt.Errorf("bfv: bad public-key blob")
+	}
+	off := 4
+	p0, off, err := c.unmarshalRNSPoly(data, off)
+	if err != nil {
+		return nil, err
+	}
+	p1, off, err := c.unmarshalRNSPoly(data, off)
+	if err != nil {
+		return nil, err
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("bfv: trailing bytes in public-key blob")
+	}
+	return &PublicKey{P0: p0, P1: p1}, nil
+}
+
+// MarshalBinary serializes the relinearization key.
+func (rlk *RelinKey) MarshalBinary(c *Context) ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, rlkMagic)
+	out = binary.LittleEndian.AppendUint16(out, uint16(rlk.base))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(rlk.pairs)))
+	var err error
+	for _, pair := range rlk.pairs {
+		for _, p := range pair {
+			if out, err = c.marshalRNSPoly(out, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalRelinKey parses a relinearization key for this context.
+func (c *Context) UnmarshalRelinKey(data []byte) (*RelinKey, error) {
+	if len(data) < 8 || binary.LittleEndian.Uint32(data) != rlkMagic {
+		return nil, fmt.Errorf("bfv: bad relin-key blob")
+	}
+	base := uint(binary.LittleEndian.Uint16(data[4:]))
+	digits := int(binary.LittleEndian.Uint16(data[6:]))
+	if digits < 1 || digits > 64 {
+		return nil, fmt.Errorf("bfv: implausible digit count %d", digits)
+	}
+	rlk := &RelinKey{base: base}
+	off := 8
+	for k := 0; k < digits; k++ {
+		var pair [2]rlwe.RNSPoly
+		var err error
+		for j := 0; j < 2; j++ {
+			pair[j], off, err = c.unmarshalRNSPoly(data, off)
+			if err != nil {
+				return nil, err
+			}
+		}
+		rlk.pairs = append(rlk.pairs, pair)
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("bfv: trailing bytes in relin-key blob")
+	}
+	return rlk, nil
+}
+
+// CiphertextBytes returns the wire size of a degree-1 ciphertext under
+// these parameters without materializing one.
+func (c *Context) CiphertextBytes() int {
+	sz := 12
+	for _, ring := range c.RQ.Rings {
+		w := uint(bits.Len64(ring.Q - 1))
+		sz += 2 * ff.PackedSize(c.Params.N, w)
+	}
+	return sz
+}

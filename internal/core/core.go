@@ -1,0 +1,154 @@
+// Package core is the top-level API of the reproduction: it wires the
+// PASTA cipher (the paper's workload), the cycle-accurate cryptoprocessor
+// model (the paper's contribution), the calibrated area model, and the
+// RISC-V SoC co-simulation behind one façade, so downstream users can
+// encrypt data and obtain the paper's performance/area characterization
+// without touching the individual substrates.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/hw/area"
+	"repro/internal/pasta"
+	"repro/internal/soc"
+)
+
+// Config selects a cryptoprocessor configuration.
+type Config struct {
+	Variant pasta.Variant // Pasta3 or Pasta4
+	Width   uint          // modulus bit width: 17, 33, 54 or 60
+}
+
+// DefaultConfig is the paper's headline configuration: PASTA-4, ω = 17.
+var DefaultConfig = Config{Variant: pasta.Pasta4, Width: 17}
+
+// System bundles a keyed cipher with its hardware models.
+type System struct {
+	params pasta.Params
+	cipher *pasta.Cipher
+	accel  *hw.Accelerator
+}
+
+// NewSystem builds a System for the configuration and key. A nil key
+// samples a fresh random one.
+func NewSystem(cfg Config, key pasta.Key) (*System, error) {
+	mod, ok := ff.StandardModuli[cfg.Width]
+	if !ok {
+		return nil, fmt.Errorf("core: unsupported modulus width %d (have 17, 33, 54, 60)", cfg.Width)
+	}
+	par, err := pasta.NewParams(cfg.Variant, mod)
+	if err != nil {
+		return nil, err
+	}
+	if key == nil {
+		key, err = pasta.NewRandomKey(par)
+		if err != nil {
+			return nil, err
+		}
+	}
+	cipher, err := pasta.NewCipher(par, key)
+	if err != nil {
+		return nil, err
+	}
+	accel, err := hw.NewAccelerator(par, key)
+	if err != nil {
+		return nil, err
+	}
+	return &System{params: par, cipher: cipher, accel: accel}, nil
+}
+
+// Params exposes the underlying PASTA parameters.
+func (s *System) Params() pasta.Params { return s.params }
+
+// Encrypt encrypts msg with the software reference implementation.
+func (s *System) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	return s.cipher.Encrypt(nonce, msg)
+}
+
+// Decrypt inverts Encrypt.
+func (s *System) Decrypt(nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	return s.cipher.Decrypt(nonce, ct)
+}
+
+// CycleReport characterizes one encryption on the modeled hardware.
+type CycleReport struct {
+	CyclesPerBlock int64
+	Blocks         int
+	TotalCycles    int64
+	FPGAMicros     float64 // Artix-7 @ 75 MHz
+	ASICMicros     float64 // 28nm/7nm @ 1 GHz
+	SoCMicros      float64 // RISC-V SoC @ 100 MHz (accelerator time only)
+}
+
+// EncryptAccelerated encrypts msg on the cycle-accurate cryptoprocessor
+// model, returning both the ciphertext (bit-identical to Encrypt) and the
+// modeled timing on the paper's three platforms.
+func (s *System) EncryptAccelerated(nonce uint64, msg ff.Vec) (ff.Vec, CycleReport, error) {
+	t := s.params.T
+	out := ff.NewVec(len(msg))
+	var rep CycleReport
+	for block := 0; block*t < len(msg); block++ {
+		lo, hi := block*t, (block+1)*t
+		if hi > len(msg) {
+			hi = len(msg)
+		}
+		res, err := s.accel.EncryptBlock(nonce, uint64(block), msg[lo:hi])
+		if err != nil {
+			return nil, CycleReport{}, err
+		}
+		copy(out[lo:hi], res.Ciphertext)
+		rep.TotalCycles += res.Stats.Cycles
+		rep.Blocks++
+	}
+	if rep.Blocks > 0 {
+		rep.CyclesPerBlock = rep.TotalCycles / int64(rep.Blocks)
+	}
+	rep.FPGAMicros = hw.Microseconds(rep.TotalCycles, hw.FPGAHz)
+	rep.ASICMicros = hw.Microseconds(rep.TotalCycles, hw.ASICHz)
+	rep.SoCMicros = hw.Microseconds(rep.TotalCycles, hw.RISCVHz)
+	return out, rep, nil
+}
+
+// EncryptOnSoC runs the full RISC-V SoC co-simulation (core + driver +
+// peripheral) for msg, returning the ciphertext and SoC statistics.
+// Available for configurations whose elements fit the 32-bit bus.
+func (s *System) EncryptOnSoC(nonce uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error) {
+	return soc.EncryptBlocks(s.params, s.cipher.Key(), nonce, msg)
+}
+
+// AreaReport characterizes the configuration's silicon/FPGA cost.
+type AreaReport struct {
+	FPGA      area.FPGA
+	ASIC28mm2 float64
+	ASIC7mm2  float64
+	MaxPowerW float64
+}
+
+// Area returns the calibrated area model's estimate for this System.
+func (s *System) Area() (AreaReport, error) {
+	cfg := area.Config{T: s.params.T, W: s.params.Mod.Bits()}
+	a28, err := area.ASICmm2(cfg, area.Node28nm)
+	if err != nil {
+		return AreaReport{}, err
+	}
+	a7, err := area.ASICmm2(cfg, area.Node7nm)
+	if err != nil {
+		return AreaReport{}, err
+	}
+	return AreaReport{
+		FPGA:      area.Resources(cfg),
+		ASIC28mm2: a28,
+		ASIC7mm2:  a7,
+		MaxPowerW: area.MaxPowerWatts,
+	}, nil
+}
+
+// EnergyReport returns the modeled per-block energy across the paper's
+// platforms for this configuration (one block of t elements at the
+// calibrated power models).
+func (s *System) EnergyReport(cyclesPerBlock int64) ([]area.EnergyReport, error) {
+	return area.Energies(cyclesPerBlock, s.params.T)
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	s, err := NewSystem(DefaultConfig, pasta.KeyFromSeed(par, "core"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSoftwareRoundTrip(t *testing.T) {
+	s := newSystem(t)
+	msg := ff.Vec{1, 2, 3, 4, 5}
+	ct, err := s.Encrypt(10, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := s.Decrypt(10, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(msg) {
+		t.Fatal("roundtrip failed")
+	}
+}
+
+func TestAcceleratedMatchesSoftware(t *testing.T) {
+	s := newSystem(t)
+	msg := ff.NewVec(70) // 3 blocks, last partial
+	for i := range msg {
+		msg[i] = uint64(i * 13)
+	}
+	want, err := s.Encrypt(4, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rep, err := s.EncryptAccelerated(4, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("accelerated ciphertext differs from software")
+	}
+	if rep.Blocks != 3 {
+		t.Fatalf("blocks = %d, want 3", rep.Blocks)
+	}
+	if rep.CyclesPerBlock < 1400 || rep.CyclesPerBlock > 1900 {
+		t.Fatalf("cycles/block = %d, want ≈1,600", rep.CyclesPerBlock)
+	}
+	if rep.ASICMicros >= rep.FPGAMicros {
+		t.Fatal("ASIC slower than FPGA?")
+	}
+}
+
+func TestSoCPathMatches(t *testing.T) {
+	s := newSystem(t)
+	msg := ff.NewVec(32)
+	for i := range msg {
+		msg[i] = uint64(i)
+	}
+	want, err := s.Encrypt(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := s.EncryptOnSoC(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("SoC ciphertext differs")
+	}
+	if stats.Blocks != 1 {
+		t.Fatalf("blocks = %d", stats.Blocks)
+	}
+}
+
+func TestAreaReport(t *testing.T) {
+	s := newSystem(t)
+	a, err := s.Area()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.FPGA.DSP != 64 {
+		t.Errorf("DSP = %d, want 64 (Table I)", a.FPGA.DSP)
+	}
+	if a.ASIC28mm2 < 0.2 || a.ASIC28mm2 > 0.3 {
+		t.Errorf("28nm area = %.3f, want ≈0.24", a.ASIC28mm2)
+	}
+	if a.ASIC7mm2 >= a.ASIC28mm2 {
+		t.Error("7nm not smaller than 28nm")
+	}
+}
+
+func TestNewSystemValidation(t *testing.T) {
+	if _, err := NewSystem(Config{Variant: pasta.Pasta4, Width: 19}, nil); err == nil {
+		t.Fatal("bad width accepted")
+	}
+	if _, err := NewSystem(Config{Variant: pasta.Toy, Width: 17}, nil); err == nil {
+		t.Fatal("toy variant accepted by NewSystem")
+	}
+	// nil key samples a fresh one.
+	s, err := NewSystem(DefaultConfig, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Encrypt(1, ff.Vec{1}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEnergyReport(t *testing.T) {
+	s := newSystem(t)
+	rows, err := s.EnergyReport(1591)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	if rows[0].BlockUJ <= 0 {
+		t.Fatal("nonpositive energy")
+	}
+	if _, err := s.EnergyReport(0); err != nil {
+		t.Fatal(err) // zero cycles is fine (zero energy), only elements must be positive
+	}
+}

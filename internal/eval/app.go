@@ -1,0 +1,118 @@
+package eval
+
+import "fmt"
+
+// Resolution describes a video frame format of the surveillance
+// application benchmark (Sec. V): grayscale, 8 bits per pixel.
+type Resolution struct {
+	Name          string
+	Width, Height int
+}
+
+// Pixels returns the per-frame pixel (= element) count.
+func (r Resolution) Pixels() int { return r.Width * r.Height }
+
+// Resolutions evaluated in Fig. 8.
+var Resolutions = []Resolution{
+	{"QQVGA", 160, 120},
+	{"QVGA", 320, 240},
+	{"VGA", 640, 480},
+}
+
+// Bandwidths of the mid-band 5G link (Sec. V), in bytes per second.
+const (
+	MaxBandwidthBps = 112.5e6 // left plot of Fig. 8
+	MinBandwidthBps = 12.5e6  // right plot of Fig. 8
+)
+
+// TWCiphertextBytesPerBlock is the size of one PASTA-4 ciphertext block
+// as stated in Sec. V: 32 elements at ~33 bits = 132 bytes. (With the
+// 17-bit modulus the block would be 68 bytes; the paper's number is kept
+// for comparability.)
+const TWCiphertextBytesPerBlock = 132
+
+// TWBlockElements is the PASTA-4 block size.
+const TWBlockElements = 32
+
+// FrameLink models sending encrypted frames of one resolution over a
+// bandwidth-limited link for one scheme.
+type FrameLink struct {
+	Scheme         string
+	BytesPerFrame  float64
+	EncryptUSFrame float64 // client encryption latency per frame
+}
+
+// TWFrameLink returns this work's link model: one PASTA block per 32
+// pixels, encryption at the given per-block latency (Table II column).
+func TWFrameLink(r Resolution, usPerBlock float64) FrameLink {
+	blocks := (r.Pixels() + TWBlockElements - 1) / TWBlockElements
+	return FrameLink{
+		Scheme:         "TW",
+		BytesPerFrame:  float64(blocks * TWCiphertextBytesPerBlock),
+		EncryptUSFrame: float64(blocks) * usPerBlock,
+	}
+}
+
+// RISEFrameLink returns the RISE [19] baseline link model using the
+// paper-stated ciphertexts-per-frame packing.
+func RISEFrameLink(r Resolution) (FrameLink, error) {
+	ctn, ok := RISE.CtPerFrame[r.Name]
+	if !ok {
+		return FrameLink{}, fmt.Errorf("eval: no RISE packing for %s", r.Name)
+	}
+	return FrameLink{
+		Scheme:         "RISE",
+		BytesPerFrame:  float64(ctn * RISE.CiphertextBytes),
+		EncryptUSFrame: float64(ctn) * RISE.EncryptLatencyUS,
+	}, nil
+}
+
+// FramesPerSecond returns the achievable frame rate over a link of the
+// given bandwidth. With includeEncryption the client's encryption
+// throughput also caps the rate (the paper's Fig. 8 is bandwidth-only).
+func (l FrameLink) FramesPerSecond(bandwidthBps float64, includeEncryption bool) float64 {
+	fps := bandwidthBps / l.BytesPerFrame
+	if includeEncryption && l.EncryptUSFrame > 0 {
+		encFPS := 1e6 / l.EncryptUSFrame
+		if encFPS < fps {
+			fps = encFPS
+		}
+	}
+	return fps
+}
+
+// Fig8Row is one bar of Fig. 8.
+type Fig8Row struct {
+	Resolution string
+	Bandwidth  float64
+	TWFPS      float64
+	RISEFPS    float64
+	Advantage  float64 // TW/RISE
+	RISEBelow1 bool    // "RISE cannot send a frame at this bandwidth"
+}
+
+// Fig8 regenerates both plots of Fig. 8. usPerBlock is this work's
+// per-block client encryption latency (e.g. the ASIC 1.59 µs).
+func Fig8(usPerBlock float64, includeEncryption bool) ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, bw := range []float64{MaxBandwidthBps, MinBandwidthBps} {
+		for _, res := range Resolutions {
+			tw := TWFrameLink(res, usPerBlock)
+			rise, err := RISEFrameLink(res)
+			if err != nil {
+				return nil, err
+			}
+			twFPS := tw.FramesPerSecond(bw, includeEncryption)
+			riseFPS := rise.FramesPerSecond(bw, includeEncryption)
+			rows = append(rows, Fig8Row{
+				Resolution: res.Name,
+				Bandwidth:  bw,
+				TWFPS:      twFPS,
+				RISEFPS:    riseFPS,
+				Advantage:  twFPS / riseFPS,
+				RISEBelow1: riseFPS < 1,
+			})
+		}
+	}
+	return rows, nil
+}

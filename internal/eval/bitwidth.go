@@ -1,0 +1,86 @@
+package eval
+
+import (
+	"sort"
+
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/hw/area"
+	"repro/internal/pasta"
+)
+
+// BitwidthRow reproduces the paper's "Bitlength Comparison" paragraph
+// (Sec. IV-A ■): how cycles, area, and the area–time product move with
+// the modulus width ω for PASTA-4.
+type BitwidthRow struct {
+	Omega       uint
+	Prime       uint64
+	AcceptRate  float64 // rejection-sampling acceptance p / 2^ω
+	SimCycles   int64   // cycle-accurate model, one block
+	LUT         int
+	DSP         int
+	ASICmm2     float64
+	FPGAATScale float64 // (LUT × FPGA-µs) normalized to ω = 17
+	ASICATScale float64 // (mm² × ASIC-µs) normalized to ω = 17
+}
+
+// BitwidthStudy runs the accelerator model and the area model across the
+// standard moduli. The paper states "the performance stays the same for
+// different bit lengths"; the cycle model shows this holds only when the
+// prime sits just above a power of two (acceptance ≈ 0.5, as for 65537) —
+// a prime close to 2^ω (like our 33-bit Solinas prime) nearly eliminates
+// rejection and cuts the Keccak demand almost in half. The paper's
+// area–time claim (area more than doubles per width step) reproduces
+// directly.
+func BitwidthStudy() ([]BitwidthRow, error) {
+	widths := make([]uint, 0, len(ff.StandardModuli))
+	for w := range ff.StandardModuli {
+		widths = append(widths, w)
+	}
+	sort.Slice(widths, func(i, j int) bool { return widths[i] < widths[j] })
+
+	rows := make([]BitwidthRow, 0, len(widths))
+	for _, w := range widths {
+		mod := ff.StandardModuli[w]
+		par := pasta.MustParams(pasta.Pasta4, mod)
+		acc, err := hw.NewAccelerator(par, pasta.KeyFromSeed(par, "bitwidth"))
+		if err != nil {
+			return nil, err
+		}
+		res, err := acc.KeyStream(1, 0)
+		if err != nil {
+			return nil, err
+		}
+		cfg := area.Config{T: par.T, W: w}
+		mm2, err := area.ASICmm2(cfg, area.Node28nm)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, BitwidthRow{
+			Omega:      w,
+			Prime:      mod.P(),
+			AcceptRate: mod.AcceptRate(),
+			SimCycles:  res.Stats.Cycles,
+			LUT:        area.LUT(cfg),
+			DSP:        area.DSP(cfg),
+			ASICmm2:    mm2,
+		})
+	}
+	// Normalize area–time to the 17-bit row.
+	var base *BitwidthRow
+	for i := range rows {
+		if rows[i].Omega == 17 {
+			base = &rows[i]
+		}
+	}
+	if base != nil {
+		baseFPGA := float64(base.LUT) * hw.Microseconds(base.SimCycles, hw.FPGAHz)
+		baseASIC := base.ASICmm2 * hw.Microseconds(base.SimCycles, hw.ASICHz)
+		for i := range rows {
+			r := &rows[i]
+			r.FPGAATScale = float64(r.LUT) * hw.Microseconds(r.SimCycles, hw.FPGAHz) / baseFPGA
+			r.ASICATScale = r.ASICmm2 * hw.Microseconds(r.SimCycles, hw.ASICHz) / baseASIC
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,100 @@
+package eval
+
+import (
+	"repro/internal/ff"
+	"repro/internal/hw/area"
+	"repro/internal/pasta"
+)
+
+// Claims quantifies the numbered textual claims of the paper from the
+// reproduction's own models.
+type Claims struct {
+	// Sec. I-A: multiplication counts per encryption.
+	PKEMuls        int // NTT-based RLWE client encryption, N = 2^13, 3 moduli × 3 NTTs
+	Pasta3Muls     int // PASTA-3 permutation
+	Pasta4Muls     int
+	PKEElements    int // elements encrypted per operation (2^12)
+	Pasta3Elements int // 2^7
+
+	// Sec. I-A: for 2^12 elements, PASTA-3 needs 2^5 more encryptions ⇒
+	// ≈32× more multiplications than one PKE encryption.
+	Pasta3BulkFactor float64
+
+	// Sec. IV-C: cycle-count reduction vs CPU [9] and wall-clock speedup
+	// at the ≈20× clock disadvantage.
+	CycleReductionP3 float64
+	CycleReductionP4 float64
+	WallSpeedupP3    float64
+	WallSpeedupP4    float64
+
+	// Sec. IV-C ❷: per-element speedup vs the prior PKE SoC [19] on ASIC.
+	SpeedupVsRISE float64
+
+	// Sec. IV-B: PASTA-3 vs PASTA-4 — per-element time ratio (PASTA-3
+	// is ≈22% faster per element) and area ratio (≈3×).
+	P3PerElemCycles float64
+	P4PerElemCycles float64
+	P3TimeAdvantage float64 // 1 - P3/P4 per-element time
+	P3AreaRatio     float64
+
+	// Sec. IV-C ❶: ML-inference scenario — encrypting 32 coefficients:
+	// FHE client needs the full PKE latency, we need one PASTA-4 block.
+	FHE32CoeffUS float64
+	TW32CoeffUS  float64
+}
+
+// ComputeClaims derives all claims from Table II results and the models.
+func ComputeClaims(t2 []Table2Row) Claims {
+	var p3, p4 Table2Row
+	for _, r := range t2 {
+		if r.Elements == 128 {
+			p3 = r
+		} else {
+			p4 = r
+		}
+	}
+
+	// NTT multiplication count: (N/2)·log2 N per transform, three
+	// transforms per modulus, three moduli (Sec. I-A).
+	const n = 8192
+	logN := 13
+	nttMuls := n / 2 * logN
+	pkeMuls := 3 * 3 * nttMuls
+
+	c := Claims{
+		PKEMuls:        pkeMuls,
+		Pasta3Muls:     pasta.MustParams(pasta.Pasta3, ff.P17).MulCount(),
+		Pasta4Muls:     pasta.MustParams(pasta.Pasta4, ff.P17).MulCount(),
+		PKEElements:    1 << 12,
+		Pasta3Elements: 1 << 7,
+
+		CycleReductionP3: float64(CPUCyclesPasta3) / float64(p3.Cycles),
+		CycleReductionP4: float64(CPUCyclesPasta4) / float64(p4.Cycles),
+
+		SpeedupVsRISE: riseTable3PerElemUS() / (p4.ASICus / 32),
+
+		P3PerElemCycles: float64(p3.Cycles) / 128,
+		P4PerElemCycles: float64(p4.Cycles) / 32,
+
+		FHE32CoeffUS: FHEClientEncryptUS,
+		TW32CoeffUS:  p4.FPGAus,
+	}
+	c.WallSpeedupP3 = c.CycleReductionP3 / ClockRatioCPUToSoC
+	c.WallSpeedupP4 = c.CycleReductionP4 / ClockRatioCPUToSoC
+	c.Pasta3BulkFactor = float64(c.Pasta3Muls) * float64(c.PKEElements) / float64(c.Pasta3Elements) / float64(c.PKEMuls)
+	c.P3TimeAdvantage = 1 - c.P3PerElemCycles/c.P4PerElemCycles
+	c.P3AreaRatio = float64(area.LUT(area.Config{T: 128, W: 17})) /
+		float64(area.LUT(area.Config{T: 32, W: 17}))
+	return c
+}
+
+// riseTable3PerElemUS returns the per-element latency of the prior
+// RISC-V PKE SoC [19] as reported in Table III (4.88 µs/element).
+func riseTable3PerElemUS() float64 {
+	for _, w := range PriorWorks {
+		if w.Ref == "[19]" {
+			return w.PerElementUS()
+		}
+	}
+	return 0
+}

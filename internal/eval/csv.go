@@ -1,0 +1,238 @@
+package eval
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/ff"
+	"repro/internal/hw/area"
+)
+
+// CSV writers: machine-readable versions of every experiment, for
+// artifact-style post-processing and plotting.
+
+func writeCSV(w io.Writer, header []string, rows [][]string) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'g', 6, 64) }
+func d(v int64) string   { return strconv.FormatInt(v, 10) }
+
+// Table1CSV writes Table I.
+func Table1CSV(w io.Writer, rows []Table1Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scheme, strconv.Itoa(int(r.Omega)),
+			strconv.Itoa(r.Model.LUT), strconv.Itoa(r.Model.FF), strconv.Itoa(r.Model.DSP),
+			strconv.Itoa(r.Paper.LUT), strconv.Itoa(r.Paper.FF), strconv.Itoa(r.Paper.DSP),
+		})
+	}
+	return writeCSV(w, []string{"scheme", "omega", "lut_model", "ff_model", "dsp_model", "lut_paper", "ff_paper", "dsp_paper"}, out)
+}
+
+// Table2CSV writes Table II.
+func Table2CSV(w io.Writer, rows []Table2Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scheme, strconv.Itoa(r.Elements), d(r.CPUCycles),
+			d(r.Cycles), d(r.PaperCycles),
+			f(r.FPGAus), f(r.ASICus), f(r.RISCVus),
+		})
+	}
+	return writeCSV(w, []string{"scheme", "elements", "cpu_cycles", "cycles_model", "cycles_paper", "fpga_us", "asic_us", "riscv_us"}, out)
+}
+
+// Table3CSV writes Table III.
+func Table3CSV(w io.Writer, rows []Table3Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Ref, r.Platform, f(r.KLUT), f(r.KFF), strconv.Itoa(r.DSP), f(r.BRAM),
+			f(r.EncrUS), f(r.PerElemUS), strconv.FormatBool(r.Ours),
+		})
+	}
+	return writeCSV(w, []string{"work", "platform", "klut", "kff", "dsp", "bram", "encr_us", "us_per_elem", "this_work"}, out)
+}
+
+// Fig7CSV writes both area-share pies.
+func Fig7CSV(w io.Writer, data Fig7Data) error {
+	var out [][]string
+	for _, pie := range []struct {
+		name   string
+		shares map[string]float64
+	}{{"fpga", data.FPGA}, {"asic", data.ASIC}} {
+		for _, unit := range area.SortedUnits(pie.shares) {
+			out = append(out, []string{pie.name, unit, f(pie.shares[unit])})
+		}
+	}
+	return writeCSV(w, []string{"platform", "unit", "share_percent"}, out)
+}
+
+// Fig8CSV writes the frame-rate series.
+func Fig8CSV(w io.Writer, rows []Fig8Row) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Resolution, f(r.Bandwidth / 1e6), f(r.TWFPS), f(r.RISEFPS), f(r.Advantage),
+		})
+	}
+	return writeCSV(w, []string{"resolution", "bandwidth_mbps", "tw_fps", "rise_fps", "advantage"}, out)
+}
+
+// SchemesCSV writes the future-scope scheme comparison.
+func SchemesCSV(w io.Writer, rows []SchemeRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scheme, strconv.Itoa(r.ElementsPerKS), strconv.Itoa(r.XOFElements),
+			strconv.Itoa(r.MulCount), d(r.EstCycles), d(r.SimCycles), f(r.CyclesPerElem),
+		})
+	}
+	return writeCSV(w, []string{"scheme", "elements", "xof_elements", "mod_muls", "est_cycles", "sim_cycles", "cycles_per_elem"}, out)
+}
+
+// CountermeasuresCSV writes the countermeasure cost table.
+func CountermeasuresCSV(w io.Writer, rows []CountermeasureRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Name, f(r.CycleFactor), f(r.AreaFactor), f(r.LatencyUS), f(r.AreaMM2),
+			strconv.FormatBool(r.Detects), strconv.FormatBool(r.Masks),
+		})
+	}
+	return writeCSV(w, []string{"countermeasure", "cycle_factor", "area_factor", "latency_us", "area_mm2", "detects_faults", "masks_sca"}, out)
+}
+
+// ClaimsCSV writes the claim audit as key/paper/model triples.
+func ClaimsCSV(w io.Writer, c Claims) error {
+	rows := [][]string{
+		{"pke_muls", "524288", strconv.Itoa(c.PKEMuls)},
+		{"pasta3_muls", "262144", strconv.Itoa(c.Pasta3Muls)},
+		{"pasta3_bulk_factor", "32", f(c.Pasta3BulkFactor)},
+		{"cycle_reduction_p3", "3439", f(c.CycleReductionP3)},
+		{"cycle_reduction_p4", "857", f(c.CycleReductionP4)},
+		{"wall_speedup_p3", "171", f(c.WallSpeedupP3)},
+		{"wall_speedup_p4", "43", f(c.WallSpeedupP4)},
+		{"speedup_vs_rise", "97", f(c.SpeedupVsRISE)},
+		{"p3_time_advantage_pct", "22", f(100 * c.P3TimeAdvantage)},
+		{"p3_area_ratio", "3", f(c.P3AreaRatio)},
+	}
+	return writeCSV(w, []string{"claim", "paper", "model"}, rows)
+}
+
+// WriteAllCSV regenerates every experiment and writes one CSV per table/
+// figure through the provided opener (typically creating files in a dir).
+func WriteAllCSV(open func(name string) (io.WriteCloser, error), nonceSamples int) error {
+	t2, err := Table2(nonceSamples)
+	if err != nil {
+		return err
+	}
+	t3, err := Table3(t2)
+	if err != nil {
+		return err
+	}
+	f7, err := Fig7()
+	if err != nil {
+		return err
+	}
+	f8, err := Fig8(1.59, false)
+	if err != nil {
+		return err
+	}
+	schemes, err := SchemeComparison(ff.P17)
+	if err != nil {
+		return err
+	}
+	cms, err := CountermeasureCosts(PaperResults.CyclesPasta4)
+	if err != nil {
+		return err
+	}
+	bw, err := BitwidthStudy()
+	if err != nil {
+		return err
+	}
+	en, err := EnergyRows(t2)
+	if err != nil {
+		return err
+	}
+	exp, err := Expansion(1 << 12)
+	if err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		fn   func(io.Writer) error
+	}{
+		{"table1.csv", func(w io.Writer) error { return Table1CSV(w, Table1()) }},
+		{"table2.csv", func(w io.Writer) error { return Table2CSV(w, t2) }},
+		{"table3.csv", func(w io.Writer) error { return Table3CSV(w, t3) }},
+		{"fig7.csv", func(w io.Writer) error { return Fig7CSV(w, f7) }},
+		{"fig8.csv", func(w io.Writer) error { return Fig8CSV(w, f8) }},
+		{"claims.csv", func(w io.Writer) error { return ClaimsCSV(w, ComputeClaims(t2)) }},
+		{"schemes.csv", func(w io.Writer) error { return SchemesCSV(w, schemes) }},
+		{"countermeasures.csv", func(w io.Writer) error { return CountermeasuresCSV(w, cms) }},
+		{"bitwidth.csv", func(w io.Writer) error { return BitwidthCSV(w, bw) }},
+		{"energy.csv", func(w io.Writer) error { return EnergyCSV(w, en) }},
+		{"expansion.csv", func(w io.Writer) error { return ExpansionCSV(w, exp) }},
+	}
+	for _, item := range writers {
+		wc, err := open(item.name)
+		if err != nil {
+			return err
+		}
+		if err := item.fn(wc); err != nil {
+			wc.Close()
+			return fmt.Errorf("eval: writing %s: %w", item.name, err)
+		}
+		if err := wc.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BitwidthCSV writes the bitlength comparison.
+func BitwidthCSV(w io.Writer, rows []BitwidthRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			strconv.Itoa(int(r.Omega)), strconv.FormatUint(r.Prime, 10), f(r.AcceptRate),
+			d(r.SimCycles), strconv.Itoa(r.LUT), strconv.Itoa(r.DSP),
+			f(r.ASICmm2), f(r.FPGAATScale), f(r.ASICATScale),
+		})
+	}
+	return writeCSV(w, []string{"omega", "prime", "accept_rate", "sim_cycles", "lut", "dsp", "asic_mm2", "at_fpga", "at_asic"}, out)
+}
+
+// EnergyCSV writes the platform energy comparison.
+func EnergyCSV(w io.Writer, rows []area.EnergyReport) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{r.Platform, f(r.ClockHz), f(r.PowerW), f(r.BlockUJ), f(r.PerElementUJ)})
+	}
+	return writeCSV(w, []string{"platform", "clock_hz", "power_w", "uj_per_block", "uj_per_element"}, out)
+}
+
+// ExpansionCSV writes the communication-expansion measurement.
+func ExpansionCSV(w io.Writer, rows []ExpansionRow) error {
+	out := make([][]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, []string{
+			r.Scheme, strconv.Itoa(r.PayloadElems), strconv.Itoa(r.WireBytes),
+			f(r.BytesPerElem), f(r.Expansion), strconv.Itoa(r.OneTimeBytes),
+		})
+	}
+	return writeCSV(w, []string{"scheme", "payload_elems", "wire_bytes", "bytes_per_elem", "expansion", "setup_bytes"}, out)
+}

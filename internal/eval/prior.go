@@ -1,0 +1,83 @@
+// Package eval regenerates every table and figure of the paper's
+// evaluation section from the reproduction's own models, alongside the
+// literature constants the paper compares against. One generator per
+// experiment; cmd/hhebench renders them.
+package eval
+
+// CPU cycle counts for PASTA software encryption of one block reported by
+// the PASTA designers [9] on an Intel Xeon E5-2699 v4 (Table II).
+const (
+	CPUCyclesPasta3 = 17_041_380 // 128 elements
+	CPUCyclesPasta4 = 1_363_339  // 32 elements
+)
+
+// ClockRatioCPUToSoC is the ≈20× clock-frequency gap the paper uses when
+// converting its cycle-count reduction into wall-clock speedup (2.2 GHz
+// CPU vs the 100 MHz SoC).
+const ClockRatioCPUToSoC = 20.0
+
+// PriorWork is one comparison row of Table III.
+type PriorWork struct {
+	Ref      string // citation tag
+	Platform string
+	KLUT     float64 // 0 = not reported
+	KFF      float64
+	DSP      int
+	BRAM     float64
+	EncrUS   float64 // one encryption, µs
+	Elements int     // elements packed per encryption
+	IsSoC    bool    // RISC-V SoC rather than standalone accelerator
+	IsASIC   bool
+}
+
+// PerElementUS returns the per-element encryption latency.
+func (w PriorWork) PerElementUS() float64 { return w.EncrUS / float64(w.Elements) }
+
+// PriorWorks are the literature rows of Table III.
+var PriorWorks = []PriorWork{
+	{Ref: "[21]", Platform: "Zynq US+", EncrUS: 7790, Elements: 4096},
+	{Ref: "[22]", Platform: "AlveoU250", KLUT: 1179, KFF: 1036, DSP: 12288, BRAM: 828.5, EncrUS: 16900, Elements: 32768},
+	{Ref: "[18]", Platform: "Kintex-7", KLUT: 20.7, KFF: 17.6, DSP: 100, BRAM: 82.5, EncrUS: 1870, Elements: 4096},
+	{Ref: "[20]", Platform: "12nm", EncrUS: 110_000, Elements: 4096, IsASIC: true},
+	{Ref: "[19]", Platform: "12nm (RISC-V SoC)", EncrUS: 20_000, Elements: 4096, IsSoC: true, IsASIC: true},
+}
+
+// RISE are the parameters of the closest prior SoC [19], used as the
+// baseline of the application benchmark (Fig. 8).
+var RISE = struct {
+	CiphertextBytes  int     // 2^14 coefficients · 2 polys · 390 bits
+	SlotsPerCt       int     // coefficients packed per ciphertext
+	EncryptLatencyUS float64 // one encryption on the 12nm SoC
+	// Ciphertexts needed per video frame, as stated in Sec. V.
+	CtPerFrame map[string]int
+}{
+	CiphertextBytes:  1_500_000,
+	SlotsPerCt:       1 << 14,
+	EncryptLatencyUS: 20_000,
+	CtPerFrame:       map[string]int{"QQVGA": 1, "QVGA": 3, "VGA": 12},
+}
+
+// FHEClientEncryptUS is the FHE public-key encryption latency the paper
+// quotes for the comparison "ML inference encrypting 32 coefficients":
+// FHE needs the same ≈1,884 µs for anything up to 2^12 coefficients.
+const FHEClientEncryptUS = 1884.0
+
+// PaperResults records the paper's own measured numbers (Table II) so the
+// harness can print paper-vs-model side by side.
+var PaperResults = struct {
+	CyclesPasta3, CyclesPasta4         int64
+	FPGAUSPasta3, FPGAUSPasta4         float64
+	ASICUSPasta3, ASICUSPasta4         float64
+	RISCVUSPasta3, RISCVUSPasta4       float64
+	SpeedupCyclesMin, SpeedupCyclesMax float64
+	SpeedupWallMin, SpeedupWallMax     float64
+	SpeedupVsPKEAccel                  float64
+}{
+	CyclesPasta3: 4955, CyclesPasta4: 1591,
+	FPGAUSPasta3: 66.1, FPGAUSPasta4: 21.2,
+	ASICUSPasta3: 4.96, ASICUSPasta4: 1.59,
+	RISCVUSPasta3: 45.5, RISCVUSPasta4: 15.9,
+	SpeedupCyclesMin: 857, SpeedupCyclesMax: 3439,
+	SpeedupWallMin: 43, SpeedupWallMax: 171,
+	SpeedupVsPKEAccel: 97,
+}

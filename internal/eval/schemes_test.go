@@ -1,0 +1,255 @@
+package eval
+
+import (
+	"strings"
+
+	"math"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+func TestSchemeComparison(t *testing.T) {
+	rows, err := SchemeComparison(ff.P17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	byName := map[string]SchemeRow{}
+	for _, r := range rows {
+		byName[r.Scheme] = r
+	}
+
+	// The analytic XOF-bound model must track the cycle-accurate
+	// simulation within 5% for both PASTA variants.
+	for _, name := range []string{"PASTA-3", "PASTA-4"} {
+		r := byName[name]
+		if r.SimCycles == 0 {
+			t.Fatalf("%s: no simulation result", name)
+		}
+		relErr := math.Abs(float64(r.EstCycles)-float64(r.SimCycles)) / float64(r.SimCycles)
+		if relErr > 0.05 {
+			t.Errorf("%s: analytic %d vs simulated %d cycles (%.1f%% apart)",
+				name, r.EstCycles, r.SimCycles, 100*relErr)
+		}
+	}
+
+	// The future-scope insight: HERA's fixed linear layers slash the XOF
+	// demand (96 vs 640 elements) and the multiplier count by orders of
+	// magnitude, giving far fewer cycles per element.
+	hera := byName["HERA-5 (reconstruction)"]
+	p4 := byName["PASTA-4"]
+	if hera.XOFElements*6 > p4.XOFElements {
+		t.Errorf("HERA XOF demand %d not ≪ PASTA-4 %d", hera.XOFElements, p4.XOFElements)
+	}
+	if hera.MulCount*10 > p4.MulCount {
+		t.Errorf("HERA muls %d not ≪ PASTA-4 %d", hera.MulCount, p4.MulCount)
+	}
+	if hera.CyclesPerElem >= p4.CyclesPerElem {
+		t.Errorf("HERA %.1f cc/elem not below PASTA-4 %.1f", hera.CyclesPerElem, p4.CyclesPerElem)
+	}
+}
+
+func TestEstimateXOFCycles(t *testing.T) {
+	// Paper Sec. IV-B hand-calculation for PASTA-4: ≈60 permutations ⇒
+	// 60·26 + 32 ≈ 1,592 cc. Our estimator with demand 640 and ≈0.5
+	// acceptance must land nearby.
+	est := EstimateXOFCycles(640, ff.P17, 32)
+	if est < 1500 || est > 1750 {
+		t.Fatalf("estimate = %d, want ≈1,600", est)
+	}
+	// Wider moduli accept almost every masked word, so the same demand
+	// needs about half the Keccak work — the model captures the
+	// rejection-rate dependence the paper discusses.
+	est33 := EstimateXOFCycles(640, ff.P33, 32)
+	if float64(est33) > 0.65*float64(est) {
+		t.Fatalf("33-bit estimate %d not ≈half of 17-bit %d", est33, est)
+	}
+}
+
+func TestCountermeasureCostsTable(t *testing.T) {
+	rows, err := CountermeasureCosts(1591)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	base := rows[0]
+	if base.LatencyUS < 1.5 || base.LatencyUS > 1.7 {
+		t.Errorf("baseline latency = %.2f µs, want ≈1.59", base.LatencyUS)
+	}
+	for _, r := range rows[1:] {
+		if r.AreaFactor < 1 || r.CycleFactor < 1 {
+			t.Errorf("%s: overhead below baseline", r.Name)
+		}
+		// Key point: every countermeasure stays below 2× area because the
+		// XOF (public) needs no protection — cheaper than on PKE designs
+		// where the whole datapath is secret-dependent.
+		if r.AreaFactor >= 2 {
+			t.Errorf("%s: area factor %.2f ≥ 2", r.Name, r.AreaFactor)
+		}
+	}
+}
+
+func TestEnergyRows(t *testing.T) {
+	t2, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := EnergyRows(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	// The 1 GHz ASIC finishes ≈75× faster than the 75 MHz FPGA but burns
+	// higher power; per-block energy must still favour the ASIC.
+	var asic, fpga float64
+	for _, r := range rows {
+		switch r.Platform {
+		case "ASIC 28nm":
+			asic = r.BlockUJ
+		case "Artix-7":
+			fpga = r.BlockUJ
+		}
+	}
+	if asic <= 0 || fpga <= 0 || asic >= fpga {
+		t.Fatalf("ASIC %.2f µJ should undercut FPGA %.2f µJ", asic, fpga)
+	}
+	if _, err := EnergyRows(nil); err == nil {
+		t.Fatal("missing PASTA-4 row accepted")
+	}
+}
+
+func TestExpansion(t *testing.T) {
+	rows, err := Expansion(1 << 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	plain, hhe, fhe := rows[0], rows[1], rows[2]
+	if plain.Expansion != 1 {
+		t.Fatalf("plaintext expansion = %v", plain.Expansion)
+	}
+	// HHE: essentially no expansion (exactly 1 for bit-packed ω-bit
+	// elements over ω-bit payloads).
+	if hhe.Expansion > 1.1 {
+		t.Errorf("HHE expansion = %.2f, want ≈1", hhe.Expansion)
+	}
+	// FHE: orders of magnitude. With N=2^13 and ≈165-bit Q the paper's
+	// "10,000×–100,000×" range is for small payloads; at a full 2^12-slot
+	// batch the floor is ≈2·8192·165/ (4096·17) ≈ 39×.
+	if fhe.Expansion < 30 {
+		t.Errorf("FHE expansion = %.1f×, implausibly low", fhe.Expansion)
+	}
+	if fhe.WireBytes <= hhe.WireBytes*20 {
+		t.Errorf("FHE wire %d not ≫ HHE wire %d", fhe.WireBytes, hhe.WireBytes)
+	}
+	// Small payloads hit the full per-ciphertext floor. For 32 elements
+	// ≈5,000×; for a single element the measured expansion lands inside
+	// the paper's quoted 10,000–100,000× band.
+	small, err := Expansion(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small[2].Expansion < 4000 {
+		t.Errorf("FHE expansion for 32 elements = %.0f×, want ≈5,000", small[2].Expansion)
+	}
+	one, err := Expansion(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one[2].Expansion < 10_000 || one[2].Expansion > 200_000 {
+		t.Errorf("FHE expansion for 1 element = %.0f×, want within the paper's 10,000–100,000× band", one[2].Expansion)
+	}
+	if _, err := Expansion(0); err == nil {
+		t.Fatal("zero payload accepted")
+	}
+}
+
+func TestBitwidthStudy(t *testing.T) {
+	rows, err := BitwidthStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byW := map[uint]BitwidthRow{}
+	for _, r := range rows {
+		byW[r.Omega] = r
+	}
+	// Paper: area more than doubles per width step ⇒ area–time grows —
+	// under its implicit ≈0.5-acceptance assumption. Our ω=33 prime sits
+	// just under 2^33, halving cycles, so its AT product stays almost
+	// flat (≈2.1× area × ≈0.52× time); ω=54 (acceptance ≈0.5 again)
+	// shows the paper's full ≈4.3× AT growth.
+	if at := byW[33].ASICATScale; at < 0.9 || at > 1.5 {
+		t.Errorf("33-bit area-time scale = %.2f, want ≈1.1 (area ≈2.1× × time ≈0.52×)", at)
+	}
+	if byW[54].ASICATScale < 3 {
+		t.Errorf("54-bit area-time scale = %.2f, want ≳4 (paper: area ≈4.3× at equal time)", byW[54].ASICATScale)
+	}
+	// Rejection-rate sensitivity: the near-2^33 prime accepts ≈everything
+	// and needs roughly half the cycles of the ≈0.5-acceptance widths.
+	if byW[33].AcceptRate < 0.99 {
+		t.Errorf("33-bit acceptance = %.3f, want ≈1", byW[33].AcceptRate)
+	}
+	if float64(byW[33].SimCycles) > 0.65*float64(byW[17].SimCycles) {
+		t.Errorf("33-bit cycles %d not ≈half of 17-bit %d", byW[33].SimCycles, byW[17].SimCycles)
+	}
+	// Widths with ≈0.5 acceptance perform the same (paper's claim).
+	r17, r54 := byW[17], byW[54]
+	ratio := float64(r54.SimCycles) / float64(r17.SimCycles)
+	if ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("cycles at equal acceptance differ: ω=17 %d vs ω=54 %d", r17.SimCycles, r54.SimCycles)
+	}
+	if byW[17].DSP != 64 || byW[54].DSP != 576 {
+		t.Errorf("DSP counts drifted: %d, %d", byW[17].DSP, byW[54].DSP)
+	}
+}
+
+func TestRenderExtensionsSmoke(t *testing.T) {
+	var sb strings.Builder
+	schemes, err := SchemeComparison(ff.P17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderSchemes(&sb, schemes)
+	cms, err := CountermeasureCosts(1591)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderCountermeasures(&sb, cms)
+	bw, err := BitwidthStudy()
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderBitwidth(&sb, bw)
+	exp, err := Expansion(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderExpansion(&sb, exp)
+	t2, err := Table2(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en, err := EnergyRows(t2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	RenderEnergy(&sb, en)
+	out := sb.String()
+	for _, want := range []string{"HERA", "temporal redundancy", "BITLENGTH", "COMMUNICATION", "ENERGY", "expansion"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("extension rendering missing %q", want)
+		}
+	}
+}

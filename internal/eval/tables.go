@@ -1,0 +1,186 @@
+package eval
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/hw/area"
+	"repro/internal/pasta"
+	"repro/internal/soc"
+)
+
+// Table1Row is one row of Table I (FPGA area).
+type Table1Row struct {
+	Scheme  string
+	Omega   uint
+	Cfg     area.Config
+	Model   area.FPGA
+	Paper   area.FPGA // reference values from the paper; zero if none
+	UtilLUT float64
+	UtilFF  float64
+	UtilDSP float64
+}
+
+// Table1 regenerates Table I from the area model.
+func Table1() []Table1Row {
+	rows := []struct {
+		scheme string
+		cfg    area.Config
+		paper  area.FPGA
+	}{
+		{"PASTA-3", area.Config{T: 128, W: 17}, area.FPGA{LUT: 65468, FF: 36275, DSP: 256}},
+		{"PASTA-4", area.Config{T: 32, W: 17}, area.FPGA{LUT: 23736, FF: 11132, DSP: 64}},
+		{"PASTA-4", area.Config{T: 32, W: 33}, area.FPGA{LUT: 42330, FF: 20783, DSP: 256}},
+		{"PASTA-4", area.Config{T: 32, W: 54}, area.FPGA{LUT: 67324, FF: 32711, DSP: 576}},
+	}
+	out := make([]Table1Row, 0, len(rows))
+	for _, r := range rows {
+		util := area.UtilizationPercent(r.cfg)
+		out = append(out, Table1Row{
+			Scheme: r.scheme, Omega: r.cfg.W, Cfg: r.cfg,
+			Model: area.Resources(r.cfg), Paper: r.paper,
+			UtilLUT: util["LUT"], UtilFF: util["FF"], UtilDSP: util["DSP"],
+		})
+	}
+	return out
+}
+
+// Table2Row is one row of Table II (performance of one block).
+type Table2Row struct {
+	Scheme      string
+	Elements    int
+	Cycles      int64   // our cycle-accurate model (nonce-averaged)
+	CPUCycles   int64   // PASTA paper's Xeon cycles [9]
+	FPGAus      float64 // at 75 MHz
+	ASICus      float64 // at 1 GHz
+	RISCVus     float64 // measured on the SoC co-simulation, per block
+	PaperCycles int64
+}
+
+// Table2 regenerates Table II by running the cycle-accurate accelerator
+// model (averaged over nonces) and the RISC-V SoC co-simulation.
+func Table2(nonceSamples int) ([]Table2Row, error) {
+	if nonceSamples < 1 {
+		nonceSamples = 1
+	}
+	var rows []Table2Row
+	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
+		par := pasta.MustParams(v, ff.P17)
+		key := pasta.KeyFromSeed(par, "table2")
+		acc, err := hw.NewAccelerator(par, key)
+		if err != nil {
+			return nil, err
+		}
+		var total int64
+		for n := 0; n < nonceSamples; n++ {
+			res, err := acc.KeyStream(uint64(n), 0)
+			if err != nil {
+				return nil, err
+			}
+			total += res.Stats.Cycles
+		}
+		cycles := total / int64(nonceSamples)
+
+		// SoC co-simulation: encrypt a few blocks, take per-block cycles.
+		msg := ff.NewVec(2 * par.T)
+		_, stats, err := soc.EncryptBlocks(par, key, 1, msg)
+		if err != nil {
+			return nil, err
+		}
+
+		row := Table2Row{
+			Scheme:   v.String(),
+			Elements: par.T,
+			Cycles:   cycles,
+			FPGAus:   hw.Microseconds(cycles, hw.FPGAHz),
+			ASICus:   hw.Microseconds(cycles, hw.ASICHz),
+			RISCVus:  hw.Microseconds(stats.CyclesPerBlock(), hw.RISCVHz),
+		}
+		if v == pasta.Pasta3 {
+			row.CPUCycles = CPUCyclesPasta3
+			row.PaperCycles = PaperResults.CyclesPasta3
+		} else {
+			row.CPUCycles = CPUCyclesPasta4
+			row.PaperCycles = PaperResults.CyclesPasta4
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// Table3Row is one row of Table III (PASTA-4 vs prior client accelerators).
+type Table3Row struct {
+	Ref       string
+	Platform  string
+	KLUT      float64
+	KFF       float64
+	DSP       int
+	BRAM      float64
+	EncrUS    float64
+	PerElemUS float64
+	Ours      bool
+}
+
+// Table3 regenerates Table III: literature rows plus this work's rows
+// computed from the cycle model and area model.
+func Table3(t2 []Table2Row) ([]Table3Row, error) {
+	var p4 *Table2Row
+	for i := range t2 {
+		if t2[i].Elements == 32 {
+			p4 = &t2[i]
+		}
+	}
+	if p4 == nil {
+		return nil, fmt.Errorf("eval: Table2 results missing PASTA-4 row")
+	}
+	var rows []Table3Row
+	for _, w := range PriorWorks {
+		if w.IsASIC {
+			continue
+		}
+		rows = append(rows, Table3Row{
+			Ref: w.Ref, Platform: w.Platform,
+			KLUT: w.KLUT, KFF: w.KFF, DSP: w.DSP, BRAM: w.BRAM,
+			EncrUS: w.EncrUS, PerElemUS: w.PerElementUS(),
+		})
+	}
+	cfg := area.Config{T: 32, W: 17}
+	res := area.Resources(cfg)
+	rows = append(rows, Table3Row{
+		Ref: "TW", Platform: "Artix-7",
+		KLUT: float64(res.LUT) / 1000, KFF: float64(res.FF) / 1000,
+		DSP: res.DSP, BRAM: 0,
+		EncrUS: p4.FPGAus, PerElemUS: p4.FPGAus / 32, Ours: true,
+	})
+	for _, w := range PriorWorks {
+		if !w.IsASIC {
+			continue
+		}
+		rows = append(rows, Table3Row{
+			Ref: w.Ref, Platform: w.Platform,
+			EncrUS: w.EncrUS, PerElemUS: w.PerElementUS(),
+		})
+	}
+	rows = append(rows,
+		Table3Row{Ref: "TW", Platform: "7/28nm", EncrUS: p4.ASICus, PerElemUS: p4.ASICus / 32, Ours: true},
+		Table3Row{Ref: "TW", Platform: "65/130nm (RISC-V SoC)", EncrUS: p4.RISCVus, PerElemUS: p4.RISCVus / 32, Ours: true},
+	)
+	return rows, nil
+}
+
+// Fig7Data holds the module-wise area shares of Fig. 7.
+type Fig7Data struct {
+	FPGA map[string]float64 // % of LUTs, PASTA-3 ω=17
+	ASIC map[string]float64 // % of mm², PASTA-4 ω=17 at 28nm
+}
+
+// Fig7 regenerates the two pies of Fig. 7.
+func Fig7() (Fig7Data, error) {
+	fpga := area.Shares(area.LUTBreakdown(area.Config{T: 128, W: 17}))
+	asicBD, err := area.ASICBreakdown(area.Config{T: 32, W: 17}, area.Node28nm)
+	if err != nil {
+		return Fig7Data{}, err
+	}
+	return Fig7Data{FPGA: fpga, ASIC: area.Shares(asicBD)}, nil
+}

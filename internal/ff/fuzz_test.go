@@ -1,0 +1,43 @@
+package ff
+
+import "testing"
+
+// FuzzReduceWideAgainstGeneric: structured reductions must agree with the
+// division-based fallback on arbitrary 128-bit inputs.
+func FuzzReduceWideAgainstGeneric(f *testing.F) {
+	f.Add(uint64(0), uint64(0))
+	f.Add(^uint64(0), ^uint64(0))
+	f.Add(uint64(1)<<63, uint64(12345))
+	f.Fuzz(func(t *testing.T, hi, lo uint64) {
+		for _, m := range []Modulus{P17, P33, P54, P60} {
+			// Clamp hi below p so the generic path's Div64 precondition
+			// holds for arbitrary (not just product) inputs.
+			h := hi % m.P()
+			got := m.ReduceWide(h, lo)
+			want := Modulus{p: m.p, bits: m.bits, kind: Generic}.ReduceWide(h, lo)
+			if got != want {
+				t.Fatalf("%v: ReduceWide(%d, %d) = %d, want %d", m, h, lo, got, want)
+			}
+			if got >= m.P() {
+				t.Fatalf("%v: result %d not reduced", m, got)
+			}
+		}
+	})
+}
+
+// FuzzInverse: x·x⁻¹ = 1 for all nonzero x under every standard modulus.
+func FuzzInverse(f *testing.F) {
+	f.Add(uint64(1))
+	f.Add(uint64(65536))
+	f.Fuzz(func(t *testing.T, x uint64) {
+		for _, m := range []Modulus{P17, P33, P54, P60} {
+			v := x % m.P()
+			if v == 0 {
+				continue
+			}
+			if got := m.Mul(v, m.Inv(v)); got != 1 {
+				t.Fatalf("%v: %d·Inv = %d", m, v, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,392 @@
+// Package ff implements arithmetic over prime fields F_p for p up to 60
+// bits, the coefficient domain of the PASTA family of HHE-enabling
+// symmetric ciphers.
+//
+// The package mirrors the arithmetic structure exploited by the PASTA
+// cryptoprocessor: the moduli of interest have a "Mersenne-like" shape
+// (Fermat primes 2^a+1 and Solinas primes 2^a-2^b+1) that admits an
+// add-shift reduction after each multiplication instead of a generic
+// division. Both the structured reduction and a generic fallback are
+// implemented; they are tested to agree and the structured path is used in
+// hot loops exactly as the hardware uses its add-shift reduction unit.
+package ff
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// ReductionKind identifies the modular-reduction strategy a Modulus uses.
+type ReductionKind int
+
+const (
+	// Generic reduction divides the 128-bit product by p (Barrett-style
+	// fallback, realized with bits.Div64).
+	Generic ReductionKind = iota
+	// Fermat reduction applies to p = 2^a + 1 (e.g. 65537) and folds the
+	// product using 2^a ≡ -1 (mod p).
+	Fermat
+	// Solinas reduction applies to p = 2^a - 2^b + 1 and folds the product
+	// using 2^a ≡ 2^b - 1 (mod p).
+	Solinas
+	// SolinasPlus reduction applies to p = 2^a + 2^b + 1 and folds the
+	// product using 2^a ≡ -(2^b + 1) (mod p).
+	SolinasPlus
+)
+
+func (k ReductionKind) String() string {
+	switch k {
+	case Generic:
+		return "generic"
+	case Fermat:
+		return "fermat"
+	case Solinas:
+		return "solinas"
+	case SolinasPlus:
+		return "solinas+"
+	default:
+		return fmt.Sprintf("ReductionKind(%d)", int(k))
+	}
+}
+
+// Modulus bundles a prime p with a reduction strategy and derived
+// constants. The zero value is invalid; use NewModulus.
+type Modulus struct {
+	p    uint64
+	bits uint // bit length of p
+	kind ReductionKind
+	a, b uint // structure exponents: p = 2^a + 1 (Fermat) or 2^a - 2^b + 1 (Solinas)
+}
+
+// NewModulus builds a Modulus for the prime p, automatically detecting a
+// Fermat (2^a+1) or Solinas (2^a-2^b+1) structure and selecting the
+// corresponding add-shift reduction. It returns an error if p is not an
+// odd prime in [3, 2^60].
+func NewModulus(p uint64) (Modulus, error) {
+	if p < 3 || p&1 == 0 {
+		return Modulus{}, fmt.Errorf("ff: modulus %d must be an odd prime ≥ 3", p)
+	}
+	if p > 1<<60 {
+		return Modulus{}, fmt.Errorf("ff: modulus %d exceeds the supported 60-bit range", p)
+	}
+	if !IsPrime(p) {
+		return Modulus{}, fmt.Errorf("ff: modulus %d is not prime", p)
+	}
+	m := Modulus{p: p, bits: uint(bits.Len64(p)), kind: Generic}
+	if a := uint(bits.TrailingZeros64(p - 1)); p == 1<<a+1 {
+		m.kind = Fermat
+		m.a = a
+		return m, nil
+	}
+	// p = 2^a + 2^b + 1  <=>  p - 1 has exactly two set bits.
+	if bits.OnesCount64(p-1) == 2 {
+		m.kind = SolinasPlus
+		m.a = uint(bits.Len64(p-1)) - 1
+		m.b = uint(bits.TrailingZeros64(p - 1))
+		return m, nil
+	}
+	// p = 2^a - 2^b + 1  <=>  p - 1 = 2^b * (2^(a-b) - 1).
+	b := uint(bits.TrailingZeros64(p - 1))
+	q := (p - 1) >> b // should be 2^(a-b) - 1, i.e. all-ones
+	if q != 0 && q&(q+1) == 0 {
+		ab := uint(bits.Len64(q))
+		m.kind = Solinas
+		m.a = ab + b
+		m.b = b
+	}
+	return m, nil
+}
+
+// MustModulus is NewModulus that panics on error; intended for package-level
+// parameter tables built from vetted primes.
+func MustModulus(p uint64) Modulus {
+	m, err := NewModulus(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// P returns the prime.
+func (m Modulus) P() uint64 { return m.p }
+
+// Bits returns the bit length of the prime (the ω of the paper's Table I).
+func (m Modulus) Bits() uint { return m.bits }
+
+// Kind reports which reduction strategy the modulus uses.
+func (m Modulus) Kind() ReductionKind { return m.kind }
+
+// Mask returns the sampling mask (2^Bits - 1) used by rejection sampling.
+func (m Modulus) Mask() uint64 { return 1<<m.bits - 1 }
+
+// AcceptRate returns the expected acceptance probability of rejection
+// sampling a masked Bits()-wide word, p / 2^Bits.
+func (m Modulus) AcceptRate() float64 {
+	return float64(m.p) / float64(uint64(1)<<m.bits)
+}
+
+func (m Modulus) String() string {
+	return fmt.Sprintf("F_%d (%d-bit, %s)", m.p, m.bits, m.kind)
+}
+
+// Add returns x + y mod p. Inputs must already be reduced.
+func (m Modulus) Add(x, y uint64) uint64 {
+	s := x + y
+	if s >= m.p || s < x { // s < x catches wraparound (cannot occur for p ≤ 2^60)
+		s -= m.p
+	}
+	return s
+}
+
+// Sub returns x - y mod p. Inputs must already be reduced.
+func (m Modulus) Sub(x, y uint64) uint64 {
+	d := x - y
+	if x < y {
+		d += m.p
+	}
+	return d
+}
+
+// Neg returns -x mod p.
+func (m Modulus) Neg(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return m.p - x
+}
+
+// Mul returns x * y mod p using the modulus's structured reduction.
+func (m Modulus) Mul(x, y uint64) uint64 {
+	hi, lo := bits.Mul64(x, y)
+	return m.ReduceWide(hi, lo)
+}
+
+// Sqr returns x² mod p.
+func (m Modulus) Sqr(x uint64) uint64 { return m.Mul(x, x) }
+
+// Cube returns x³ mod p (the PASTA cube S-box on one element).
+func (m Modulus) Cube(x uint64) uint64 { return m.Mul(m.Sqr(x), x) }
+
+// MulAdd returns x*y + z mod p, the fused operation of the hardware MAC
+// unit used for invertible-matrix generation.
+func (m Modulus) MulAdd(x, y, z uint64) uint64 { return m.Add(m.Mul(x, y), z) }
+
+// ReduceWide reduces the 128-bit value hi·2^64 + lo modulo p.
+func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
+	switch m.kind {
+	case Fermat:
+		return m.reduceFermat(hi, lo)
+	case Solinas:
+		return m.reduceSolinas(hi, lo)
+	case SolinasPlus:
+		return m.reduceSolinasPlus(hi, lo)
+	default:
+		return m.reduceGeneric(hi, lo)
+	}
+}
+
+// Reduce reduces a single 64-bit value modulo p.
+func (m Modulus) Reduce(x uint64) uint64 { return m.ReduceWide(0, x) }
+
+// reduceGeneric divides by p. Valid whenever hi < p, which always holds
+// for products of reduced operands (hi ≤ (p-1)²/2^64 < p).
+func (m Modulus) reduceGeneric(hi, lo uint64) uint64 {
+	if hi == 0 {
+		if lo < m.p {
+			return lo
+		}
+		return lo % m.p
+	}
+	hi %= m.p
+	_, r := bits.Div64(hi, lo, m.p)
+	return r
+}
+
+// reduceFermat folds using 2^a ≡ -1 (mod 2^a + 1): splitting x into a-bit
+// limbs x0, x1, x2, ... gives x ≡ x0 - x1 + x2 - ... . This is the
+// alternating add-shift reduction the hardware applies after each
+// multiplier, e.g. for p = 65537 = 0x10001.
+func (m Modulus) reduceFermat(hi, lo uint64) uint64 {
+	a := m.a
+	mask := uint64(1)<<a - 1
+	// Accumulate alternating limbs. For a ≥ 16 and 128-bit input at most
+	// 8 limbs occur; sums stay far below 2^64 (each limb < 2^a ≤ 2^59).
+	var pos, neg uint64
+	sign := false // false: add, true: subtract
+	for i := uint(0); i < 128; i += a {
+		var limb uint64
+		switch {
+		case i >= 64:
+			limb = (hi >> (i - 64)) & mask
+		case i+a <= 64:
+			limb = (lo >> i) & mask
+		default: // straddles the 64-bit boundary
+			limb = (lo>>i | hi<<(64-i)) & mask
+		}
+		if sign {
+			neg += limb
+		} else {
+			pos += limb
+		}
+		sign = !sign
+		if i >= 64 && hi>>(i-64) == 0 {
+			break
+		}
+	}
+	// pos, neg < 8 * 2^a; reduce the small difference.
+	pos += (neg/m.p + 1) * m.p // make the subtraction non-negative
+	r := pos - neg
+	if r >= m.p {
+		r %= m.p
+	}
+	return r
+}
+
+// reduceSolinas folds using 2^a ≡ 2^b - 1 (mod 2^a - 2^b + 1). Each fold
+// replaces the high part h (x = h·2^a + l) by h·2^b - h, shrinking the
+// value until it fits below 2^a, then applies a final correction.
+func (m Modulus) reduceSolinas(hi, lo uint64) uint64 {
+	a, b := m.a, m.b
+	maskA := uint64(1)<<a - 1
+	// Work in 128 bits (hi, lo) until hi == 0 and lo < 2^(a+b+1) or so.
+	for hi != 0 || lo>>a != 0 {
+		// Split: l = x mod 2^a, h = x >> a.
+		l := lo & maskA
+		var h128hi, h128lo uint64
+		h128lo = lo>>a | hi<<(64-a)
+		h128hi = hi >> a
+		// x' = l + h*2^b - h.  h*2^b may exceed 64 bits; keep 128-bit math.
+		shHi := h128hi<<b | h128lo>>(64-b)
+		shLo := h128lo << b
+		// add l
+		var c uint64
+		shLo, c = bits.Add64(shLo, l, 0)
+		shHi += c
+		// subtract h (h ≤ x/2^a so result stays non-negative only if
+		// x ≥ h, which holds since l + h·2^b ≥ h for b ≥ 1; for b = 0 the
+		// prime is 2^a which is excluded).
+		var borrow uint64
+		shLo, borrow = bits.Sub64(shLo, h128lo, 0)
+		shHi, _ = bits.Sub64(shHi, h128hi, borrow)
+		hi, lo = shHi, shLo
+	}
+	r := lo
+	for r >= m.p {
+		r -= m.p
+	}
+	return r
+}
+
+// reduceSolinasPlus folds using 2^a ≡ -(2^b + 1) (mod 2^a + 2^b + 1).
+// Splitting x = h·2^a + l gives x ≡ l - (h·2^b + h); the positive quantity
+// h·2^b + h is reduced recursively (it shrinks by a-b-1 bits per level)
+// and subtracted from l < 2^a < p.
+func (m Modulus) reduceSolinasPlus(hi, lo uint64) uint64 {
+	a, b := m.a, m.b
+	if hi == 0 && lo < m.p {
+		return lo
+	}
+	if hi == 0 && lo>>a == 0 {
+		return lo % m.p // rare: l in [p, 2^a); single correction
+	}
+	maskA := uint64(1)<<a - 1
+	l := lo & maskA
+	hLo := lo>>a | hi<<(64-a)
+	hHi := hi >> a
+	// s = h·2^b + h (fits in 128 bits since a > b+1 for all our primes).
+	sHi := hHi<<b | hLo>>(64-b)
+	sLo := hLo << b
+	var c uint64
+	sLo, c = bits.Add64(sLo, hLo, 0)
+	sHi += c + hHi
+	return m.Sub(l, m.reduceSolinasPlus(sHi, sLo))
+}
+
+// Exp returns base^e mod p by square-and-multiply.
+func (m Modulus) Exp(base, e uint64) uint64 {
+	base = m.Reduce(base)
+	r := uint64(1)
+	for e > 0 {
+		if e&1 == 1 {
+			r = m.Mul(r, base)
+		}
+		base = m.Sqr(base)
+		e >>= 1
+	}
+	return r
+}
+
+// Inv returns the multiplicative inverse of x mod p (p prime), or 0 for
+// x = 0.
+func (m Modulus) Inv(x uint64) uint64 {
+	if x == 0 {
+		return 0
+	}
+	return m.Exp(x, m.p-2)
+}
+
+// IsPrime reports whether n is prime, using a deterministic Miller–Rabin
+// test valid for all 64-bit integers (witness set due to Sinclair).
+func IsPrime(n uint64) bool {
+	if n < 2 {
+		return false
+	}
+	for _, sp := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if n == sp {
+			return true
+		}
+		if n%sp == 0 {
+			return false
+		}
+	}
+	d := n - 1
+	r := 0
+	for d&1 == 0 {
+		d >>= 1
+		r++
+	}
+	// Deterministic witnesses for n < 3,317,044,064,679,887,385,961,981.
+	for _, a := range []uint64{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37} {
+		if !millerRabinWitness(n, a, d, r) {
+			return false
+		}
+	}
+	return true
+}
+
+func millerRabinWitness(n, a, d uint64, r int) bool {
+	x := powMod(a%n, d, n)
+	if x == 1 || x == n-1 {
+		return true
+	}
+	for i := 0; i < r-1; i++ {
+		x = mulMod(x, x, n)
+		if x == n-1 {
+			return true
+		}
+	}
+	return false
+}
+
+func mulMod(a, b, n uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	if hi == 0 && lo < n {
+		return lo
+	}
+	hi %= n
+	_, r := bits.Div64(hi, lo, n)
+	return r
+}
+
+func powMod(a, e, n uint64) uint64 {
+	r := uint64(1)
+	a %= n
+	for e > 0 {
+		if e&1 == 1 {
+			r = mulMod(r, a, n)
+		}
+		a = mulMod(a, a, n)
+		e >>= 1
+	}
+	return r
+}

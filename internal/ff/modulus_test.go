@@ -1,0 +1,252 @@
+package ff
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewModulusDetectsStructure(t *testing.T) {
+	cases := []struct {
+		p    uint64
+		kind ReductionKind
+		bits uint
+	}{
+		{65537, Fermat, 17},
+		{1<<33 - 1<<20 + 1, Solinas, 33},
+		{1<<53 + 1<<47 + 1, SolinasPlus, 54},
+		{1<<59 + 1<<47 + 1, SolinasPlus, 60},
+		{1<<31 - 1, Solinas, 31}, // Mersenne prime 2^31-1 = 2^31 - 2^1 + 1 is a degenerate Solinas shape
+		{1000003, Generic, 20},   // prime with no exploitable 2-power structure
+	}
+	for _, c := range cases {
+		m, err := NewModulus(c.p)
+		if err != nil {
+			t.Fatalf("NewModulus(%d): %v", c.p, err)
+		}
+		if m.Kind() != c.kind {
+			t.Errorf("p=%d: kind = %v, want %v", c.p, m.Kind(), c.kind)
+		}
+		if m.Bits() != c.bits {
+			t.Errorf("p=%d: bits = %d, want %d", c.p, m.Bits(), c.bits)
+		}
+	}
+}
+
+func TestNewModulusRejectsBadInput(t *testing.T) {
+	for _, p := range []uint64{0, 1, 2, 4, 9, 65536, 1<<61 + 1} {
+		if _, err := NewModulus(p); err == nil {
+			t.Errorf("NewModulus(%d): want error, got nil", p)
+		}
+	}
+}
+
+func TestIsPrimeSmall(t *testing.T) {
+	primes := map[uint64]bool{
+		2: true, 3: true, 5: true, 7: true, 11: true, 65537: true,
+		4: false, 6: false, 9: false, 15: false, 65536: false,
+		1<<32 + 1: false, // F5 = 641 * 6700417
+		1<<31 - 1: true,  // Mersenne
+	}
+	for n, want := range primes {
+		if got := IsPrime(n); got != want {
+			t.Errorf("IsPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestAddSubNegBasic(t *testing.T) {
+	m := P17
+	p := m.P()
+	if got := m.Add(p-1, 1); got != 0 {
+		t.Errorf("Add(p-1, 1) = %d, want 0", got)
+	}
+	if got := m.Sub(0, 1); got != p-1 {
+		t.Errorf("Sub(0, 1) = %d, want p-1", got)
+	}
+	if got := m.Neg(0); got != 0 {
+		t.Errorf("Neg(0) = %d, want 0", got)
+	}
+	if got := m.Neg(5); got != p-5 {
+		t.Errorf("Neg(5) = %d, want %d", got, p-5)
+	}
+}
+
+// TestStructuredReductionMatchesGeneric is the central correctness check
+// for the add-shift reduction paths: Fermat and Solinas folding must agree
+// with plain division on random wide products.
+func TestStructuredReductionMatchesGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		generic := Modulus{p: m.p, bits: m.bits, kind: Generic}
+		for i := 0; i < 20000; i++ {
+			x := rng.Uint64() % m.P()
+			y := rng.Uint64() % m.P()
+			if got, want := m.Mul(x, y), generic.Mul(x, y); got != want {
+				t.Fatalf("%v: Mul(%d, %d) = %d, want %d", m, x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestReduceWideExtremes(t *testing.T) {
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		p := m.P()
+		cases := []struct{ hi, lo uint64 }{
+			{0, 0}, {0, 1}, {0, p - 1}, {0, p}, {0, p + 1},
+			{0, ^uint64(0)},
+			{p - 1, ^uint64(0)}, // near the max product (p-1)^2
+		}
+		// exact max product
+		maxHi, maxLo := mulWide(p-1, p-1)
+		cases = append(cases, struct{ hi, lo uint64 }{maxHi, maxLo})
+		for _, c := range cases {
+			got := m.ReduceWide(c.hi, c.lo)
+			want := Modulus{p: p, bits: m.bits, kind: Generic}.ReduceWide(c.hi, c.lo)
+			if got != want {
+				t.Errorf("%v: ReduceWide(%d, %d) = %d, want %d", m, c.hi, c.lo, got, want)
+			}
+			if got >= p {
+				t.Errorf("%v: ReduceWide(%d, %d) = %d not reduced", m, c.hi, c.lo, got)
+			}
+		}
+	}
+}
+
+func mulWide(x, y uint64) (hi, lo uint64) {
+	const mask = 1<<32 - 1
+	x0, x1 := x&mask, x>>32
+	y0, y1 := y&mask, y>>32
+	w0 := x0 * y0
+	t0 := x1*y0 + w0>>32
+	t1 := t0 & mask
+	t2 := t0 >> 32
+	t1 += x0 * y1
+	hi = x1*y1 + t2 + t1>>32
+	lo = x * y
+	return
+}
+
+func TestExpInv(t *testing.T) {
+	for _, m := range []Modulus{P17, P33} {
+		rng := rand.New(rand.NewSource(2))
+		for i := 0; i < 200; i++ {
+			x := 1 + rng.Uint64()%(m.P()-1)
+			inv := m.Inv(x)
+			if got := m.Mul(x, inv); got != 1 {
+				t.Fatalf("%v: x*Inv(x) = %d for x=%d", m, got, x)
+			}
+		}
+		// Fermat's little theorem: x^(p-1) = 1.
+		if got := m.Exp(3, m.P()-1); got != 1 {
+			t.Errorf("%v: 3^(p-1) = %d, want 1", m, got)
+		}
+		if got := m.Inv(0); got != 0 {
+			t.Errorf("Inv(0) = %d, want 0", got)
+		}
+	}
+}
+
+func TestCube(t *testing.T) {
+	m := P17
+	for _, x := range []uint64{0, 1, 2, 3, m.P() - 1} {
+		want := m.Mul(m.Mul(x, x), x)
+		if got := m.Cube(x); got != want {
+			t.Errorf("Cube(%d) = %d, want %d", x, got, want)
+		}
+	}
+}
+
+// Property: field axioms hold for random elements under every standard
+// modulus (commutativity, associativity, distributivity).
+func TestFieldAxiomsQuick(t *testing.T) {
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		m := m
+		red := func(v uint64) uint64 { return v % m.P() }
+		cfg := &quick.Config{MaxCount: 300}
+
+		comm := func(a, b uint64) bool {
+			a, b = red(a), red(b)
+			return m.Add(a, b) == m.Add(b, a) && m.Mul(a, b) == m.Mul(b, a)
+		}
+		if err := quick.Check(comm, cfg); err != nil {
+			t.Errorf("%v commutativity: %v", m, err)
+		}
+
+		assoc := func(a, b, c uint64) bool {
+			a, b, c = red(a), red(b), red(c)
+			return m.Add(m.Add(a, b), c) == m.Add(a, m.Add(b, c)) &&
+				m.Mul(m.Mul(a, b), c) == m.Mul(a, m.Mul(b, c))
+		}
+		if err := quick.Check(assoc, cfg); err != nil {
+			t.Errorf("%v associativity: %v", m, err)
+		}
+
+		distrib := func(a, b, c uint64) bool {
+			a, b, c = red(a), red(b), red(c)
+			return m.Mul(a, m.Add(b, c)) == m.Add(m.Mul(a, b), m.Mul(a, c))
+		}
+		if err := quick.Check(distrib, cfg); err != nil {
+			t.Errorf("%v distributivity: %v", m, err)
+		}
+
+		addInv := func(a uint64) bool {
+			a = red(a)
+			return m.Add(a, m.Neg(a)) == 0 && m.Sub(a, a) == 0
+		}
+		if err := quick.Check(addInv, cfg); err != nil {
+			t.Errorf("%v additive inverse: %v", m, err)
+		}
+	}
+}
+
+func TestMulAdd(t *testing.T) {
+	m := P33
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		x, y, z := rng.Uint64()%m.P(), rng.Uint64()%m.P(), rng.Uint64()%m.P()
+		if got, want := m.MulAdd(x, y, z), m.Add(m.Mul(x, y), z); got != want {
+			t.Fatalf("MulAdd(%d,%d,%d) = %d, want %d", x, y, z, got, want)
+		}
+	}
+}
+
+func TestAcceptRate(t *testing.T) {
+	// For p = 65537 with a 17-bit mask the paper reports ≈2× rejection,
+	// i.e. acceptance ≈ 0.5.
+	if r := P17.AcceptRate(); r < 0.49 || r > 0.51 {
+		t.Errorf("P17 accept rate = %v, want ≈0.5", r)
+	}
+	if P17.Mask() != 0x1FFFF {
+		t.Errorf("P17 mask = %#x, want 0x1FFFF", P17.Mask())
+	}
+}
+
+func BenchmarkMulFermat17(b *testing.B)  { benchMul(b, P17) }
+func BenchmarkMulSolinas33(b *testing.B) { benchMul(b, P33) }
+func BenchmarkMulSolinas54(b *testing.B) { benchMul(b, P54) }
+func BenchmarkMulGeneric54(b *testing.B) {
+	benchMul(b, Modulus{p: P54.p, bits: P54.bits, kind: Generic})
+}
+
+func benchMul(b *testing.B, m Modulus) {
+	x, y := m.P()-2, m.P()-3
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc ^= m.Mul(x, y^acc&1)
+	}
+	_ = acc
+}
+
+// TestCubeBijectiveResidue: all standard primes must satisfy p ≡ 2 (mod 3)
+// so the PASTA cube S-box is a permutation of F_p.
+func TestCubeBijectiveResidue(t *testing.T) {
+	for w, m := range StandardModuli {
+		if m.P()%3 != 2 {
+			t.Errorf("P%d = %d: p mod 3 = %d, want 2", w, m.P(), m.P()%3)
+		}
+		if m.Bits() != w {
+			t.Errorf("StandardModuli[%d] has %d bits", w, m.Bits())
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package ff
+
+import "fmt"
+
+// Bit-packing of field-element vectors: each element occupies exactly
+// `bits` bits on the wire, the encoding the paper's communication
+// accounting uses (e.g. a PASTA-4 block of 32 × 17-bit elements is 544
+// bits = 68 bytes; Sec. V uses 32 × 33 bits = 132 bytes).
+
+// PackedSize returns the byte length of n elements at the given width.
+func PackedSize(n int, bits uint) int {
+	return (n*int(bits) + 7) / 8
+}
+
+// PackBits serializes v with the given per-element bit width,
+// little-endian bit order. Elements must fit the width.
+func PackBits(v Vec, bits uint) ([]byte, error) {
+	if bits == 0 || bits > 64 {
+		return nil, fmt.Errorf("ff: invalid pack width %d", bits)
+	}
+	out := make([]byte, PackedSize(len(v), bits))
+	bitPos := 0
+	for i, e := range v {
+		if bits < 64 && e>>bits != 0 {
+			return nil, fmt.Errorf("ff: element %d = %d exceeds %d bits", i, e, bits)
+		}
+		for b := uint(0); b < bits; b++ {
+			if e>>b&1 == 1 {
+				out[bitPos/8] |= 1 << (bitPos % 8)
+			}
+			bitPos++
+		}
+	}
+	return out, nil
+}
+
+// UnpackBits inverts PackBits for n elements.
+func UnpackBits(data []byte, n int, bits uint) (Vec, error) {
+	if bits == 0 || bits > 64 {
+		return nil, fmt.Errorf("ff: invalid pack width %d", bits)
+	}
+	if len(data) < PackedSize(n, bits) {
+		return nil, fmt.Errorf("ff: %d bytes too short for %d × %d-bit elements", len(data), n, bits)
+	}
+	v := NewVec(n)
+	bitPos := 0
+	for i := 0; i < n; i++ {
+		var e uint64
+		for b := uint(0); b < bits; b++ {
+			if data[bitPos/8]>>(bitPos%8)&1 == 1 {
+				e |= 1 << b
+			}
+			bitPos++
+		}
+		v[i] = e
+	}
+	return v, nil
+}

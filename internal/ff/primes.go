@@ -1,0 +1,32 @@
+package ff
+
+// Standard moduli used throughout the reproduction, mirroring the bit
+// widths ω ∈ {17, 33, 54} the paper evaluates (Table I) plus the 60-bit
+// upper end of PASTA's supported range. All have the Mersenne-like
+// structure the paper's add-shift reduction unit exploits.
+var (
+	// P17 is the 17-bit Fermat prime 2^16 + 1 = 65,537 (0x10001), the
+	// modulus used for all headline comparisons in the paper.
+	P17 = MustModulus(1<<16 + 1)
+
+	// P33 is the 33-bit Solinas prime 2^33 - 2^20 + 1.
+	P33 = MustModulus(1<<33 - 1<<20 + 1)
+
+	// P54 is the 54-bit prime 2^53 + 2^47 + 1.
+	P54 = MustModulus(1<<53 + 1<<47 + 1)
+
+	// P60 is the 60-bit prime 2^59 + 2^47 + 1, the top of the 16–60 bit
+	// range PASTA supports.
+	P60 = MustModulus(1<<59 + 1<<47 + 1)
+)
+
+// All standard primes satisfy p ≡ 2 (mod 3) so that the PASTA cube S-box
+// x ↦ x³ is a bijection on F_p (gcd(3, p-1) = 1); verified in tests.
+
+// StandardModuli lists the vetted moduli by bit width.
+var StandardModuli = map[uint]Modulus{
+	17: P17,
+	33: P33,
+	54: P54,
+	60: P60,
+}

@@ -1,0 +1,209 @@
+package ff
+
+import "fmt"
+
+// Vec is a vector of reduced field elements. Operations take the Modulus
+// explicitly so the same storage works across parameter sets.
+type Vec []uint64
+
+// NewVec returns a zero vector of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a copy of v.
+func (v Vec) Clone() Vec {
+	w := make(Vec, len(v))
+	copy(w, v)
+	return w
+}
+
+// Equal reports whether v and w have identical length and elements.
+func (v Vec) Equal(w Vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AddVec sets dst = x + y elementwise mod p. dst may alias x or y.
+func AddVec(m Modulus, dst, x, y Vec) {
+	for i := range dst {
+		dst[i] = m.Add(x[i], y[i])
+	}
+}
+
+// SubVec sets dst = x - y elementwise mod p. dst may alias x or y.
+func SubVec(m Modulus, dst, x, y Vec) {
+	for i := range dst {
+		dst[i] = m.Sub(x[i], y[i])
+	}
+}
+
+// ScaleVec sets dst = c·x elementwise mod p.
+func ScaleVec(m Modulus, dst Vec, c uint64, x Vec) {
+	for i := range dst {
+		dst[i] = m.Mul(c, x[i])
+	}
+}
+
+// Dot returns the inner product <x, y> mod p — the operation performed by
+// the MatMul unit's multiplier bank plus adder tree for one matrix row.
+func Dot(m Modulus, x, y Vec) uint64 {
+	var acc uint64
+	for i := range x {
+		acc = m.Add(acc, m.Mul(x[i], y[i]))
+	}
+	return acc
+}
+
+// Matrix is a dense t×t matrix over F_p in row-major order.
+type Matrix struct {
+	N    int
+	Rows Vec // len N*N, row-major
+}
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) *Matrix {
+	return &Matrix{N: n, Rows: make(Vec, n*n)}
+}
+
+// Row returns a view of row i.
+func (a *Matrix) Row(i int) Vec { return a.Rows[i*a.N : (i+1)*a.N] }
+
+// At returns element (i, j).
+func (a *Matrix) At(i, j int) uint64 { return a.Rows[i*a.N+j] }
+
+// Set assigns element (i, j).
+func (a *Matrix) Set(i, j int, v uint64) { a.Rows[i*a.N+j] = v }
+
+// Clone returns a deep copy.
+func (a *Matrix) Clone() *Matrix {
+	return &Matrix{N: a.N, Rows: a.Rows.Clone()}
+}
+
+// MulVec sets dst = A·x mod p. dst must not alias x.
+func (a *Matrix) MulVec(m Modulus, dst, x Vec) {
+	if len(dst) != a.N || len(x) != a.N {
+		panic(fmt.Sprintf("ff: MulVec dimension mismatch: matrix %d, dst %d, x %d", a.N, len(dst), len(x)))
+	}
+	for i := 0; i < a.N; i++ {
+		dst[i] = Dot(m, a.Row(i), x)
+	}
+}
+
+// Mul returns A·B mod p.
+func (a *Matrix) Mul(m Modulus, b *Matrix) *Matrix {
+	if a.N != b.N {
+		panic("ff: Mul dimension mismatch")
+	}
+	n := a.N
+	c := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a.At(i, k)
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			crow := c.Row(i)
+			for j := 0; j < n; j++ {
+				crow[j] = m.MulAdd(aik, brow[j], crow[j])
+			}
+		}
+	}
+	return c
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	a := NewMatrix(n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, 1)
+	}
+	return a
+}
+
+// IsInvertible reports whether A is invertible over F_p, by Gaussian
+// elimination. It does not modify A.
+func (a *Matrix) IsInvertible(m Modulus) bool {
+	_, ok := a.gauss(m, false)
+	return ok
+}
+
+// Inverse returns A⁻¹ over F_p, or ok=false if A is singular.
+func (a *Matrix) Inverse(m Modulus) (inv *Matrix, ok bool) {
+	return a.gauss(m, true)
+}
+
+// gauss runs Gauss–Jordan elimination on a copy of A. When wantInverse is
+// true it carries an identity block and returns the inverse.
+func (a *Matrix) gauss(m Modulus, wantInverse bool) (*Matrix, bool) {
+	n := a.N
+	work := a.Clone()
+	var aug *Matrix
+	if wantInverse {
+		aug = Identity(n)
+	}
+	for col := 0; col < n; col++ {
+		pivot := -1
+		for r := col; r < n; r++ {
+			if work.At(r, col) != 0 {
+				pivot = r
+				break
+			}
+		}
+		if pivot < 0 {
+			return nil, false
+		}
+		if pivot != col {
+			swapRows(work, pivot, col)
+			if wantInverse {
+				swapRows(aug, pivot, col)
+			}
+		}
+		pinv := m.Inv(work.At(col, col))
+		scaleRow(m, work, col, pinv)
+		if wantInverse {
+			scaleRow(m, aug, col, pinv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := work.At(r, col)
+			if f == 0 {
+				continue
+			}
+			subScaledRow(m, work, r, col, f)
+			if wantInverse {
+				subScaledRow(m, aug, r, col, f)
+			}
+		}
+	}
+	return aug, true
+}
+
+func swapRows(a *Matrix, i, j int) {
+	ri, rj := a.Row(i), a.Row(j)
+	for k := range ri {
+		ri[k], rj[k] = rj[k], ri[k]
+	}
+}
+
+func scaleRow(m Modulus, a *Matrix, i int, c uint64) {
+	row := a.Row(i)
+	for k := range row {
+		row[k] = m.Mul(row[k], c)
+	}
+}
+
+func subScaledRow(m Modulus, a *Matrix, dst, src int, c uint64) {
+	rd, rs := a.Row(dst), a.Row(src)
+	for k := range rd {
+		rd[k] = m.Sub(rd[k], m.Mul(c, rs[k]))
+	}
+}

@@ -1,0 +1,285 @@
+// Package hhe implements the hybrid homomorphic encryption workflow of
+// Fig. 1 of the paper:
+//
+//  1. The client homomorphically encrypts its PASTA key K under the FHE
+//     scheme and ships it to the server once.
+//  2. The client symmetrically encrypts message blocks with PASTA (cheap,
+//     no ciphertext expansion) and sends them.
+//  3. The server evaluates the PASTA decryption circuit homomorphically
+//     ("homomorphic HHE decryption"), obtaining FHE ciphertexts of the
+//     messages that it can then compute on.
+//
+// The homomorphic evaluator replays the exact public schedule of the
+// cipher (matrices, round constants) and evaluates affine layers with
+// scalar multiplications, Mix with additions, and the S-boxes with
+// relinearized ciphertext multiplications over the BFV scheme.
+//
+// Substitution note (DESIGN.md): the paper's server is out of scope of
+// its hardware contribution; we demonstrate the protocol end to end on a
+// reduced PASTA instance (ToyParams) because textbook BFV multiplication
+// at full PASTA depth/width is computationally heavy in a pure-Go model.
+// The circuit code is generic over pasta.Params.
+package hhe
+
+import (
+	"fmt"
+
+	"repro/internal/bfv"
+	"repro/internal/ff"
+	"repro/internal/pasta"
+	"repro/internal/rlwe"
+)
+
+// Params couples a PASTA instance with a BFV instance. The BFV plaintext
+// modulus must equal the PASTA field prime so ciphertexts trans-cipher
+// exactly.
+type Params struct {
+	Pasta pasta.Params
+	BFV   bfv.Params
+}
+
+// NewToyParams returns a reduced HHE parameter set suitable for
+// end-to-end tests and examples: PASTA over p = 65537 with block size t
+// and the given rounds, BFV with enough modulus for the circuit depth.
+func NewToyParams(t, rounds int) (Params, error) {
+	pp, err := pasta.ToyParams(t, rounds, ff.P17)
+	if err != nil {
+		return Params{}, err
+	}
+	// Depth budget: one scalar-mult layer per affine (≈19 bits each) and
+	// one ct-ct multiplication per S-box level (≈30 bits each). Four
+	// 55-bit primes cover toy instances up to rounds = 2 comfortably.
+	bp, err := bfv.NewParams(1024, 55, 4, pp.Mod.P())
+	if err != nil {
+		return Params{}, err
+	}
+	return Params{Pasta: pp, BFV: bp}, nil
+}
+
+// Validate checks the cross-scheme constraint.
+func (p Params) Validate() error {
+	if err := p.Pasta.Validate(); err != nil {
+		return err
+	}
+	if p.BFV.T != p.Pasta.Mod.P() {
+		return fmt.Errorf("hhe: BFV plaintext modulus %d != PASTA prime %d", p.BFV.T, p.Pasta.Mod.P())
+	}
+	return nil
+}
+
+// EncryptedKey is the homomorphically encrypted PASTA key: one BFV
+// ciphertext per key element (scalar encoding).
+type EncryptedKey []*bfv.Ciphertext
+
+// Client owns both key materials: the PASTA key and the FHE key pair.
+type Client struct {
+	params Params
+	cipher *pasta.Cipher
+	ctx    *bfv.Context
+	sk     *bfv.SecretKey
+	pk     *bfv.PublicKey
+	rlk    *bfv.RelinKey
+	prng   *rlwe.PRNG
+}
+
+// NewClient creates a client with fresh FHE keys (deterministic from the
+// seed, for reproducibility) and the given PASTA key.
+func NewClient(p Params, key pasta.Key, seed []byte) (*Client, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	cipher, err := pasta.NewCipher(p.Pasta, key)
+	if err != nil {
+		return nil, err
+	}
+	ctx, err := bfv.NewContext(p.BFV)
+	if err != nil {
+		return nil, err
+	}
+	g := rlwe.NewPRNG("hhe-client", seed)
+	sk, pk, rlk := ctx.KeyGen(g)
+	return &Client{params: p, cipher: cipher, ctx: ctx, sk: sk, pk: pk, rlk: rlk, prng: g}, nil
+}
+
+// TransportKey produces the one-time homomorphic encryption of the PASTA
+// key that the server needs (step 1 of the protocol).
+func (c *Client) TransportKey() EncryptedKey {
+	key := c.cipher.Key()
+	ek := make(EncryptedKey, len(key))
+	for i, v := range key {
+		ek[i] = c.ctx.EncryptSymmetric(c.sk, c.ctx.EncodeScalar(v), c.prng)
+	}
+	return ek
+}
+
+// EncryptBlock symmetrically encrypts up to t field elements — the cheap
+// client-side operation the paper's cryptoprocessor accelerates.
+func (c *Client) EncryptBlock(nonce, block uint64, msg ff.Vec) (ff.Vec, error) {
+	return c.cipher.EncryptBlock(nonce, block, msg)
+}
+
+// DecryptResult decrypts BFV ciphertexts returned by the server.
+func (c *Client) DecryptResult(cts []*bfv.Ciphertext) ff.Vec {
+	out := ff.NewVec(len(cts))
+	for i, ct := range cts {
+		out[i] = c.ctx.Decrypt(ct, c.sk).DecodeScalar()
+	}
+	return out
+}
+
+// EvalKeys bundles what the server needs.
+type EvalKeys struct {
+	PK  *bfv.PublicKey
+	RLK *bfv.RelinKey
+	Key EncryptedKey
+}
+
+// EvalKeys exports the server-side material (public by construction).
+func (c *Client) EvalKeys() EvalKeys {
+	return EvalKeys{PK: c.pk, RLK: c.rlk, Key: c.TransportKey()}
+}
+
+// Context exposes the BFV context (shared parameters are public).
+func (c *Client) Context() *bfv.Context { return c.ctx }
+
+// Server evaluates the homomorphic PASTA decryption circuit.
+type Server struct {
+	params Params
+	ctx    *bfv.Context
+	keys   EvalKeys
+}
+
+// NewServer builds the server from public parameters and eval keys.
+func NewServer(p Params, ctx *bfv.Context, keys EvalKeys) (*Server, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(keys.Key) != p.Pasta.StateSize() {
+		return nil, fmt.Errorf("hhe: encrypted key has %d elements, want %d", len(keys.Key), p.Pasta.StateSize())
+	}
+	return &Server{params: p, ctx: ctx, keys: keys}, nil
+}
+
+// EvalKeystream homomorphically computes Enc(KS(nonce, block)): the PASTA
+// permutation over encrypted state with public matrices and constants.
+func (s *Server) EvalKeystream(nonce, block uint64) ([]*bfv.Ciphertext, error) {
+	pp := s.params.Pasta
+	t := pp.T
+	mod := pp.Mod
+
+	// Encrypted state initialized with the transported key.
+	state := make([]*bfv.Ciphertext, pp.StateSize())
+	for i, ct := range s.keys.Key {
+		state[i] = ct.Clone()
+	}
+
+	schedule := pasta.DeriveSchedule(pp, nonce, block)
+	for layerIdx, layer := range schedule {
+		ml := pasta.ExpandMatrix(mod, layer.MatSeedL)
+		mr := pasta.ExpandMatrix(mod, layer.MatSeedR)
+		if err := s.evalAffineHalf(state[:t], ml, layer.RCL); err != nil {
+			return nil, err
+		}
+		if err := s.evalAffineHalf(state[t:], mr, layer.RCR); err != nil {
+			return nil, err
+		}
+		s.evalMix(state)
+		switch {
+		case layerIdx < pp.Rounds-1:
+			if err := s.evalFeistel(state); err != nil {
+				return nil, err
+			}
+		case layerIdx == pp.Rounds-1:
+			if err := s.evalCube(state); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return state[:t], nil
+}
+
+// Transcipher converts a PASTA ciphertext block into FHE ciphertexts of
+// the underlying message: Enc(m_i) = c_i − Enc(KS_i).
+func (s *Server) Transcipher(nonce, block uint64, symCt ff.Vec) ([]*bfv.Ciphertext, error) {
+	if len(symCt) > s.params.Pasta.T {
+		return nil, fmt.Errorf("hhe: block has %d elements, max %d", len(symCt), s.params.Pasta.T)
+	}
+	ks, err := s.EvalKeystream(nonce, block)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*bfv.Ciphertext, len(symCt))
+	for i, c := range symCt {
+		out[i] = s.ctx.SubPlainFrom(s.ctx.EncodeScalar(c), ks[i])
+	}
+	return out, nil
+}
+
+// evalAffineHalf sets half ← M·half + rc homomorphically (scalar
+// multiplications and additions only).
+func (s *Server) evalAffineHalf(half []*bfv.Ciphertext, m *ff.Matrix, rc ff.Vec) error {
+	t := len(half)
+	out := make([]*bfv.Ciphertext, t)
+	for i := 0; i < t; i++ {
+		row := m.Row(i)
+		var acc *bfv.Ciphertext
+		for j := 0; j < t; j++ {
+			if row[j] == 0 {
+				continue
+			}
+			term := s.ctx.MulScalar(half[j], row[j])
+			if acc == nil {
+				acc = term
+			} else {
+				acc = s.ctx.Add(acc, term)
+			}
+		}
+		if acc == nil {
+			// All-zero row cannot occur for invertible matrices, but keep
+			// the circuit total.
+			acc = s.ctx.MulScalar(half[0], 0)
+		}
+		out[i] = s.ctx.AddPlain(acc, s.ctx.EncodeScalar(rc[i]))
+	}
+	copy(half, out)
+	return nil
+}
+
+// evalMix sets (L, R) ← (2L + R, L + 2R) with additions only, mirroring
+// the hardware's three-addition formulation.
+func (s *Server) evalMix(state []*bfv.Ciphertext) {
+	t := len(state) / 2
+	for i := 0; i < t; i++ {
+		sum := s.ctx.Add(state[i], state[t+i])
+		state[i] = s.ctx.Add(state[i], sum)
+		state[t+i] = s.ctx.Add(state[t+i], sum)
+	}
+}
+
+// evalFeistel applies x[j] += x[j-1]² from the top index down.
+func (s *Server) evalFeistel(state []*bfv.Ciphertext) error {
+	for j := len(state) - 1; j >= 1; j-- {
+		sq, err := s.ctx.Mul(state[j-1], state[j-1], s.keys.RLK)
+		if err != nil {
+			return err
+		}
+		state[j] = s.ctx.Add(state[j], sq)
+	}
+	return nil
+}
+
+// evalCube applies x ← x³ elementwise (square, then multiply).
+func (s *Server) evalCube(state []*bfv.Ciphertext) error {
+	for j := range state {
+		sq, err := s.ctx.Mul(state[j], state[j], s.keys.RLK)
+		if err != nil {
+			return err
+		}
+		cube, err := s.ctx.Mul(sq, state[j], s.keys.RLK)
+		if err != nil {
+			return err
+		}
+		state[j] = cube
+	}
+	return nil
+}

@@ -1,0 +1,144 @@
+package hhe
+
+import (
+	"testing"
+
+	"repro/internal/bfv"
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+func setup(t *testing.T, size, rounds int) (*Client, *Server, Params) {
+	t.Helper()
+	par, err := NewToyParams(size, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "hhe-test")
+	client, err := NewClient(par, key, []byte{42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewServer(par, client.Context(), client.EvalKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server, par
+}
+
+// TestEvalKeystreamMatchesPlain is the core HHE correctness property:
+// decrypting the homomorphically evaluated keystream must equal the plain
+// PASTA keystream.
+func TestEvalKeystreamMatchesPlain(t *testing.T) {
+	client, server, par := setup(t, 2, 2)
+	cts, err := server.EvalKeystream(7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := client.DecryptResult(cts)
+	cipher, _ := pasta.NewCipher(par.Pasta, pasta.KeyFromSeed(par.Pasta, "hhe-test"))
+	want := cipher.KeyStream(7, 0)
+	if !got.Equal(want) {
+		t.Fatalf("homomorphic keystream %v != plain %v", got, want)
+	}
+}
+
+// TestEndToEndTranscipher: Fig. 1's full round trip — client PASTA
+// encryption, server homomorphic decryption, client FHE decryption.
+func TestEndToEndTranscipher(t *testing.T) {
+	client, server, _ := setup(t, 2, 2)
+	msg := ff.Vec{12345, 54321}
+	symCt, err := client.EncryptBlock(3, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fheCts, err := server.Transcipher(3, 0, symCt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := client.DecryptResult(fheCts)
+	if !got.Equal(msg) {
+		t.Fatalf("transciphered message %v != original %v", got, msg)
+	}
+}
+
+// TestTranscipherMultipleBlocks: block counters separate keystreams.
+func TestTranscipherMultipleBlocks(t *testing.T) {
+	client, server, _ := setup(t, 2, 1)
+	for block := uint64(0); block < 2; block++ {
+		msg := ff.Vec{1000 * (block + 1), 2000 * (block + 1)}
+		symCt, err := client.EncryptBlock(9, block, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fheCts, err := server.Transcipher(9, block, symCt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := client.DecryptResult(fheCts); !got.Equal(msg) {
+			t.Fatalf("block %d: %v != %v", block, got, msg)
+		}
+	}
+}
+
+// TestServerComputesOnTransciphered: after transciphering, the server can
+// keep computing homomorphically (add two encrypted messages).
+func TestServerComputesOnTransciphered(t *testing.T) {
+	client, server, par := setup(t, 2, 1)
+	m1 := ff.Vec{11, 22}
+	m2 := ff.Vec{100, 200}
+	ct1, err := client.EncryptBlock(1, 0, m1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct2, err := client.EncryptBlock(1, 1, m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f1, err := server.Transcipher(1, 0, ct1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := server.Transcipher(1, 1, ct2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum0 := server.ctx.Add(f1[0], f2[0])
+	sum1 := server.ctx.Add(f1[1], f2[1])
+	res := client.DecryptResult([]*bfv.Ciphertext{sum0, sum1})
+	want := ff.Vec{par.Pasta.Mod.Add(m1[0], m2[0]), par.Pasta.Mod.Add(m1[1], m2[1])}
+	if !res.Equal(want) {
+		t.Fatalf("homomorphic sum %v != %v", res, want)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	par, err := NewToyParams(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewToyParams(0, 1); err == nil {
+		t.Fatal("t=0 accepted")
+	}
+	client, err := NewClient(par, pasta.KeyFromSeed(par.Pasta, "v"), []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := client.EvalKeys()
+	keys.Key = keys.Key[:1]
+	if _, err := NewServer(par, client.Context(), keys); err == nil {
+		t.Fatal("short encrypted key accepted")
+	}
+	bad := par
+	bad.BFV.T = 97
+	if bad.Validate() == nil {
+		t.Fatal("modulus mismatch accepted")
+	}
+	if _, err := client.EncryptBlock(0, 0, ff.NewVec(par.Pasta.T+1)); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+	server, _ := NewServer(par, client.Context(), client.EvalKeys())
+	if _, err := server.Transcipher(0, 0, ff.NewVec(par.Pasta.T+1)); err == nil {
+		t.Fatal("oversized symmetric block accepted")
+	}
+}

@@ -1,0 +1,121 @@
+package hhe
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+func packedSetup(t *testing.T, size, rounds int) (*Client, *PackedServer, Params) {
+	t.Helper()
+	par, err := NewToyParams(size, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "packed-test")
+	client, err := NewClient(par, key, []byte{9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := client.PackedEvalKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	server, err := NewPackedServer(par, client.Context(), keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return client, server, par
+}
+
+// TestPackedKeystreamMatchesPlain: the packed (diagonal-method, rotation-
+// based) evaluation must reproduce the plain PASTA keystream exactly.
+func TestPackedKeystreamMatchesPlain(t *testing.T) {
+	client, server, par := packedSetup(t, 4, 2)
+	ct, err := server.EvalKeystream(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptPacked(ct, par.Pasta.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cipher, _ := pasta.NewCipher(par.Pasta, pasta.KeyFromSeed(par.Pasta, "packed-test"))
+	want := cipher.KeyStream(5, 0)
+	if !got.Equal(want) {
+		t.Fatalf("packed keystream %v != plain %v", got, want)
+	}
+}
+
+// TestPackedTranscipherEndToEnd: the full packed protocol round trip.
+func TestPackedTranscipherEndToEnd(t *testing.T) {
+	client, server, _ := packedSetup(t, 4, 2)
+	msg := ff.Vec{111, 22222, 3, 65000}
+	symCt, err := client.EncryptBlock(8, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fheCt, err := server.Transcipher(8, 0, symCt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.DecryptPacked(fheCt, len(msg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(msg) {
+		t.Fatalf("packed transcipher %v != %v", got, msg)
+	}
+}
+
+// TestPackedMatchesScalarServer: both evaluation strategies implement the
+// same circuit.
+func TestPackedMatchesScalarServer(t *testing.T) {
+	par, err := NewToyParams(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "both")
+	client, err := NewClient(par, key, []byte{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalar, err := NewServer(par, client.Context(), client.EvalKeys())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkeys, err := client.PackedEvalKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed, err := NewPackedServer(par, client.Context(), pkeys)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sc, err := scalar.EvalKeystream(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scalarKS := client.DecryptResult(sc)
+
+	pc, err := packed.EvalKeystream(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	packedKS, err := client.DecryptPacked(pc, par.Pasta.T)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !scalarKS.Equal(packedKS) {
+		t.Fatalf("scalar %v != packed %v", scalarKS, packedKS)
+	}
+}
+
+func TestPackedValidation(t *testing.T) {
+	_, server, par := packedSetup(t, 2, 1)
+	if _, err := server.Transcipher(0, 0, ff.NewVec(par.Pasta.T+1)); err == nil {
+		t.Fatal("oversized block accepted")
+	}
+}

@@ -1,0 +1,292 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// ALU latency constants (Sec. III-D): the t parallel modular adders make
+// each vector-wide pass a 3-cycle pipelined operation; Mix is computed as
+// three vector additions; the S-boxes reuse the shared multiplier and
+// adder banks for two (cube) or one-plus-one (Feistel) passes.
+const (
+	latRCAdd = 3
+	latMix   = 3
+	latSbox  = 3
+)
+
+// Result is the outcome of one accelerated keystream/encryption block.
+type Result struct {
+	KeyStream  ff.Vec // t elements (the truncated permutation output)
+	Ciphertext ff.Vec // message + keystream, when a message was supplied
+	Stats      Stats
+	Trace      []TraceEvent
+}
+
+// Accelerator is the top-level PASTA cryptoprocessor model of Fig. 6.
+// One instance holds the key registers (the 544-bit "PASTA state" memory
+// of the SoC peripheral, scaled to the parameter set) and processes one
+// block per Run call, exactly like the block-by-block peripheral.
+type Accelerator struct {
+	par pasta.Params
+	key ff.Vec
+
+	// TraceEnabled records schedule milestones into Result.Trace.
+	TraceEnabled bool
+
+	// NaiveKeccak selects the single-buffer XOF ablation (Sec. IV-B's
+	// "naive Keccak implementation": no permutation/squeeze overlap).
+	NaiveKeccak bool
+
+	// Fault, when non-nil, injects a transient fault into the datapath
+	// (the threat model of the SASTA fault analysis the paper cites as
+	// future scope). The fault hits exactly one Run; Fault is consumed.
+	Fault *FaultSpec
+
+	// Waveform, when non-nil, records per-cycle signal activity of the
+	// next Run for VCD export (cmd/hwsim -vcd).
+	Waveform *Waveform
+}
+
+// NewAccelerator validates parameters and key and returns the model.
+func NewAccelerator(par pasta.Params, key pasta.Key) (*Accelerator, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if err := key.Validate(par); err != nil {
+		return nil, err
+	}
+	return &Accelerator{par: par, key: ff.Vec(key).Clone()}, nil
+}
+
+// Params returns the accelerator's parameter set.
+func (a *Accelerator) Params() pasta.Params { return a.par }
+
+// KeyStream runs the cryptoprocessor for one block and returns the
+// keystream with cycle-accurate statistics.
+func (a *Accelerator) KeyStream(nonce, counter uint64) (Result, error) {
+	return a.run(nonce, counter, nil)
+}
+
+// EncryptBlock runs the cryptoprocessor and adds the keystream to msg
+// (up to t elements), as the output adder of Fig. 6 does while the
+// ciphertext streams out.
+func (a *Accelerator) EncryptBlock(nonce, counter uint64, msg ff.Vec) (Result, error) {
+	if len(msg) > a.par.T {
+		return Result{}, fmt.Errorf("hw: message block has %d elements, max %d", len(msg), a.par.T)
+	}
+	for i, v := range msg {
+		if v >= a.par.Mod.P() {
+			return Result{}, fmt.Errorf("hw: message element %d = %d out of range", i, v)
+		}
+	}
+	return a.run(nonce, counter, msg)
+}
+
+// controller phases for one affine layer.
+type layerPhase int
+
+const (
+	phaseMatL   layerPhase = iota // waiting for / running the left matrix task
+	phaseMatR                     // waiting for / running the right matrix task
+	phaseALU                      // waiting for RC vectors, then RC add + Mix (+ S-box)
+	phaseOutput                   // final truncation/ciphertext drain
+	phaseDone
+)
+
+func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
+	t := a.par.T
+	mod := a.par.Mod
+	layers := a.par.AffineLayers()
+
+	xofU := NewKeccakUnit(nonce, counter)
+	xofU.Naive = a.NaiveKeccak
+	samp := NewSamplerStage(mod)
+	dg := NewDataGen(t)
+	eng := NewMatEngine(t, mod)
+
+	fault := a.Fault
+	a.Fault = nil // transient: affects a single run
+
+	var res Result
+	st := &res.Stats
+	trace := func(cycle int64, unit, ev string) {
+		if a.TraceEnabled {
+			res.Trace = append(res.Trace, TraceEvent{Cycle: cycle, Unit: unit, Event: ev})
+		}
+	}
+
+	state := a.key.Clone()
+	layer := 0
+	phase := phaseMatL
+
+	// Per-layer scratch.
+	rc := [2]ff.Vec{ff.NewVec(t), ff.NewVec(t)} // streamed RC vectors (L, R)
+	rcFill := [2]int{}
+	rcDone := [2]bool{}
+	var matOut [2]ff.Vec // published matrix-multiply results (L, R)
+	matStarted := [2]bool{}
+	matSeedID := -1
+
+	elemInLayer := 0 // accepted elements routed so far in this layer (0..4t)
+	routingLayer := 0
+
+	var aluDoneAt int64 = -1
+	var outputDoneAt int64 = -1
+
+	// The XOF keeps producing for the *routing* layer which may run ahead
+	// of the compute layer (that is the whole point of the schedule).
+	maxCycles := int64(10_000_000)
+	var cycle int64
+	var prevKeccakBusy int64
+	for ; cycle < maxCycles; cycle++ {
+		// --- XOF + sampler + routing -------------------------------------
+		needMore := routingLayer < layers
+		elemKind := elemInLayer / t // 0 seedL, 1 seedR, 2 rcL, 3 rcR
+		seedPhase := needMore && elemKind < 2
+		stall := !needMore || (seedPhase && dg.Stall())
+
+		xofU.Tick(st, stall)
+		if xofU.Stalled && needMore {
+			// Genuine backpressure: DataGen full while data is still
+			// demanded. Post-demand gating is not a stall.
+			st.XOFStalled++
+		}
+		rejectZero := seedPhase && dg.FillingFirstElement()
+		samp.Tick(st, xofU.WordValid, xofU.Word, rejectZero)
+
+		if samp.ElemValid && needMore {
+			if seedPhase {
+				dg.Push(samp.Elem)
+			} else {
+				half := elemKind - 2
+				rc[half][rcFill[half]] = samp.Elem
+				rcFill[half]++
+				if rcFill[half] == t {
+					rcDone[half] = true
+					trace(cycle, "xof", fmt.Sprintf("layer %d rc%c complete", routingLayer, "LR"[half]))
+				}
+			}
+			elemInLayer++
+			if elemInLayer == 4*t {
+				routingLayer++
+				elemInLayer = 0
+			}
+		}
+
+		// --- matrix engine completions ------------------------------------
+		if out, seedID, done := eng.Done(cycle); done {
+			half := 0
+			if matStarted[0] && matOut[0] != nil {
+				half = 1
+			}
+			matOut[half] = out
+			dg.Release(seedID)
+			trace(cycle, "matmul", fmt.Sprintf("layer %d M%c·X done", layer, "LR"[half]))
+		}
+
+		// --- controller -----------------------------------------------------
+		switch phase {
+		case phaseMatL:
+			if eng.Idle(cycle) && dg.Ready(2*layer) {
+				seed := dg.Acquire(2 * layer)
+				matSeedID = 2 * layer
+				eng.Start(cycle, st, seed, state[:t], matSeedID)
+				matStarted[0] = true
+				trace(cycle, "matgen", fmt.Sprintf("layer %d ML start", layer))
+				phase = phaseMatR
+			}
+		case phaseMatR:
+			if matOut[0] != nil && eng.Idle(cycle) && dg.Ready(2*layer+1) {
+				seed := dg.Acquire(2*layer + 1)
+				matSeedID = 2*layer + 1
+				eng.Start(cycle, st, seed, state[t:], matSeedID)
+				matStarted[1] = true
+				trace(cycle, "matgen", fmt.Sprintf("layer %d MR start", layer))
+				phase = phaseALU
+			}
+		case phaseALU:
+			if aluDoneAt < 0 {
+				if matOut[0] != nil && matOut[1] != nil && rcDone[0] && rcDone[1] {
+					// Functionally: state ← Sbox(Mix(M·X + RC)).
+					copy(state[:t], matOut[0])
+					copy(state[t:], matOut[1])
+					ff.AddVec(mod, state[:t], state[:t], rc[0])
+					ff.AddVec(mod, state[t:], state[t:], rc[1])
+					if fault != nil && fault.Layer == layer {
+						fault.apply(mod, state)
+						trace(cycle, "fault", fmt.Sprintf("layer %d element %d corrupted", layer, fault.Element))
+					}
+					pasta.Mix(mod, state)
+					lat := int64(latRCAdd + latMix)
+					switch {
+					case layer < a.par.Rounds-1:
+						pasta.SboxFeistel(mod, state)
+						lat += latSbox
+					case layer == a.par.Rounds-1:
+						pasta.SboxCube(mod, state)
+						lat += latSbox
+					}
+					aluDoneAt = cycle + lat
+					st.VecALUBusy += lat
+					trace(cycle, "vecalu", fmt.Sprintf("layer %d RCAdd+Mix+Sbox start", layer))
+				}
+			} else if cycle >= aluDoneAt {
+				trace(cycle, "vecalu", fmt.Sprintf("layer %d done", layer))
+				aluDoneAt = -1
+				matOut[0], matOut[1] = nil, nil
+				matStarted[0], matStarted[1] = false, false
+				rcDone[0], rcDone[1] = false, false
+				rcFill[0], rcFill[1] = 0, 0
+				layer++
+				if layer == layers {
+					phase = phaseOutput
+					outputDoneAt = cycle + int64(t)
+					st.OutputBusy += int64(t)
+					trace(cycle, "output", "keystream drain start")
+				} else {
+					phase = phaseMatL
+				}
+			}
+		case phaseOutput:
+			if cycle >= outputDoneAt {
+				phase = phaseDone
+				trace(cycle, "output", "done")
+			}
+		}
+		if a.Waveform != nil {
+			a.Waveform.record(waveSample{
+				cycle:      cycle,
+				wordValid:  xofU.WordValid,
+				elemValid:  samp.ElemValid,
+				keccakBusy: st.KeccakBusy > prevKeccakBusy,
+				matBusy:    !eng.Idle(cycle),
+				aluBusy:    aluDoneAt >= 0,
+				outBusy:    phase == phaseOutput,
+				stalled:    xofU.Stalled,
+				layer:      uint8(layer),
+				phase:      uint8(phase),
+			})
+			prevKeccakBusy = st.KeccakBusy
+		}
+
+		if phase == phaseDone {
+			break
+		}
+	}
+	if cycle >= maxCycles {
+		return Result{}, fmt.Errorf("hw: accelerator did not finish within %d cycles", maxCycles)
+	}
+
+	st.Cycles = cycle
+	res.KeyStream = state[:t].Clone()
+	if msg != nil {
+		res.Ciphertext = ff.NewVec(len(msg))
+		for i := range msg {
+			res.Ciphertext[i] = mod.Add(msg[i], res.KeyStream[i])
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,233 @@
+package area
+
+import (
+	"math"
+	"testing"
+)
+
+// Table I of the paper: synthesized Artix-7 results the model is
+// calibrated against.
+var tableI = []struct {
+	name string
+	cfg  Config
+	lut  int
+	ff   int
+	dsp  int
+}{
+	{"PASTA-3 w=17", Config{T: 128, W: 17}, 65_468, 36_275, 256},
+	{"PASTA-4 w=17", Config{T: 32, W: 17}, 23_736, 11_132, 64},
+	{"PASTA-4 w=33", Config{T: 32, W: 33}, 42_330, 20_783, 256},
+	{"PASTA-4 w=54", Config{T: 32, W: 54}, 67_324, 32_711, 576},
+}
+
+func TestDSPExactlyMatchesTableI(t *testing.T) {
+	for _, row := range tableI {
+		if got := DSP(row.cfg); got != row.dsp {
+			t.Errorf("%s: DSP = %d, want %d", row.name, got, row.dsp)
+		}
+	}
+}
+
+func TestDSPPerMultiplier(t *testing.T) {
+	cases := map[uint]int{17: 1, 18: 1, 19: 4, 33: 4, 36: 4, 37: 9, 54: 9}
+	for w, want := range cases {
+		if got := DSPPerMultiplier(w); got != want {
+			t.Errorf("DSPPerMultiplier(%d) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestLUTWithinFivePercentOfTableI(t *testing.T) {
+	for _, row := range tableI {
+		got := LUT(row.cfg)
+		if e := FitError(float64(got), float64(row.lut)); e > 0.05 {
+			t.Errorf("%s: LUT = %d, want %d (±5%%), error %.1f%%", row.name, got, row.lut, 100*e)
+		}
+	}
+}
+
+func TestFFWithinFivePercentOfTableI(t *testing.T) {
+	for _, row := range tableI {
+		got := FF(row.cfg)
+		if e := FitError(float64(got), float64(row.ff)); e > 0.05 {
+			t.Errorf("%s: FF = %d, want %d (±5%%), error %.1f%%", row.name, got, row.ff, 100*e)
+		}
+	}
+}
+
+func TestNoBRAM(t *testing.T) {
+	// Sec. III-C: streaming matrix generation needs no BRAM at all.
+	for _, row := range tableI {
+		if BRAM(row.cfg) != 0 {
+			t.Errorf("%s: BRAM nonzero", row.name)
+		}
+	}
+}
+
+func TestUtilizationMatchesTableIPercent(t *testing.T) {
+	// Table I reports PASTA-4 w=17 at 18% LUT, 4% FF, 9% DSP of Artix-7.
+	u := UtilizationPercent(Config{T: 32, W: 17})
+	if math.Abs(u["LUT"]-18) > 2 {
+		t.Errorf("LUT utilization = %.1f%%, want ≈18%%", u["LUT"])
+	}
+	if math.Abs(u["FF"]-4) > 1.5 {
+		t.Errorf("FF utilization = %.1f%%, want ≈4%%", u["FF"])
+	}
+	if math.Abs(u["DSP"]-9) > 1.5 {
+		t.Errorf("DSP utilization = %.1f%%, want ≈9%%", u["DSP"])
+	}
+}
+
+func TestFitsOnArtix7(t *testing.T) {
+	// The design goal: every evaluated configuration fits the low-cost
+	// client FPGA.
+	for _, row := range tableI {
+		r := Resources(row.cfg)
+		if r.LUT > Artix7.LUT || r.FF > Artix7.FF || r.DSP > Artix7.DSP {
+			t.Errorf("%s does not fit Artix-7: %+v", row.name, r)
+		}
+	}
+}
+
+func TestSharesSumTo100(t *testing.T) {
+	s := Shares(LUTBreakdown(Config{T: 128, W: 17}))
+	var total float64
+	for _, v := range s {
+		total += v
+	}
+	if math.Abs(total-100) > 1e-9 {
+		t.Fatalf("shares sum to %.6f", total)
+	}
+}
+
+// TestFig7ShapeFPGA: the FPGA pie's ordering per the paper — MatGen is
+// the largest share (≈33%), DataGen(SHAKE) next (≈21%).
+func TestFig7ShapeFPGA(t *testing.T) {
+	s := Shares(LUTBreakdown(Config{T: 128, W: 17}))
+	order := SortedUnits(LUTBreakdown(Config{T: 128, W: 17}))
+	if order[0] != UnitMatGen {
+		t.Fatalf("largest FPGA unit = %s, want MatGen", order[0])
+	}
+	if s[UnitMatGen] < 28 || s[UnitMatGen] > 42 {
+		t.Errorf("MatGen share = %.1f%%, want ≈33%%", s[UnitMatGen])
+	}
+	if s[UnitDataGen] < 15 || s[UnitDataGen] > 28 {
+		t.Errorf("DataGen share = %.1f%%, want ≈21%%", s[UnitDataGen])
+	}
+}
+
+func TestASICAreaMatchesPaper(t *testing.T) {
+	// Sec. IV-A: 0.24 mm² at 28nm, 0.03 mm² at 7nm for PASTA-4 w=17.
+	c := Config{T: 32, W: 17}
+	a28, err := ASICmm2(c, Node28nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a28-0.24) > 0.01 {
+		t.Errorf("28nm area = %.3f mm², want 0.24", a28)
+	}
+	a7, err := ASICmm2(c, Node7nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a7-0.03) > 0.005 {
+		t.Errorf("7nm area = %.3f mm², want 0.03", a7)
+	}
+	if _, err := ASICmm2(c, TechNode("3nm")); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+// TestBitWidthScalingClaim: the paper reports ≈2.1× and ≈4.3× ASIC area
+// for ω = 33 and 54.
+func TestBitWidthScalingClaim(t *testing.T) {
+	if r := BitWidthScaling(32, 33); math.Abs(r-2.1) > 0.3 {
+		t.Errorf("33-bit scaling = %.2f, want ≈2.1", r)
+	}
+	if r := BitWidthScaling(32, 54); math.Abs(r-4.3) > 0.5 {
+		t.Errorf("54-bit scaling = %.2f, want ≈4.3", r)
+	}
+	if r := BitWidthScaling(32, 17); r != 1 {
+		t.Errorf("17-bit scaling = %.2f, want 1", r)
+	}
+}
+
+// TestPasta3VsPasta4AreaRatio: Sec. IV-B claims PASTA-3 consumes ≈3× the
+// area of PASTA-4 (same ω).
+func TestPasta3VsPasta4AreaRatio(t *testing.T) {
+	r := float64(LUT(Config{T: 128, W: 17})) / float64(LUT(Config{T: 32, W: 17}))
+	if r < 2.4 || r > 3.3 {
+		t.Errorf("PASTA-3/PASTA-4 LUT ratio = %.2f, want ≈2.8–3", r)
+	}
+}
+
+func TestASICBreakdownSumsToTotal(t *testing.T) {
+	c := Config{T: 32, W: 17}
+	bd, err := ASICBreakdown(c, Node28nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := ASICmm2(c, Node28nm)
+	var s float64
+	for _, v := range bd {
+		s += v
+	}
+	if math.Abs(s-total) > 1e-9 {
+		t.Fatalf("breakdown sums to %.4f, total %.4f", s, total)
+	}
+	if _, err := ASICBreakdown(c, TechNode("bogus")); err == nil {
+		t.Error("unknown node accepted")
+	}
+}
+
+func TestSoCConstants(t *testing.T) {
+	if SoCPeripheralMM2 != 1.8 || SoCTotalMM2 != 4.6 {
+		t.Fatal("SoC area constants drifted from the paper")
+	}
+	a130, err := ASICmm2(Config{T: 32, W: 17}, Node130nm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a130-SoCPeripheralMM2) > 0.25 {
+		t.Errorf("modeled 130nm accelerator = %.2f mm², want ≈1.8 (paper SoC peripheral)", a130)
+	}
+}
+
+func TestASICPowerCalibration(t *testing.T) {
+	// Sec. IV-A: "the maximum power consumed by the design is 1.2W" at
+	// the 1 GHz ASIC target.
+	if p := ASICPower.Power(1e9); math.Abs(p-MaxPowerWatts) > 0.01 {
+		t.Fatalf("ASIC power at 1 GHz = %.2f W, want %.1f", p, MaxPowerWatts)
+	}
+}
+
+func TestEnergyPerBlock(t *testing.T) {
+	// PASTA-4: 1,591 cycles. ASIC: 1.2W × 1.59µs ≈ 1.9 µJ/block.
+	uj := EnergyPerBlockUJ(ASICPower, 1591, 1e9)
+	if uj < 1.7 || uj > 2.1 {
+		t.Fatalf("ASIC energy/block = %.2f µJ, want ≈1.9", uj)
+	}
+	rows, err := Energies(1591, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.PerElementUJ <= 0 {
+			t.Errorf("%s: nonpositive energy", r.Platform)
+		}
+		if math.Abs(r.BlockUJ-32*r.PerElementUJ) > 1e-9 {
+			t.Errorf("%s: per-element inconsistent", r.Platform)
+		}
+	}
+	// The FPGA at 75 MHz runs at lower power than prior works' 150–225 MHz
+	// designs would: energy per block stays in the single-digit µJ range.
+	if rows[1].PowerW > 0.5 {
+		t.Errorf("FPGA power = %.2f W at 75 MHz, expected < 0.5", rows[1].PowerW)
+	}
+	if _, err := Energies(100, 0); err == nil {
+		t.Error("elements=0 accepted")
+	}
+}

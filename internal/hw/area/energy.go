@@ -1,0 +1,77 @@
+package area
+
+import "fmt"
+
+// Energy model. The paper reports a 1.2 W worst case for the ASIC at
+// 1 GHz and argues the FPGA design is energy-efficient because it matches
+// prior works' throughput at a 2–3× lower clock (Sec. IV-C ❶). We model
+// platform power with a first-order static + dynamic split so energy per
+// block/element can be compared across platforms and configurations.
+
+// PowerModel gives the modeled power draw of one platform at one clock.
+type PowerModel struct {
+	Platform string
+	StaticW  float64
+	// DynamicWPerGHz is the dynamic power at 1 GHz; dynamic power scales
+	// linearly with clock frequency.
+	DynamicWPerGHz float64
+}
+
+// Power returns total watts at the given clock.
+func (p PowerModel) Power(hz float64) float64 {
+	return p.StaticW + p.DynamicWPerGHz*hz/1e9
+}
+
+// Platform power models for PASTA-4/ω=17. The ASIC dynamic coefficient is
+// calibrated so the paper's 1.2 W maximum is reached at its 1 GHz target;
+// the FPGA numbers follow first-order Artix-7 estimates for a ≈24k-LUT,
+// 64-DSP design (static ≈0.12 W, dynamic ≈2 W/GHz at this size).
+var (
+	ASICPower = PowerModel{Platform: "ASIC 28nm", StaticW: 0.05, DynamicWPerGHz: 1.15}
+	FPGAPower = PowerModel{Platform: "Artix-7", StaticW: 0.12, DynamicWPerGHz: 2.0}
+	SoCPower  = PowerModel{Platform: "130nm SoC", StaticW: 0.08, DynamicWPerGHz: 3.5}
+)
+
+// EnergyPerBlockUJ returns the energy of one block encryption in µJ:
+// power × latency.
+func EnergyPerBlockUJ(p PowerModel, cycles int64, hz float64) float64 {
+	seconds := float64(cycles) / hz
+	return p.Power(hz) * seconds * 1e6
+}
+
+// EnergyReport compares energy per element across the paper's platforms
+// for a given block cycle count and size.
+type EnergyReport struct {
+	Platform     string
+	ClockHz      float64
+	PowerW       float64
+	BlockUJ      float64
+	PerElementUJ float64
+}
+
+// Energies returns the three-platform energy table for one block.
+func Energies(cycles int64, elements int) ([]EnergyReport, error) {
+	if elements <= 0 {
+		return nil, fmt.Errorf("area: elements must be positive")
+	}
+	entries := []struct {
+		pm PowerModel
+		hz float64
+	}{
+		{ASICPower, 1e9},
+		{FPGAPower, 75e6},
+		{SoCPower, 100e6},
+	}
+	out := make([]EnergyReport, 0, len(entries))
+	for _, e := range entries {
+		uj := EnergyPerBlockUJ(e.pm, cycles, e.hz)
+		out = append(out, EnergyReport{
+			Platform:     e.pm.Platform,
+			ClockHz:      e.hz,
+			PowerW:       e.pm.Power(e.hz),
+			BlockUJ:      uj,
+			PerElementUJ: uj / float64(elements),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,143 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// FaultSpec describes a single transient fault injected into the
+// accelerator datapath: element Element of the state is XOR-corrupted
+// with Mask right after the affine layer Layer (before Mix/S-box) — the
+// injection point of the SASTA single-fault analysis ([30], the paper's
+// future-scope countermeasure discussion).
+type FaultSpec struct {
+	Layer   int    // affine layer index (0-based)
+	Element int    // state element index in [0, 2t)
+	Mask    uint64 // XOR mask applied to the element
+}
+
+func (f *FaultSpec) apply(mod ff.Modulus, state ff.Vec) {
+	if f.Element < 0 || f.Element >= len(state) {
+		return
+	}
+	state[f.Element] = (state[f.Element] ^ f.Mask) % mod.P()
+}
+
+// Countermeasure identifies a fault/side-channel hardening strategy whose
+// cost the paper proposes to analyze (Sec. VI).
+type Countermeasure int
+
+const (
+	// NoCountermeasure is the baseline design.
+	NoCountermeasure Countermeasure = iota
+	// TemporalRedundancy recomputes every block and compares the two
+	// results, detecting any single transient fault at ≈2× latency and
+	// negligible extra area (one comparator + result buffer).
+	TemporalRedundancy
+	// SpatialRedundancy duplicates the private datapath (MatGen, MatMul,
+	// ALU) and compares continuously: full throughput, ≈2× area on the
+	// key-dependent units.
+	SpatialRedundancy
+	// Masking first-order-masks the key-dependent arithmetic (each private
+	// value split into two shares): ≈2× area and ≈2× multiplier pressure
+	// on the private units, public XOF/sampling untouched.
+	Masking
+)
+
+func (c Countermeasure) String() string {
+	switch c {
+	case NoCountermeasure:
+		return "none"
+	case TemporalRedundancy:
+		return "temporal redundancy"
+	case SpatialRedundancy:
+		return "spatial redundancy"
+	case Masking:
+		return "first-order masking"
+	default:
+		return fmt.Sprintf("Countermeasure(%d)", int(c))
+	}
+}
+
+// CountermeasureCost models the relative overhead of a countermeasure on
+// the PASTA cryptoprocessor. The factors follow the structure of the
+// design: temporal redundancy doubles latency only; spatial redundancy
+// and masking duplicate the *private* units (matrix engines, vector ALU)
+// while the public XOF — the single largest unit — is shared, so the
+// area factor stays well below 2×.
+type CountermeasureCost struct {
+	Countermeasure Countermeasure
+	CycleFactor    float64 // latency multiplier
+	AreaFactor     float64 // total area multiplier
+	DetectsFaults  bool
+	MasksSCA       bool
+}
+
+// CostOf returns the modeled overhead for a countermeasure applied to a
+// configuration with the given private-area share (fraction of total area
+// in key-dependent units; from the area model's breakdown).
+func CostOf(c Countermeasure, privateShare float64) CountermeasureCost {
+	switch c {
+	case TemporalRedundancy:
+		return CountermeasureCost{c, 2.0, 1.02, true, false}
+	case SpatialRedundancy:
+		return CountermeasureCost{c, 1.0, 1 + privateShare, true, false}
+	case Masking:
+		// Two shares double the private arithmetic and add refresh
+		// randomness (drawn from the already-present XOF).
+		return CountermeasureCost{c, 1.1, 1 + privateShare, false, true}
+	default:
+		return CountermeasureCost{c, 1.0, 1.0, false, false}
+	}
+}
+
+// RedundantEncryptBlock runs the block twice (temporal redundancy) and
+// compares: a transient fault present in only one run is detected. It
+// returns the combined cycle count (the countermeasure's 2× latency).
+func (a *Accelerator) RedundantEncryptBlock(nonce, counter uint64, msg ff.Vec) (Result, error) {
+	first, err := a.EncryptBlock(nonce, counter, msg)
+	if err != nil {
+		return Result{}, err
+	}
+	second, err := a.EncryptBlock(nonce, counter, msg)
+	if err != nil {
+		return Result{}, err
+	}
+	if !first.Ciphertext.Equal(second.Ciphertext) {
+		return Result{}, fmt.Errorf("hw: fault detected: redundant computations disagree")
+	}
+	combined := first
+	combined.Stats.Cycles += second.Stats.Cycles
+	return combined, nil
+}
+
+// FaultDemo shows the SASTA-style observable: with a fault in the final
+// affine layer, the faulty and correct keystreams differ in a structured
+// way (the fault bypasses all remaining S-boxes). It returns the
+// difference vector Δ = faulty − correct of the keystream, which for a
+// final-layer fault is exactly the fault propagated through the linear
+// Mix only — the leakage SASTA exploits.
+func FaultDemo(par pasta.Params, key pasta.Key, nonce, counter uint64, f FaultSpec) (correct, faulty, delta ff.Vec, err error) {
+	acc, err := NewAccelerator(par, key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	res, err := acc.KeyStream(nonce, counter)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	correct = res.KeyStream
+
+	acc.Fault = &f
+	resF, err := acc.KeyStream(nonce, counter)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	faulty = resF.KeyStream
+
+	delta = ff.NewVec(len(correct))
+	ff.SubVec(par.Mod, delta, faulty, correct)
+	return correct, faulty, delta, nil
+}

@@ -1,0 +1,214 @@
+package hw
+
+import (
+	"strconv"
+	"strings"
+
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+func TestNaiveKeccakAblation(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "ablate")
+	fast, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow.NaiveKeccak = true
+
+	rf, err := fast.KeyStream(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := slow.KeyStream(3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Functional output identical; only timing differs.
+	if !rf.KeyStream.Equal(rs.KeyStream) {
+		t.Fatal("naive Keccak changed the keystream")
+	}
+	// Sec. IV-B: the naive design "almost doubles" the cycle count
+	// (steady state 45 vs 26 cycles per 21-word batch ⇒ ≈1.7×).
+	ratio := float64(rs.Stats.Cycles) / float64(rf.Stats.Cycles)
+	if ratio < 1.5 || ratio > 2.1 {
+		t.Fatalf("naive/parallel cycle ratio = %.2f, want ≈1.7 ('almost double')", ratio)
+	}
+	t.Logf("naive %d vs parallel %d cycles (%.2f×)", rs.Stats.Cycles, rf.Stats.Cycles, ratio)
+}
+
+func TestFaultChangesOutput(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "fault")
+	correct, faulty, delta, err := FaultDemo(par, key, 1, 0, FaultSpec{Layer: 2, Element: 5, Mask: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct.Equal(faulty) {
+		t.Fatal("fault had no effect")
+	}
+	nonzero := 0
+	for _, d := range delta {
+		if d != 0 {
+			nonzero++
+		}
+	}
+	// A mid-permutation fault diffuses through subsequent S-boxes and
+	// affine layers: nearly every keystream element should change.
+	if nonzero < par.T*3/4 {
+		t.Fatalf("mid-permutation fault changed only %d/%d elements", nonzero, par.T)
+	}
+}
+
+// TestFinalLayerFaultIsStructured demonstrates the SASTA observation: a
+// fault injected in the *final* affine layer output bypasses every S-box,
+// so Δ = faulty − correct is exactly the fault difference pushed through
+// the linear Mix — for a single-element fault in the left half, Δ has the
+// known Mix pattern (2δ on the faulted position).
+func TestFinalLayerFaultIsStructured(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "sasta")
+	lastLayer := par.AffineLayers() - 1
+	elem := 5 // in the left half
+
+	_, _, delta, err := FaultDemo(par, key, 9, 1, FaultSpec{Layer: lastLayer, Element: elem, Mask: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The keystream is Trunc(Mix(affine output)). A fault δ at left
+	// element j gives Δ[j] = 2δ mod p and Δ elsewhere 0 in the left half.
+	nonzero := 0
+	for i, d := range delta {
+		if d != 0 {
+			nonzero++
+			if i != elem {
+				t.Fatalf("final-layer fault leaked into element %d", i)
+			}
+		}
+	}
+	if nonzero != 1 {
+		t.Fatalf("expected exactly one affected keystream element, got %d", nonzero)
+	}
+	t.Logf("SASTA observable: single structured Δ at element %d: %d", elem, delta[elem])
+}
+
+func TestRedundantEncryptDetectsFault(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "redundant")
+	acc, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := ff.NewVec(par.T)
+
+	// Clean run: passes, costs ≈2× cycles.
+	clean, err := acc.RedundantEncryptBlock(0, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := acc.EncryptBlock(0, 0, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Stats.Cycles < 2*single.Stats.Cycles-10 {
+		t.Fatalf("redundant run cycles %d, want ≈2× %d", clean.Stats.Cycles, single.Stats.Cycles)
+	}
+
+	// Transient fault in one of the two runs: detected.
+	acc.Fault = &FaultSpec{Layer: 1, Element: 2, Mask: 7}
+	if _, err := acc.RedundantEncryptBlock(0, 0, msg); err == nil {
+		t.Fatal("redundant execution failed to detect the fault")
+	}
+}
+
+func TestCountermeasureCosts(t *testing.T) {
+	const privateShare = 0.65 // matrix engines + ALU share of area
+	base := CostOf(NoCountermeasure, privateShare)
+	if base.CycleFactor != 1 || base.AreaFactor != 1 {
+		t.Fatal("baseline not free")
+	}
+	tr := CostOf(TemporalRedundancy, privateShare)
+	if tr.CycleFactor != 2 || !tr.DetectsFaults {
+		t.Fatalf("temporal redundancy: %+v", tr)
+	}
+	sr := CostOf(SpatialRedundancy, privateShare)
+	if sr.AreaFactor <= 1.5 || sr.CycleFactor != 1 {
+		t.Fatalf("spatial redundancy: %+v", sr)
+	}
+	mask := CostOf(Masking, privateShare)
+	if !mask.MasksSCA || mask.AreaFactor >= 2 {
+		t.Fatalf("masking: %+v (area must stay < 2× since the XOF is public)", mask)
+	}
+}
+
+func TestFaultSpecOutOfRangeIgnored(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "oor")
+	correct, faulty, _, err := FaultDemo(par, key, 1, 0, FaultSpec{Layer: 0, Element: 10_000, Mask: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !correct.Equal(faulty) {
+		t.Fatal("out-of-range fault changed output")
+	}
+}
+
+func BenchmarkAblationNaiveKeccak(b *testing.B) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	acc, _ := NewAccelerator(par, pasta.KeyFromSeed(par, "bench"))
+	acc.NaiveKeccak = true
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := acc.KeyStream(uint64(i), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles), "cycles/block")
+}
+
+func TestWaveformVCD(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	acc, err := NewAccelerator(par, pasta.KeyFromSeed(par, "vcd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Waveform = &Waveform{}
+	res, err := acc.KeyStream(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(acc.Waveform.Cycles()) != res.Stats.Cycles+1 && int64(acc.Waveform.Cycles()) != res.Stats.Cycles {
+		t.Fatalf("waveform has %d samples for %d cycles", acc.Waveform.Cycles(), res.Stats.Cycles)
+	}
+	var sb strings.Builder
+	if err := acc.Waveform.WriteVCD(&sb); err != nil {
+		t.Fatal(err)
+	}
+	vcd := sb.String()
+	for _, want := range []string{
+		"$timescale 1ns $end", "$enddefinitions $end",
+		"xof_word_valid", "matengine_busy", "ctrl_phase",
+		"#0", "1!",
+	} {
+		if !strings.Contains(vcd, want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	// The dump must end at the final cycle timestamp.
+	if !strings.Contains(vcd, "#"+strconv.FormatInt(res.Stats.Cycles, 10)) {
+		t.Errorf("VCD missing final timestamp #%d", res.Stats.Cycles)
+	}
+	// Empty waveform errors.
+	if err := (&Waveform{}).WriteVCD(&sb); err == nil {
+		t.Error("empty waveform accepted")
+	}
+}

@@ -1,0 +1,137 @@
+package hw
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/hera"
+)
+
+// HeraAccelerator is a cycle-accurate model of a HERA datapath built from
+// the same unit library as the PASTA cryptoprocessor — the concrete
+// follow-up the paper's Sec. VI asks for ("implement the other HHE
+// enabling SE schemes and show the impact of the changes ... post-
+// hardware realization").
+//
+// Architectural contrast with the PASTA design: HERA's linear layers are
+// fixed shift-add circulants, so there is no matrix generation or
+// multiplication engine at all; the only multipliers are one bank of 16
+// for the randomized key schedule (k ⊙ rc) and the cube S-box. The XOF
+// demand drops from 4t per affine layer to 16 per round key, which the
+// model shows directly in the cycle count.
+type HeraAccelerator struct {
+	par hera.Params
+	key ff.Vec
+}
+
+// NewHeraAccelerator validates inputs and returns the model.
+func NewHeraAccelerator(par hera.Params, key hera.Key) (*HeraAccelerator, error) {
+	if _, err := hera.NewParams(par.Rounds, par.Mod); err != nil {
+		return nil, err
+	}
+	if err := key.Validate(par); err != nil {
+		return nil, err
+	}
+	return &HeraAccelerator{par: par, key: ff.Vec(key).Clone()}, nil
+}
+
+// HERA datapath latencies, mirroring the PASTA ALU constants: each
+// vector-wide pass over the 16-element state through the shared
+// adder/multiplier bank is a 3-cycle pipelined operation.
+const (
+	latHeraARK  = 3 // k ⊙ rc + add, one multiplier pass
+	latHeraMC   = 3 // MixColumns: shift-add circulant
+	latHeraMR   = 3 // MixRows
+	latHeraCube = 6 // two dependent multiplier passes
+)
+
+// KeyStream runs one HERA block and returns keystream plus cycle stats.
+// The schedule mirrors the PASTA controller: the XOF streams round-
+// constant elements; each ARK fires as soon as its 16 elements arrived
+// and the previous round's datapath finished; the fixed linear layers and
+// the cube execute between ARKs and are usually hidden under the XOF —
+// except at the finalization, whose doubled linear layer trails the last
+// squeeze.
+func (a *HeraAccelerator) KeyStream(nonce, counter uint64) (Result, error) {
+	mod := a.par.Mod
+	xofU := NewKeccakUnit(nonce, counter)
+	samp := NewSamplerStage(mod)
+
+	var res Result
+	st := &res.Stats
+
+	state := a.key.Clone()
+	rc := ff.NewVec(hera.StateSize)
+	rcFill := 0
+	arkIdx := 0 // number of ARKs applied
+	totalARKs := a.par.Rounds + 1
+
+	var datapathBusyUntil int64
+	var doneAt int64 = -1
+
+	maxCycles := int64(1_000_000)
+	var cycle int64
+	for ; cycle < maxCycles; cycle++ {
+		needMore := arkIdx < totalARKs
+		// Backpressure: hold the squeeze while a complete constant vector
+		// waits for the datapath.
+		stall := !needMore || rcFill == hera.StateSize
+		xofU.Tick(st, stall)
+		if xofU.Stalled && needMore {
+			st.XOFStalled++
+		}
+		// HERA round constants must be nonzero (the randomized key
+		// schedule multiplies them into the key).
+		samp.Tick(st, xofU.WordValid, xofU.Word, true)
+
+		if samp.ElemValid && needMore {
+			rc[rcFill] = samp.Elem
+			rcFill++
+		}
+
+		// Fire the next ARK when its constants are ready and the
+		// datapath has drained the previous round.
+		if needMore && rcFill == hera.StateSize && cycle >= datapathBusyUntil {
+			// Pre-ARK linear/nonlinear layers (skipped before ARK_0).
+			lat := int64(latHeraARK)
+			if arkIdx > 0 {
+				hera.MixColumns(mod, state)
+				hera.MixRows(mod, state)
+				lat += latHeraMC + latHeraMR
+				hera.Cube(mod, state)
+				lat += latHeraCube
+				st.VecALUBusy += latHeraMC + latHeraMR + latHeraCube
+				if arkIdx == a.par.Rounds {
+					// Finalization: second linear layer after the cube.
+					hera.MixColumns(mod, state)
+					hera.MixRows(mod, state)
+					lat += latHeraMC + latHeraMR
+					st.VecALUBusy += latHeraMC + latHeraMR
+				}
+			}
+			// ARK: state += k ⊙ rc.
+			for i := range state {
+				state[i] = mod.Add(state[i], mod.Mul(a.key[i], rc[i]))
+			}
+			st.MatMulBusy += latHeraARK // the multiplier bank
+			st.VecALUBusy += latHeraARK
+			datapathBusyUntil = cycle + lat
+			rcFill = 0
+			arkIdx++
+			if arkIdx == totalARKs {
+				// Output drain: 16 keystream elements, one per cycle.
+				doneAt = datapathBusyUntil + int64(hera.StateSize)
+				st.OutputBusy += int64(hera.StateSize)
+			}
+		}
+		if doneAt >= 0 && cycle >= doneAt {
+			break
+		}
+	}
+	if cycle >= maxCycles {
+		return Result{}, fmt.Errorf("hw: HERA accelerator did not finish")
+	}
+	st.Cycles = cycle
+	res.KeyStream = state.Clone()
+	return res, nil
+}

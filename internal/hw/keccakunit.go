@@ -1,0 +1,155 @@
+package hw
+
+import (
+	"encoding/binary"
+
+	"repro/internal/keccak"
+)
+
+// xofPhase enumerates the KeccakUnit control states.
+type xofPhase int
+
+const (
+	xofAbsorb    xofPhase = iota // loading the padded seed block (1 cycle)
+	xofFirstPerm                 // initial permutation, nothing to squeeze yet
+	xofSqueeze                   // emitting one word per cycle; next permutation runs in parallel
+	xofGap                       // the paper's 5-cycle control gap between squeeze batches
+)
+
+// KeccakUnit is the structural model of the paper's high-performance
+// SHAKE128 core (Sec. III-A): two 1600-bit state buffers let the next
+// Keccak-f permutation (24 cycles, one round per cycle) run concurrently
+// with squeezing the current 21-word rate block, at the cost of an extra
+// five control cycles between batches — 26 cycles per 21 words in steady
+// state instead of 24 + 21.
+type KeccakUnit struct {
+	cur, next keccak.State // double buffer: cur is squeezed, next is permuted
+
+	// Naive disables the double-buffered overlap: the next permutation
+	// only starts after the current rate block is fully squeezed, as in a
+	// single-state-buffer design. Sec. IV-B: "the clock cycle almost
+	// doubles for a naive Keccak implementation". Used by the ablation
+	// benchmarks.
+	Naive bool
+
+	phase      xofPhase
+	permRound  int // next Keccak round to execute on `next` (0..24)
+	squeezeIdx int // next rate word to emit from `cur` (0..21)
+	gapLeft    int
+
+	seed [16]byte
+
+	// Per-cycle outputs, valid after Tick.
+	WordValid bool
+	Word      uint64
+	Stalled   bool // consumer asserted backpressure this cycle
+}
+
+// gapCycles is the control overhead between squeeze batches (Sec. IV-B:
+// "adding only an extra five clock cycles between two squeezes").
+const gapCycles = 5
+
+// wordsPerBatch is the SHAKE128 rate in 64-bit words.
+const wordsPerBatch = keccak.Rate128 / 8
+
+// NewKeccakUnit prepares the unit with the PASTA seed nonce‖counter
+// (big-endian), matching xof.NewSampler.
+func NewKeccakUnit(nonce, counter uint64) *KeccakUnit {
+	u := &KeccakUnit{phase: xofAbsorb}
+	binary.BigEndian.PutUint64(u.seed[0:8], nonce)
+	binary.BigEndian.PutUint64(u.seed[8:16], counter)
+	return u
+}
+
+// Tick advances one clock cycle. stall indicates the downstream DataGen
+// cannot accept a word this cycle (both ping-pong buffers full); the unit
+// then holds its squeeze pointer, exactly as the hardware would gate the
+// squeeze register enable.
+func (u *KeccakUnit) Tick(st *Stats, stall bool) {
+	u.WordValid = false
+	u.Stalled = false
+
+	switch u.phase {
+	case xofAbsorb:
+		// XOR the padded seed block into the zero state (one cycle: the
+		// rate registers load in parallel).
+		var block [keccak.Rate128]byte
+		copy(block[:], u.seed[:])
+		block[len(u.seed)] ^= 0x1F      // SHAKE domain separation
+		block[keccak.Rate128-1] ^= 0x80 // final padding bit
+		for i := 0; i < keccak.Rate128/8; i++ {
+			u.next[i] ^= binary.LittleEndian.Uint64(block[8*i : 8*i+8])
+		}
+		u.permRound = 0
+		u.phase = xofFirstPerm
+
+	case xofFirstPerm:
+		u.next.Round(u.permRound)
+		u.permRound++
+		st.KeccakBusy++
+		if u.permRound == 24 {
+			st.Permutations++
+			u.beginBatch()
+		}
+
+	case xofSqueeze:
+		// The next permutation proceeds regardless of squeeze stalls —
+		// unless the unit models the naive single-buffer design, which
+		// cannot permute while its only state is being squeezed.
+		if !u.Naive && u.permRound < 24 {
+			u.next.Round(u.permRound)
+			u.permRound++
+			st.KeccakBusy++
+			if u.permRound == 24 {
+				st.Permutations++
+			}
+		}
+		if stall {
+			u.Stalled = true
+			return
+		}
+		u.Word = u.cur[u.squeezeIdx]
+		u.WordValid = true
+		u.squeezeIdx++
+		st.SqueezeBusy++
+		st.WordsDrawn++
+		if u.squeezeIdx == wordsPerBatch {
+			if u.Naive {
+				// Single buffer: the full 24-cycle permutation runs only
+				// now, in place of the 5-cycle control gap.
+				u.gapLeft = 0
+				u.permRound = 0
+			} else {
+				u.gapLeft = gapCycles
+			}
+			u.phase = xofGap
+		}
+
+	case xofGap:
+		if u.permRound < 24 {
+			u.next.Round(u.permRound)
+			u.permRound++
+			st.KeccakBusy++
+			if u.permRound == 24 {
+				st.Permutations++
+			}
+		}
+		if u.gapLeft > 0 {
+			u.gapLeft--
+		}
+		if u.gapLeft == 0 && u.permRound == 24 {
+			u.beginBatch()
+		}
+	}
+}
+
+// beginBatch promotes the freshly permuted state to the squeeze buffer
+// and starts permuting its successor in the spare buffer.
+func (u *KeccakUnit) beginBatch() {
+	u.cur = u.next
+	// The spare buffer reloads from cur and permutation restarts.
+	u.next = u.cur
+	u.permRound = 0
+	u.squeezeIdx = 0
+	u.phase = xofSqueeze
+}

@@ -1,0 +1,76 @@
+package hw
+
+import (
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// matEngineLatency returns the paper's Sec. III-C pipeline latency for
+// one combined matrix generation + multiplication of a t×t matrix:
+// 6 + t + log2(t) cycles (pipeline fill between the MAC and the
+// multiply/adder-tree stages, one matrix row per cycle in steady state).
+func matEngineLatency(t int) int64 {
+	return 6 + int64(t) + int64(ceilLog2(t))
+}
+
+func ceilLog2(n int) int {
+	l := 0
+	for v := 1; v < n; v <<= 1 {
+		l++
+	}
+	return l
+}
+
+// MatEngine models the paired MatGen/MatMul units of Fig. 5: one bank of
+// t modular MAC units expands the invertible matrix row by row from its
+// seed (eq. 1, storing only the seed row and the previous row), while the
+// second bank of t modular multipliers computes the dot product of each
+// freshly generated row with the state half, accumulated through the
+// pipelined adder tree of Fig. 4.
+type MatEngine struct {
+	t   int
+	mod ff.Modulus
+
+	busyUntil int64
+	result    ff.Vec // published at busyUntil
+	seedID    int    // DataGen buffer to release on completion
+	running   bool
+}
+
+// NewMatEngine builds the engine for block size t over mod.
+func NewMatEngine(t int, mod ff.Modulus) *MatEngine {
+	return &MatEngine{t: t, mod: mod}
+}
+
+// Idle reports whether a new task may start.
+func (e *MatEngine) Idle(now int64) bool { return !e.running || now >= e.busyUntil }
+
+// Start launches M(seed)·x at cycle now. The functional result is
+// computed with the same streaming row recurrence the hardware uses and
+// becomes architecturally visible at completion time.
+func (e *MatEngine) Start(now int64, st *Stats, seed, x ff.Vec, seedID int) {
+	out := ff.NewVec(e.t)
+	row := seed.Clone()
+	out[0] = ff.Dot(e.mod, row, x)
+	for i := 1; i < e.t; i++ {
+		row = pasta.NextMatrixRow(e.mod, seed, row)
+		out[i] = ff.Dot(e.mod, row, x)
+	}
+	e.result = out
+	e.seedID = seedID
+	e.busyUntil = now + matEngineLatency(e.t)
+	e.running = true
+	// Both multiplier banks are active for the t row cycles.
+	st.MatGenBusy += int64(e.t)
+	st.MatMulBusy += int64(e.t)
+}
+
+// Done reports completion and returns the result once now has reached the
+// pipeline latency.
+func (e *MatEngine) Done(now int64) (ff.Vec, int, bool) {
+	if e.running && now >= e.busyUntil {
+		e.running = false
+		return e.result, e.seedID, true
+	}
+	return nil, 0, false
+}

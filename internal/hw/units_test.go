@@ -1,0 +1,235 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+	"repro/internal/xof"
+)
+
+// TestKeccakUnitStreamMatchesSoftwareXOF: the structural double-buffer
+// unit must emit exactly the SHAKE128(nonce‖counter) word stream of the
+// functional reference.
+func TestKeccakUnitStreamMatchesSoftwareXOF(t *testing.T) {
+	const nonce, counter = 123, 456
+	u := NewKeccakUnit(nonce, counter)
+	var st Stats
+
+	// Collect 100 raw words from the unit.
+	var words []uint64
+	for cycle := 0; len(words) < 100 && cycle < 10000; cycle++ {
+		u.Tick(&st, false)
+		if u.WordValid {
+			words = append(words, u.Word)
+		}
+	}
+	if len(words) < 100 {
+		t.Fatal("unit produced too few words")
+	}
+
+	// Reference: software SHAKE over the same seed.
+	want := softwareWords(nonce, counter, 100)
+	for i := range want {
+		if words[i] != want[i] {
+			t.Fatalf("word %d: unit %#x != software %#x", i, words[i], want[i])
+		}
+	}
+}
+
+func softwareWords(nonce, counter uint64, n int) []uint64 {
+	s := xof.NewRawStream(nonce, counter)
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = s.NextWord()
+	}
+	return out
+}
+
+// TestKeccakUnitSteadyStateRate: 21 words per 26 cycles in steady state
+// (paper Sec. IV-B), and the naive variant 21 per 45.
+func TestKeccakUnitSteadyStateRate(t *testing.T) {
+	measure := func(naive bool) float64 {
+		u := NewKeccakUnit(0, 0)
+		u.Naive = naive
+		var st Stats
+		// Warm up past the first permutation.
+		for i := 0; i < 30; i++ {
+			u.Tick(&st, false)
+		}
+		start := st.WordsDrawn
+		const span = 26 * 40
+		for i := 0; i < span; i++ {
+			u.Tick(&st, false)
+		}
+		return float64(st.WordsDrawn-start) / span
+	}
+	par := measure(false)
+	if want := 21.0 / 26.0; par < want-0.02 || par > want+0.02 {
+		t.Errorf("parallel rate = %.3f words/cycle, want ≈%.3f", par, want)
+	}
+	naive := measure(true)
+	if want := 21.0 / 45.0; naive < want-0.02 || naive > want+0.02 {
+		t.Errorf("naive rate = %.3f words/cycle, want ≈%.3f", naive, want)
+	}
+}
+
+// TestKeccakUnitStall: asserting backpressure holds the squeeze pointer
+// without losing words.
+func TestKeccakUnitStall(t *testing.T) {
+	u := NewKeccakUnit(7, 7)
+	var st Stats
+	var unstalled []uint64
+	for len(unstalled) < 30 {
+		u.Tick(&st, false)
+		if u.WordValid {
+			unstalled = append(unstalled, u.Word)
+		}
+	}
+
+	u2 := NewKeccakUnit(7, 7)
+	var st2 Stats
+	var stalled []uint64
+	i := 0
+	for len(stalled) < 30 {
+		// Stall every third cycle.
+		stall := i%3 == 0
+		u2.Tick(&st2, stall)
+		if u2.WordValid {
+			stalled = append(stalled, u2.Word)
+		}
+		i++
+	}
+	for k := range unstalled {
+		if unstalled[k] != stalled[k] {
+			t.Fatalf("word %d lost/duplicated under backpressure", k)
+		}
+	}
+}
+
+func TestSamplerStageRejects(t *testing.T) {
+	s := NewSamplerStage(ff.P17)
+	var st Stats
+	// Word above p after masking: 0x1FFFF > 65537.
+	s.Tick(&st, true, 0x1FFFF, false)
+	if s.ElemValid {
+		t.Fatal("accepted out-of-range element")
+	}
+	// Valid word.
+	s.Tick(&st, true, 42, false)
+	if !s.ElemValid || s.Elem != 42 {
+		t.Fatalf("valid=%v elem=%d", s.ElemValid, s.Elem)
+	}
+	// Zero with rejectZero.
+	s.Tick(&st, true, 1<<17, true) // masks to 0
+	if s.ElemValid {
+		t.Fatal("accepted zero under rejectZero")
+	}
+	// No input.
+	s.Tick(&st, false, 999, false)
+	if s.ElemValid {
+		t.Fatal("emitted element without input word")
+	}
+	if st.WordsKept != 1 {
+		t.Fatalf("kept = %d, want 1", st.WordsKept)
+	}
+}
+
+func TestDataGenPingPong(t *testing.T) {
+	d := NewDataGen(4)
+	if d.Stall() {
+		t.Fatal("fresh DataGen stalls")
+	}
+	// Fill vector 0.
+	for i := 0; i < 4; i++ {
+		if i == 0 && !d.FillingFirstElement() {
+			t.Fatal("first element not flagged")
+		}
+		d.Push(uint64(10 + i))
+	}
+	if !d.Ready(0) {
+		t.Fatal("vector 0 not ready")
+	}
+	// Second buffer still available.
+	if d.Stall() {
+		t.Fatal("stall with one free buffer")
+	}
+	for i := 0; i < 4; i++ {
+		d.Push(uint64(20 + i))
+	}
+	// Both full now: must stall.
+	if !d.Stall() {
+		t.Fatal("no stall with both buffers full")
+	}
+	// Consume vector 0.
+	v0 := d.Acquire(0)
+	if !v0.Equal(ff.Vec{10, 11, 12, 13}) {
+		t.Fatalf("v0 = %v", v0)
+	}
+	// Acquired (held) but not released: still stalled.
+	if !d.Stall() {
+		t.Fatal("buffer reusable before Release")
+	}
+	d.Release(0)
+	if d.Stall() {
+		t.Fatal("still stalled after Release")
+	}
+	// Vector 1 remains intact.
+	if !d.Ready(1) {
+		t.Fatal("vector 1 lost")
+	}
+	if v1 := d.Acquire(1); !v1.Equal(ff.Vec{20, 21, 22, 23}) {
+		t.Fatalf("v1 = %v", v1)
+	}
+}
+
+func TestDataGenPanicsOnBadAcquire(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDataGen(4).Acquire(3)
+}
+
+func TestMatEngineComputesMatVec(t *testing.T) {
+	mod := ff.P17
+	tt := 8
+	e := NewMatEngine(tt, mod)
+	s := xof.NewSampler(mod, 3, 3)
+	seed := s.Vector(tt, true)
+	x := s.Vector(tt, false)
+
+	var st Stats
+	if !e.Idle(0) {
+		t.Fatal("fresh engine busy")
+	}
+	e.Start(0, &st, seed, x, 0)
+	if e.Idle(1) {
+		t.Fatal("engine idle right after start")
+	}
+	var out ff.Vec
+	for now := int64(1); now < 100; now++ {
+		if res, id, done := e.Done(now); done {
+			if id != 0 {
+				t.Fatalf("seed id = %d", id)
+			}
+			if now < matEngineLatency(tt) {
+				t.Fatalf("completed at %d, before latency %d", now, matEngineLatency(tt))
+			}
+			out = res
+			break
+		}
+	}
+	if out == nil {
+		t.Fatal("engine never completed")
+	}
+	want := ff.NewVec(tt)
+	pasta.ExpandMatrix(mod, seed).MulVec(mod, want, x)
+	if !out.Equal(want) {
+		t.Fatalf("engine result %v != M·x %v", out, want)
+	}
+	if st.MatGenBusy != int64(tt) || st.MatMulBusy != int64(tt) {
+		t.Fatalf("busy accounting: gen=%d mul=%d, want %d each", st.MatGenBusy, st.MatMulBusy, tt)
+	}
+}

@@ -1,0 +1,206 @@
+// Package keccak implements the Keccak-f[1600] permutation and the
+// SHAKE128/SHAKE256 extendable-output functions (FIPS 202) from scratch.
+//
+// PASTA relies on SHAKE128 as its pseudo-random generator for the affine
+// layers; the paper identifies the 24-round Keccak permutation as the
+// throughput bottleneck of the whole cryptoprocessor (Sec. IV-B). This
+// package provides the functional reference; the cycle-accurate hardware
+// model of the double-buffered Keccak unit lives in internal/hw.
+package keccak
+
+import "math/bits"
+
+// roundConstants are the 24 iota-step constants of Keccak-f[1600].
+var roundConstants = [24]uint64{
+	0x0000000000000001, 0x0000000000008082, 0x800000000000808A,
+	0x8000000080008000, 0x000000000000808B, 0x0000000080000001,
+	0x8000000080008081, 0x8000000000008009, 0x000000000000008A,
+	0x0000000000000088, 0x0000000080008009, 0x000000008000000A,
+	0x000000008000808B, 0x800000000000008B, 0x8000000000008089,
+	0x8000000000008003, 0x8000000000008002, 0x8000000000000080,
+	0x000000000000800A, 0x800000008000000A, 0x8000000080008081,
+	0x8000000000008080, 0x0000000080000001, 0x8000000080008008,
+}
+
+// rhoOffsets[x][y] is the rotation amount of lane (x, y) in the rho step.
+var rhoOffsets = [5][5]uint{
+	{0, 36, 3, 41, 18},
+	{1, 44, 10, 45, 2},
+	{62, 6, 43, 15, 61},
+	{28, 55, 25, 21, 56},
+	{27, 20, 39, 8, 14},
+}
+
+// State is the 1600-bit Keccak state as 25 lanes; lane (x, y) is
+// State[x + 5y], matching the FIPS 202 mapping.
+type State [25]uint64
+
+// Permute applies the full 24-round Keccak-f[1600] permutation in place.
+func (s *State) Permute() {
+	for round := 0; round < 24; round++ {
+		s.Round(round)
+	}
+}
+
+// Round applies a single Keccak-f round (theta, rho, pi, chi, iota) in
+// place. Exposed so the hardware model can step one round per clock cycle,
+// exactly as the paper's 24cc-per-permutation unit does.
+func (s *State) Round(round int) {
+	// theta
+	var c [5]uint64
+	for x := 0; x < 5; x++ {
+		c[x] = s[x] ^ s[x+5] ^ s[x+10] ^ s[x+15] ^ s[x+20]
+	}
+	var d [5]uint64
+	for x := 0; x < 5; x++ {
+		d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
+	}
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			s[x+5*y] ^= d[x]
+		}
+	}
+	// rho and pi
+	var b State
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(s[x+5*y], int(rhoOffsets[x][y]))
+		}
+	}
+	// chi
+	for x := 0; x < 5; x++ {
+		for y := 0; y < 5; y++ {
+			s[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
+		}
+	}
+	// iota
+	s[0] ^= roundConstants[round]
+}
+
+// Rate constants in bytes for the SHAKE instances.
+const (
+	Rate128 = 168 // SHAKE128: 1344-bit rate = 21 64-bit words (the paper's "21 words per permutation")
+	Rate256 = 136 // SHAKE256: 1088-bit rate
+)
+
+// domainShake is the FIPS 202 domain-separation suffix for SHAKE (1111).
+const domainShake = 0x1F
+
+// Shake is an incremental SHAKE sponge. Create with NewShake128 or
+// NewShake256, Write the input, then Read any amount of output.
+type Shake struct {
+	state     State
+	rate      int // bytes
+	buf       [Rate128]byte
+	bufLen    int // bytes buffered for absorb / available for squeeze
+	squeezing bool
+	readPos   int
+}
+
+// NewShake128 returns a SHAKE128 instance.
+func NewShake128() *Shake { return &Shake{rate: Rate128} }
+
+// NewShake256 returns a SHAKE256 instance.
+func NewShake256() *Shake { return &Shake{rate: Rate256} }
+
+// Write absorbs data into the sponge. It must not be called after Read.
+func (d *Shake) Write(p []byte) (int, error) {
+	if d.squeezing {
+		panic("keccak: Write after Read")
+	}
+	n := len(p)
+	for len(p) > 0 {
+		take := d.rate - d.bufLen
+		if take > len(p) {
+			take = len(p)
+		}
+		copy(d.buf[d.bufLen:], p[:take])
+		d.bufLen += take
+		p = p[take:]
+		if d.bufLen == d.rate {
+			d.absorbBlock()
+		}
+	}
+	return n, nil
+}
+
+func (d *Shake) absorbBlock() {
+	for i := 0; i < d.rate/8; i++ {
+		d.state[i] ^= le64(d.buf[8*i:])
+	}
+	d.state.Permute()
+	d.bufLen = 0
+}
+
+// pad applies the SHAKE padding and the final permutation, switching the
+// sponge into squeezing mode.
+func (d *Shake) pad() {
+	for i := d.bufLen; i < d.rate; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[d.bufLen] ^= domainShake
+	d.buf[d.rate-1] ^= 0x80
+	for i := 0; i < d.rate/8; i++ {
+		d.state[i] ^= le64(d.buf[8*i:])
+	}
+	d.state.Permute()
+	d.squeezing = true
+	d.readPos = 0
+}
+
+// Read squeezes len(p) bytes of output. The first call finalizes the input.
+func (d *Shake) Read(p []byte) (int, error) {
+	if !d.squeezing {
+		d.pad()
+	}
+	n := len(p)
+	for len(p) > 0 {
+		if d.readPos == d.rate {
+			d.state.Permute()
+			d.readPos = 0
+		}
+		avail := d.rate - d.readPos
+		take := avail
+		if take > len(p) {
+			take = len(p)
+		}
+		for i := 0; i < take; i++ {
+			p[i] = byte(d.state[(d.readPos+i)/8] >> (8 * uint((d.readPos+i)%8)))
+		}
+		d.readPos += take
+		p = p[take:]
+	}
+	return n, nil
+}
+
+// NextWord squeezes one 64-bit little-endian word — the granularity at
+// which the hardware XOF unit emits data ("one 64-bit coefficient per
+// clock cycle").
+func (d *Shake) NextWord() uint64 {
+	var b [8]byte
+	_, _ = d.Read(b[:])
+	return le64(b[:])
+}
+
+// Sum128 is a one-shot SHAKE128 of data producing outLen bytes.
+func Sum128(data []byte, outLen int) []byte {
+	d := NewShake128()
+	_, _ = d.Write(data)
+	out := make([]byte, outLen)
+	_, _ = d.Read(out)
+	return out
+}
+
+// Sum256 is a one-shot SHAKE256 of data producing outLen bytes.
+func Sum256(data []byte, outLen int) []byte {
+	d := NewShake256()
+	_, _ = d.Write(data)
+	out := make([]byte, outLen)
+	_, _ = d.Read(out)
+	return out
+}
+
+func le64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}

@@ -1,0 +1,43 @@
+package keccak
+
+// SHA-3 fixed-output-length hashes (FIPS 202 §6.1), completing the
+// standard alongside the SHAKE XOFs. PASTA itself only needs SHAKE128,
+// but downstream users of the Keccak substrate (key derivation, transcript
+// hashing in the HHE protocol examples) get the full family.
+
+// domainSHA3 is the SHA-3 domain-separation suffix (01 padding).
+const domainSHA3 = 0x06
+
+func sha3Sum(data []byte, rate, outLen int) []byte {
+	d := &Shake{rate: rate}
+	_, _ = d.Write(data)
+	// Finalize with the SHA-3 domain instead of the SHAKE domain.
+	for i := d.bufLen; i < d.rate; i++ {
+		d.buf[i] = 0
+	}
+	d.buf[d.bufLen] ^= domainSHA3
+	d.buf[d.rate-1] ^= 0x80
+	for i := 0; i < d.rate/8; i++ {
+		d.state[i] ^= le64(d.buf[8*i:])
+	}
+	d.state.Permute()
+	d.squeezing = true
+	d.readPos = 0
+	out := make([]byte, outLen)
+	_, _ = d.Read(out)
+	return out
+}
+
+// SumSHA3_256 returns the SHA3-256 digest of data.
+func SumSHA3_256(data []byte) [32]byte {
+	var out [32]byte
+	copy(out[:], sha3Sum(data, 136, 32))
+	return out
+}
+
+// SumSHA3_512 returns the SHA3-512 digest of data.
+func SumSHA3_512(data []byte) [64]byte {
+	var out [64]byte
+	copy(out[:], sha3Sum(data, 72, 64))
+	return out
+}

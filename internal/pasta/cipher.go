@@ -1,0 +1,296 @@
+package pasta
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/xof"
+)
+
+// Key is the PASTA secret key: 2t uniformly random field elements that
+// initialize the permutation state.
+type Key ff.Vec
+
+// NewRandomKey samples a fresh key for params from crypto/rand.
+func NewRandomKey(p Params) (Key, error) {
+	k := make(Key, p.StateSize())
+	var buf [8]byte
+	for i := range k {
+		for {
+			if _, err := rand.Read(buf[:]); err != nil {
+				return nil, fmt.Errorf("pasta: sampling key: %w", err)
+			}
+			v := binary.LittleEndian.Uint64(buf[:]) & p.Mod.Mask()
+			if v < p.Mod.P() {
+				k[i] = v
+				break
+			}
+		}
+	}
+	return k, nil
+}
+
+// KeyFromSeed derives a deterministic key from a seed string via
+// SHAKE128; intended for tests and reproducible examples, not production.
+func KeyFromSeed(p Params, seed string) Key {
+	s := xof.NewSamplerBytes(p.Mod, []byte("pasta-key:"+seed))
+	return Key(s.Vector(p.StateSize(), false))
+}
+
+// Validate checks the key length and element ranges against params.
+func (k Key) Validate(p Params) error {
+	if len(k) != p.StateSize() {
+		return fmt.Errorf("pasta: key has %d elements, want %d", len(k), p.StateSize())
+	}
+	for i, v := range k {
+		if v >= p.Mod.P() {
+			return fmt.Errorf("pasta: key element %d = %d out of range for %v", i, v, p.Mod)
+		}
+	}
+	return nil
+}
+
+// Cipher is a PASTA instance bound to a key. It is safe for concurrent
+// use: all methods are read-only with respect to the receiver.
+type Cipher struct {
+	par Params
+	key Key
+}
+
+// NewCipher builds a cipher after validating params and key.
+func NewCipher(par Params, key Key) (*Cipher, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if err := key.Validate(par); err != nil {
+		return nil, err
+	}
+	return &Cipher{par: par, key: Key(ff.Vec(key).Clone())}, nil
+}
+
+// Params returns the cipher's parameters.
+func (c *Cipher) Params() Params { return c.par }
+
+// Key returns a copy of the secret key (needed by the HHE client to
+// transport it homomorphically).
+func (c *Cipher) Key() Key { return Key(ff.Vec(c.key).Clone()) }
+
+// KeyStream computes the keystream block KS = Trunc(π(K, nonce, block)):
+// t field elements.
+func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
+	s := xof.NewSampler(c.par.Mod, nonce, block)
+	state := c.Permute(s)
+	return state[:c.par.T].Clone()
+}
+
+// EncryptBlock encrypts up to t field elements with the keystream of the
+// given block index: ct[i] = msg[i] + KS[i] (mod p).
+func (c *Cipher) EncryptBlock(nonce, block uint64, msg ff.Vec) (ff.Vec, error) {
+	if len(msg) > c.par.T {
+		return nil, fmt.Errorf("pasta: block has %d elements, max %d", len(msg), c.par.T)
+	}
+	ks := c.KeyStream(nonce, block)
+	ct := ff.NewVec(len(msg))
+	for i := range msg {
+		if msg[i] >= c.par.Mod.P() {
+			return nil, fmt.Errorf("pasta: message element %d = %d out of range", i, msg[i])
+		}
+		ct[i] = c.par.Mod.Add(msg[i], ks[i])
+	}
+	return ct, nil
+}
+
+// DecryptBlock inverts EncryptBlock.
+func (c *Cipher) DecryptBlock(nonce, block uint64, ct ff.Vec) (ff.Vec, error) {
+	if len(ct) > c.par.T {
+		return nil, fmt.Errorf("pasta: block has %d elements, max %d", len(ct), c.par.T)
+	}
+	ks := c.KeyStream(nonce, block)
+	msg := ff.NewVec(len(ct))
+	for i := range ct {
+		if ct[i] >= c.par.Mod.P() {
+			return nil, fmt.Errorf("pasta: ciphertext element %d = %d out of range", i, ct[i])
+		}
+		msg[i] = c.par.Mod.Sub(ct[i], ks[i])
+	}
+	return msg, nil
+}
+
+// Encrypt encrypts an arbitrary-length message, consuming one keystream
+// block of t elements per chunk, with block counters 0, 1, 2, …
+func (c *Cipher) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	return c.stream(nonce, msg, true)
+}
+
+// Decrypt inverts Encrypt.
+func (c *Cipher) Decrypt(nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	return c.stream(nonce, ct, false)
+}
+
+func (c *Cipher) stream(nonce uint64, in ff.Vec, encrypt bool) (ff.Vec, error) {
+	out := ff.NewVec(len(in))
+	t := c.par.T
+	for block := 0; block*t < len(in); block++ {
+		lo := block * t
+		hi := lo + t
+		if hi > len(in) {
+			hi = len(in)
+		}
+		var (
+			chunk ff.Vec
+			err   error
+		)
+		if encrypt {
+			chunk, err = c.EncryptBlock(nonce, uint64(block), in[lo:hi])
+		} else {
+			chunk, err = c.DecryptBlock(nonce, uint64(block), in[lo:hi])
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pasta: block %d: %w", block, err)
+		}
+		copy(out[lo:hi], chunk)
+	}
+	return out, nil
+}
+
+// NumBlocks returns the number of keystream blocks needed for n elements.
+func (c *Cipher) NumBlocks(n int) int { return (n + c.par.T - 1) / c.par.T }
+
+// Permute runs the full PASTA permutation π on the key state, drawing
+// public randomness from s, and returns the final 2t-element state
+// *before* truncation. The keystream is the first t elements.
+//
+// Exposed (rather than private) because the cycle-accurate hardware model
+// and the homomorphic decryption circuit must replay the identical
+// schedule of XOF consumption.
+func (c *Cipher) Permute(s *xof.Sampler) ff.Vec {
+	state := ff.Vec(c.key).Clone()
+	t := c.par.T
+	for layer := 0; layer < c.par.AffineLayers(); layer++ {
+		ad := DeriveAffineLayer(c.par, s)
+		ApplyAffine(c.par.Mod, state[:t], ad.MatSeedL, ad.RCL)
+		ApplyAffine(c.par.Mod, state[t:], ad.MatSeedR, ad.RCR)
+		Mix(c.par.Mod, state)
+		switch {
+		case layer < c.par.Rounds-1:
+			SboxFeistel(c.par.Mod, state)
+		case layer == c.par.Rounds-1:
+			SboxCube(c.par.Mod, state)
+		default:
+			// Final affine layer: no S-box; caller truncates.
+		}
+	}
+	return state
+}
+
+// AffineLayer holds the four public pseudo-random vectors of one affine
+// layer, in the exact XOF consumption order of the hardware schedule
+// (Fig. 3): matrix seed for X_L, matrix seed for X_R, round constant for
+// X_L, round constant for X_R.
+type AffineLayer struct {
+	MatSeedL ff.Vec // V0: first row of M_L (leading element nonzero)
+	MatSeedR ff.Vec // V1: first row of M_R (leading element nonzero)
+	RCL      ff.Vec // V2: round constants added to X_L
+	RCR      ff.Vec // V3: round constants added to X_R
+}
+
+// DeriveAffineLayer draws the four vectors of the next affine layer from
+// the sampler.
+func DeriveAffineLayer(p Params, s *xof.Sampler) AffineLayer {
+	return AffineLayer{
+		MatSeedL: s.Vector(p.T, true),
+		MatSeedR: s.Vector(p.T, true),
+		RCL:      s.Vector(p.T, false),
+		RCR:      s.Vector(p.T, false),
+	}
+}
+
+// DeriveSchedule materializes all affine layers of one block's
+// permutation — the full public data for (nonce, block).
+func DeriveSchedule(p Params, nonce, block uint64) []AffineLayer {
+	s := xof.NewSampler(p.Mod, nonce, block)
+	layers := make([]AffineLayer, p.AffineLayers())
+	for i := range layers {
+		layers[i] = DeriveAffineLayer(p, s)
+	}
+	return layers
+}
+
+// ApplyAffine computes half ← M(seed)·half + rc in place, expanding the
+// invertible matrix row by row exactly as the hardware does: only the
+// seed row and the previous row are ever stored (the memory-efficiency
+// point of Sec. III-C).
+func ApplyAffine(m ff.Modulus, half, seed, rc ff.Vec) {
+	t := len(half)
+	out := ff.NewVec(t)
+	row := seed.Clone()
+	out[0] = m.Add(ff.Dot(m, row, half), rc[0])
+	for i := 1; i < t; i++ {
+		row = NextMatrixRow(m, seed, row)
+		out[i] = m.Add(ff.Dot(m, row, half), rc[i])
+	}
+	copy(half, out)
+}
+
+// NextMatrixRow advances the sequential invertible-matrix recurrence of
+// eq. (1): given the seed row α and the current row r, the next row is
+//
+//	next[0] = r[t-1]·α[0]
+//	next[j] = r[j-1] + r[t-1]·α[j]   (j ≥ 1)
+//
+// i.e. one multiply-accumulate per output element — the operation of the
+// hardware MatGen MAC unit.
+func NextMatrixRow(m ff.Modulus, seed, row ff.Vec) ff.Vec {
+	t := len(row)
+	next := ff.NewVec(t)
+	last := row[t-1]
+	next[0] = m.Mul(last, seed[0])
+	for j := 1; j < t; j++ {
+		next[j] = m.MulAdd(last, seed[j], row[j-1])
+	}
+	return next
+}
+
+// ExpandMatrix materializes the full t×t invertible matrix from a seed
+// row. Used by tests, the homomorphic evaluator, and invertibility
+// property checks; the cipher itself streams rows via NextMatrixRow.
+func ExpandMatrix(m ff.Modulus, seed ff.Vec) *ff.Matrix {
+	t := len(seed)
+	mat := ff.NewMatrix(t)
+	copy(mat.Row(0), seed)
+	for i := 1; i < t; i++ {
+		copy(mat.Row(i), NextMatrixRow(m, seed, mat.Row(i-1)))
+	}
+	return mat
+}
+
+// Mix replaces the state halves (L, R) by (2L + R, L + 2R) in place —
+// computed, as in the hardware, with three vector additions:
+// s = L + R, L' = L + s, R' = R + s.
+func Mix(m ff.Modulus, state ff.Vec) {
+	t := len(state) / 2
+	l, r := state[:t], state[t:]
+	for i := 0; i < t; i++ {
+		s := m.Add(l[i], r[i])
+		l[i] = m.Add(l[i], s)
+		r[i] = m.Add(r[i], s)
+	}
+}
+
+// SboxFeistel applies the Feistel S-box S′ to the full 2t state in place:
+// x[j] ← x[j] + x[j-1]² for j ≥ 1 (x[0] unchanged), processed from the
+// top index downward so each square uses the pre-update neighbour.
+func SboxFeistel(m ff.Modulus, state ff.Vec) {
+	for j := len(state) - 1; j >= 1; j-- {
+		state[j] = m.Add(state[j], m.Sqr(state[j-1]))
+	}
+}
+
+// SboxCube applies the cube S-box x ← x³ elementwise in place.
+func SboxCube(m ff.Modulus, state ff.Vec) {
+	for j := range state {
+		state[j] = m.Cube(state[j])
+	}
+}

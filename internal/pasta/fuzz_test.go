@@ -1,0 +1,58 @@
+package pasta
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// FuzzEncryptDecrypt: decryption must invert encryption for arbitrary
+// message bytes, nonces, and block alignment.
+func FuzzEncryptDecrypt(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, uint64(7))
+	f.Add([]byte{}, uint64(0))
+	f.Add([]byte{255, 255, 255, 255, 255, 0, 0, 9}, uint64(1<<60))
+
+	par, err := ToyParams(4, 2, ff.P17)
+	if err != nil {
+		f.Fatal(err)
+	}
+	c, err := NewCipher(par, KeyFromSeed(par, "fuzz"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte, nonce uint64) {
+		msg := make(ff.Vec, len(data))
+		for i, b := range data {
+			msg[i] = uint64(b) * 257 % par.Mod.P()
+		}
+		ct, err := c.Encrypt(nonce, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := c.Decrypt(nonce, ct)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(msg) {
+			t.Fatalf("roundtrip failed for %d elements, nonce %d", len(msg), nonce)
+		}
+	})
+}
+
+// FuzzMatrixInvertible: every matrix the sequential construction builds
+// from fuzzer-chosen (nonzero-lead) seeds must be invertible.
+func FuzzMatrixInvertible(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(3), uint64(4))
+	f.Add(uint64(65536), uint64(0), uint64(0), uint64(0))
+	mod := ff.P17
+	f.Fuzz(func(t *testing.T, a, b, c, d uint64) {
+		seed := ff.Vec{a % mod.P(), b % mod.P(), c % mod.P(), d % mod.P()}
+		if seed[0] == 0 {
+			seed[0] = 1
+		}
+		if !ExpandMatrix(mod, seed).IsInvertible(mod) {
+			t.Fatalf("singular matrix from seed %v", seed)
+		}
+	})
+}

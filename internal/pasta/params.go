@@ -1,0 +1,133 @@
+// Package pasta implements the PASTA family of HHE-enabling symmetric
+// stream ciphers over prime fields F_p (Dobraunig et al., TCHES 2023),
+// the scheme accelerated by the paper's cryptoprocessor.
+//
+// Structure (Sec. II-B of the paper): the 2t-element state, initialized
+// with the secret key and split into halves (X_L, X_R), passes through
+// R + 1 affine layers A_j. Each A_j draws four public pseudo-random
+// vectors from SHAKE128(nonce‖counter): two seeds that expand into
+// invertible t×t matrices via the sequential PHOTON/LED construction
+// (eq. 1) and two round-constant vectors. A_j computes M·X + RC on each
+// half and then mixes the halves as (2·X_L + X_R, X_L + 2·X_R). The first
+// R - 1 affine layers are followed by the Feistel S-box S′, the R-th by
+// the cube S-box S, and the final affine layer by truncation to X_L,
+// which becomes the keystream block. Ciphertext = message + keystream
+// (mod p).
+package pasta
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Variant selects a PASTA instance shape.
+type Variant int
+
+const (
+	// Pasta3 is the 3-round variant with t = 128 (state 2t = 256).
+	Pasta3 Variant = iota
+	// Pasta4 is the 4-round variant with t = 32 (state 2t = 64).
+	Pasta4
+	// Toy is a reduced instance (small t, few rounds) used to exercise
+	// the homomorphic decryption circuit at tractable cost. Not secure.
+	Toy
+)
+
+func (v Variant) String() string {
+	switch v {
+	case Pasta3:
+		return "PASTA-3"
+	case Pasta4:
+		return "PASTA-4"
+	case Toy:
+		return "PASTA-toy"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Params fixes a PASTA instance: variant shape and field modulus.
+type Params struct {
+	Variant Variant
+	T       int        // block size; the state has 2t elements
+	Rounds  int        // number of S-box rounds R; affine layers = R + 1
+	Mod     ff.Modulus // plaintext/ciphertext field
+}
+
+// NewParams returns the standard parameters for a variant over the given
+// modulus (the paper evaluates ω ∈ {17, 33, 54}-bit moduli).
+func NewParams(v Variant, mod ff.Modulus) (Params, error) {
+	switch v {
+	case Pasta3:
+		return Params{Variant: Pasta3, T: 128, Rounds: 3, Mod: mod}, nil
+	case Pasta4:
+		return Params{Variant: Pasta4, T: 32, Rounds: 4, Mod: mod}, nil
+	default:
+		return Params{}, fmt.Errorf("pasta: NewParams supports Pasta3 and Pasta4, got %v", v)
+	}
+}
+
+// MustParams is NewParams that panics on error.
+func MustParams(v Variant, mod ff.Modulus) Params {
+	p, err := NewParams(v, mod)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ToyParams builds a reduced instance for homomorphic-evaluation demos
+// and exhaustive testing. t must be ≥ 2 and rounds ≥ 1.
+func ToyParams(t, rounds int, mod ff.Modulus) (Params, error) {
+	if t < 2 || rounds < 1 {
+		return Params{}, fmt.Errorf("pasta: toy instance needs t ≥ 2 and rounds ≥ 1 (got t=%d, rounds=%d)", t, rounds)
+	}
+	return Params{Variant: Toy, T: t, Rounds: rounds, Mod: mod}, nil
+}
+
+// StateSize returns 2t, the number of field elements in the state (and in
+// the key).
+func (p Params) StateSize() int { return 2 * p.T }
+
+// AffineLayers returns R + 1, the number of affine layers per permutation.
+func (p Params) AffineLayers() int { return p.Rounds + 1 }
+
+// XOFElements returns the number of pseudo-random field elements one
+// permutation consumes: 4t per affine layer (two matrix seed rows, two
+// round-constant vectors). PASTA-3: 2048; PASTA-4: 640 — the demands
+// quoted in Sec. III-A of the paper.
+func (p Params) XOFElements() int { return 4 * p.T * p.AffineLayers() }
+
+// MulCount returns the number of modular multiplications one permutation
+// performs: per affine layer 2·t² for matrix generation (MAC recurrence,
+// rows 2..t) — counted as t² to match the paper's accounting — plus t²
+// per half for the matrix–vector products, and the S-box multiplications.
+// The paper's Sec. I-A headline: PASTA-3 ≈ 2^18.
+func (p Params) MulCount() int {
+	t := p.T
+	perAffine := 2*t*t /* matgen both halves */ + 2*t*t                    /* matmul both halves */
+	sbox := (p.Rounds-1)*2*t /* Feistel: one square per element */ + 2*2*t /* cube: two muls per element */
+	return p.AffineLayers()*perAffine + sbox
+}
+
+func (p Params) String() string {
+	return fmt.Sprintf("%v(t=%d, R=%d, %v)", p.Variant, p.T, p.Rounds, p.Mod)
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	if p.T < 2 {
+		return fmt.Errorf("pasta: t = %d too small", p.T)
+	}
+	if p.Rounds < 1 {
+		return fmt.Errorf("pasta: rounds = %d too small", p.Rounds)
+	}
+	if p.Mod.P() == 0 {
+		return fmt.Errorf("pasta: modulus not initialized")
+	}
+	if p.Mod.P()%3 != 2 {
+		return fmt.Errorf("pasta: p = %d has p mod 3 = %d; cube S-box is not a bijection", p.Mod.P(), p.Mod.P()%3)
+	}
+	return nil
+}

@@ -1,0 +1,634 @@
+package riscv
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a small RV32IM assembly dialect into machine code.
+// It supports labels (`name:`), decimal/hex immediates, ABI and numeric
+// register names, comments (`#` and `//`), the directive `.word`, and the
+// common pseudo-instructions (li, la, mv, not, neg, j, jr, call, ret,
+// nop, beqz, bnez, blez, bgez, bgt, ble). The base address fixes label
+// values for la/branches.
+func Assemble(src string, base uint32) ([]uint32, error) {
+	lines := preprocess(src)
+
+	// Pass 1: label addresses (expanding pseudo-instruction sizes).
+	labels := map[string]uint32{}
+	addr := base
+	type pend struct {
+		mnemonic string
+		args     []string
+		addr     uint32
+		line     int
+	}
+	var prog []pend
+	for _, ln := range lines {
+		text := ln.text
+		for {
+			i := strings.Index(text, ":")
+			if i < 0 {
+				break
+			}
+			label := strings.TrimSpace(text[:i])
+			if !validLabel(label) {
+				return nil, fmt.Errorf("asm line %d: bad label %q", ln.num, label)
+			}
+			labels[label] = addr
+			text = strings.TrimSpace(text[i+1:])
+		}
+		if text == "" {
+			continue
+		}
+		mn, args := splitInsn(text)
+		n, err := insnWords(mn, args)
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d: %v", ln.num, err)
+		}
+		prog = append(prog, pend{mn, args, addr, ln.num})
+		addr += uint32(4 * n)
+	}
+
+	// Pass 2: encoding.
+	var out []uint32
+	for _, p := range prog {
+		words, err := encode(p.mnemonic, p.args, p.addr, labels)
+		if err != nil {
+			return nil, fmt.Errorf("asm line %d (%s): %v", p.line, p.mnemonic, err)
+		}
+		out = append(out, words...)
+	}
+	return out, nil
+}
+
+type srcLine struct {
+	num  int
+	text string
+}
+
+func preprocess(src string) []srcLine {
+	var out []srcLine
+	for i, raw := range strings.Split(src, "\n") {
+		if j := strings.Index(raw, "#"); j >= 0 {
+			raw = raw[:j]
+		}
+		if j := strings.Index(raw, "//"); j >= 0 {
+			raw = raw[:j]
+		}
+		raw = strings.TrimSpace(raw)
+		if raw != "" {
+			out = append(out, srcLine{i + 1, raw})
+		}
+	}
+	return out
+}
+
+func validLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || i > 0 && r >= '0' && r <= '9'
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func splitInsn(text string) (string, []string) {
+	fields := strings.FieldsFunc(text, func(r rune) bool { return r == ' ' || r == '\t' })
+	mn := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(text[len(fields[0]):])
+	if rest == "" {
+		return mn, nil
+	}
+	parts := strings.Split(rest, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return mn, parts
+}
+
+// insnWords returns how many 32-bit words an instruction expands to.
+func insnWords(mn string, args []string) (int, error) {
+	switch mn {
+	case "li":
+		if len(args) != 2 {
+			return 0, fmt.Errorf("li needs 2 operands")
+		}
+		v, err := parseImm(args[1], nil, 0)
+		if err != nil {
+			return 0, err
+		}
+		if fitsI12(int64(int32(v))) {
+			return 1, nil
+		}
+		return 2, nil
+	case "la", "call":
+		return 2, nil
+	default:
+		return 1, nil
+	}
+}
+
+var regNames = func() map[string]uint32 {
+	m := map[string]uint32{
+		"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+		"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+		"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15, "a6": 16, "a7": 17,
+		"s2": 18, "s3": 19, "s4": 20, "s5": 21, "s6": 22, "s7": 23, "s8": 24, "s9": 25,
+		"s10": 26, "s11": 27, "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+	}
+	for i := 0; i < 32; i++ {
+		m[fmt.Sprintf("x%d", i)] = uint32(i)
+	}
+	return m
+}()
+
+func reg(s string) (uint32, error) {
+	r, ok := regNames[strings.ToLower(s)]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+// parseImm parses an integer or a label (absolute value, or pc-relative
+// when rel is true — handled by callers).
+func parseImm(s string, labels map[string]uint32, _ uint32) (uint32, error) {
+	s = strings.TrimSpace(s)
+	if labels != nil {
+		if v, ok := labels[s]; ok {
+			return v, nil
+		}
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") || strings.HasPrefix(s, "0X") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		return uint32(-int32(uint32(v))), nil
+	}
+	return uint32(v), nil
+}
+
+func fitsI12(v int64) bool { return v >= -2048 && v <= 2047 }
+
+// csrNames maps symbolic CSR names to addresses.
+var csrNames = map[string]uint32{
+	"mstatus": 0x300, "mie": 0x304, "mtvec": 0x305,
+	"mepc": 0x341, "mcause": 0x342,
+	"cycle": 0xC00, "time": 0xC01, "instret": 0xC02,
+	"cycleh": 0xC80, "timeh": 0xC81, "instreth": 0xC82,
+}
+
+func parseCSR(s string) (uint32, error) {
+	if v, ok := csrNames[strings.ToLower(s)]; ok {
+		return v, nil
+	}
+	v, err := parseImm(s, nil, 0)
+	if err != nil || v > 0xFFF {
+		return 0, fmt.Errorf("bad CSR %q", s)
+	}
+	return v, nil
+}
+
+// memOperand parses "imm(reg)".
+func memOperand(s string) (imm uint32, base uint32, err error) {
+	open := strings.Index(s, "(")
+	close_ := strings.LastIndex(s, ")")
+	if open < 0 || close_ < open {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	immStr := strings.TrimSpace(s[:open])
+	if immStr == "" {
+		immStr = "0"
+	}
+	imm, err = parseImm(immStr, nil, 0)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = reg(s[open+1 : close_])
+	return imm, base, err
+}
+
+// Instruction encoders.
+func encR(funct7, rs2, rs1, funct3, rd, opcode uint32) uint32 {
+	return funct7<<25 | rs2<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func encI(imm, rs1, funct3, rd, opcode uint32) uint32 {
+	return imm<<20 | rs1<<15 | funct3<<12 | rd<<7 | opcode
+}
+
+func encS(imm, rs2, rs1, funct3, opcode uint32) uint32 {
+	return (imm>>5)<<25 | rs2<<20 | rs1<<15 | funct3<<12 | (imm&0x1F)<<7 | opcode
+}
+
+func encB(imm, rs2, rs1, funct3, opcode uint32) uint32 {
+	return (imm>>12&1)<<31 | (imm>>5&0x3F)<<25 | rs2<<20 | rs1<<15 |
+		funct3<<12 | (imm>>1&0xF)<<8 | (imm>>11&1)<<7 | opcode
+}
+
+func encU(imm, rd, opcode uint32) uint32 { return imm&0xFFFFF000 | rd<<7 | opcode }
+
+func encJ(imm, rd, opcode uint32) uint32 {
+	return (imm>>20&1)<<31 | (imm>>1&0x3FF)<<21 | (imm>>11&1)<<20 |
+		(imm>>12&0xFF)<<12 | rd<<7 | opcode
+}
+
+type rType struct{ funct7, funct3 uint32 }
+
+var rOps = map[string]rType{
+	"add": {0x00, 0}, "sub": {0x20, 0}, "sll": {0x00, 1}, "slt": {0x00, 2},
+	"sltu": {0x00, 3}, "xor": {0x00, 4}, "srl": {0x00, 5}, "sra": {0x20, 5},
+	"or": {0x00, 6}, "and": {0x00, 7},
+	"mul": {0x01, 0}, "mulh": {0x01, 1}, "mulhsu": {0x01, 2}, "mulhu": {0x01, 3},
+	"div": {0x01, 4}, "divu": {0x01, 5}, "rem": {0x01, 6}, "remu": {0x01, 7},
+}
+
+var iOps = map[string]uint32{
+	"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7,
+}
+
+var loadOps = map[string]uint32{"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+var storeOps = map[string]uint32{"sb": 0, "sh": 1, "sw": 2}
+var branchOps = map[string]uint32{"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+func encode(mn string, args []string, pc uint32, labels map[string]uint32) ([]uint32, error) {
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("want %d operands, got %d", n, len(args))
+		}
+		return nil
+	}
+	switch {
+	case mn == ".word":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		v, err := parseImm(args[0], labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{v}, nil
+	}
+	if op, ok := rOps[mn]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		rs2, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return []uint32{encR(op.funct7, rs2, rs1, op.funct3, rd, 0x33)}, nil
+	}
+	if f3, ok := iOps[mn]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		imm, err3 := parseImm(args[2], nil, 0)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if !fitsI12(int64(int32(imm))) {
+			return nil, fmt.Errorf("immediate %d out of I-type range", int32(imm))
+		}
+		return []uint32{encI(imm&0xFFF, rs1, f3, rd, 0x13)}, nil
+	}
+	switch mn {
+	case "slli", "srli", "srai":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs1, err2 := reg(args[1])
+		sh, err3 := parseImm(args[2], nil, 0)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if sh > 31 {
+			return nil, fmt.Errorf("shift amount %d > 31", sh)
+		}
+		f3 := uint32(1)
+		f7 := uint32(0)
+		if mn != "slli" {
+			f3 = 5
+			if mn == "srai" {
+				f7 = 0x20
+			}
+		}
+		return []uint32{encR(f7, sh, rs1, f3, rd, 0x13)}, nil
+	}
+	if f3, ok := loadOps[mn]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		imm, base, err2 := memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(imm&0xFFF, base, f3, rd, 0x03)}, nil
+	}
+	if f3, ok := storeOps[mn]; ok {
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs2, err1 := reg(args[0])
+		imm, base, err2 := memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encS(imm&0xFFF, rs2, base, f3, 0x23)}, nil
+	}
+	if f3, ok := branchOps[mn]; ok {
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs1, err1 := reg(args[0])
+		rs2, err2 := reg(args[1])
+		target, err3 := parseImm(args[2], labels, pc)
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		off := target - pc
+		return []uint32{encB(off, rs2, rs1, f3, 0x63)}, nil
+	}
+
+	switch mn {
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		imm, err2 := parseImm(args[1], labels, pc)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		op := uint32(0x37)
+		if mn == "auipc" {
+			op = 0x17
+		}
+		return []uint32{encU(imm<<12, rd, op)}, nil
+	case "jal":
+		// jal rd, label  |  jal label (rd = ra)
+		rd := uint32(1)
+		targetArg := args[len(args)-1]
+		if len(args) == 2 {
+			r, err := reg(args[0])
+			if err != nil {
+				return nil, err
+			}
+			rd = r
+		}
+		target, err := parseImm(targetArg, labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encJ(target-pc, rd, 0x6F)}, nil
+	case "jalr":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		imm, base, err2 := memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(imm&0xFFF, base, 0, rd, 0x67)}, nil
+	case "rdcycle", "rdcycleh", "rdinstret", "rdinstreth":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		csr := map[string]uint32{
+			"rdcycle": 0xC00, "rdcycleh": 0xC80,
+			"rdinstret": 0xC02, "rdinstreth": 0xC82,
+		}[mn]
+		return []uint32{encI(csr, 0, 2, rd, 0x73)}, nil
+	case "csrrw", "csrrs", "csrrc":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		csr, err2 := parseCSR(args[1])
+		rs, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		f3 := map[string]uint32{"csrrw": 1, "csrrs": 2, "csrrc": 3}[mn]
+		return []uint32{encI(csr, rs, f3, rd, 0x73)}, nil
+	case "csrw": // csrrw x0, csr, rs
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		csr, err1 := parseCSR(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(csr, rs, 1, 0, 0x73)}, nil
+	case "csrr": // csrrs rd, csr, x0
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		csr, err2 := parseCSR(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(csr, 0, 2, rd, 0x73)}, nil
+	case "csrs": // csrrs x0, csr, rs
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		csr, err1 := parseCSR(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(csr, rs, 2, 0, 0x73)}, nil
+	case "wfi":
+		return []uint32{0x10500073}, nil
+	case "mret":
+		return []uint32{0x30200073}, nil
+	case "ecall":
+		return []uint32{0x00000073}, nil
+	case "ebreak":
+		return []uint32{0x00100073}, nil
+	case "fence":
+		return []uint32{0x0000000F}, nil
+
+	// Pseudo-instructions.
+	case "nop":
+		return []uint32{encI(0, 0, 0, 0, 0x13)}, nil
+	case "mv":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0, rs, 0, rd, 0x13)}, nil
+	case "not":
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0xFFF, rs, 4, rd, 0x13)}, nil
+	case "neg":
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encR(0x20, rs, 0, 0, rd, 0x33)}, nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		v, err2 := parseImm(args[1], nil, 0)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return liWords(rd, v), nil
+	case "la":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		v, err2 := parseImm(args[1], labels, pc)
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		w := liWords(rd, v)
+		for len(w) < 2 {
+			w = append(w, encI(0, 0, 0, 0, 0x13)) // pad with nop to keep size fixed
+		}
+		return w, nil
+	case "j":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := parseImm(args[0], labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encJ(target-pc, 0, 0x6F)}, nil
+	case "jr":
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encI(0, rs, 0, 0, 0x67)}, nil
+	case "call":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		target, err := parseImm(args[0], labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		off := target - pc
+		hi := (off + 0x800) & 0xFFFFF000
+		lo := (off - hi) & 0xFFF
+		return []uint32{encU(hi, 1, 0x17), encI(lo, 1, 0, 1, 0x67)}, nil
+	case "ret":
+		return []uint32{encI(0, 1, 0, 0, 0x67)}, nil
+	case "seqz": // sltiu rd, rs, 1
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encI(1, rs, 3, rd, 0x13)}, nil
+	case "snez": // sltu rd, x0, rs
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return []uint32{encR(0, rs, 0, 3, rd, 0x33)}, nil
+	case "beqz":
+		return encodeBranchZero(args, pc, labels, 0)
+	case "bnez":
+		return encodeBranchZero(args, pc, labels, 1)
+	case "bgt":
+		rs1, _ := reg(args[0])
+		rs2, _ := reg(args[1])
+		target, err := parseImm(args[2], labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encB(target-pc, rs1, rs2, 4, 0x63)}, nil // blt rs2, rs1
+	case "ble":
+		rs1, _ := reg(args[0])
+		rs2, _ := reg(args[1])
+		target, err := parseImm(args[2], labels, pc)
+		if err != nil {
+			return nil, err
+		}
+		return []uint32{encB(target-pc, rs1, rs2, 5, 0x63)}, nil // bge rs2, rs1
+	}
+	return nil, fmt.Errorf("unknown mnemonic %q", mn)
+}
+
+func encodeBranchZero(args []string, pc uint32, labels map[string]uint32, f3 uint32) ([]uint32, error) {
+	if len(args) != 2 {
+		return nil, fmt.Errorf("want 2 operands")
+	}
+	rs, err := reg(args[0])
+	if err != nil {
+		return nil, err
+	}
+	target, err := parseImm(args[1], labels, pc)
+	if err != nil {
+		return nil, err
+	}
+	return []uint32{encB(target-pc, 0, rs, f3, 0x63)}, nil
+}
+
+// liWords expands li into one or two instructions.
+func liWords(rd, v uint32) []uint32 {
+	if fitsI12(int64(int32(v))) {
+		return []uint32{encI(v&0xFFF, 0, 0, rd, 0x13)}
+	}
+	hi := (v + 0x800) & 0xFFFFF000
+	lo := (v - hi) & 0xFFF
+	return []uint32{encU(hi, rd, 0x37), encI(lo, rd, 0, rd, 0x13)}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

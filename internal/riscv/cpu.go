@@ -1,0 +1,503 @@
+// Package riscv implements an RV32IM instruction-set simulator with an
+// Ibex-like timing model and a small two-pass assembler. It is the
+// substrate for the paper's RISC-V SoC evaluation (Sec. IV-A ❸): the
+// PASTA peripheral hangs off the core's data bus as a loosely coupled
+// slave while mastering its own port into RAM.
+package riscv
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bus is the CPU's view of memory and memory-mapped devices.
+type Bus interface {
+	// Read returns size bytes (1, 2 or 4) at addr, zero-extended.
+	Read(addr uint32, size int) (uint32, error)
+	// Write stores the low size bytes of v at addr.
+	Write(addr uint32, v uint32, size int) error
+}
+
+// Timing is the per-instruction-class cycle cost table. Defaults model
+// the Ibex small core: single-issue, in-order, 2-cycle loads/stores,
+// 3-cycle taken branches, iterative divider.
+type Timing struct {
+	ALU, Load, Store, BranchTaken, BranchNotTaken, Jump, Mul, Div int64
+}
+
+// IbexTiming is the default timing model.
+var IbexTiming = Timing{
+	ALU: 1, Load: 2, Store: 2,
+	BranchTaken: 3, BranchNotTaken: 1,
+	Jump: 2, Mul: 2, Div: 37,
+}
+
+// Machine-mode CSR addresses supported by the model.
+const (
+	csrMStatus = 0x300
+	csrMIE     = 0x304
+	csrMTVec   = 0x305
+	csrMEPC    = 0x341
+	csrMCause  = 0x342
+
+	csrCycle    = 0xC00
+	csrTime     = 0xC01
+	csrInstret  = 0xC02
+	csrCycleH   = 0xC80
+	csrTimeH    = 0xC81
+	csrInstretH = 0xC82
+)
+
+// mstatus / mie bits used by the model.
+const (
+	mstatusMIE  = 1 << 3
+	mstatusMPIE = 1 << 7
+	mieMEIE     = 1 << 11 // machine external interrupt enable
+)
+
+// causeExternal is the mcause value of a machine external interrupt.
+const causeExternal = 0x8000_000B
+
+// CPU is the RV32IM hart state with machine-mode external interrupts.
+type CPU struct {
+	Regs  [32]uint32
+	PC    uint32
+	Cycle int64 // accumulated cycles under the timing model
+	Insns int64 // retired instruction count
+
+	Bus    Bus
+	Timing Timing
+
+	// Machine-mode CSRs.
+	MStatus, MIE, MTVec, MEPC, MCause uint32
+
+	// IRQPending, when non-nil, is sampled before each instruction; a
+	// true return models the external interrupt line being asserted.
+	IRQPending func() bool
+
+	// Waiting is set while a WFI instruction is stalling the pipeline.
+	Waiting bool
+	// WaitCycles counts cycles spent sleeping in WFI (clock-gateable).
+	WaitCycles int64
+
+	Halted bool
+	// HaltCode is the value of a0 at the halting ECALL/EBREAK.
+	HaltCode uint32
+}
+
+// New creates a CPU attached to a bus, starting at entry.
+func New(bus Bus, entry uint32) *CPU {
+	return &CPU{Bus: bus, PC: entry, Timing: IbexTiming}
+}
+
+// Step fetches, decodes and executes one instruction, updating PC and the
+// cycle counter. It returns an error on unaligned fetch, bus faults, or
+// illegal instructions.
+func (c *CPU) Step() error {
+	if c.Halted {
+		return fmt.Errorf("riscv: step after halt")
+	}
+	// External interrupt: taken between instructions when globally and
+	// individually enabled.
+	irq := c.IRQPending != nil && c.IRQPending()
+	if irq && c.MStatus&mstatusMIE != 0 && c.MIE&mieMEIE != 0 {
+		c.Waiting = false
+		c.MEPC = c.PC
+		c.MCause = causeExternal
+		// MPIE ← MIE, MIE ← 0.
+		if c.MStatus&mstatusMIE != 0 {
+			c.MStatus |= mstatusMPIE
+		} else {
+			c.MStatus &^= mstatusMPIE
+		}
+		c.MStatus &^= mstatusMIE
+		c.PC = c.MTVec &^ 3
+		c.Cycle += c.Timing.BranchTaken // trap entry cost
+		return nil
+	}
+	if c.Waiting {
+		// WFI: the core idles one (clock-gateable) cycle at a time until
+		// an interrupt is pending, regardless of the global enable.
+		if irq {
+			c.Waiting = false
+		} else {
+			c.Cycle++
+			c.WaitCycles++
+			return nil
+		}
+	}
+	if c.PC%4 != 0 {
+		return fmt.Errorf("riscv: misaligned PC %#x", c.PC)
+	}
+	raw, err := c.Bus.Read(c.PC, 4)
+	if err != nil {
+		return fmt.Errorf("riscv: fetch at %#x: %w", c.PC, err)
+	}
+	nextPC := c.PC + 4
+	cost := c.Timing.ALU
+
+	opcode := raw & 0x7F
+	rd := (raw >> 7) & 0x1F
+	funct3 := (raw >> 12) & 0x7
+	rs1 := (raw >> 15) & 0x1F
+	rs2 := (raw >> 20) & 0x1F
+	funct7 := raw >> 25
+
+	setRD := func(v uint32) {
+		if rd != 0 {
+			c.Regs[rd] = v
+		}
+	}
+	a, b := c.Regs[rs1], c.Regs[rs2]
+
+	switch opcode {
+	case 0x37: // LUI
+		setRD(raw & 0xFFFFF000)
+	case 0x17: // AUIPC
+		setRD(c.PC + (raw & 0xFFFFF000))
+	case 0x6F: // JAL
+		setRD(c.PC + 4)
+		nextPC = c.PC + immJ(raw)
+		cost = c.Timing.Jump
+	case 0x67: // JALR
+		if funct3 != 0 {
+			return c.illegal(raw)
+		}
+		t := (a + immI(raw)) &^ 1
+		setRD(c.PC + 4)
+		nextPC = t
+		cost = c.Timing.Jump
+	case 0x63: // BRANCH
+		taken := false
+		switch funct3 {
+		case 0:
+			taken = a == b
+		case 1:
+			taken = a != b
+		case 4:
+			taken = int32(a) < int32(b)
+		case 5:
+			taken = int32(a) >= int32(b)
+		case 6:
+			taken = a < b
+		case 7:
+			taken = a >= b
+		default:
+			return c.illegal(raw)
+		}
+		if taken {
+			nextPC = c.PC + immB(raw)
+			cost = c.Timing.BranchTaken
+		} else {
+			cost = c.Timing.BranchNotTaken
+		}
+	case 0x03: // LOAD
+		addr := a + immI(raw)
+		var v uint32
+		switch funct3 {
+		case 0: // LB
+			v, err = c.Bus.Read(addr, 1)
+			v = uint32(int32(int8(v)))
+		case 1: // LH
+			v, err = c.Bus.Read(addr, 2)
+			v = uint32(int32(int16(v)))
+		case 2: // LW
+			v, err = c.Bus.Read(addr, 4)
+		case 4: // LBU
+			v, err = c.Bus.Read(addr, 1)
+		case 5: // LHU
+			v, err = c.Bus.Read(addr, 2)
+		default:
+			return c.illegal(raw)
+		}
+		if err != nil {
+			return fmt.Errorf("riscv: load at %#x (pc %#x): %w", addr, c.PC, err)
+		}
+		setRD(v)
+		cost = c.Timing.Load
+	case 0x23: // STORE
+		addr := a + immS(raw)
+		switch funct3 {
+		case 0:
+			err = c.Bus.Write(addr, b, 1)
+		case 1:
+			err = c.Bus.Write(addr, b, 2)
+		case 2:
+			err = c.Bus.Write(addr, b, 4)
+		default:
+			return c.illegal(raw)
+		}
+		if err != nil {
+			return fmt.Errorf("riscv: store at %#x (pc %#x): %w", addr, c.PC, err)
+		}
+		cost = c.Timing.Store
+	case 0x13: // OP-IMM
+		imm := immI(raw)
+		switch funct3 {
+		case 0:
+			setRD(a + imm)
+		case 2:
+			setRD(boolTo32(int32(a) < int32(imm)))
+		case 3:
+			setRD(boolTo32(a < imm))
+		case 4:
+			setRD(a ^ imm)
+		case 6:
+			setRD(a | imm)
+		case 7:
+			setRD(a & imm)
+		case 1: // SLLI
+			if funct7 != 0 {
+				return c.illegal(raw)
+			}
+			setRD(a << (imm & 31))
+		case 5: // SRLI/SRAI
+			switch funct7 {
+			case 0x00:
+				setRD(a >> (imm & 31))
+			case 0x20:
+				setRD(uint32(int32(a) >> (imm & 31)))
+			default:
+				return c.illegal(raw)
+			}
+		}
+	case 0x33: // OP
+		switch funct7 {
+		case 0x00, 0x20:
+			switch funct3 {
+			case 0:
+				if funct7 == 0x20 {
+					setRD(a - b)
+				} else {
+					setRD(a + b)
+				}
+			case 1:
+				setRD(a << (b & 31))
+			case 2:
+				setRD(boolTo32(int32(a) < int32(b)))
+			case 3:
+				setRD(boolTo32(a < b))
+			case 4:
+				setRD(a ^ b)
+			case 5:
+				if funct7 == 0x20 {
+					setRD(uint32(int32(a) >> (b & 31)))
+				} else {
+					setRD(a >> (b & 31))
+				}
+			case 6:
+				setRD(a | b)
+			case 7:
+				setRD(a & b)
+			default:
+				return c.illegal(raw)
+			}
+		case 0x01: // RV32M
+			switch funct3 {
+			case 0: // MUL
+				setRD(a * b)
+				cost = c.Timing.Mul
+			case 1: // MULH
+				setRD(uint32(uint64(int64(int32(a))*int64(int32(b))) >> 32))
+				cost = c.Timing.Mul
+			case 2: // MULHSU
+				setRD(uint32(uint64(int64(int32(a))*int64(b)) >> 32))
+				cost = c.Timing.Mul
+			case 3: // MULHU
+				hi, _ := bits.Mul32(a, b)
+				setRD(hi)
+				cost = c.Timing.Mul
+			case 4: // DIV
+				setRD(div32(a, b))
+				cost = c.Timing.Div
+			case 5: // DIVU
+				if b == 0 {
+					setRD(^uint32(0))
+				} else {
+					setRD(a / b)
+				}
+				cost = c.Timing.Div
+			case 6: // REM
+				setRD(rem32(a, b))
+				cost = c.Timing.Div
+			case 7: // REMU
+				if b == 0 {
+					setRD(a)
+				} else {
+					setRD(a % b)
+				}
+				cost = c.Timing.Div
+			}
+		default:
+			return c.illegal(raw)
+		}
+	case 0x0F: // FENCE — no-op in a single-hart model
+	case 0x73: // SYSTEM
+		switch funct3 {
+		case 0:
+			switch raw {
+			case 0x00000073, 0x00100073: // ECALL/EBREAK halt the simulation
+				c.Halted = true
+				c.HaltCode = c.Regs[10] // a0
+			case 0x10500073: // WFI: retire, then stall until an interrupt
+				c.Waiting = true
+			case 0x30200073: // MRET: return from trap
+				nextPC = c.MEPC
+				if c.MStatus&mstatusMPIE != 0 {
+					c.MStatus |= mstatusMIE
+				} else {
+					c.MStatus &^= mstatusMIE
+				}
+				c.MStatus |= mstatusMPIE
+				cost = c.Timing.Jump
+			default:
+				return c.illegal(raw)
+			}
+		case 1, 2, 3: // CSRRW / CSRRS / CSRRC
+			csr := raw >> 20
+			old, writable, err := c.readCSR(csr)
+			if err != nil {
+				return c.illegal(raw)
+			}
+			if rs1 != 0 || funct3 == 1 {
+				if !writable {
+					return c.illegal(raw)
+				}
+				var next uint32
+				switch funct3 {
+				case 1:
+					next = a
+				case 2:
+					next = old | a
+				case 3:
+					next = old &^ a
+				}
+				c.writeCSR(csr, next)
+			}
+			setRD(old)
+		default:
+			return c.illegal(raw)
+		}
+	default:
+		return c.illegal(raw)
+	}
+
+	c.PC = nextPC
+	c.Cycle += cost
+	c.Insns++
+	return nil
+}
+
+// Run executes until halt or the step limit (retired instructions plus
+// WFI wait cycles); it returns an error for faults or when the limit is
+// exceeded.
+func (c *CPU) Run(maxInsns int64) error {
+	for !c.Halted {
+		if c.Insns+c.WaitCycles >= maxInsns {
+			return fmt.Errorf("riscv: step limit %d exceeded at pc %#x", maxInsns, c.PC)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCSR returns the CSR value and whether it is writable.
+func (c *CPU) readCSR(csr uint32) (uint32, bool, error) {
+	switch csr {
+	case csrMStatus:
+		return c.MStatus, true, nil
+	case csrMIE:
+		return c.MIE, true, nil
+	case csrMTVec:
+		return c.MTVec, true, nil
+	case csrMEPC:
+		return c.MEPC, true, nil
+	case csrMCause:
+		return c.MCause, true, nil
+	case csrCycle, csrTime:
+		return uint32(c.Cycle), false, nil
+	case csrCycleH, csrTimeH:
+		return uint32(c.Cycle >> 32), false, nil
+	case csrInstret:
+		return uint32(c.Insns), false, nil
+	case csrInstretH:
+		return uint32(c.Insns >> 32), false, nil
+	default:
+		return 0, false, fmt.Errorf("riscv: unknown CSR %#x", csr)
+	}
+}
+
+func (c *CPU) writeCSR(csr uint32, v uint32) {
+	switch csr {
+	case csrMStatus:
+		c.MStatus = v
+	case csrMIE:
+		c.MIE = v
+	case csrMTVec:
+		c.MTVec = v
+	case csrMEPC:
+		c.MEPC = v
+	case csrMCause:
+		c.MCause = v
+	}
+}
+
+func (c *CPU) illegal(raw uint32) error {
+	return fmt.Errorf("riscv: illegal instruction %#08x at pc %#x", raw, c.PC)
+}
+
+func boolTo32(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func div32(a, b uint32) uint32 {
+	sa, sb := int32(a), int32(b)
+	switch {
+	case sb == 0:
+		return ^uint32(0)
+	case sa == -1<<31 && sb == -1:
+		return a // overflow: result is dividend
+	default:
+		return uint32(sa / sb)
+	}
+}
+
+func rem32(a, b uint32) uint32 {
+	sa, sb := int32(a), int32(b)
+	switch {
+	case sb == 0:
+		return a
+	case sa == -1<<31 && sb == -1:
+		return 0
+	default:
+		return uint32(sa % sb)
+	}
+}
+
+// Immediate decoders (sign-extended where the ISA says so).
+func immI(raw uint32) uint32 { return uint32(int32(raw) >> 20) }
+
+func immS(raw uint32) uint32 {
+	return uint32(int32(raw&0xFE000000)>>20) | (raw >> 7 & 0x1F)
+}
+
+func immB(raw uint32) uint32 {
+	v := uint32(int32(raw&0x80000000)>>19) | // imm[12]
+		(raw << 4 & 0x800) | // imm[11]
+		(raw >> 20 & 0x7E0) | // imm[10:5]
+		(raw >> 7 & 0x1E) // imm[4:1]
+	return v
+}
+
+func immJ(raw uint32) uint32 {
+	v := uint32(int32(raw&0x80000000)>>11) | // imm[20]
+		(raw & 0xFF000) | // imm[19:12]
+		(raw >> 9 & 0x800) | // imm[11]
+		(raw >> 20 & 0x7FE) // imm[10:1]
+	return v
+}

@@ -1,0 +1,437 @@
+package riscv
+
+import "testing"
+
+// runAsm assembles src at 0, loads it into a 64 KiB RAM, runs to halt and
+// returns the CPU for register inspection.
+func runAsm(t *testing.T, src string) (*CPU, *RAM) {
+	t.Helper()
+	words, err := Assemble(src, 0)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	ram := NewRAM(0, 1<<16)
+	if err := ram.LoadWords(0, words); err != nil {
+		t.Fatal(err)
+	}
+	cpu := New(ram, 0)
+	if err := cpu.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return cpu, ram
+}
+
+func TestArithmeticImmediates(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li   a0, 100
+		addi a0, a0, -58
+		xori a1, a0, 0xFF
+		ori  a2, a0, 0x700
+		andi a3, a2, 0x0F0
+		slti a4, a0, 43
+		sltiu a5, a0, 42
+		ecall
+	`)
+	if cpu.Regs[10] != 42 {
+		t.Errorf("a0 = %d, want 42", cpu.Regs[10])
+	}
+	if cpu.Regs[11] != 42^0xFF {
+		t.Errorf("a1 = %d", cpu.Regs[11])
+	}
+	if cpu.Regs[12] != 42|0x700 {
+		t.Errorf("a2 = %d", cpu.Regs[12])
+	}
+	if cpu.Regs[13] != (42|0x700)&0x0F0 {
+		t.Errorf("a3 = %d", cpu.Regs[13])
+	}
+	if cpu.Regs[14] != 1 {
+		t.Errorf("slti: a4 = %d, want 1", cpu.Regs[14])
+	}
+	if cpu.Regs[15] != 0 {
+		t.Errorf("sltiu: a5 = %d, want 0", cpu.Regs[15])
+	}
+}
+
+func TestRegisterOps(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, 13
+		li t1, 5
+		add a0, t0, t1
+		sub a1, t0, t1
+		sll a2, t0, t1
+		xor a3, t0, t1
+		or  a4, t0, t1
+		and a5, t0, t1
+		sltu a6, t1, t0
+		ecall
+	`)
+	want := map[int]uint32{10: 18, 11: 8, 12: 13 << 5, 13: 13 ^ 5, 14: 13 | 5, 15: 13 & 5, 16: 1}
+	for r, w := range want {
+		if cpu.Regs[r] != w {
+			t.Errorf("x%d = %d, want %d", r, cpu.Regs[r], w)
+		}
+	}
+}
+
+func TestShiftsAndNegatives(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, -16
+		srai a0, t0, 2
+		srli a1, t0, 28
+		slli a2, t0, 1
+		ecall
+	`)
+	if int32(cpu.Regs[10]) != -4 {
+		t.Errorf("srai: %d, want -4", int32(cpu.Regs[10]))
+	}
+	if cpu.Regs[11] != 0xF {
+		t.Errorf("srli: %#x, want 0xF", cpu.Regs[11])
+	}
+	if int32(cpu.Regs[12]) != -32 {
+		t.Errorf("slli: %d, want -32", int32(cpu.Regs[12]))
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, -7
+		li t1, 3
+		mul  a0, t0, t1
+		mulh a1, t0, t1
+		div  a2, t0, t1
+		rem  a3, t0, t1
+		li t2, 100
+		li t3, 7
+		divu a4, t2, t3
+		remu a5, t2, t3
+		li t4, 0
+		div  a6, t2, t4
+		rem  a7, t2, t4
+		ecall
+	`)
+	if int32(cpu.Regs[10]) != -21 {
+		t.Errorf("mul: %d", int32(cpu.Regs[10]))
+	}
+	if int32(cpu.Regs[11]) != -1 { // high word of -21
+		t.Errorf("mulh: %d", int32(cpu.Regs[11]))
+	}
+	if int32(cpu.Regs[12]) != -2 {
+		t.Errorf("div: %d, want -2", int32(cpu.Regs[12]))
+	}
+	if int32(cpu.Regs[13]) != -1 {
+		t.Errorf("rem: %d, want -1", int32(cpu.Regs[13]))
+	}
+	if cpu.Regs[14] != 14 || cpu.Regs[15] != 2 {
+		t.Errorf("divu/remu: %d, %d", cpu.Regs[14], cpu.Regs[15])
+	}
+	if cpu.Regs[16] != ^uint32(0) {
+		t.Errorf("div by zero: %#x, want all-ones", cpu.Regs[16])
+	}
+	if cpu.Regs[17] != 100 {
+		t.Errorf("rem by zero: %d, want dividend", cpu.Regs[17])
+	}
+}
+
+func TestMulhVariants(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, -1
+		li t1, -1
+		mulhu  a0, t0, t1
+		mulhsu a1, t0, t1
+		mulh   a2, t0, t1
+		ecall
+	`)
+	if cpu.Regs[10] != 0xFFFFFFFE {
+		t.Errorf("mulhu(-1,-1): %#x, want 0xFFFFFFFE", cpu.Regs[10])
+	}
+	if cpu.Regs[11] != 0xFFFFFFFF {
+		t.Errorf("mulhsu(-1,-1): %#x, want 0xFFFFFFFF", cpu.Regs[11])
+	}
+	if cpu.Regs[12] != 0 {
+		t.Errorf("mulh(-1,-1): %#x, want 0", cpu.Regs[12])
+	}
+}
+
+func TestLoadsStores(t *testing.T) {
+	cpu, ram := runAsm(t, `
+		li  t0, 0x1000
+		li  t1, 0x12345678
+		sw  t1, 0(t0)
+		lw  a0, 0(t0)
+		lh  a1, 0(t0)
+		lhu a2, 2(t0)
+		lb  a3, 3(t0)
+		lbu a4, 1(t0)
+		li  t2, -2
+		sb  t2, 8(t0)
+		lb  a5, 8(t0)
+		lbu a6, 8(t0)
+		sh  t2, 12(t0)
+		lhu a7, 12(t0)
+		ecall
+	`)
+	if cpu.Regs[10] != 0x12345678 {
+		t.Errorf("lw: %#x", cpu.Regs[10])
+	}
+	if cpu.Regs[11] != 0x5678 {
+		t.Errorf("lh: %#x", cpu.Regs[11])
+	}
+	if cpu.Regs[12] != 0x1234 {
+		t.Errorf("lhu: %#x", cpu.Regs[12])
+	}
+	if cpu.Regs[13] != 0x12 {
+		t.Errorf("lb: %#x", cpu.Regs[13])
+	}
+	if cpu.Regs[14] != 0x56 {
+		t.Errorf("lbu: %#x", cpu.Regs[14])
+	}
+	if int32(cpu.Regs[15]) != -2 {
+		t.Errorf("lb signed: %d", int32(cpu.Regs[15]))
+	}
+	if cpu.Regs[16] != 0xFE {
+		t.Errorf("lbu: %#x", cpu.Regs[16])
+	}
+	if cpu.Regs[17] != 0xFFFE {
+		t.Errorf("lhu after sh: %#x", cpu.Regs[17])
+	}
+	if ram.Word(0x1000) != 0x12345678 {
+		t.Errorf("memory word: %#x", ram.Word(0x1000))
+	}
+}
+
+func TestBranchesAndLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	cpu, _ := runAsm(t, `
+		li a0, 0
+		li t0, 1
+		li t1, 10
+	loop:
+		add a0, a0, t0
+		addi t0, t0, 1
+		ble t0, t1, loop
+		ecall
+	`)
+	if cpu.Regs[10] != 55 {
+		t.Errorf("sum = %d, want 55", cpu.Regs[10])
+	}
+}
+
+func TestFunctionCall(t *testing.T) {
+	// call/ret with a leaf function computing a0*2+1.
+	cpu, _ := runAsm(t, `
+		li a0, 20
+		call double_plus_one
+		ecall
+	double_plus_one:
+		slli a0, a0, 1
+		addi a0, a0, 1
+		ret
+	`)
+	if cpu.Regs[10] != 41 {
+		t.Errorf("a0 = %d, want 41", cpu.Regs[10])
+	}
+}
+
+func TestFibonacciProgram(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li a0, 0      # fib(0)
+		li a1, 1      # fib(1)
+		li t0, 10     # iterations
+	fib:
+		beqz t0, done
+		add t1, a0, a1
+		mv a0, a1
+		mv a1, t1
+		addi t0, t0, -1
+		j fib
+	done:
+		ecall
+	`)
+	if cpu.Regs[10] != 55 { // fib(10)
+		t.Errorf("fib(10) = %d, want 55", cpu.Regs[10])
+	}
+}
+
+func TestBranchVariants(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li a0, 0
+		li t0, -1
+		li t1, 1
+		blt t0, t1, l1
+		addi a0, a0, 1  # skipped
+	l1:
+		bltu t0, t1, l2 # not taken: 0xFFFFFFFF > 1 unsigned
+		addi a0, a0, 2
+	l2:
+		bge t1, t0, l3
+		addi a0, a0, 4  # skipped
+	l3:
+		bgeu t0, t1, l4
+		addi a0, a0, 8  # skipped
+	l4:
+		bne t0, t1, l5
+		addi a0, a0, 16 # skipped
+	l5:
+		beq t0, t0, l6
+		addi a0, a0, 32 # skipped
+	l6:
+		ecall
+	`)
+	if cpu.Regs[10] != 2 {
+		t.Errorf("branch flags = %d, want 2", cpu.Regs[10])
+	}
+}
+
+func TestLuiAuipcJalr(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		lui a0, 0x12345
+		srli a0, a0, 12
+		auipc a1, 0
+		jal t0, next
+		addi a0, a0, 99  # skipped
+	next:
+		ecall
+	`)
+	if cpu.Regs[10] != 0x12345 {
+		t.Errorf("lui: %#x", cpu.Regs[10])
+	}
+	if cpu.Regs[11] != 8 { // auipc at address 8 (after 2-word li-expanded lui? lui is 1 word + srli)
+		t.Errorf("auipc: %#x, want 8", cpu.Regs[11])
+	}
+	if cpu.Regs[5] != 16 { // jal link = pc+4
+		t.Errorf("jal link: %d, want 16", cpu.Regs[5])
+	}
+}
+
+func TestX0IsHardwiredZero(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, 7
+		add x0, t0, t0
+		mv a0, x0
+		ecall
+	`)
+	if cpu.Regs[10] != 0 {
+		t.Errorf("x0 = %d, want 0", cpu.Regs[10])
+	}
+}
+
+func TestTimingModel(t *testing.T) {
+	// 3 one-cycle ALU instructions (li small = addi) + ecall.
+	cpu, _ := runAsm(t, `
+		li t0, 1
+		li t1, 2
+		add t2, t0, t1
+		ecall
+	`)
+	if cpu.Cycle != 3+1 {
+		t.Errorf("cycles = %d, want 4", cpu.Cycle)
+	}
+	// Loads cost 2, stores 2, taken branches 3, mul 2, div 37.
+	cpu2, _ := runAsm(t, `
+		li t0, 0x100
+		sw t0, 0(t0)
+		lw t1, 0(t0)
+		mul t2, t0, t1
+		div t3, t0, t1
+		ecall
+	`)
+	want := int64(1 + 2 + 2 + 2 + 37 + 1)
+	if cpu2.Cycle != want {
+		t.Errorf("cycles = %d, want %d", cpu2.Cycle, want)
+	}
+}
+
+func TestIllegalInstruction(t *testing.T) {
+	ram := NewRAM(0, 4096)
+	_ = ram.Write(0, 0xFFFFFFFF, 4)
+	cpu := New(ram, 0)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("illegal instruction executed")
+	}
+}
+
+func TestBusFault(t *testing.T) {
+	ram := NewRAM(0, 4096)
+	words, _ := Assemble("li t0, 0x10000\nlw t1, 0(t0)\necall", 0)
+	_ = ram.LoadWords(0, words)
+	cpu := New(ram, 0)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("out-of-range load did not fault")
+	}
+}
+
+func TestRunInstructionLimit(t *testing.T) {
+	words, _ := Assemble("loop: j loop", 0)
+	ram := NewRAM(0, 4096)
+	_ = ram.LoadWords(0, words)
+	cpu := New(ram, 0)
+	if err := cpu.Run(100); err == nil {
+		t.Fatal("infinite loop did not hit the instruction limit")
+	}
+}
+
+func TestAssemblerErrors(t *testing.T) {
+	bad := []string{
+		"frobnicate a0, a1",
+		"addi a0, a1, 99999",
+		"lw a0, a1",
+		"li a0",
+		"add a0, a1, qq",
+		"9label: nop",
+	}
+	for _, src := range bad {
+		if _, err := Assemble(src, 0); err == nil {
+			t.Errorf("assembled invalid source %q", src)
+		}
+	}
+}
+
+func TestAssembleWordDirective(t *testing.T) {
+	words, err := Assemble(".word 0xDEADBEEF\n.word 42", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if words[0] != 0xDEADBEEF || words[1] != 42 {
+		t.Fatalf("words = %#x", words)
+	}
+}
+
+func TestLargeImmediateLi(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li a0, 0x12345678
+		li a1, -1
+		li a2, 0xFFFFF800
+		ecall
+	`)
+	if cpu.Regs[10] != 0x12345678 {
+		t.Errorf("li large: %#x", cpu.Regs[10])
+	}
+	if cpu.Regs[11] != 0xFFFFFFFF {
+		t.Errorf("li -1: %#x", cpu.Regs[11])
+	}
+	if cpu.Regs[12] != 0xFFFFF800 {
+		t.Errorf("li 0xFFFFF800: %#x", cpu.Regs[12])
+	}
+}
+
+func TestHaltCode(t *testing.T) {
+	cpu, _ := runAsm(t, "li a0, 77\necall")
+	if cpu.HaltCode != 77 {
+		t.Errorf("halt code = %d, want 77", cpu.HaltCode)
+	}
+}
+
+func TestSeqzSnez(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		li t0, 0
+		li t1, 42
+		seqz a0, t0
+		seqz a1, t1
+		snez a2, t0
+		snez a3, t1
+		ecall
+	`)
+	if cpu.Regs[10] != 1 || cpu.Regs[11] != 0 || cpu.Regs[12] != 0 || cpu.Regs[13] != 1 {
+		t.Fatalf("seqz/snez: %v", cpu.Regs[10:14])
+	}
+}

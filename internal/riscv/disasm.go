@@ -1,0 +1,111 @@
+package riscv
+
+import "fmt"
+
+// Disassemble renders one RV32IM instruction word as assembly text in the
+// dialect Assemble accepts, with PC-relative targets resolved to absolute
+// addresses (as hex immediates). It is used for execution traces and the
+// assembler round-trip tests.
+func Disassemble(raw uint32, pc uint32) string {
+	opcode := raw & 0x7F
+	rd := int((raw >> 7) & 0x1F)
+	funct3 := (raw >> 12) & 0x7
+	rs1 := int((raw >> 15) & 0x1F)
+	rs2 := int((raw >> 20) & 0x1F)
+	funct7 := raw >> 25
+
+	r := func(i int) string { return fmt.Sprintf("x%d", i) }
+
+	switch opcode {
+	case 0x37:
+		return fmt.Sprintf("lui %s, 0x%x", r(rd), raw>>12)
+	case 0x17:
+		return fmt.Sprintf("auipc %s, 0x%x", r(rd), raw>>12)
+	case 0x6F:
+		return fmt.Sprintf("jal %s, 0x%x", r(rd), pc+immJ(raw))
+	case 0x67:
+		if funct3 == 0 {
+			return fmt.Sprintf("jalr %s, %d(%s)", r(rd), int32(immI(raw)), r(rs1))
+		}
+	case 0x63:
+		names := map[uint32]string{0: "beq", 1: "bne", 4: "blt", 5: "bge", 6: "bltu", 7: "bgeu"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %s, 0x%x", n, r(rs1), r(rs2), pc+immB(raw))
+		}
+	case 0x03:
+		names := map[uint32]string{0: "lb", 1: "lh", 2: "lw", 4: "lbu", 5: "lhu"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", n, r(rd), int32(immI(raw)), r(rs1))
+		}
+	case 0x23:
+		names := map[uint32]string{0: "sb", 1: "sh", 2: "sw"}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %d(%s)", n, r(rs2), int32(immS(raw)), r(rs1))
+		}
+	case 0x13:
+		imm := int32(immI(raw))
+		switch funct3 {
+		case 0:
+			return fmt.Sprintf("addi %s, %s, %d", r(rd), r(rs1), imm)
+		case 2:
+			return fmt.Sprintf("slti %s, %s, %d", r(rd), r(rs1), imm)
+		case 3:
+			return fmt.Sprintf("sltiu %s, %s, %d", r(rd), r(rs1), imm)
+		case 4:
+			return fmt.Sprintf("xori %s, %s, %d", r(rd), r(rs1), imm)
+		case 6:
+			return fmt.Sprintf("ori %s, %s, %d", r(rd), r(rs1), imm)
+		case 7:
+			return fmt.Sprintf("andi %s, %s, %d", r(rd), r(rs1), imm)
+		case 1:
+			if funct7 == 0 {
+				return fmt.Sprintf("slli %s, %s, %d", r(rd), r(rs1), rs2)
+			}
+		case 5:
+			switch funct7 {
+			case 0x20:
+				return fmt.Sprintf("srai %s, %s, %d", r(rd), r(rs1), rs2)
+			case 0x00:
+				return fmt.Sprintf("srli %s, %s, %d", r(rd), r(rs1), rs2)
+			}
+		}
+	case 0x33:
+		var names map[uint32]string
+		switch funct7 {
+		case 0x00:
+			names = map[uint32]string{0: "add", 1: "sll", 2: "slt", 3: "sltu", 4: "xor", 5: "srl", 6: "or", 7: "and"}
+		case 0x20:
+			names = map[uint32]string{0: "sub", 5: "sra"}
+		case 0x01:
+			names = map[uint32]string{0: "mul", 1: "mulh", 2: "mulhsu", 3: "mulhu", 4: "div", 5: "divu", 6: "rem", 7: "remu"}
+		}
+		if n, ok := names[funct3]; ok {
+			return fmt.Sprintf("%s %s, %s, %s", n, r(rd), r(rs1), r(rs2))
+		}
+	case 0x0F:
+		if raw == 0x0000000F { // only the canonical encoding round-trips
+			return "fence"
+		}
+	case 0x73:
+		switch {
+		case raw == 0x00000073:
+			return "ecall"
+		case raw == 0x00100073:
+			return "ebreak"
+		case raw == 0x10500073:
+			return "wfi"
+		case raw == 0x30200073:
+			return "mret"
+		case funct3 == 2 && rs1 == 0:
+			names := map[uint32]string{0xC00: "rdcycle", 0xC80: "rdcycleh", 0xC02: "rdinstret", 0xC82: "rdinstreth"}
+			if n, ok := names[raw>>20]; ok {
+				return fmt.Sprintf("%s %s", n, r(rd))
+			}
+			return fmt.Sprintf("csrr %s, 0x%x", r(rd), raw>>20)
+		case funct3 >= 1 && funct3 <= 3:
+			names := [...]string{1: "csrrw", 2: "csrrs", 3: "csrrc"}
+			return fmt.Sprintf("%s %s, 0x%x, %s", names[funct3], r(rd), raw>>20, r(rs1))
+		}
+	}
+	return fmt.Sprintf(".word 0x%08x", raw)
+}

@@ -1,0 +1,161 @@
+package riscv
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// TestAssembleDisassembleRoundTrip: every encodable base instruction must
+// survive assemble → disassemble → assemble unchanged.
+func TestAssembleDisassembleRoundTrip(t *testing.T) {
+	srcs := []string{
+		"lui x5, 0x12345",
+		"auipc x6, 0x1",
+		"jalr x1, 8(x2)",
+		"lw x7, -12(x8)",
+		"lb x7, 0(x8)",
+		"lhu x7, 2(x8)",
+		"sw x9, 16(x10)",
+		"sb x9, 1(x10)",
+		"addi x11, x12, -100",
+		"slti x11, x12, 5",
+		"sltiu x11, x12, 5",
+		"xori x11, x12, 0xFF",
+		"ori x11, x12, 7",
+		"andi x11, x12, 15",
+		"slli x13, x14, 3",
+		"srli x13, x14, 31",
+		"srai x13, x14, 1",
+		"add x1, x2, x3",
+		"sub x1, x2, x3",
+		"sll x1, x2, x3",
+		"slt x1, x2, x3",
+		"sltu x1, x2, x3",
+		"xor x1, x2, x3",
+		"srl x1, x2, x3",
+		"sra x1, x2, x3",
+		"or x1, x2, x3",
+		"and x1, x2, x3",
+		"mul x1, x2, x3",
+		"mulh x1, x2, x3",
+		"mulhsu x1, x2, x3",
+		"mulhu x1, x2, x3",
+		"div x1, x2, x3",
+		"divu x1, x2, x3",
+		"rem x1, x2, x3",
+		"remu x1, x2, x3",
+		"ecall",
+		"ebreak",
+		"fence",
+		"rdcycle x5",
+		"rdcycleh x6",
+		"rdinstret x7",
+	}
+	for _, src := range srcs {
+		w1, err := Assemble(src, 0)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", src, err)
+		}
+		text := Disassemble(w1[0], 0)
+		w2, err := Assemble(text, 0)
+		if err != nil {
+			t.Fatalf("reassemble %q (from %q): %v", text, src, err)
+		}
+		if w1[0] != w2[0] {
+			t.Errorf("%q: %#08x → %q → %#08x", src, w1[0], text, w2[0])
+		}
+	}
+}
+
+// TestBranchJalRoundTrip at a nonzero PC: targets resolve absolutely.
+func TestBranchJalRoundTrip(t *testing.T) {
+	const pc = 0x400
+	for _, src := range []string{
+		"beq x1, x2, 0x480",
+		"bne x1, x2, 0x3F0",
+		"blt x1, x2, 0x404",
+		"bgeu x1, x2, 0x500",
+		"jal x1, 0x480",
+	} {
+		w1, err := Assemble(src, pc)
+		if err != nil {
+			t.Fatalf("assemble %q: %v", src, err)
+		}
+		text := Disassemble(w1[0], pc)
+		w2, err := Assemble(text, pc)
+		if err != nil {
+			t.Fatalf("reassemble %q: %v", text, err)
+		}
+		if w1[0] != w2[0] {
+			t.Errorf("%q: %#08x → %q → %#08x", src, w1[0], text, w2[0])
+		}
+	}
+}
+
+// TestDisassembleRandomWordsNeverPanics and anything it claims to decode
+// must reassemble to the identical word (soundness on random input).
+func TestDisassembleRandomSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		w := rng.Uint32()
+		text := Disassemble(w, 0x1000)
+		if strings.HasPrefix(text, ".word") {
+			continue
+		}
+		w2, err := Assemble(text, 0x1000)
+		if err != nil {
+			t.Fatalf("disassembly %q of %#08x does not reassemble: %v", text, w, err)
+		}
+		if w2[0] != w {
+			t.Fatalf("%#08x → %q → %#08x", w, text, w2[0])
+		}
+	}
+}
+
+func TestDisassembleUnknown(t *testing.T) {
+	if got := Disassemble(0xFFFFFFFF, 0); !strings.HasPrefix(got, ".word") {
+		t.Fatalf("unknown word decoded as %q", got)
+	}
+}
+
+// TestRdcycleInstruction: a program can measure its own cycles.
+func TestRdcycleInstruction(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		rdcycle a1
+		nop
+		nop
+		nop
+		rdcycle a2
+		sub a0, a2, a1
+		ecall
+	`)
+	// Three nops at 1 cycle each, plus the first rdcycle itself.
+	if cpu.Regs[10] != 4 {
+		t.Fatalf("measured %d cycles between rdcycles, want 4", cpu.Regs[10])
+	}
+}
+
+func TestRdinstret(t *testing.T) {
+	cpu, _ := runAsm(t, `
+		nop
+		nop
+		rdinstret a0
+		ecall
+	`)
+	if cpu.Regs[10] != 2 {
+		t.Fatalf("instret = %d, want 2", cpu.Regs[10])
+	}
+}
+
+func TestCSRRSRequiresX0(t *testing.T) {
+	// csrrs with rs1 != x0 (a write) is unsupported and must fault.
+	ram := NewRAM(0, 4096)
+	// funct3=2, rs1=1, csr=0xC00
+	raw := uint32(0xC00)<<20 | 1<<15 | 2<<12 | 5<<7 | 0x73
+	_ = ram.Write(0, raw, 4)
+	cpu := New(ram, 0)
+	if err := cpu.Step(); err == nil {
+		t.Fatal("CSR write accepted")
+	}
+}

@@ -1,0 +1,60 @@
+package riscv
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzAssembler: arbitrary source text must never panic the assembler;
+// it either errors or produces words.
+func FuzzAssembler(f *testing.F) {
+	f.Add("addi x1, x2, 3")
+	f.Add("loop: j loop")
+	f.Add("li a0, 0x12345678\necall")
+	f.Add(".word 0xdeadbeef")
+	f.Add("lw x1, (x2)")
+	f.Fuzz(func(t *testing.T, src string) {
+		words, err := Assemble(src, 0)
+		if err == nil {
+			for i, w := range words {
+				_ = Disassemble(w, uint32(4*i))
+			}
+		}
+	})
+}
+
+// FuzzDisasmSoundness: any word the disassembler claims to decode must
+// reassemble to the identical word.
+func FuzzDisasmSoundness(f *testing.F) {
+	f.Add(uint32(0x00000013)) // nop
+	f.Add(uint32(0x00000073)) // ecall
+	f.Add(uint32(0xFFFFFFFF))
+	f.Fuzz(func(t *testing.T, w uint32) {
+		text := Disassemble(w, 0x1000)
+		if strings.HasPrefix(text, ".word") {
+			return
+		}
+		w2, err := Assemble(text, 0x1000)
+		if err != nil {
+			t.Fatalf("%q from %#08x does not reassemble: %v", text, w, err)
+		}
+		if w2[0] != w {
+			t.Fatalf("%#08x → %q → %#08x", w, text, w2[0])
+		}
+	})
+}
+
+// FuzzCPUNoHang: arbitrary instruction words must either execute, fault,
+// or halt — never hang or panic (bounded by the instruction limit).
+func FuzzCPUNoHang(f *testing.F) {
+	f.Add(uint32(0x00000013), uint32(0x00000073))
+	f.Add(uint32(0xFFFFFFFF), uint32(0))
+	f.Fuzz(func(t *testing.T, w1, w2 uint32) {
+		ram := NewRAM(0, 4096)
+		_ = ram.Write(0, w1, 4)
+		_ = ram.Write(4, w2, 4)
+		_ = ram.Write(8, 0x00000073, 4) // ecall backstop
+		cpu := New(ram, 0)
+		_ = cpu.Run(1000) // error or halt are both fine
+	})
+}

@@ -1,0 +1,64 @@
+package riscv
+
+import "fmt"
+
+// RAM is a simple little-endian byte-addressable memory implementing Bus.
+type RAM struct {
+	Base uint32
+	Data []byte
+}
+
+// NewRAM allocates size bytes based at base.
+func NewRAM(base uint32, size int) *RAM {
+	return &RAM{Base: base, Data: make([]byte, size)}
+}
+
+// Contains reports whether [addr, addr+size) falls inside the RAM.
+func (r *RAM) Contains(addr uint32, size int) bool {
+	off := int64(addr) - int64(r.Base)
+	return off >= 0 && off+int64(size) <= int64(len(r.Data))
+}
+
+// Read implements Bus.
+func (r *RAM) Read(addr uint32, size int) (uint32, error) {
+	if !r.Contains(addr, size) {
+		return 0, fmt.Errorf("ram: read of %d bytes at %#x out of range", size, addr)
+	}
+	off := addr - r.Base
+	var v uint32
+	for i := 0; i < size; i++ {
+		v |= uint32(r.Data[off+uint32(i)]) << (8 * i)
+	}
+	return v, nil
+}
+
+// Write implements Bus.
+func (r *RAM) Write(addr uint32, v uint32, size int) error {
+	if !r.Contains(addr, size) {
+		return fmt.Errorf("ram: write of %d bytes at %#x out of range", size, addr)
+	}
+	off := addr - r.Base
+	for i := 0; i < size; i++ {
+		r.Data[off+uint32(i)] = byte(v >> (8 * i))
+	}
+	return nil
+}
+
+// LoadWords copies a program image into RAM at addr.
+func (r *RAM) LoadWords(addr uint32, words []uint32) error {
+	for i, w := range words {
+		if err := r.Write(addr+uint32(4*i), w, 4); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Word reads an aligned 32-bit word (convenience for tests/harnesses).
+func (r *RAM) Word(addr uint32) uint32 {
+	v, err := r.Read(addr, 4)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

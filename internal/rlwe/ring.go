@@ -1,0 +1,254 @@
+// Package rlwe provides the ring-LWE substrate the paper's comparisons
+// rest on: power-of-two negacyclic polynomial rings Z_q[x]/(x^N + 1) with
+// number-theoretic transforms, RNS (residue number system) polynomial
+// arithmetic, and the samplers used by BFV-style encryption.
+//
+// The prior FHE client-side accelerators the paper compares against
+// ([18]–[22]) all accelerate exactly this workload: public-key RLWE
+// encryption at N = 2^13 with three ≈30–60-bit moduli, three NTTs per
+// modulus (Sec. I-A). Implementing the substrate lets the benchmark
+// harness run the PKE baseline rather than assume it.
+package rlwe
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/ff"
+)
+
+// Ring is Z_q[x]/(x^N + 1) for an NTT-friendly prime q ≡ 1 (mod 2N).
+type Ring struct {
+	N   int
+	Q   uint64
+	mod ff.Modulus
+
+	// Precomputed twiddle factors in bit-reversed order for the
+	// negacyclic Cooley–Tukey / Gentleman–Sande butterflies.
+	psiPow    []uint64 // psi^bitrev(i)
+	psiInvPow []uint64
+	nInv      uint64 // N^{-1} mod q
+}
+
+// NewRing builds the ring, deriving a primitive 2N-th root of unity.
+func NewRing(n int, q uint64) (*Ring, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("rlwe: N = %d must be a power of two ≥ 2", n)
+	}
+	if (q-1)%uint64(2*n) != 0 {
+		return nil, fmt.Errorf("rlwe: q = %d is not ≡ 1 (mod 2N = %d)", q, 2*n)
+	}
+	mod, err := ff.NewModulus(q)
+	if err != nil {
+		return nil, fmt.Errorf("rlwe: %w", err)
+	}
+	psi, err := primitiveRoot2N(mod, n)
+	if err != nil {
+		return nil, err
+	}
+	r := &Ring{N: n, Q: q, mod: mod}
+	r.psiPow = make([]uint64, n)
+	r.psiInvPow = make([]uint64, n)
+	psiInv := mod.Inv(psi)
+	logN := bits.Len(uint(n)) - 1
+	for i := 0; i < n; i++ {
+		j := bitrev(uint(i), logN)
+		r.psiPow[i] = mod.Exp(psi, uint64(j))
+		r.psiInvPow[i] = mod.Exp(psiInv, uint64(j))
+	}
+	r.nInv = mod.Inv(uint64(n))
+	return r, nil
+}
+
+// Mod returns the coefficient modulus wrapper.
+func (r *Ring) Mod() ff.Modulus { return r.mod }
+
+// primitiveRoot2N finds psi with psi^(2N) = 1 and psi^N = -1.
+func primitiveRoot2N(mod ff.Modulus, n int) (uint64, error) {
+	q := mod.P()
+	order := uint64(2 * n)
+	exp := (q - 1) / order
+	for g := uint64(2); g < q; g++ {
+		psi := mod.Exp(g, exp)
+		if mod.Exp(psi, order/2) == q-1 { // psi^N = -1 ⇒ primitive 2N-th root
+			return psi, nil
+		}
+	}
+	return 0, fmt.Errorf("rlwe: no primitive 2N-th root of unity mod %d", q)
+}
+
+func bitrev(v uint, bits int) uint {
+	var r uint
+	for i := 0; i < bits; i++ {
+		r = r<<1 | (v>>uint(i))&1
+	}
+	return r
+}
+
+// Poly is a polynomial with N coefficients in [0, q).
+type Poly []uint64
+
+// NewPoly returns the zero polynomial of the ring's dimension.
+func (r *Ring) NewPoly() Poly { return make(Poly, r.N) }
+
+// Clone copies p.
+func (p Poly) Clone() Poly {
+	q := make(Poly, len(p))
+	copy(q, p)
+	return q
+}
+
+// Equal reports coefficient-wise equality.
+func (p Poly) Equal(q Poly) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if p[i] != q[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NTT transforms p in place to the negacyclic evaluation domain
+// (Cooley–Tukey, decimation in time, with the psi twist merged into the
+// twiddles). One call performs (N/2)·log2(N) butterflies — the
+// multiplication-count basis of the paper's Sec. I-A analysis.
+func (r *Ring) NTT(p Poly) {
+	n := r.N
+	m := r.mod
+	t := n
+	for l, numPhi := 1, 1; l < n; l, numPhi = l<<1, numPhi<<1 {
+		t >>= 1
+		for i := 0; i < numPhi; i++ {
+			phi := r.psiPow[numPhi+i]
+			base := 2 * i * t
+			for j := base; j < base+t; j++ {
+				u := p[j]
+				v := m.Mul(p[j+t], phi)
+				p[j] = m.Add(u, v)
+				p[j+t] = m.Sub(u, v)
+			}
+		}
+	}
+}
+
+// INTT inverts NTT in place (Gentleman–Sande, decimation in frequency).
+func (r *Ring) INTT(p Poly) {
+	n := r.N
+	m := r.mod
+	t := 1
+	for numPhi := n >> 1; numPhi >= 1; numPhi >>= 1 {
+		for i := 0; i < numPhi; i++ {
+			phi := r.psiInvPow[numPhi+i]
+			base := 2 * i * t
+			for j := base; j < base+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				p[j] = m.Add(u, v)
+				p[j+t] = m.Mul(m.Sub(u, v), phi)
+			}
+		}
+		t <<= 1
+	}
+	for i := range p {
+		p[i] = m.Mul(p[i], r.nInv)
+	}
+}
+
+// Add sets dst = a + b coefficient-wise. Aliasing is allowed.
+func (r *Ring) Add(dst, a, b Poly) {
+	ff.AddVec(r.mod, ff.Vec(dst), ff.Vec(a), ff.Vec(b))
+}
+
+// Sub sets dst = a - b coefficient-wise. Aliasing is allowed.
+func (r *Ring) Sub(dst, a, b Poly) {
+	ff.SubVec(r.mod, ff.Vec(dst), ff.Vec(a), ff.Vec(b))
+}
+
+// Neg sets dst = -a.
+func (r *Ring) Neg(dst, a Poly) {
+	for i := range a {
+		dst[i] = r.mod.Neg(a[i])
+	}
+}
+
+// MulCoeff sets dst = a ⊙ b (pointwise; operands must be in NTT domain).
+func (r *Ring) MulCoeff(dst, a, b Poly) {
+	for i := range a {
+		dst[i] = r.mod.Mul(a[i], b[i])
+	}
+}
+
+// MulScalar sets dst = c·a coefficient-wise.
+func (r *Ring) MulScalar(dst Poly, c uint64, a Poly) {
+	ff.ScaleVec(r.mod, ff.Vec(dst), c, ff.Vec(a))
+}
+
+// MulPoly returns a·b in the ring (inputs and output in coefficient
+// domain): forward NTTs, pointwise multiply, inverse NTT — the 3-NTT
+// pattern of the client encryption workload.
+func (r *Ring) MulPoly(a, b Poly) Poly {
+	at, bt := a.Clone(), b.Clone()
+	r.NTT(at)
+	r.NTT(bt)
+	out := r.NewPoly()
+	r.MulCoeff(out, at, bt)
+	r.INTT(out)
+	return out
+}
+
+// MulPolyNaive returns a·b by negacyclic schoolbook convolution; used to
+// validate the NTT path in tests.
+func (r *Ring) MulPolyNaive(a, b Poly) Poly {
+	n := r.N
+	m := r.mod
+	out := r.NewPoly()
+	for i := 0; i < n; i++ {
+		if a[i] == 0 {
+			continue
+		}
+		for j := 0; j < n; j++ {
+			k := i + j
+			prod := m.Mul(a[i], b[j])
+			if k < n {
+				out[k] = m.Add(out[k], prod)
+			} else {
+				out[k-n] = m.Sub(out[k-n], prod) // x^N = -1
+			}
+		}
+	}
+	return out
+}
+
+// FindNTTPrime returns the largest prime < 2^bitLen with q ≡ 1 (mod 2N).
+func FindNTTPrime(bitLen uint, n int) (uint64, error) {
+	if bitLen < 4 || bitLen > 61 {
+		return 0, fmt.Errorf("rlwe: unsupported NTT prime size %d", bitLen)
+	}
+	step := uint64(2 * n)
+	q := (uint64(1)<<bitLen - 1) / step * step // largest multiple of 2N below 2^bitLen
+	for ; q > step; q -= step {
+		if ff.IsPrime(q + 1) {
+			return q + 1, nil
+		}
+	}
+	return 0, fmt.Errorf("rlwe: no NTT prime of %d bits for N = %d", bitLen, n)
+}
+
+// FindNTTPrimes returns count distinct NTT primes just under 2^bitLen.
+func FindNTTPrimes(bitLen uint, n, count int) ([]uint64, error) {
+	out := make([]uint64, 0, count)
+	step := uint64(2 * n)
+	q := (uint64(1)<<bitLen - 1) / step * step
+	for ; q > step && len(out) < count; q -= step {
+		if ff.IsPrime(q + 1) {
+			out = append(out, q+1)
+		}
+	}
+	if len(out) < count {
+		return nil, fmt.Errorf("rlwe: found only %d/%d NTT primes of %d bits", len(out), count, bitLen)
+	}
+	return out, nil
+}

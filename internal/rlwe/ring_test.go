@@ -1,0 +1,250 @@
+package rlwe
+
+import (
+	"math/big"
+	"testing"
+)
+
+func testRing(t *testing.T, n int) *Ring {
+	t.Helper()
+	q, err := FindNTTPrime(30, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRing(n, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestFindNTTPrime(t *testing.T) {
+	for _, n := range []int{256, 1024, 8192} {
+		q, err := FindNTTPrime(30, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if (q-1)%uint64(2*n) != 0 {
+			t.Fatalf("q = %d not ≡ 1 mod 2N for N = %d", q, n)
+		}
+	}
+	if _, err := FindNTTPrime(3, 256); err == nil {
+		t.Fatal("tiny bit length accepted")
+	}
+}
+
+func TestFindNTTPrimesDistinct(t *testing.T) {
+	qs, err := FindNTTPrimes(30, 1024, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qs[0] == qs[1] || qs[1] == qs[2] || qs[0] == qs[2] {
+		t.Fatalf("primes not distinct: %v", qs)
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(100, 65537); err == nil {
+		t.Fatal("non-power-of-two N accepted")
+	}
+	if _, err := NewRing(256, 65537+2); err == nil {
+		t.Fatal("non-prime q accepted")
+	}
+	if _, err := NewRing(1<<17, 65537); err == nil {
+		t.Fatal("q !≡ 1 mod 2N accepted")
+	}
+}
+
+func TestNTTRoundTrip(t *testing.T) {
+	r := testRing(t, 256)
+	g := NewPRNG("ntt", []byte{1})
+	p := g.UniformPoly(r)
+	orig := p.Clone()
+	r.NTT(p)
+	if p.Equal(orig) {
+		t.Fatal("NTT is identity?")
+	}
+	r.INTT(p)
+	if !p.Equal(orig) {
+		t.Fatal("INTT(NTT(p)) != p")
+	}
+}
+
+func TestNTTMulMatchesNaive(t *testing.T) {
+	r := testRing(t, 64)
+	g := NewPRNG("mul", []byte{2})
+	for trial := 0; trial < 5; trial++ {
+		a, b := g.UniformPoly(r), g.UniformPoly(r)
+		fast := r.MulPoly(a, b)
+		slow := r.MulPolyNaive(a, b)
+		if !fast.Equal(slow) {
+			t.Fatalf("trial %d: NTT product differs from schoolbook", trial)
+		}
+	}
+}
+
+func TestNegacyclicWraparound(t *testing.T) {
+	// x^(N-1) · x = x^N = -1.
+	r := testRing(t, 16)
+	a, b := r.NewPoly(), r.NewPoly()
+	a[r.N-1] = 1
+	b[1] = 1
+	prod := r.MulPoly(a, b)
+	want := r.NewPoly()
+	want[0] = r.Q - 1
+	if !prod.Equal(want) {
+		t.Fatalf("x^(N-1)·x = %v, want -1", prod[:2])
+	}
+}
+
+func TestRingLinearity(t *testing.T) {
+	r := testRing(t, 128)
+	g := NewPRNG("lin", []byte{3})
+	a, b, c := g.UniformPoly(r), g.UniformPoly(r), g.UniformPoly(r)
+	// (a+b)·c == a·c + b·c
+	sum := r.NewPoly()
+	r.Add(sum, a, b)
+	lhs := r.MulPoly(sum, c)
+	rhs := r.NewPoly()
+	r.Add(rhs, r.MulPoly(a, c), r.MulPoly(b, c))
+	if !lhs.Equal(rhs) {
+		t.Fatal("distributivity failed in ring")
+	}
+}
+
+func TestSamplerDistributions(t *testing.T) {
+	g := NewPRNG("dist", []byte{4})
+	counts := map[int]int{}
+	for i := 0; i < 3000; i++ {
+		v := g.SignedTernary()
+		if v < -1 || v > 1 {
+			t.Fatalf("ternary out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for v, c := range counts {
+		if c < 800 || c > 1200 {
+			t.Errorf("ternary value %d count %d, want ≈1000", v, c)
+		}
+	}
+	// Centered binomial with eta=3: range [-3, 3], mean ≈ 0.
+	sum := 0
+	for i := 0; i < 3000; i++ {
+		v := g.SignedNoise(3)
+		if v < -3 || v > 3 {
+			t.Fatalf("noise out of range: %d", v)
+		}
+		sum += v
+	}
+	if sum < -300 || sum > 300 {
+		t.Errorf("noise mean drifts: sum = %d over 3000", sum)
+	}
+}
+
+func TestPRNGDeterminism(t *testing.T) {
+	a := NewPRNG("x", []byte("seed"))
+	b := NewPRNG("x", []byte("seed"))
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewPRNG("y", []byte("seed"))
+	if a.Uint64() == c.Uint64() {
+		t.Log("domain-separated streams agreed once (possible but unlikely)")
+	}
+}
+
+func TestRNSReconstruct(t *testing.T) {
+	primes, err := FindNTTPrimes(20, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRNSRing(64, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Set a known big value and reconstruct it.
+	p := rr.NewPoly()
+	want := new(big.Int).Div(rr.Q, big.NewInt(3))
+	rr.SetCoeffBig(p, 7, want)
+	got := rr.Reconstruct(p, 7)
+	if got.Cmp(want) != 0 {
+		t.Fatalf("Reconstruct = %v, want %v", got, want)
+	}
+	// Negative value: centered reconstruction.
+	neg := big.NewInt(-12345)
+	rr.SetCoeffBig(p, 8, neg)
+	if got := rr.ReconstructCentered(p, 8); got.Cmp(neg) != 0 {
+		t.Fatalf("ReconstructCentered = %v, want %v", got, neg)
+	}
+}
+
+func TestRNSAddMatchesBig(t *testing.T) {
+	primes, _ := FindNTTPrimes(20, 32, 2)
+	rr, err := NewRNSRing(32, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewPRNG("rns", []byte{5})
+	a, b := rr.UniformPoly(g), rr.UniformPoly(g)
+	sum := rr.NewPoly()
+	rr.Add(sum, a, b)
+	for i := 0; i < rr.N; i += 7 {
+		want := new(big.Int).Add(rr.Reconstruct(a, i), rr.Reconstruct(b, i))
+		want.Mod(want, rr.Q)
+		if got := rr.Reconstruct(sum, i); got.Cmp(want) != 0 {
+			t.Fatalf("coeff %d: RNS add mismatch", i)
+		}
+	}
+}
+
+func TestRNSNTTRoundTrip(t *testing.T) {
+	primes, _ := FindNTTPrimes(25, 128, 2)
+	rr, err := NewRNSRing(128, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewPRNG("rnsntt", []byte{6})
+	p := rr.UniformPoly(g)
+	orig := p.Clone()
+	rr.NTT(p)
+	rr.INTT(p)
+	if !p.Equal(orig) {
+		t.Fatal("RNS NTT roundtrip failed")
+	}
+}
+
+func TestRNSValidation(t *testing.T) {
+	if _, err := NewRNSRing(64, nil); err == nil {
+		t.Fatal("empty basis accepted")
+	}
+	q, _ := FindNTTPrime(20, 64)
+	if _, err := NewRNSRing(64, []uint64{q, q}); err == nil {
+		t.Fatal("duplicate primes accepted")
+	}
+}
+
+func TestSignedPolyConsistency(t *testing.T) {
+	primes, _ := FindNTTPrimes(20, 16, 2)
+	rr, _ := NewRNSRing(16, primes)
+	vals := []int{-2, -1, 0, 1, 2, 3, -3, 0, 1, -1, 2, -2, 0, 0, 1, -1}
+	p := rr.SignedPoly(vals)
+	for i, v := range vals {
+		got := rr.ReconstructCentered(p, i)
+		if got.Int64() != int64(v) {
+			t.Fatalf("coeff %d: got %v, want %d", i, got, v)
+		}
+	}
+}
+
+func BenchmarkNTT8192(b *testing.B) {
+	q, _ := FindNTTPrime(30, 8192)
+	r, _ := NewRing(8192, q)
+	g := NewPRNG("bench", []byte{7})
+	p := g.UniformPoly(r)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.NTT(p)
+	}
+}

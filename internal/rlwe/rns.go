@@ -1,0 +1,208 @@
+package rlwe
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// RNSRing is the residue-number-system view of Z_Q[x]/(x^N + 1) with
+// Q = q_0·q_1·…·q_{L-1}: one NTT-friendly Ring per prime. This is exactly
+// the representation the prior client-side PKE accelerators operate on
+// ("three different moduli", Sec. I-A).
+type RNSRing struct {
+	Rings []*Ring
+	N     int
+	Q     *big.Int // product of the prime moduli
+
+	// Garner/CRT precomputation: Qi = Q/qi, QiInv = Qi^{-1} mod qi.
+	qiBig    []*big.Int
+	qiHat    []*big.Int // Q / qi
+	qiHatInv []uint64   // (Q/qi)^{-1} mod qi
+}
+
+// NewRNSRing builds the RNS ring for dimension n and the given primes.
+func NewRNSRing(n int, primes []uint64) (*RNSRing, error) {
+	if len(primes) == 0 {
+		return nil, fmt.Errorf("rlwe: RNS basis must contain at least one prime")
+	}
+	rr := &RNSRing{N: n, Q: big.NewInt(1)}
+	seen := map[uint64]bool{}
+	for _, q := range primes {
+		if seen[q] {
+			return nil, fmt.Errorf("rlwe: duplicate RNS prime %d", q)
+		}
+		seen[q] = true
+		ring, err := NewRing(n, q)
+		if err != nil {
+			return nil, err
+		}
+		rr.Rings = append(rr.Rings, ring)
+		rr.Q.Mul(rr.Q, new(big.Int).SetUint64(q))
+	}
+	for _, ring := range rr.Rings {
+		qi := new(big.Int).SetUint64(ring.Q)
+		hat := new(big.Int).Quo(rr.Q, qi)
+		hatModQi := new(big.Int).Mod(hat, qi)
+		inv := new(big.Int).ModInverse(hatModQi, qi)
+		if inv == nil {
+			return nil, fmt.Errorf("rlwe: RNS primes not coprime")
+		}
+		rr.qiBig = append(rr.qiBig, qi)
+		rr.qiHat = append(rr.qiHat, hat)
+		rr.qiHatInv = append(rr.qiHatInv, inv.Uint64())
+	}
+	return rr, nil
+}
+
+// Level returns the number of RNS primes.
+func (rr *RNSRing) Level() int { return len(rr.Rings) }
+
+// RNSPoly is one polynomial represented per RNS prime.
+type RNSPoly []Poly
+
+// NewPoly returns the zero RNS polynomial.
+func (rr *RNSRing) NewPoly() RNSPoly {
+	p := make(RNSPoly, rr.Level())
+	for i, ring := range rr.Rings {
+		p[i] = ring.NewPoly()
+	}
+	return p
+}
+
+// Clone deep-copies p.
+func (p RNSPoly) Clone() RNSPoly {
+	q := make(RNSPoly, len(p))
+	for i := range p {
+		q[i] = p[i].Clone()
+	}
+	return q
+}
+
+// Equal reports residue-wise equality.
+func (p RNSPoly) Equal(q RNSPoly) bool {
+	if len(p) != len(q) {
+		return false
+	}
+	for i := range p {
+		if !p[i].Equal(q[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// NTT / INTT transform every residue polynomial in place.
+func (rr *RNSRing) NTT(p RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.NTT(p[i])
+	}
+}
+
+// INTT inverts NTT.
+func (rr *RNSRing) INTT(p RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.INTT(p[i])
+	}
+}
+
+// Add sets dst = a + b.
+func (rr *RNSRing) Add(dst, a, b RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.Add(dst[i], a[i], b[i])
+	}
+}
+
+// Sub sets dst = a - b.
+func (rr *RNSRing) Sub(dst, a, b RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.Sub(dst[i], a[i], b[i])
+	}
+}
+
+// Neg sets dst = -a.
+func (rr *RNSRing) Neg(dst, a RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.Neg(dst[i], a[i])
+	}
+}
+
+// MulCoeff sets dst = a ⊙ b (NTT domain).
+func (rr *RNSRing) MulCoeff(dst, a, b RNSPoly) {
+	for i, ring := range rr.Rings {
+		ring.MulCoeff(dst[i], a[i], b[i])
+	}
+}
+
+// MulScalarBig sets dst = c·a for a (possibly large) integer constant.
+func (rr *RNSRing) MulScalarBig(dst RNSPoly, c *big.Int, a RNSPoly) {
+	for i, ring := range rr.Rings {
+		ci := new(big.Int).Mod(c, rr.qiBig[i]).Uint64()
+		ring.MulScalar(dst[i], ci, a[i])
+	}
+}
+
+// UniformPoly samples a uniform RNS polynomial (independent residues —
+// equivalent to uniform mod Q by CRT).
+func (rr *RNSRing) UniformPoly(g *PRNG) RNSPoly {
+	p := make(RNSPoly, rr.Level())
+	for i, ring := range rr.Rings {
+		p[i] = g.UniformPoly(ring)
+	}
+	return p
+}
+
+// SignedPoly embeds one slice of small signed coefficients consistently
+// under every RNS prime.
+func (rr *RNSRing) SignedPoly(vals []int) RNSPoly {
+	p := rr.NewPoly()
+	for i, ring := range rr.Rings {
+		for j, v := range vals {
+			p[i][j] = EmbedSigned(v, ring.Q)
+		}
+	}
+	return p
+}
+
+// TernaryPoly samples one ternary polynomial embedded under all primes.
+func (rr *RNSRing) TernaryPoly(g *PRNG) RNSPoly {
+	return rr.SignedPoly(SignedVec(rr.N, g.SignedTernary))
+}
+
+// NoisePoly samples one centered-binomial polynomial embedded under all
+// primes.
+func (rr *RNSRing) NoisePoly(g *PRNG, eta int) RNSPoly {
+	return rr.SignedPoly(SignedVec(rr.N, func() int { return g.SignedNoise(eta) }))
+}
+
+// Reconstruct returns coefficient i of p as an integer in [0, Q) via CRT.
+func (rr *RNSRing) Reconstruct(p RNSPoly, i int) *big.Int {
+	acc := new(big.Int)
+	term := new(big.Int)
+	for l, ring := range rr.Rings {
+		// term = (x_l · qiHatInv_l mod q_l) · qiHat_l
+		v := ring.mod.Mul(p[l][i], rr.qiHatInv[l])
+		term.SetUint64(v)
+		term.Mul(term, rr.qiHat[l])
+		acc.Add(acc, term)
+	}
+	return acc.Mod(acc, rr.Q)
+}
+
+// ReconstructCentered returns coefficient i in (-Q/2, Q/2].
+func (rr *RNSRing) ReconstructCentered(p RNSPoly, i int) *big.Int {
+	v := rr.Reconstruct(p, i)
+	half := new(big.Int).Rsh(rr.Q, 1)
+	if v.Cmp(half) > 0 {
+		v.Sub(v, rr.Q)
+	}
+	return v
+}
+
+// SetCoeffBig sets coefficient i of p to v mod Q (v may be any integer).
+func (rr *RNSRing) SetCoeffBig(p RNSPoly, i int, v *big.Int) {
+	tmp := new(big.Int)
+	for l := range rr.Rings {
+		tmp.Mod(v, rr.qiBig[l])
+		p[l][i] = tmp.Uint64()
+	}
+}

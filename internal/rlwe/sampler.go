@@ -1,0 +1,108 @@
+package rlwe
+
+import (
+	"math/bits"
+
+	"repro/internal/keccak"
+)
+
+// PRNG is a deterministic randomness source for RLWE sampling, backed by
+// SHAKE128 so key generation and encryption are reproducible from seeds
+// in tests while remaining computationally uniform.
+type PRNG struct {
+	d *keccak.Shake
+}
+
+// NewPRNG creates a PRNG domain-separated by label and seed.
+func NewPRNG(label string, seed []byte) *PRNG {
+	d := keccak.NewShake128()
+	_, _ = d.Write([]byte("rlwe:" + label + ":"))
+	_, _ = d.Write(seed)
+	return &PRNG{d: d}
+}
+
+// Uint64 returns the next raw 64-bit word.
+func (g *PRNG) Uint64() uint64 { return g.d.NextWord() }
+
+// UniformMod returns a uniform value in [0, q) by masked rejection.
+func (g *PRNG) UniformMod(q uint64) uint64 {
+	mask := uint64(1)<<uint(bits.Len64(q-1)) - 1
+	for {
+		v := g.d.NextWord() & mask
+		if v < q {
+			return v
+		}
+	}
+}
+
+// UniformPoly fills a fresh polynomial with uniform coefficients in [0, q).
+func (g *PRNG) UniformPoly(r *Ring) Poly {
+	p := r.NewPoly()
+	for i := range p {
+		p[i] = g.UniformMod(r.Q)
+	}
+	return p
+}
+
+// SignedTernary returns a uniform value from {-1, 0, 1}, the standard
+// RLWE secret/ephemeral distribution.
+func (g *PRNG) SignedTernary() int {
+	for {
+		v := g.d.NextWord() & 3
+		if v < 3 {
+			return int(v) - 1
+		}
+	}
+}
+
+// SignedNoise samples a centered-binomial value with parameter eta
+// (variance eta/2), the standard substitute for a discrete Gaussian.
+func (g *PRNG) SignedNoise(eta int) int {
+	var acc int
+	for k := 0; k < eta; k++ {
+		w := g.d.NextWord()
+		acc += int(w & 1)
+		acc -= int((w >> 1) & 1)
+	}
+	return acc
+}
+
+// TernaryPoly samples a polynomial with coefficients in {-1, 0, 1}
+// embedded in [0, q).
+func (g *PRNG) TernaryPoly(r *Ring) Poly {
+	p := r.NewPoly()
+	for i := range p {
+		p[i] = embedSigned(g.SignedTernary(), r.Q)
+	}
+	return p
+}
+
+// NoisePoly samples a centered-binomial noise polynomial.
+func (g *PRNG) NoisePoly(r *Ring, eta int) Poly {
+	p := r.NewPoly()
+	for i := range p {
+		p[i] = embedSigned(g.SignedNoise(eta), r.Q)
+	}
+	return p
+}
+
+// SignedVec samples n signed values from the given sampler function; used
+// by RNS sampling where the same small value must be embedded under
+// several moduli.
+func SignedVec(n int, next func() int) []int {
+	v := make([]int, n)
+	for i := range v {
+		v[i] = next()
+	}
+	return v
+}
+
+func embedSigned(v int, q uint64) uint64 {
+	if v >= 0 {
+		return uint64(v)
+	}
+	return q - uint64(-v)
+}
+
+// EmbedSigned exposes the signed-to-mod-q embedding for RNS code.
+func EmbedSigned(v int, q uint64) uint64 { return embedSigned(v, q) }

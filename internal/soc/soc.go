@@ -1,0 +1,279 @@
+// Package soc models the paper's RISC-V System-on-Chip (Sec. IV-A ❸): an
+// Ibex-like RV32IM core, on-chip RAM, and the PASTA cryptoprocessor
+// attached as a loosely coupled peripheral. The peripheral is a slave on
+// the core's data bus (control/status registers, key and nonce loading)
+// and masters its own port into RAM to fetch plaintext blocks directly.
+//
+// As in the paper, the single slave bus serializes control: one block
+// must complete before the next can be started, so the SoC processes
+// data block by block while the core polls the status register. Only the
+// peripheral's 2t-element key state is stored on-chip (544 bits for
+// PASTA-4/ω=17), which is the design's memory-footprint point.
+package soc
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/pasta"
+	"repro/internal/riscv"
+)
+
+// Address map.
+const (
+	RAMBase    = 0x0000_0000
+	PeriphBase = 0x4000_0000
+)
+
+// Peripheral register offsets.
+const (
+	RegCtrl    = 0x00 // W: bit0 = start one block
+	RegStatus  = 0x04 // R: bit0 = busy, bit1 = done
+	RegNonceLo = 0x08
+	RegNonceHi = 0x0C
+	RegCtrLo   = 0x10
+	RegCtrHi   = 0x14
+	RegSrc     = 0x18 // plaintext base address in RAM
+	RegDst     = 0x1C // ciphertext destination address in RAM
+	RegLen     = 0x20 // number of elements in this block (≤ t)
+	RegKeyData = 0x24 // W: push next key element (auto-increment)
+	RegKeyRst  = 0x28 // W: reset the key write pointer
+	RegCycles  = 0x2C // R: accelerator cycles of the last block
+	RegIRQEn   = 0x30 // W: bit0 enables the completion interrupt line
+	RegIRQAck  = 0x34 // W: clear the pending interrupt
+)
+
+// Status bits.
+const (
+	StatusBusy = 1 << 0
+	StatusDone = 1 << 1
+)
+
+// Peripheral is the memory-mapped PASTA cryptoprocessor.
+type Peripheral struct {
+	par pasta.Params
+	ram *riscv.RAM
+	// clock returns the current SoC cycle (the core's cycle counter; the
+	// peripheral shares the clock domain at 100 MHz).
+	clock func() int64
+
+	key     ff.Vec
+	keyFill int
+	accel   *hw.Accelerator
+
+	nonce, counter uint64
+	src, dst, n    uint32
+
+	busyUntil  int64
+	lastCycles int64
+	started    bool
+
+	irqEnabled bool
+	irqAcked   bool
+
+	// Aggregate statistics.
+	BlocksDone  int64
+	AccelCycles int64
+}
+
+// NewPeripheral builds the peripheral for a parameter set. Elements are
+// exchanged with RAM as little-endian 32-bit words, so the SoC supports
+// moduli up to 32 bits (the paper's SoC uses ω = 17).
+func NewPeripheral(par pasta.Params, ram *riscv.RAM, clock func() int64) (*Peripheral, error) {
+	if err := par.Validate(); err != nil {
+		return nil, err
+	}
+	if par.Mod.Bits() > 32 {
+		return nil, fmt.Errorf("soc: modulus width %d exceeds the 32-bit data bus", par.Mod.Bits())
+	}
+	return &Peripheral{par: par, ram: ram, clock: clock, key: ff.NewVec(par.StateSize())}, nil
+}
+
+// Read implements the slave-port register reads.
+func (p *Peripheral) Read(off uint32, size int) (uint32, error) {
+	if size != 4 {
+		return 0, fmt.Errorf("soc: peripheral requires word access (got %d bytes)", size)
+	}
+	switch off {
+	case RegStatus:
+		if p.started && p.clock() < p.busyUntil {
+			return StatusBusy, nil
+		}
+		if p.started {
+			return StatusDone, nil
+		}
+		return 0, nil
+	case RegCycles:
+		return uint32(p.lastCycles), nil
+	case RegLen:
+		return p.n, nil
+	default:
+		return 0, fmt.Errorf("soc: read of unknown peripheral register %#x", off)
+	}
+}
+
+// Write implements the slave-port register writes.
+func (p *Peripheral) Write(off uint32, v uint32, size int) error {
+	if size != 4 {
+		return fmt.Errorf("soc: peripheral requires word access (got %d bytes)", size)
+	}
+	if p.started && p.clock() < p.busyUntil && off != RegStatus {
+		return fmt.Errorf("soc: register write at %#x while peripheral busy", off)
+	}
+	switch off {
+	case RegCtrl:
+		if v&1 == 1 {
+			return p.start()
+		}
+	case RegNonceLo:
+		p.nonce = p.nonce&^uint64(0xFFFFFFFF) | uint64(v)
+	case RegNonceHi:
+		p.nonce = p.nonce&0xFFFFFFFF | uint64(v)<<32
+	case RegCtrLo:
+		p.counter = p.counter&^uint64(0xFFFFFFFF) | uint64(v)
+	case RegCtrHi:
+		p.counter = p.counter&0xFFFFFFFF | uint64(v)<<32
+	case RegSrc:
+		p.src = v
+	case RegDst:
+		p.dst = v
+	case RegLen:
+		p.n = v
+	case RegIRQEn:
+		p.irqEnabled = v&1 == 1
+	case RegIRQAck:
+		p.irqAcked = true
+	case RegKeyRst:
+		p.keyFill = 0
+		p.accel = nil
+	case RegKeyData:
+		if p.keyFill >= len(p.key) {
+			return fmt.Errorf("soc: key overflow (%d elements max)", len(p.key))
+		}
+		if uint64(v) >= p.par.Mod.P() {
+			return fmt.Errorf("soc: key element %d out of range", v)
+		}
+		p.key[p.keyFill] = uint64(v)
+		p.keyFill++
+	default:
+		return fmt.Errorf("soc: write of unknown peripheral register %#x", off)
+	}
+	return nil
+}
+
+// start kicks off one block: DMA-read the plaintext, run the
+// cryptoprocessor model, DMA-write the ciphertext, and hold the busy flag
+// for the modeled cycle count.
+func (p *Peripheral) start() error {
+	if p.keyFill != len(p.key) {
+		return fmt.Errorf("soc: start with incomplete key (%d/%d elements)", p.keyFill, len(p.key))
+	}
+	if p.n == 0 || int(p.n) > p.par.T {
+		return fmt.Errorf("soc: block length %d out of range 1..%d", p.n, p.par.T)
+	}
+	if p.accel == nil {
+		acc, err := hw.NewAccelerator(p.par, pasta.Key(p.key))
+		if err != nil {
+			return err
+		}
+		p.accel = acc
+	}
+	// Master-port read of the plaintext block (overlapped with the
+	// permutation in hardware; accounted inside the accelerator's
+	// XOF-bound runtime).
+	msg := ff.NewVec(int(p.n))
+	for i := range msg {
+		w, err := p.ram.Read(p.src+uint32(4*i), 4)
+		if err != nil {
+			return fmt.Errorf("soc: DMA read: %w", err)
+		}
+		if uint64(w) >= p.par.Mod.P() {
+			return fmt.Errorf("soc: plaintext element %d out of range", w)
+		}
+		msg[i] = uint64(w)
+	}
+	res, err := p.accel.EncryptBlock(p.nonce, p.counter, msg)
+	if err != nil {
+		return err
+	}
+	for i, c := range res.Ciphertext {
+		if err := p.ram.Write(p.dst+uint32(4*i), uint32(c), 4); err != nil {
+			return fmt.Errorf("soc: DMA write: %w", err)
+		}
+	}
+	p.lastCycles = res.Stats.Cycles
+	p.busyUntil = p.clock() + res.Stats.Cycles
+	p.started = true
+	p.irqAcked = false
+	p.BlocksDone++
+	p.AccelCycles += res.Stats.Cycles
+	return nil
+}
+
+// IRQ reports whether the completion interrupt line is asserted: block
+// done, interrupts enabled, not yet acknowledged.
+func (p *Peripheral) IRQ() bool {
+	return p.irqEnabled && p.started && !p.irqAcked && p.clock() >= p.busyUntil
+}
+
+// busRouter splits the address space between RAM and the peripheral.
+type busRouter struct {
+	ram    *riscv.RAM
+	periph *Peripheral
+}
+
+func (b *busRouter) Read(addr uint32, size int) (uint32, error) {
+	if addr >= PeriphBase {
+		return b.periph.Read(addr-PeriphBase, size)
+	}
+	return b.ram.Read(addr, size)
+}
+
+func (b *busRouter) Write(addr uint32, v uint32, size int) error {
+	if addr >= PeriphBase {
+		return b.periph.Write(addr-PeriphBase, v, size)
+	}
+	return b.ram.Write(addr, v, size)
+}
+
+// SoC bundles core, memory and peripheral.
+type SoC struct {
+	CPU    *riscv.CPU
+	RAM    *riscv.RAM
+	Periph *Peripheral
+}
+
+// New builds the SoC with the given RAM size.
+func New(par pasta.Params, ramSize int) (*SoC, error) {
+	ram := riscv.NewRAM(RAMBase, ramSize)
+	s := &SoC{RAM: ram}
+	periph, err := NewPeripheral(par, ram, func() int64 { return s.CPU.Cycle })
+	if err != nil {
+		return nil, err
+	}
+	s.Periph = periph
+	s.CPU = riscv.New(&busRouter{ram: ram, periph: periph}, RAMBase)
+	s.CPU.IRQPending = periph.IRQ
+	return s, nil
+}
+
+// LoadProgram assembles and loads a driver program at the reset vector.
+func (s *SoC) LoadProgram(asm string) error {
+	words, err := riscv.Assemble(asm, RAMBase)
+	if err != nil {
+		return err
+	}
+	return s.RAM.LoadWords(RAMBase, words)
+}
+
+// Run executes until the program halts.
+func (s *SoC) Run(maxInsns int64) error {
+	return s.CPU.Run(maxInsns)
+}
+
+// Microseconds converts the core cycle count to wall-clock time at the
+// SoC's 100 MHz target.
+func (s *SoC) Microseconds() float64 {
+	return hw.Microseconds(s.CPU.Cycle, hw.RISCVHz)
+}
