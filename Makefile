@@ -1,0 +1,36 @@
+# Make targets for the repro. `make ci` is what a pipeline should run:
+# vet + build + the full test suite under the race detector + a one-shot
+# benchmark pass that exercises every benchmark (including the
+# allocation-free keystream engine) without burning CI minutes.
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark run with allocation reporting (slow; for numbers).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem ./...
+
+# One iteration of every benchmark: catches bit-rot in benchmark code.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: vet build race bench-smoke
+
+clean:
+	$(GO) clean ./...
+	rm -f repro.test

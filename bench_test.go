@@ -89,11 +89,31 @@ func benchSoftware(b *testing.B, v pasta.Variant) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	ks := ff.NewVec(par.T)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.KeyStream(uint64(i), 0)
+		c.KeyStreamInto(ks, uint64(i), 0)
 	}
 	b.ReportMetric(float64(par.T)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+// BenchmarkTable2CPUSoftwareParallel measures the worker-pool keystream
+// fan-out over a 64-block message; run with -cpu 1,2,4 to see the
+// multi-core scaling of the CTR-independent blocks.
+func BenchmarkTable2CPUSoftwareParallel(b *testing.B) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	c, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, "bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	const blocks = 64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.KeyStreamBlocks(uint64(i), 0, blocks)
+	}
+	b.ReportMetric(float64(blocks*par.T)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 }
 
 // BenchmarkTable3PKEBaseline runs the prior works' workload: RLWE

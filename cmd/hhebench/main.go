@@ -19,9 +19,11 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures")
+	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures, software")
 	nonces := flag.Int("nonces", 5, "nonce samples for cycle averaging (Table II)")
 	encCap := flag.Bool("enc-cap", false, "include client encryption throughput as a cap in Fig. 8")
+	workers := flag.Int("workers", 0, "goroutines for the software experiment (0 = GOMAXPROCS)")
+	blocks := flag.Int("blocks", 256, "CTR blocks per measurement in the software experiment")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs for every experiment into this directory")
 	flag.Parse()
 
@@ -145,6 +147,15 @@ func main() {
 			fatal(err)
 		}
 		eval.RenderCountermeasures(out, rows)
+		fmt.Fprintln(out)
+		ran = true
+	}
+	if want("software") {
+		rows, err := eval.SoftwareThroughput(*workers, *blocks)
+		if err != nil {
+			fatal(err)
+		}
+		eval.RenderSoftware(out, rows)
 		fmt.Fprintln(out)
 		ran = true
 	}

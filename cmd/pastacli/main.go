@@ -28,15 +28,16 @@ func main() {
 	nonce := flag.Uint64("nonce", 0, "public nonce (enc mode; must be unique per key)")
 	in := flag.String("in", "", "input file")
 	outPath := flag.String("out", "", "output file")
+	workers := flag.Int("workers", 0, "keystream worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Parse()
 
-	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath); err != nil {
+	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pastacli:", err)
 		os.Exit(1)
 	}
 }
 
-func run(mode, variant, keySeed string, nonce uint64, in, out string) error {
+func run(mode, variant, keySeed string, nonce uint64, in, out string, workers int) error {
 	if mode != "enc" && mode != "dec" {
 		return fmt.Errorf("-mode must be enc or dec")
 	}
@@ -57,6 +58,7 @@ func run(mode, variant, keySeed string, nonce uint64, in, out string) error {
 	if err != nil {
 		return err
 	}
+	cipher = cipher.WithParallelism(workers)
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err

@@ -10,4 +10,13 @@
 // substitutions, and EXPERIMENTS.md for paper-vs-measured results.
 // Benchmarks in bench_test.go regenerate the evaluation numbers; the
 // binaries under cmd/ print the full tables.
+//
+// The software cipher is itself tuned as a faithful image of the
+// paper's datapath: ff.DotLazy accumulates whole matrix rows in a
+// 128-bit-product carry chain and reduces once per row, mirroring the
+// cryptoprocessor's multiplier bank → adder tree → single reduction
+// unit schedule (Sec. III-C), and the pasta package fans CTR-independent
+// blocks out across cores with pooled, allocation-free workspaces. The
+// sequential path is kept as a reference oracle and the two are tested
+// bit-identical.
 package repro

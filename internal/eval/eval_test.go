@@ -257,3 +257,42 @@ func TestWriteAllCSV(t *testing.T) {
 		}
 	}
 }
+
+func TestSoftwareThroughput(t *testing.T) {
+	rows, err := SoftwareThroughput(2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 (sequential+parallel for each variant)", len(rows))
+	}
+	for _, r := range rows {
+		if r.ElemsPerSec <= 0 || r.Speedup <= 0 {
+			t.Errorf("%s workers=%d: non-positive throughput %v / speedup %v",
+				r.Scheme, r.Workers, r.ElemsPerSec, r.Speedup)
+		}
+		if r.Elems != r.Blocks*blockSizeFor(t, r.Scheme) {
+			t.Errorf("%s: elems = %d for %d blocks", r.Scheme, r.Elems, r.Blocks)
+		}
+	}
+	var sb strings.Builder
+	RenderSoftware(&sb, rows)
+	if !strings.Contains(sb.String(), "SOFTWARE") {
+		t.Error("RenderSoftware output missing header")
+	}
+	if _, err := SoftwareThroughput(1, 0); err == nil {
+		t.Error("SoftwareThroughput accepted zero blocks")
+	}
+}
+
+func blockSizeFor(t *testing.T, scheme string) int {
+	t.Helper()
+	switch scheme {
+	case "PASTA-3":
+		return 128
+	case "PASTA-4":
+		return 32
+	}
+	t.Fatalf("unknown scheme %q", scheme)
+	return 0
+}

@@ -1,0 +1,75 @@
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// SoftwareRow is one measured data point of the pure-software keystream
+// engine: unlike the modelled tables, these numbers come from actually
+// running the cipher on the host CPU, so they quantify the software
+// baseline the paper's accelerator is compared against (Table II's
+// "CPU [9]" column) on *this* machine.
+type SoftwareRow struct {
+	Scheme      string
+	Workers     int // goroutines used (1 = sequential reference path)
+	Blocks      int
+	Elems       int
+	Elapsed     time.Duration
+	ElemsPerSec float64
+	Speedup     float64 // vs the workers=1 row of the same scheme
+}
+
+// SoftwareThroughput runs the keystream engine for PASTA-3 and PASTA-4
+// (ω=17) over `blocks` CTR blocks, once on the sequential reference path
+// and once with the parallel fan-out at `workers` goroutines (0 =
+// GOMAXPROCS). Both paths produce bit-identical keystreams — the
+// equivalence tests in internal/pasta pin that — so the comparison is
+// purely about throughput.
+func SoftwareThroughput(workers, blocks int) ([]SoftwareRow, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("eval: blocks must be positive")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	var rows []SoftwareRow
+	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
+		par := pasta.MustParams(v, ff.P17)
+		c, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, "software-throughput"))
+		if err != nil {
+			return nil, err
+		}
+		// Warm the workspace pool and page in the code paths.
+		c.KeyStream(0, 0)
+
+		var base float64
+		for _, w := range []int{1, workers} {
+			cw := c.WithParallelism(w)
+			start := time.Now()
+			ks := cw.KeyStreamBlocks(1, 0, blocks)
+			elapsed := time.Since(start)
+			eps := float64(len(ks)) / elapsed.Seconds()
+			if w == 1 {
+				base = eps
+			}
+			rows = append(rows, SoftwareRow{
+				Scheme:      v.String(),
+				Workers:     w,
+				Blocks:      blocks,
+				Elems:       len(ks),
+				Elapsed:     elapsed,
+				ElemsPerSec: eps,
+				Speedup:     eps / base,
+			})
+			if w == workers && workers == 1 {
+				break // sequential row already covers it
+			}
+		}
+	}
+	return rows, nil
+}

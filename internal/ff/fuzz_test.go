@@ -25,6 +25,41 @@ func FuzzReduceWideAgainstGeneric(f *testing.F) {
 	})
 }
 
+// splitmix64 expands a fuzz seed into a deterministic element stream (the
+// xof package cannot be used here: it imports ff).
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// FuzzDotLazyAgainstNaive: the lazy-reduction dot product (one wide
+// reduction per row, as in the hardware adder tree) must agree with the
+// naive reduce-every-step Dot across every ReductionKind.
+func FuzzDotLazyAgainstNaive(f *testing.F) {
+	f.Add(uint64(1), uint16(4))
+	f.Add(uint64(42), uint16(128))
+	f.Add(uint64(7), uint16(300))
+	f.Fuzz(func(t *testing.T, seed uint64, n16 uint16) {
+		n := int(n16) % 512
+		for _, m := range []Modulus{P17, P33, P54, P60} {
+			st := seed
+			x, y := NewVec(n), NewVec(n)
+			for i := 0; i < n; i++ {
+				x[i] = splitmix64(&st) % m.P()
+				y[i] = splitmix64(&st) % m.P()
+			}
+			naive := Dot(m, x, y)
+			lazy := DotLazy(m, x, y)
+			if naive != lazy {
+				t.Fatalf("%v: n=%d DotLazy = %d, Dot = %d", m, n, lazy, naive)
+			}
+		}
+	})
+}
+
 // FuzzInverse: x·x⁻¹ = 1 for all nonzero x under every standard modulus.
 func FuzzInverse(f *testing.F) {
 	f.Add(uint64(1))

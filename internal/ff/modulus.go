@@ -9,6 +9,13 @@
 // division. Both the structured reduction and a generic fallback are
 // implemented; they are tested to agree and the structured path is used in
 // hot loops exactly as the hardware uses its add-shift reduction unit.
+//
+// Dot products additionally follow the cryptoprocessor's MatMul schedule
+// (Sec. III-C): the hardware multiplies a full row in a DSP bank, sums the
+// products in an adder tree, and reduces the sum once. DotLazy is the
+// software image of that — it accumulates the 128-bit products into a
+// 192-bit carry chain and performs a single Reduce192 per row, instead of
+// reducing after every multiply-accumulate as the naive Dot oracle does.
 package ff
 
 import (
@@ -55,7 +62,8 @@ type Modulus struct {
 	p    uint64
 	bits uint // bit length of p
 	kind ReductionKind
-	a, b uint // structure exponents: p = 2^a + 1 (Fermat) or 2^a - 2^b + 1 (Solinas)
+	a, b uint   // structure exponents: p = 2^a + 1 (Fermat) or 2^a - 2^b + 1 (Solinas)
+	r128 uint64 // 2^128 mod p, folds the overflow limb of lazy 192-bit accumulators
 }
 
 // NewModulus builds a Modulus for the prime p, automatically detecting a
@@ -73,6 +81,8 @@ func NewModulus(p uint64) (Modulus, error) {
 		return Modulus{}, fmt.Errorf("ff: modulus %d is not prime", p)
 	}
 	m := Modulus{p: p, bits: uint(bits.Len64(p)), kind: Generic}
+	r64 := ^uint64(0)%p + 1 // 2^64 mod p; in [1, p-1] for odd p
+	m.r128 = mulMod(r64, r64, p)
 	if a := uint(bits.TrailingZeros64(p - 1)); p == 1<<a+1 {
 		m.kind = Fermat
 		m.a = a
@@ -188,6 +198,19 @@ func (m Modulus) ReduceWide(hi, lo uint64) uint64 {
 // Reduce reduces a single 64-bit value modulo p.
 func (m Modulus) Reduce(x uint64) uint64 { return m.ReduceWide(0, x) }
 
+// Reduce192 reduces the 192-bit value a2·2^128 + a1·2^64 + a0 modulo p —
+// the single final reduction of a lazily accumulated sum of 128-bit
+// products (see DotLazy). The overflow limb a2 is folded with the
+// precomputed constant 2^128 mod p.
+func (m Modulus) Reduce192(a2, a1, a0 uint64) uint64 {
+	r := m.ReduceWide(a1, a0)
+	if a2 != 0 {
+		hi, lo := bits.Mul64(m.Reduce(a2), m.r128)
+		r = m.Add(r, m.ReduceWide(hi, lo))
+	}
+	return r
+}
+
 // reduceGeneric divides by p. Valid whenever hi < p, which always holds
 // for products of reduced operands (hi ≤ (p-1)²/2^64 < p).
 func (m Modulus) reduceGeneric(hi, lo uint64) uint64 {
@@ -209,6 +232,27 @@ func (m Modulus) reduceGeneric(hi, lo uint64) uint64 {
 func (m Modulus) reduceFermat(hi, lo uint64) uint64 {
 	a := m.a
 	mask := uint64(1)<<a - 1
+	if hi == 0 {
+		// Single-word fast path: the loop runs only while limbs remain.
+		// For the headline p = 65537 a product of reduced operands fits in
+		// 32 bits, so this folds in two iterations instead of eight.
+		var pos, neg uint64
+		sign := false
+		for x := lo; x != 0; x >>= a {
+			if sign {
+				neg += x & mask
+			} else {
+				pos += x & mask
+			}
+			sign = !sign
+		}
+		pos += (neg/m.p + 1) * m.p
+		r := pos - neg
+		if r >= m.p {
+			r %= m.p
+		}
+		return r
+	}
 	// Accumulate alternating limbs. For a ≥ 16 and 128-bit input at most
 	// 8 limbs occur; sums stay far below 2^64 (each limb < 2^a ≤ 2^59).
 	var pos, neg uint64

@@ -1,6 +1,9 @@
 package ff
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Vec is a vector of reduced field elements. Operations take the Modulus
 // explicitly so the same storage works across parameter sets.
@@ -50,14 +53,34 @@ func ScaleVec(m Modulus, dst Vec, c uint64, x Vec) {
 	}
 }
 
-// Dot returns the inner product <x, y> mod p — the operation performed by
-// the MatMul unit's multiplier bank plus adder tree for one matrix row.
+// Dot returns the inner product <x, y> mod p, reducing after every
+// multiply. It is the naive reference for DotLazy and is kept as the
+// oracle the lazy path is property-tested against.
 func Dot(m Modulus, x, y Vec) uint64 {
 	var acc uint64
 	for i := range x {
 		acc = m.Add(acc, m.Mul(x[i], y[i]))
 	}
 	return acc
+}
+
+// DotLazy returns the inner product <x, y> mod p with lazy reduction: the
+// 128-bit products are accumulated un-reduced in a 192-bit carry chain
+// (bits.Add64) and reduced exactly once at the end. This is the software
+// mirror of the hardware MatMul schedule (Sec. III-C): a bank of t
+// multipliers feeds an adder tree whose wide sum passes through the
+// add-shift reduction unit a single time per matrix row.
+func DotLazy(m Modulus, x, y Vec) uint64 {
+	var a0, a1, a2 uint64 // accumulator a2·2^128 + a1·2^64 + a0
+	y = y[:len(x)]
+	for i := range x {
+		hi, lo := bits.Mul64(x[i], y[i])
+		var c uint64
+		a0, c = bits.Add64(a0, lo, 0)
+		a1, c = bits.Add64(a1, hi, c)
+		a2 += c
+	}
+	return m.Reduce192(a2, a1, a0)
 }
 
 // Matrix is a dense t×t matrix over F_p in row-major order.
@@ -91,7 +114,7 @@ func (a *Matrix) MulVec(m Modulus, dst, x Vec) {
 		panic(fmt.Sprintf("ff: MulVec dimension mismatch: matrix %d, dst %d, x %d", a.N, len(dst), len(x)))
 	}
 	for i := 0; i < a.N; i++ {
-		dst[i] = Dot(m, a.Row(i), x)
+		dst[i] = DotLazy(m, a.Row(i), x)
 	}
 }
 

@@ -199,3 +199,66 @@ func TestPackedSizeMatchesPaperAccounting(t *testing.T) {
 		t.Errorf("32×33 bits = %d bytes, want 132", got)
 	}
 }
+
+// TestDotLazyMatchesNaive: deterministic coverage of the lazy-reduction
+// dot product against the reduce-every-step oracle, including the
+// worst-case accumulator magnitudes (all elements p-1) that overflow the
+// 128-bit accumulator into the 2^128 limb for long rows.
+func TestDotLazyMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		for _, n := range []int{0, 1, 2, 31, 32, 128, 129, 1024, 4096} {
+			x, y := randVec(rng, m, n), randVec(rng, m, n)
+			if got, want := DotLazy(m, x, y), Dot(m, x, y); got != want {
+				t.Fatalf("%v n=%d: DotLazy = %d, Dot = %d", m, n, got, want)
+			}
+			// Worst case: every product is (p-1)², maximizing carries.
+			for i := range x {
+				x[i], y[i] = m.P()-1, m.P()-1
+			}
+			if got, want := DotLazy(m, x, y), Dot(m, x, y); got != want {
+				t.Fatalf("%v n=%d max: DotLazy = %d, Dot = %d", m, n, got, want)
+			}
+		}
+	}
+}
+
+// TestReduce192 pins the overflow-limb fold: a2·2^128 + a1·2^64 + a0 must
+// reduce identically to the sum computed with the naive oracle.
+func TestReduce192(t *testing.T) {
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		for _, tc := range [][3]uint64{
+			{0, 0, 0},
+			{0, 0, m.P() - 1},
+			{0, ^uint64(0), ^uint64(0)},
+			{1, 0, 0},
+			{3, ^uint64(0), ^uint64(0)},
+			{^uint64(0) >> 8, 12345, 67890},
+		} {
+			a2, a1, a0 := tc[0], tc[1], tc[2]
+			// Oracle: (a2·(2^128 mod p) + a1·(2^64 mod p) + a0) mod p via
+			// repeated naive folds.
+			r64 := m.Reduce(^uint64(0))
+			r64 = m.Add(r64, 1)
+			r128 := m.Mul(r64, r64)
+			want := m.Add(m.Add(m.Mul(m.Reduce(a2), r128), m.Mul(m.Reduce(a1), r64)), m.Reduce(a0))
+			if got := m.Reduce192(a2, a1, a0); got != want {
+				t.Fatalf("%v: Reduce192(%d, %d, %d) = %d, want %d", m, a2, a1, a0, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkDotNaive(b *testing.B) { benchDot(b, Dot) }
+func BenchmarkDotLazy(b *testing.B)  { benchDot(b, DotLazy) }
+
+func benchDot(b *testing.B, dot func(Modulus, Vec, Vec) uint64) {
+	m := P17
+	rng := rand.New(rand.NewSource(13))
+	x, y := randVec(rng, m, 128), randVec(rng, m, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dot(m, x, y)
+	}
+}

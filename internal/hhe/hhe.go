@@ -118,6 +118,47 @@ func (c *Client) EncryptBlock(nonce, block uint64, msg ff.Vec) (ff.Vec, error) {
 	return c.cipher.EncryptBlock(nonce, block, msg)
 }
 
+// Encrypt symmetrically encrypts an arbitrary-length message through the
+// parallel keystream engine (keystream blocks are CTR-independent and fan
+// out over the cipher's worker pool).
+func (c *Client) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	return c.cipher.Encrypt(nonce, msg)
+}
+
+// DecryptSymmetric inverts Encrypt on the symmetric (PASTA) side — the
+// sanity path a client uses to check a ciphertext locally; the server
+// never holds this key and transciphers instead.
+func (c *Client) DecryptSymmetric(nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	return c.cipher.Decrypt(nonce, ct)
+}
+
+// PrecomputeKeystream computes the keystream for blocks [0, blocks) of
+// the nonce in parallel, concatenated block-major. Because the keystream
+// depends only on (key, nonce, counter), a client can generate it before
+// the data to encrypt exists and later mask messages with a cheap
+// elementwise addition — the latency-hiding trick CTR-style HHE clients
+// (and Presto's batched pipeline) rely on.
+func (c *Client) PrecomputeKeystream(nonce uint64, blocks int) ff.Vec {
+	return c.cipher.KeyStreamBlocks(nonce, 0, blocks)
+}
+
+// MaskWith encrypts msg using a precomputed keystream slice (from
+// PrecomputeKeystream): ct[i] = msg[i] + ks[i] mod p.
+func (c *Client) MaskWith(ks, msg ff.Vec) (ff.Vec, error) {
+	if len(ks) < len(msg) {
+		return nil, fmt.Errorf("hhe: precomputed keystream has %d elements, message %d", len(ks), len(msg))
+	}
+	p := c.params.Pasta.Mod.P()
+	ct := ff.NewVec(len(msg))
+	for i := range msg {
+		if msg[i] >= p {
+			return nil, fmt.Errorf("hhe: message element %d = %d out of range", i, msg[i])
+		}
+		ct[i] = c.params.Pasta.Mod.Add(msg[i], ks[i])
+	}
+	return ct, nil
+}
+
 // DecryptResult decrypts BFV ciphertexts returned by the server.
 func (c *Client) DecryptResult(cts []*bfv.Ciphertext) ff.Vec {
 	out := ff.NewVec(len(cts))

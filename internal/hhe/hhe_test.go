@@ -142,3 +142,53 @@ func TestValidation(t *testing.T) {
 		t.Fatal("oversized symmetric block accepted")
 	}
 }
+
+// TestClientPrecomputedKeystream: masking with a precomputed keystream
+// must equal on-the-fly bulk encryption, and the server must transcipher
+// such ciphertexts exactly as any other.
+func TestClientPrecomputedKeystream(t *testing.T) {
+	client, server, par := setup(t, 2, 1)
+	tt := par.Pasta.T
+	msg := ff.Vec{11, 22, 33, 44, 55}[:tt+1] // spans two blocks
+	nonce := uint64(6)
+
+	ks := client.PrecomputeKeystream(nonce, 2)
+	if len(ks) != 2*tt {
+		t.Fatalf("precomputed keystream has %d elements, want %d", len(ks), 2*tt)
+	}
+	fromKS, err := client.MaskWith(ks, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := client.Encrypt(nonce, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fromKS.Equal(direct) {
+		t.Fatal("precomputed-keystream encryption differs from bulk Encrypt")
+	}
+	back, err := client.DecryptSymmetric(nonce, fromKS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(msg) {
+		t.Fatal("symmetric decrypt failed")
+	}
+
+	// Transcipher the first block of the precomputed-keystream ciphertext.
+	cts, err := server.Transcipher(nonce, 0, fromKS[:tt])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := client.DecryptResult(cts); !got.Equal(msg[:tt]) {
+		t.Fatalf("transciphered precomputed block = %v, want %v", got, msg[:tt])
+	}
+
+	// Validation paths.
+	if _, err := client.MaskWith(ks[:1], msg); err == nil {
+		t.Fatal("short keystream accepted")
+	}
+	if _, err := client.MaskWith(ks, ff.Vec{par.Pasta.Mod.P()}); err == nil {
+		t.Fatal("out-of-range message accepted")
+	}
+}

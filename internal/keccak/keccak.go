@@ -23,6 +23,8 @@ var roundConstants = [24]uint64{
 }
 
 // rhoOffsets[x][y] is the rotation amount of lane (x, y) in the rho step.
+// The unrolled Round body below is generated from this table; it is kept
+// as the normative reference for the constants.
 var rhoOffsets = [5][5]uint{
 	{0, 36, 3, 41, 18},
 	{1, 44, 10, 45, 2},
@@ -44,35 +46,100 @@ func (s *State) Permute() {
 
 // Round applies a single Keccak-f round (theta, rho, pi, chi, iota) in
 // place. Exposed so the hardware model can step one round per clock cycle,
-// exactly as the paper's 24cc-per-permutation unit does.
+// exactly as the paper's 24cc-per-permutation unit does. The steps are
+// fully unrolled (constant indices, no modular index arithmetic): SHAKE is
+// the throughput bottleneck of the whole datapath (Sec. IV-B), in software
+// no less than in the paper's hardware.
 func (s *State) Round(round int) {
 	// theta
-	var c [5]uint64
-	for x := 0; x < 5; x++ {
-		c[x] = s[x] ^ s[x+5] ^ s[x+10] ^ s[x+15] ^ s[x+20]
-	}
-	var d [5]uint64
-	for x := 0; x < 5; x++ {
-		d[x] = c[(x+4)%5] ^ bits.RotateLeft64(c[(x+1)%5], 1)
-	}
-	for x := 0; x < 5; x++ {
-		for y := 0; y < 5; y++ {
-			s[x+5*y] ^= d[x]
-		}
-	}
+	c0 := s[0] ^ s[5] ^ s[10] ^ s[15] ^ s[20]
+	c1 := s[1] ^ s[6] ^ s[11] ^ s[16] ^ s[21]
+	c2 := s[2] ^ s[7] ^ s[12] ^ s[17] ^ s[22]
+	c3 := s[3] ^ s[8] ^ s[13] ^ s[18] ^ s[23]
+	c4 := s[4] ^ s[9] ^ s[14] ^ s[19] ^ s[24]
+	d0 := c4 ^ bits.RotateLeft64(c1, 1)
+	d1 := c0 ^ bits.RotateLeft64(c2, 1)
+	d2 := c1 ^ bits.RotateLeft64(c3, 1)
+	d3 := c2 ^ bits.RotateLeft64(c4, 1)
+	d4 := c3 ^ bits.RotateLeft64(c0, 1)
+	s[0] ^= d0
+	s[1] ^= d1
+	s[2] ^= d2
+	s[3] ^= d3
+	s[4] ^= d4
+	s[5] ^= d0
+	s[6] ^= d1
+	s[7] ^= d2
+	s[8] ^= d3
+	s[9] ^= d4
+	s[10] ^= d0
+	s[11] ^= d1
+	s[12] ^= d2
+	s[13] ^= d3
+	s[14] ^= d4
+	s[15] ^= d0
+	s[16] ^= d1
+	s[17] ^= d2
+	s[18] ^= d3
+	s[19] ^= d4
+	s[20] ^= d0
+	s[21] ^= d1
+	s[22] ^= d2
+	s[23] ^= d3
+	s[24] ^= d4
 	// rho and pi
 	var b State
-	for x := 0; x < 5; x++ {
-		for y := 0; y < 5; y++ {
-			b[y+5*((2*x+3*y)%5)] = bits.RotateLeft64(s[x+5*y], int(rhoOffsets[x][y]))
-		}
-	}
+	b[0] = s[0]
+	b[16] = bits.RotateLeft64(s[5], 36)
+	b[7] = bits.RotateLeft64(s[10], 3)
+	b[23] = bits.RotateLeft64(s[15], 41)
+	b[14] = bits.RotateLeft64(s[20], 18)
+	b[10] = bits.RotateLeft64(s[1], 1)
+	b[1] = bits.RotateLeft64(s[6], 44)
+	b[17] = bits.RotateLeft64(s[11], 10)
+	b[8] = bits.RotateLeft64(s[16], 45)
+	b[24] = bits.RotateLeft64(s[21], 2)
+	b[20] = bits.RotateLeft64(s[2], 62)
+	b[11] = bits.RotateLeft64(s[7], 6)
+	b[2] = bits.RotateLeft64(s[12], 43)
+	b[18] = bits.RotateLeft64(s[17], 15)
+	b[9] = bits.RotateLeft64(s[22], 61)
+	b[5] = bits.RotateLeft64(s[3], 28)
+	b[21] = bits.RotateLeft64(s[8], 55)
+	b[12] = bits.RotateLeft64(s[13], 25)
+	b[3] = bits.RotateLeft64(s[18], 21)
+	b[19] = bits.RotateLeft64(s[23], 56)
+	b[15] = bits.RotateLeft64(s[4], 27)
+	b[6] = bits.RotateLeft64(s[9], 20)
+	b[22] = bits.RotateLeft64(s[14], 39)
+	b[13] = bits.RotateLeft64(s[19], 8)
+	b[4] = bits.RotateLeft64(s[24], 14)
 	// chi
-	for x := 0; x < 5; x++ {
-		for y := 0; y < 5; y++ {
-			s[x+5*y] = b[x+5*y] ^ (^b[(x+1)%5+5*y] & b[(x+2)%5+5*y])
-		}
-	}
+	s[0] = b[0] ^ (^b[1] & b[2])
+	s[1] = b[1] ^ (^b[2] & b[3])
+	s[2] = b[2] ^ (^b[3] & b[4])
+	s[3] = b[3] ^ (^b[4] & b[0])
+	s[4] = b[4] ^ (^b[0] & b[1])
+	s[5] = b[5] ^ (^b[6] & b[7])
+	s[6] = b[6] ^ (^b[7] & b[8])
+	s[7] = b[7] ^ (^b[8] & b[9])
+	s[8] = b[8] ^ (^b[9] & b[5])
+	s[9] = b[9] ^ (^b[5] & b[6])
+	s[10] = b[10] ^ (^b[11] & b[12])
+	s[11] = b[11] ^ (^b[12] & b[13])
+	s[12] = b[12] ^ (^b[13] & b[14])
+	s[13] = b[13] ^ (^b[14] & b[10])
+	s[14] = b[14] ^ (^b[10] & b[11])
+	s[15] = b[15] ^ (^b[16] & b[17])
+	s[16] = b[16] ^ (^b[17] & b[18])
+	s[17] = b[17] ^ (^b[18] & b[19])
+	s[18] = b[18] ^ (^b[19] & b[15])
+	s[19] = b[19] ^ (^b[15] & b[16])
+	s[20] = b[20] ^ (^b[21] & b[22])
+	s[21] = b[21] ^ (^b[22] & b[23])
+	s[22] = b[22] ^ (^b[23] & b[24])
+	s[23] = b[23] ^ (^b[24] & b[20])
+	s[24] = b[24] ^ (^b[20] & b[21])
 	// iota
 	s[0] ^= roundConstants[round]
 }
@@ -99,6 +166,11 @@ type Shake struct {
 
 // NewShake128 returns a SHAKE128 instance.
 func NewShake128() *Shake { return &Shake{rate: Rate128} }
+
+// Reset returns the sponge to its freshly constructed state so the same
+// allocation can absorb a new input. Used by pooled XOF samplers to keep
+// the steady-state keystream path allocation-free.
+func (d *Shake) Reset() { *d = Shake{rate: d.rate} }
 
 // NewShake256 returns a SHAKE256 instance.
 func NewShake256() *Shake { return &Shake{rate: Rate256} }
@@ -175,8 +247,22 @@ func (d *Shake) Read(p []byte) (int, error) {
 
 // NextWord squeezes one 64-bit little-endian word — the granularity at
 // which the hardware XOF unit emits data ("one 64-bit coefficient per
-// clock cycle").
+// clock cycle"). When the read position is lane-aligned (always, for
+// word-granular consumers like the PASTA sampler) the word is taken
+// straight from the state, skipping the byte-at-a-time extraction.
 func (d *Shake) NextWord() uint64 {
+	if !d.squeezing {
+		d.pad()
+	}
+	if d.readPos == d.rate {
+		d.state.Permute()
+		d.readPos = 0
+	}
+	if d.readPos%8 == 0 && d.rate-d.readPos >= 8 {
+		w := d.state[d.readPos/8]
+		d.readPos += 8
+		return w
+	}
 	var b [8]byte
 	_, _ = d.Read(b[:])
 	return le64(b[:])

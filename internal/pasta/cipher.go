@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/ff"
 	"repro/internal/xof"
@@ -53,10 +54,20 @@ func (k Key) Validate(p Params) error {
 }
 
 // Cipher is a PASTA instance bound to a key. It is safe for concurrent
-// use: all methods are read-only with respect to the receiver.
+// use: params and key are read-only after construction and all scratch
+// lives in a sync.Pool, so any number of goroutines may call KeyStream,
+// Encrypt, Decrypt, … on one shared *Cipher (proven by the -race tests).
+// Stream values obtained from EncryptStream/DecryptStream are the one
+// exception: each Stream is single-goroutine.
+//
+// Bulk Encrypt/Decrypt exploit the CTR-style independence of keystream
+// blocks by fanning them out over worker goroutines; see WithParallelism
+// for the knob (default: runtime.GOMAXPROCS).
 type Cipher struct {
-	par Params
-	key Key
+	par     Params
+	key     Key
+	workers int       // bulk-path worker count; ≤ 0 means GOMAXPROCS
+	pool    sync.Pool // *workspace; New left nil, see getWorkspace
 }
 
 // NewCipher builds a cipher after validating params and key.
@@ -78,11 +89,12 @@ func (c *Cipher) Params() Params { return c.par }
 func (c *Cipher) Key() Key { return Key(ff.Vec(c.key).Clone()) }
 
 // KeyStream computes the keystream block KS = Trunc(π(K, nonce, block)):
-// t field elements.
+// t field elements. Allocation-sensitive callers should prefer
+// KeyStreamInto, which writes into a caller-provided buffer.
 func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
-	s := xof.NewSampler(c.par.Mod, nonce, block)
-	state := c.Permute(s)
-	return state[:c.par.T].Clone()
+	ks := ff.NewVec(c.par.T)
+	c.KeyStreamInto(ks, nonce, block)
+	return ks
 }
 
 // EncryptBlock encrypts up to t field elements with the keystream of the
@@ -119,7 +131,9 @@ func (c *Cipher) DecryptBlock(nonce, block uint64, ct ff.Vec) (ff.Vec, error) {
 }
 
 // Encrypt encrypts an arbitrary-length message, consuming one keystream
-// block of t elements per chunk, with block counters 0, 1, 2, …
+// block of t elements per chunk, with block counters 0, 1, 2, … Blocks
+// are computed in parallel (see WithParallelism); the output is
+// bit-identical to EncryptSequential.
 func (c *Cipher) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
 	return c.stream(nonce, msg, true)
 }
@@ -129,28 +143,30 @@ func (c *Cipher) Decrypt(nonce uint64, ct ff.Vec) (ff.Vec, error) {
 	return c.stream(nonce, ct, false)
 }
 
+// EncryptSequential is the single-threaded reference oracle: one block at
+// a time, counters ascending. The parallel Encrypt is property-tested to
+// be bit-identical to it.
+func (c *Cipher) EncryptSequential(nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	return c.streamSequential(nonce, msg, true)
+}
+
+// DecryptSequential is the single-threaded reference oracle for Decrypt.
+func (c *Cipher) DecryptSequential(nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	return c.streamSequential(nonce, ct, false)
+}
+
 func (c *Cipher) stream(nonce uint64, in ff.Vec, encrypt bool) (ff.Vec, error) {
 	out := ff.NewVec(len(in))
-	t := c.par.T
-	for block := 0; block*t < len(in); block++ {
-		lo := block * t
-		hi := lo + t
-		if hi > len(in) {
-			hi = len(in)
-		}
-		var (
-			chunk ff.Vec
-			err   error
-		)
-		if encrypt {
-			chunk, err = c.EncryptBlock(nonce, uint64(block), in[lo:hi])
-		} else {
-			chunk, err = c.DecryptBlock(nonce, uint64(block), in[lo:hi])
-		}
-		if err != nil {
-			return nil, fmt.Errorf("pasta: block %d: %w", block, err)
-		}
-		copy(out[lo:hi], chunk)
+	if err := c.fanOut(nonce, in, out, c.NumBlocks(len(in)), encrypt); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (c *Cipher) streamSequential(nonce uint64, in ff.Vec, encrypt bool) (ff.Vec, error) {
+	out := ff.NewVec(len(in))
+	if err := c.runBlocks(nonce, in, out, 0, 1, c.NumBlocks(len(in)), encrypt); err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -166,22 +182,10 @@ func (c *Cipher) NumBlocks(n int) int { return (n + c.par.T - 1) / c.par.T }
 // and the homomorphic decryption circuit must replay the identical
 // schedule of XOF consumption.
 func (c *Cipher) Permute(s *xof.Sampler) ff.Vec {
-	state := ff.Vec(c.key).Clone()
-	t := c.par.T
-	for layer := 0; layer < c.par.AffineLayers(); layer++ {
-		ad := DeriveAffineLayer(c.par, s)
-		ApplyAffine(c.par.Mod, state[:t], ad.MatSeedL, ad.RCL)
-		ApplyAffine(c.par.Mod, state[t:], ad.MatSeedR, ad.RCR)
-		Mix(c.par.Mod, state)
-		switch {
-		case layer < c.par.Rounds-1:
-			SboxFeistel(c.par.Mod, state)
-		case layer == c.par.Rounds-1:
-			SboxCube(c.par.Mod, state)
-		default:
-			// Final affine layer: no S-box; caller truncates.
-		}
-	}
+	ws := c.getWorkspace()
+	c.permuteInto(s, ws)
+	state := ws.state.Clone()
+	c.putWorkspace(ws)
 	return state
 }
 
@@ -221,17 +225,10 @@ func DeriveSchedule(p Params, nonce, block uint64) []AffineLayer {
 // ApplyAffine computes half ← M(seed)·half + rc in place, expanding the
 // invertible matrix row by row exactly as the hardware does: only the
 // seed row and the previous row are ever stored (the memory-efficiency
-// point of Sec. III-C).
+// point of Sec. III-C). Convenience wrapper around ApplyAffineInto that
+// allocates its own scratch; hot paths use the Into variant.
 func ApplyAffine(m ff.Modulus, half, seed, rc ff.Vec) {
-	t := len(half)
-	out := ff.NewVec(t)
-	row := seed.Clone()
-	out[0] = m.Add(ff.Dot(m, row, half), rc[0])
-	for i := 1; i < t; i++ {
-		row = NextMatrixRow(m, seed, row)
-		out[i] = m.Add(ff.Dot(m, row, half), rc[i])
-	}
-	copy(half, out)
+	ApplyAffineInto(m, half, seed, rc, NewAffineScratch(len(half)))
 }
 
 // NextMatrixRow advances the sequential invertible-matrix recurrence of
@@ -241,15 +238,10 @@ func ApplyAffine(m ff.Modulus, half, seed, rc ff.Vec) {
 //	next[j] = r[j-1] + r[t-1]·α[j]   (j ≥ 1)
 //
 // i.e. one multiply-accumulate per output element — the operation of the
-// hardware MatGen MAC unit.
+// hardware MatGen MAC unit. Allocating wrapper around NextMatrixRowInto.
 func NextMatrixRow(m ff.Modulus, seed, row ff.Vec) ff.Vec {
-	t := len(row)
-	next := ff.NewVec(t)
-	last := row[t-1]
-	next[0] = m.Mul(last, seed[0])
-	for j := 1; j < t; j++ {
-		next[j] = m.MulAdd(last, seed[j], row[j-1])
-	}
+	next := ff.NewVec(len(row))
+	NextMatrixRowInto(m, seed, row, next)
 	return next
 }
 

@@ -1,0 +1,252 @@
+package pasta
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestParallelMatchesSequentialGolden: the parallel Encrypt/Decrypt fan-out
+// must be bit-identical to the sequential oracle for PASTA-3 and PASTA-4
+// across every supported prime, including message lengths that are not a
+// multiple of the block size t (partial final block) and shorter than t.
+func TestParallelMatchesSequentialGolden(t *testing.T) {
+	for _, v := range []Variant{Pasta3, Pasta4} {
+		for width, mod := range ff.StandardModuli {
+			v, mod, width := v, mod, width
+			t.Run(fmt.Sprintf("%v-w%d", v, width), func(t *testing.T) {
+				t.Parallel()
+				par := MustParams(v, mod)
+				c, err := NewCipher(par, KeyFromSeed(par, "equiv"))
+				if err != nil {
+					t.Fatal(err)
+				}
+				par4 := c.WithParallelism(4)
+				rng := rand.New(rand.NewSource(int64(width)))
+				for _, n := range []int{0, 1, par.T - 1, par.T, par.T + 1, 3*par.T + 5} {
+					msg := ff.NewVec(n)
+					for i := range msg {
+						msg[i] = rng.Uint64() % mod.P()
+					}
+					wantCT, err := c.EncryptSequential(77, msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotCT, err := par4.Encrypt(77, msg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !gotCT.Equal(wantCT) {
+						t.Fatalf("n=%d: parallel Encrypt differs from sequential oracle", n)
+					}
+					wantPT, err := c.DecryptSequential(77, wantCT)
+					if err != nil {
+						t.Fatal(err)
+					}
+					gotPT, err := par4.Decrypt(77, gotCT)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !gotPT.Equal(wantPT) || !gotPT.Equal(msg) {
+						t.Fatalf("n=%d: parallel Decrypt differs from sequential oracle", n)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestParallelismKnob: every worker count gives the same ciphertext, and
+// the knob is reported back.
+func TestParallelismKnob(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "knob"))
+	msg := ff.NewVec(10*par.T + 3)
+	for i := range msg {
+		msg[i] = uint64(i*7) % par.Mod.P()
+	}
+	want, err := c.EncryptSequential(3, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		cw := c.WithParallelism(workers)
+		if cw.Parallelism() != workers {
+			t.Fatalf("Parallelism() = %d, want %d", cw.Parallelism(), workers)
+		}
+		got, err := cw.Encrypt(3, msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("workers=%d: ciphertext differs", workers)
+		}
+	}
+}
+
+// TestParallelRangeValidation: out-of-range elements are rejected on the
+// parallel path just as on the sequential one.
+func TestParallelRangeValidation(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "val"))
+	msg := ff.NewVec(4 * par.T)
+	msg[3*par.T+1] = par.Mod.P() // out of range, in a late block
+	if _, err := c.WithParallelism(4).Encrypt(0, msg); err == nil {
+		t.Fatal("parallel Encrypt accepted out-of-range element")
+	}
+	if _, err := c.EncryptSequential(0, msg); err == nil {
+		t.Fatal("sequential Encrypt accepted out-of-range element")
+	}
+}
+
+// TestKeyStreamBlocks: the parallel block precomputation matches per-block
+// KeyStream calls, for aligned and unaligned first counters.
+func TestKeyStreamBlocks(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "blocks"))
+	for _, first := range []uint64{0, 5} {
+		const count = 7
+		got := c.KeyStreamBlocks(11, first, count)
+		if len(got) != count*par.T {
+			t.Fatalf("KeyStreamBlocks returned %d elements, want %d", len(got), count*par.T)
+		}
+		for b := 0; b < count; b++ {
+			want := c.KeyStream(11, first+uint64(b))
+			if !got[b*par.T : (b+1)*par.T].Equal(want) {
+				t.Fatalf("first=%d block %d differs from KeyStream", first, b)
+			}
+		}
+	}
+	if got := c.KeyStreamBlocks(11, 0, 0); len(got) != 0 {
+		t.Fatalf("zero-count precompute returned %d elements", len(got))
+	}
+}
+
+// TestStreamMatchesBulk: processing a message through the Stream API in
+// arbitrary chunk sizes equals the bulk (block-at-a-time) Encrypt, and the
+// decrypt stream inverts it.
+func TestStreamMatchesBulk(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "stream"))
+	msg := ff.NewVec(5*par.T + 9)
+	for i := range msg {
+		msg[i] = uint64(i*13) % par.Mod.P()
+	}
+	want, err := c.Encrypt(21, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunks := range [][]int{
+		{len(msg)},
+		{1, 2, 3, 5, 7, 11, 13, len(msg)}, // ragged, cut short by the loop
+		{par.T, par.T, len(msg)},
+	} {
+		s := c.EncryptStream(21)
+		got := ff.NewVec(len(msg))
+		off := 0
+		for _, n := range chunks {
+			if off+n > len(msg) {
+				n = len(msg) - off
+			}
+			if err := s.Process(got[off:off+n], msg[off:off+n]); err != nil {
+				t.Fatal(err)
+			}
+			off += n
+			if off == len(msg) {
+				break
+			}
+		}
+		if off != len(msg) {
+			if err := s.Process(got[off:], msg[off:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if !got.Equal(want) {
+			t.Fatalf("chunks %v: stream output differs from bulk Encrypt", chunks)
+		}
+		if p := s.Position(); p != uint64(len(msg)) {
+			t.Fatalf("chunks %v: Position() = %d, want %d", chunks, p, len(msg))
+		}
+		d := c.DecryptStream(21)
+		back := ff.NewVec(len(msg))
+		if err := d.Process(back, got); err != nil {
+			t.Fatal(err)
+		}
+		if !back.Equal(msg) {
+			t.Fatal("decrypt stream did not invert encrypt stream")
+		}
+	}
+	// In-place (dst aliases src) and validation.
+	s := c.EncryptStream(21)
+	buf := msg.Clone()
+	if err := s.Process(buf, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !buf.Equal(want) {
+		t.Fatal("in-place stream output differs")
+	}
+	if err := c.EncryptStream(0).Process(ff.NewVec(1), ff.Vec{par.Mod.P()}); err == nil {
+		t.Fatal("stream accepted out-of-range element")
+	}
+	if err := c.EncryptStream(0).Process(ff.NewVec(0), ff.NewVec(1)); err == nil {
+		t.Fatal("stream accepted short dst")
+	}
+}
+
+// BenchmarkKeyStreamInto measures the steady-state permutation with
+// pooled scratch; the point of the allocation-free engine is the 0
+// allocs/op this reports.
+func BenchmarkKeyStreamIntoPasta3(b *testing.B) { benchKeyStreamInto(b, Pasta3) }
+func BenchmarkKeyStreamIntoPasta4(b *testing.B) { benchKeyStreamInto(b, Pasta4) }
+
+func benchKeyStreamInto(b *testing.B, v Variant) {
+	par := MustParams(v, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "bench"))
+	ks := ff.NewVec(par.T)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.KeyStreamInto(ks, uint64(i), 0)
+	}
+	b.ReportMetric(float64(par.T)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+// BenchmarkEncryptParallel exercises the worker-pool fan-out over a
+// 64-block message; -cpu 1,2,4 shows the multi-core scaling.
+func BenchmarkEncryptParallel(b *testing.B) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "bench"))
+	msg := ff.NewVec(64 * par.T)
+	for i := range msg {
+		msg[i] = uint64(i) % par.Mod.P()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Encrypt(uint64(i), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(msg))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}
+
+// BenchmarkEncryptSequentialOracle is the single-threaded baseline for
+// BenchmarkEncryptParallel.
+func BenchmarkEncryptSequentialOracle(b *testing.B) {
+	par := MustParams(Pasta4, ff.P17)
+	c, _ := NewCipher(par, KeyFromSeed(par, "bench"))
+	msg := ff.NewVec(64 * par.T)
+	for i := range msg {
+		msg[i] = uint64(i) % par.Mod.P()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncryptSequential(uint64(i), msg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(msg))*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
+}

@@ -1,0 +1,88 @@
+package pasta
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestCipherConcurrentUse hammers one shared *Cipher from many goroutines
+// mixing every public entry point. The doc comment claims the cipher is
+// safe for concurrent use; this test (run under -race in CI) proves it —
+// the pooled workspaces must never be visible to two goroutines at once.
+func TestCipherConcurrentUse(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, err := NewCipher(par, KeyFromSeed(par, "race"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := ff.NewVec(3*par.T + 7)
+	for i := range msg {
+		msg[i] = uint64(i) % par.Mod.P()
+	}
+	wantKS := c.KeyStream(5, 0)
+	wantCT, err := c.EncryptSequential(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const goroutines = 16
+	const iters = 8
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ks := ff.NewVec(par.T)
+			for i := 0; i < iters; i++ {
+				switch (g + i) % 4 {
+				case 0:
+					if !c.KeyStream(5, 0).Equal(wantKS) {
+						errc <- errKeystreamDrift
+						return
+					}
+				case 1:
+					c.KeyStreamInto(ks, 5, 0)
+					if !ks.Equal(wantKS) {
+						errc <- errKeystreamDrift
+						return
+					}
+				case 2:
+					ct, err := c.Encrypt(9, msg)
+					if err != nil {
+						errc <- err
+						return
+					}
+					if !ct.Equal(wantCT) {
+						errc <- errKeystreamDrift
+						return
+					}
+				case 3:
+					s := c.EncryptStream(9)
+					out := ff.NewVec(len(msg))
+					if err := s.Process(out, msg); err != nil {
+						errc <- err
+						return
+					}
+					if !out.Equal(wantCT) {
+						errc <- errKeystreamDrift
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+var errKeystreamDrift = &driftError{}
+
+type driftError struct{}
+
+func (*driftError) Error() string { return "concurrent result differs from single-threaded result" }

@@ -51,6 +51,20 @@ func NewSampler(mod ff.Modulus, nonce, counter uint64) *Sampler {
 	return &Sampler{shake: d, mod: mod, mask: mod.Mask()}
 }
 
+// Reseed resets the sampler in place to the nonce‖counter seeding of
+// NewSampler, reusing the underlying Keccak state. Together with
+// VectorInto this lets a pooled sampler serve an unbounded stream of
+// keystream blocks without allocating.
+func (s *Sampler) Reseed(nonce, counter uint64) {
+	s.shake.Reset()
+	var seed [16]byte
+	binary.BigEndian.PutUint64(seed[0:8], nonce)
+	binary.BigEndian.PutUint64(seed[8:16], counter)
+	_, _ = s.shake.Write(seed[:])
+	s.WordsDrawn = 0
+	s.Rejected = 0
+}
+
 // NewSamplerBytes seeds SHAKE128 with an arbitrary byte seed. Used for
 // key derivation in tests and examples; the cipher's public randomness
 // always uses NewSampler (nonce‖counter).
@@ -109,6 +123,13 @@ func (s *Sampler) NextNonzero() uint64 {
 // leadingNonzero is set, element 0 is drawn from [1, p).
 func (s *Sampler) Vector(n int, leadingNonzero bool) ff.Vec {
 	v := ff.NewVec(n)
+	s.VectorInto(v, leadingNonzero)
+	return v
+}
+
+// VectorInto fills v with uniform elements, drawing in the same order as
+// Vector, without allocating.
+func (s *Sampler) VectorInto(v ff.Vec, leadingNonzero bool) {
 	for i := range v {
 		if i == 0 && leadingNonzero {
 			v[i] = s.NextNonzero()
@@ -116,7 +137,6 @@ func (s *Sampler) Vector(n int, leadingNonzero bool) ff.Vec {
 			v[i] = s.Next()
 		}
 	}
-	return v
 }
 
 // Modulus returns the sampler's field modulus.
