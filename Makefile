@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke ci clean
 
 all: build
 
@@ -28,6 +28,22 @@ bench:
 # One iteration of every benchmark: catches bit-rot in benchmark code.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Machine-readable benchmark reports: the RLWE/BFV fast-path numbers
+# (NTT, polynomial products, encryption) and the PASTA keystream numbers,
+# each as JSON via cmd/benchjson for CI diffing.
+bench-json:
+	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
+		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream' -benchmem \
+		./internal/pasta . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+
+# Short fuzz runs of the differential harnesses: the lazy NTT product
+# against the schoolbook oracle, and the structured modular reductions
+# against the generic one.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMulPoly -fuzztime 5s ./internal/rlwe
+	$(GO) test -run '^$$' -fuzz FuzzDotLazyAgainstNaive -fuzztime 5s ./internal/ff
 
 ci: vet build race bench-smoke
 

@@ -118,9 +118,60 @@ func BenchmarkTable2CPUSoftwareParallel(b *testing.B) {
 
 // BenchmarkTable3PKEBaseline runs the prior works' workload: RLWE
 // public-key encryption at N = 2^13 with three moduli (the ≈2^19
-// multiplications of Sec. I-A). Compare its per-element cost against
+// multiplications of Sec. I-A), on the lazy-NTT allocation-free path
+// (EncryptInto) — the same measurement hhebench's Table III "TW-SW" row
+// reports. Compare its per-element cost against
 // BenchmarkTable2CyclesPasta4's.
 func BenchmarkTable3PKEBaseline(b *testing.B) {
+	ctx, pk, pt := pkeBaselineSetup(b)
+	ct := ctx.NewCiphertext()
+	g := rlwe.NewPRNG("bench-pke", []byte{1})
+	ctx.EncryptInto(pk, pt, g, ct) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.EncryptInto(pk, pt, g, ct)
+	}
+	perEnc := b.Elapsed().Seconds() / float64(b.N)
+	b.ReportMetric(perEnc*1e6, "µs/enc")
+	b.ReportMetric(perEnc*1e6/4096, "µs/elem(2^12)")
+}
+
+// BenchmarkBFVEncrypt is the raw BFV public-key encryption number at
+// the paper's client parameters; run with -cpu 1,2,4 to see the RNS
+// limb fan-out of the default (GOMAXPROCS) context scale.
+func BenchmarkBFVEncrypt(b *testing.B) {
+	ctx, pk, pt := pkeBaselineSetup(b)
+	ct := ctx.NewCiphertext()
+	g := rlwe.NewPRNG("bench-bfv", []byte{2})
+	ctx.EncryptInto(pk, pt, g, ct)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.EncryptInto(pk, pt, g, ct)
+	}
+}
+
+// BenchmarkBFVEncryptMany amortizes setup over a 16-ciphertext batch
+// (sampling sequential, transforms fanned across cores).
+func BenchmarkBFVEncryptMany(b *testing.B) {
+	ctx, pk, pt := pkeBaselineSetup(b)
+	const batch = 16
+	pts := make([]bfv.Plaintext, batch)
+	for i := range pts {
+		pts[i] = pt
+	}
+	g := rlwe.NewPRNG("bench-many", []byte{3})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx.EncryptMany(pk, pts, g)
+	}
+	perEnc := b.Elapsed().Seconds() / float64(b.N) / batch
+	b.ReportMetric(perEnc*1e6, "µs/enc")
+}
+
+func pkeBaselineSetup(b *testing.B) (*bfv.Context, *bfv.PublicKey, bfv.Plaintext) {
+	b.Helper()
 	par, err := bfv.NewParams(8192, 55, 3, 65537)
 	if err != nil {
 		b.Fatal(err)
@@ -135,13 +186,7 @@ func BenchmarkTable3PKEBaseline(b *testing.B) {
 	for i := range pt {
 		pt[i] = uint64(i) % par.T
 	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		ctx.Encrypt(pk, pt, g)
-	}
-	perEnc := b.Elapsed().Seconds() / float64(b.N)
-	b.ReportMetric(perEnc*1e6, "µs/enc")
-	b.ReportMetric(perEnc*1e6/4096, "µs/elem(2^12)")
+	return ctx, pk, pt
 }
 
 // BenchmarkFig7Breakdown regenerates the module-wise area shares.

@@ -1,0 +1,156 @@
+// Command benchjson converts `go test -bench` text output (read from
+// stdin) into a machine-readable JSON report, so CI can diff benchmark
+// runs without scraping the fixed-width text format.
+//
+// Usage:
+//
+//	go test -run '^$' -bench NTT -benchmem ./internal/rlwe | benchjson -out BENCH_rlwe.json
+//
+// Each benchmark line becomes one record carrying the operation name,
+// the -cpu count parsed from the trailing "-N" suffix, ns/op, B/op,
+// allocs/op, and any custom metrics (cycles/block, µs/enc, ...).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Op         string             `json:"op"`                  // benchmark name without -N cpu suffix
+	Pkg        string             `json:"pkg,omitempty"`       // import path from the pkg: header
+	CPUs       int                `json:"cpus"`                // GOMAXPROCS from the -N suffix (1 if absent)
+	Iterations int64              `json:"iterations"`          // b.N
+	NsPerOp    float64            `json:"ns_per_op"`           // wall time
+	BytesPerOp float64            `json:"bytes_per_op"`        // -benchmem; -1 when not reported
+	AllocsPerOp float64           `json:"allocs_per_op"`       // -benchmem; -1 when not reported
+	Metrics    map[string]float64 `json:"metrics,omitempty"`   // b.ReportMetric extras
+}
+
+// Report is the top-level JSON document.
+type Report struct {
+	HostCPU string   `json:"host_cpu,omitempty"` // cpu: header, if present
+	Results []Result `json:"results"`
+}
+
+func main() {
+	out := flag.String("out", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	report, err := parseBench(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	if len(report.Results) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(report); err != nil {
+		fatal(err)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "benchjson: wrote %d results to %s\n", len(report.Results), *out)
+	}
+}
+
+// parseBench consumes go test -bench output. Header lines (pkg:, cpu:)
+// set context for the benchmark lines that follow; everything else
+// (PASS, ok, test log noise) is skipped.
+func parseBench(r io.Reader) (Report, error) {
+	var rep Report
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			rep.HostCPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			res, ok := parseLine(line)
+			if !ok {
+				continue
+			}
+			res.Pkg = pkg
+			rep.Results = append(rep.Results, res)
+		}
+	}
+	return rep, sc.Err()
+}
+
+// parseLine parses a single benchmark result line:
+//
+//	BenchmarkNTT/N=8192/lazy-4   2000   501234 ns/op   0 B/op   0 allocs/op
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Result{}, false // a name with no measurements (e.g. -v chatter)
+	}
+	res := Result{BytesPerOp: -1, AllocsPerOp: -1, Metrics: map[string]float64{}}
+	res.Op, res.CPUs = splitCPUSuffix(fields[0])
+
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res.Iterations = iters
+
+	// The rest are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			res.NsPerOp = v
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsPerOp = v
+		default:
+			res.Metrics[unit] = v
+		}
+	}
+	if len(res.Metrics) == 0 {
+		res.Metrics = nil
+	}
+	return res, true
+}
+
+// splitCPUSuffix strips the trailing "-N" GOMAXPROCS marker the testing
+// package appends when N != 1 (and under -cpu). Sub-benchmark names may
+// themselves contain dashes, so only a trailing all-digit run counts.
+func splitCPUSuffix(name string) (string, int) {
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if n, err := strconv.Atoi(name[i+1:]); err == nil && n > 0 {
+			return name[:i], n
+		}
+	}
+	return name, 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro/internal/rlwe
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkNTT/N=8192/lazy-4         	    2437	    492110 ns/op	       0 B/op	       0 allocs/op
+BenchmarkNTT/N=8192/oracle         	     696	   1713694 ns/op
+BenchmarkMulPolyInto-2             	     100	  10000000 ns/op	       5 B/op	       0 allocs/op
+PASS
+ok  	repro/internal/rlwe	4.213s
+pkg: repro
+BenchmarkTable3PKEBaseline-4       	       8	 141000000 ns/op	      3441.4 µs/enc	         0.8402 µs/elem(2^12)
+ok  	repro	2.001s
+`
+
+func TestParseBench(t *testing.T) {
+	rep, err := parseBench(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.HostCPU != "Intel(R) Xeon(R) Processor @ 2.10GHz" {
+		t.Errorf("host cpu = %q", rep.HostCPU)
+	}
+	if len(rep.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(rep.Results))
+	}
+
+	r := rep.Results[0]
+	if r.Op != "BenchmarkNTT/N=8192/lazy" || r.CPUs != 4 {
+		t.Errorf("result 0: op=%q cpus=%d", r.Op, r.CPUs)
+	}
+	if r.Pkg != "repro/internal/rlwe" {
+		t.Errorf("result 0: pkg=%q", r.Pkg)
+	}
+	if r.Iterations != 2437 || r.NsPerOp != 492110 {
+		t.Errorf("result 0: iters=%d ns=%v", r.Iterations, r.NsPerOp)
+	}
+	if r.AllocsPerOp != 0 || r.BytesPerOp != 0 {
+		t.Errorf("result 0: allocs=%v bytes=%v", r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	// No -N suffix → 1 CPU; no -benchmem → sentinel -1.
+	r = rep.Results[1]
+	if r.Op != "BenchmarkNTT/N=8192/oracle" || r.CPUs != 1 {
+		t.Errorf("result 1: op=%q cpus=%d", r.Op, r.CPUs)
+	}
+	if r.AllocsPerOp != -1 || r.BytesPerOp != -1 {
+		t.Errorf("result 1: allocs=%v bytes=%v", r.AllocsPerOp, r.BytesPerOp)
+	}
+
+	// Custom metrics from b.ReportMetric, and the second pkg: header.
+	r = rep.Results[3]
+	if r.Pkg != "repro" {
+		t.Errorf("result 3: pkg=%q", r.Pkg)
+	}
+	if got := r.Metrics["µs/enc"]; got != 3441.4 {
+		t.Errorf("result 3: µs/enc=%v", got)
+	}
+	if got := r.Metrics["µs/elem(2^12)"]; got != 0.8402 {
+		t.Errorf("result 3: µs/elem=%v", got)
+	}
+}
+
+func TestSplitCPUSuffix(t *testing.T) {
+	cases := []struct {
+		in   string
+		op   string
+		cpus int
+	}{
+		{"BenchmarkNTT-8", "BenchmarkNTT", 8},
+		{"BenchmarkNTT", "BenchmarkNTT", 1},
+		{"BenchmarkNTT/N=1024", "BenchmarkNTT/N=1024", 1},
+		{"BenchmarkFoo/sub-case-2", "BenchmarkFoo/sub-case", 2},
+	}
+	for _, c := range cases {
+		op, cpus := splitCPUSuffix(c.in)
+		if op != c.op || cpus != c.cpus {
+			t.Errorf("splitCPUSuffix(%q) = %q,%d; want %q,%d", c.in, op, cpus, c.op, c.cpus)
+		}
+	}
+}
+
+func TestParseBenchSkipsNoise(t *testing.T) {
+	rep, err := parseBench(strings.NewReader("random text\nBenchmarkBroken abc\nPASS\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Results) != 0 {
+		t.Errorf("got %d results from noise, want 0", len(rep.Results))
+	}
+}

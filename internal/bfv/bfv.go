@@ -14,6 +14,8 @@ package bfv
 import (
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 
 	"repro/internal/rlwe"
 )
@@ -68,6 +70,17 @@ type Context struct {
 	RQP    *rlwe.RNSRing // extended ring, basis Q ∪ P
 	Delta  *big.Int      // floor(Q / t)
 	tBig   *big.Int
+
+	// deltaQi[l] = Δ mod q_l: lets EncryptInto fold Δ·m into c0 with one
+	// uint64 multiply per coefficient instead of big.Int CRT embedding.
+	deltaQi []uint64
+
+	// enc recycles the sampling scratch of EncryptInto (pointer so
+	// WithParallelism views share one pool and Context stays copyable).
+	enc *sync.Pool
+
+	// auto caches automorphism index/sign tables per Galois element.
+	auto *autoCache
 }
 
 // NewContext builds the rings and constants.
@@ -90,8 +103,48 @@ func NewContext(p Params) (*Context, error) {
 	}
 	tBig := new(big.Int).SetUint64(p.T)
 	delta := new(big.Int).Quo(rq.Q, tBig)
-	return &Context{Params: p, RQ: rq, RQP: rqp, Delta: delta, tBig: tBig}, nil
+	c := &Context{Params: p, RQ: rq, RQP: rqp, Delta: delta, tBig: tBig,
+		enc: &sync.Pool{}, auto: newAutoCache()}
+	tmp := new(big.Int)
+	for _, ring := range rq.Rings {
+		qi := new(big.Int).SetUint64(ring.Q)
+		c.deltaQi = append(c.deltaQi, tmp.Mod(delta, qi).Uint64())
+	}
+	return c, nil
 }
+
+// WithParallelism returns a view of the context whose RNS limb operations
+// (and EncryptMany's per-ciphertext fan-out) use n worker goroutines
+// (0 = GOMAXPROCS, 1 = sequential). Keys and ciphertexts are
+// interchangeable between views; outputs are bit-identical.
+func (c *Context) WithParallelism(n int) *Context {
+	out := *c
+	out.RQ = c.RQ.WithParallelism(n)
+	out.RQP = c.RQP.WithParallelism(n)
+	return &out
+}
+
+// encScratch bundles the ephemeral/noise polynomials and the signed
+// sampling buffer one public-key encryption needs, so the steady state
+// touches the heap zero times per call (mirroring pasta's workspace).
+type encScratch struct {
+	u, e1, e2 rlwe.RNSPoly
+	signs     []int
+}
+
+func (c *Context) getEnc() *encScratch {
+	if sc, _ := c.enc.Get().(*encScratch); sc != nil {
+		return sc
+	}
+	return &encScratch{
+		u:     c.RQ.NewPoly(),
+		e1:    c.RQ.NewPoly(),
+		e2:    c.RQ.NewPoly(),
+		signs: make([]int, c.Params.N),
+	}
+}
+
+func (c *Context) putEnc(sc *encScratch) { c.enc.Put(sc) }
 
 // Plaintext is a polynomial with coefficients in [0, T).
 type Plaintext []uint64
@@ -192,28 +245,149 @@ func (c *Context) deltaM(pt Plaintext) rlwe.RNSPoly {
 	return out
 }
 
+// NewCiphertext returns a zero degree-1 ciphertext of the context's
+// shape, for use with EncryptInto.
+func (c *Context) NewCiphertext() *Ciphertext {
+	return &Ciphertext{C: []rlwe.RNSPoly{c.RQ.NewPoly(), c.RQ.NewPoly()}}
+}
+
 // Encrypt performs public-key encryption: the exact client-side workload
 // of the paper's PKE baseline (one NTT of the ephemeral u plus two
-// inverse NTTs per modulus).
+// inverse NTTs per modulus). Allocates only the returned ciphertext;
+// see EncryptInto for the fully allocation-free steady state.
 func (c *Context) Encrypt(pk *PublicKey, pt Plaintext, g *rlwe.PRNG) *Ciphertext {
-	rq := c.RQ
-	u := rq.TernaryPoly(g)
-	rq.NTT(u)
-	e1 := rq.NoisePoly(g, c.Params.Eta)
-	e2 := rq.NoisePoly(g, c.Params.Eta)
+	ct := c.NewCiphertext()
+	c.EncryptInto(pk, pt, g, ct)
+	return ct
+}
 
-	c0 := rq.NewPoly()
+// EncryptInto encrypts pt into the caller's degree-1 ciphertext with zero
+// steady-state heap allocations (sampling scratch comes from the
+// context's pool; the transforms run lazily in place). It consumes the
+// PRNG stream in exactly the order Encrypt always has — u, e1, e2 — so
+// the two entry points are bit-identical for equal seeds.
+func (c *Context) EncryptInto(pk *PublicKey, pt Plaintext, g *rlwe.PRNG, ct *Ciphertext) {
+	if len(ct.C) != 2 {
+		panic(fmt.Sprintf("bfv: EncryptInto needs a degree-1 ciphertext, got degree %d", ct.Degree()))
+	}
+	rq := c.RQ
+	sc := c.getEnc()
+
+	rlwe.FillSigned(sc.signs, g.SignedTernary)
+	rq.SignedPolyInto(sc.u, sc.signs)
+	rq.NTT(sc.u)
+	eta := c.Params.Eta
+	rlwe.FillSigned(sc.signs, func() int { return g.SignedNoise(eta) })
+	rq.SignedPolyInto(sc.e1, sc.signs)
+	rlwe.FillSigned(sc.signs, func() int { return g.SignedNoise(eta) })
+	rq.SignedPolyInto(sc.e2, sc.signs)
+
+	c0, c1 := ct.C[0], ct.C[1]
+	rq.MulCoeff(c0, pk.P0, sc.u)
+	rq.INTT(c0)
+	rq.Add(c0, c0, sc.e1)
+	c.addDeltaM(c0, pt)
+
+	rq.MulCoeff(c1, pk.P1, sc.u)
+	rq.INTT(c1)
+	rq.Add(c1, c1, sc.e2)
+
+	c.putEnc(sc)
+}
+
+// addDeltaM adds Δ·m to p in place using the per-limb residues of Δ —
+// one uint64 multiply per (nonzero) coefficient, no big.Int. Produces the
+// same residues as deltaM: (m·Δ) mod q_l = (m mod q_l)·(Δ mod q_l) mod q_l.
+func (c *Context) addDeltaM(p rlwe.RNSPoly, pt Plaintext) {
+	if c.RQ.Sequential() {
+		// Direct loop: a closure passed to ForEachLimb escapes and would
+		// cost a heap allocation per encryption.
+		for l := range c.RQ.Rings {
+			c.addDeltaMLimb(p, pt, l)
+		}
+		return
+	}
+	c.RQ.ForEachLimb(func(l int) { c.addDeltaMLimb(p, pt, l) })
+}
+
+func (c *Context) addDeltaMLimb(p rlwe.RNSPoly, pt Plaintext, l int) {
+	t := c.Params.T
+	mod := c.RQ.Rings[l].Mod()
+	dQi := c.deltaQi[l]
+	dst := p[l]
+	for i, m := range pt {
+		if m == 0 {
+			continue
+		}
+		dst[i] = mod.Add(dst[i], mod.Mul(mod.Reduce(m%t), dQi))
+	}
+}
+
+// EncryptMany encrypts a batch of plaintexts under one key, drawing all
+// randomness sequentially from g (so the outputs equal len(pts)
+// successive Encrypt calls bit for bit) and then fanning the
+// transform-heavy computation of the independent ciphertexts across
+// GOMAXPROCS workers. The key/NTT-domain setup — scratch acquisition and
+// fan-out spin-up — is paid once for the whole batch.
+func (c *Context) EncryptMany(pk *PublicKey, pts []Plaintext, g *rlwe.PRNG) []*Ciphertext {
+	n := len(pts)
+	cts := make([]*Ciphertext, n)
+	if n == 0 {
+		return cts
+	}
+	// Phase 1 (sequential): consume the PRNG in Encrypt's order per
+	// ciphertext. u is stored pre-NTT; the transform moves to phase 2.
+	us := make([]rlwe.RNSPoly, n)
+	e1s := make([]rlwe.RNSPoly, n)
+	e2s := make([]rlwe.RNSPoly, n)
+	signs := make([]int, c.Params.N)
+	eta := c.Params.Eta
+	rq := c.RQ
+	for i := range pts {
+		us[i], e1s[i], e2s[i] = rq.NewPoly(), rq.NewPoly(), rq.NewPoly()
+		rlwe.FillSigned(signs, g.SignedTernary)
+		rq.SignedPolyInto(us[i], signs)
+		rlwe.FillSigned(signs, func() int { return g.SignedNoise(eta) })
+		rq.SignedPolyInto(e1s[i], signs)
+		rlwe.FillSigned(signs, func() int { return g.SignedNoise(eta) })
+		rq.SignedPolyInto(e2s[i], signs)
+	}
+	// Phase 2 (parallel): ciphertexts are independent. Workers use a
+	// sequential ring view so limb- and ciphertext-level fan-out don't
+	// compound.
+	seq := c.WithParallelism(1)
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				cts[i] = seq.encryptPrepared(pk, pts[i], us[i], e1s[i], e2s[i])
+			}
+		}(w)
+	}
+	wg.Wait()
+	return cts
+}
+
+// encryptPrepared finishes one encryption from pre-sampled randomness.
+func (c *Context) encryptPrepared(pk *PublicKey, pt Plaintext, u, e1, e2 rlwe.RNSPoly) *Ciphertext {
+	rq := c.RQ
+	ct := c.NewCiphertext()
+	rq.NTT(u)
+	c0, c1 := ct.C[0], ct.C[1]
 	rq.MulCoeff(c0, pk.P0, u)
 	rq.INTT(c0)
 	rq.Add(c0, c0, e1)
-	rq.Add(c0, c0, c.deltaM(pt))
-
-	c1 := rq.NewPoly()
+	c.addDeltaM(c0, pt)
 	rq.MulCoeff(c1, pk.P1, u)
 	rq.INTT(c1)
 	rq.Add(c1, c1, e2)
-
-	return &Ciphertext{C: []rlwe.RNSPoly{c0, c1}}
+	return ct
 }
 
 // EncryptSymmetric encrypts under the secret key (fresh ciphertexts with

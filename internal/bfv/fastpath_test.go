@@ -1,0 +1,188 @@
+package bfv
+
+import (
+	"testing"
+
+	"repro/internal/rlwe"
+)
+
+// ctEqual compares ciphertexts coefficient-wise.
+func ctEqual(a, b *Ciphertext) bool {
+	if len(a.C) != len(b.C) {
+		return false
+	}
+	for i := range a.C {
+		if !a.C[i].Equal(b.C[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestEncryptIntoMatchesEncrypt pins the zero-allocation entry point
+// against the allocating one: same public key, same plaintext, same
+// PRNG seed must give bit-identical ciphertexts, so the fast path
+// consumes the randomness stream in exactly the oracle's order.
+func TestEncryptIntoMatchesEncrypt(t *testing.T) {
+	ctx, sk, pk, _, _ := testContext(t)
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i*7+3) % ctx.Params.T
+	}
+
+	g1 := rlwe.NewPRNG("enc-eq", []byte{42})
+	g2 := rlwe.NewPRNG("enc-eq", []byte{42})
+	want := ctx.Encrypt(pk, pt, g1)
+	got := ctx.NewCiphertext()
+	ctx.EncryptInto(pk, pt, g2, got)
+	if !ctEqual(want, got) {
+		t.Fatal("EncryptInto differs from Encrypt for identical PRNG streams")
+	}
+	if dec := ctx.Decrypt(got, sk); dec[3] != pt[3] || dec[100] != pt[100] {
+		t.Fatal("EncryptInto ciphertext does not decrypt to the plaintext")
+	}
+
+	// Both must leave the PRNG in the same state (same amount consumed).
+	if g1.Uint64() != g2.Uint64() {
+		t.Fatal("EncryptInto consumed a different amount of randomness than Encrypt")
+	}
+}
+
+// TestEncryptManyMatchesSequential: the batched encryptor must be
+// bit-identical to a loop of Encrypt calls on the same stream — the
+// parallel phase may reorder computation but never sampling.
+func TestEncryptManyMatchesSequential(t *testing.T) {
+	ctx, _, pk, _, _ := testContext(t)
+	const batch = 5
+	pts := make([]Plaintext, batch)
+	for j := range pts {
+		pts[j] = ctx.NewPlaintext()
+		for i := range pts[j] {
+			pts[j][i] = uint64(i+j*13) % ctx.Params.T
+		}
+	}
+
+	g1 := rlwe.NewPRNG("many", []byte{7})
+	g2 := rlwe.NewPRNG("many", []byte{7})
+	var want []*Ciphertext
+	for j := range pts {
+		want = append(want, ctx.Encrypt(pk, pts[j], g1))
+	}
+	got := ctx.EncryptMany(pk, pts, g2)
+	if len(got) != batch {
+		t.Fatalf("EncryptMany returned %d ciphertexts, want %d", len(got), batch)
+	}
+	for j := range got {
+		if !ctEqual(want[j], got[j]) {
+			t.Fatalf("EncryptMany[%d] differs from sequential Encrypt", j)
+		}
+	}
+}
+
+// TestEncryptManyEmpty covers the degenerate batch.
+func TestEncryptManyEmpty(t *testing.T) {
+	ctx, _, pk, _, g := testContext(t)
+	if got := ctx.EncryptMany(pk, nil, g); len(got) != 0 {
+		t.Fatalf("EncryptMany(nil) returned %d ciphertexts", len(got))
+	}
+}
+
+// TestEncryptIntoAllocFree asserts the pipeline's steady-state
+// allocation contract on a sequential view (the fan-out goroutines of a
+// parallel view are themselves allocations). Tolerance 0.5: a
+// concurrent GC may clear the sync.Pool between runs.
+func TestEncryptIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-allocates stack closures")
+	}
+	ctx, _, pk, _, g := testContext(t)
+	seq := ctx.WithParallelism(1)
+	pt := seq.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i) % seq.Params.T
+	}
+	ct := seq.NewCiphertext()
+	seq.EncryptInto(pk, pt, g, ct) // warm the scratch pool
+	avg := testing.AllocsPerRun(10, func() {
+		seq.EncryptInto(pk, pt, g, ct)
+	})
+	if avg > 0.5 {
+		t.Fatalf("EncryptInto allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestEncryptIntoRejectsWrongDegree: the in-place API only fills
+// degree-1 ciphertexts.
+func TestEncryptIntoRejectsWrongDegree(t *testing.T) {
+	ctx, _, pk, _, g := testContext(t)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("EncryptInto accepted a degree-2 ciphertext")
+		}
+	}()
+	bad := &Ciphertext{C: []rlwe.RNSPoly{ctx.RQ.NewPoly(), ctx.RQ.NewPoly(), ctx.RQ.NewPoly()}}
+	ctx.EncryptInto(pk, ctx.NewPlaintext(), g, bad)
+}
+
+// TestContextParallelismEquivalence: worker count is an execution
+// detail — sequential and parallel context views encrypt identically.
+func TestContextParallelismEquivalence(t *testing.T) {
+	ctx, _, pk, _, _ := testContext(t)
+	seq := ctx.WithParallelism(1)
+	par := ctx.WithParallelism(4)
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(3*i + 1) % ctx.Params.T
+	}
+	g1 := rlwe.NewPRNG("ctx-par", []byte{9})
+	g2 := rlwe.NewPRNG("ctx-par", []byte{9})
+	a := seq.Encrypt(pk, pt, g1)
+	b := par.Encrypt(pk, pt, g2)
+	if !ctEqual(a, b) {
+		t.Fatal("parallel context view encrypts differently from sequential")
+	}
+}
+
+// TestAutomorphismTableCache: repeated applications hit the cached
+// index table and stay correct; the cache is shared across views.
+func TestAutomorphismTableCache(t *testing.T) {
+	ctx, sk, pk, _, g := testContext(t)
+	gks := ctx.GenGaloisKeys(g, sk, []int{1})
+
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i) % ctx.Params.T
+	}
+	ct := ctx.Encrypt(pk, pt, g)
+
+	first, err := ctx.RotateColumns(ct, 1, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := ctx.RotateColumns(ct, 1, gks) // cache hit path
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rotation *semantics* are covered by TestRotateColumns (on encoded
+	// slots); here we pin that the cached table is deterministic across
+	// applications and shared context views.
+	d1, d2 := ctx.Decrypt(first, sk), ctx.Decrypt(second, sk)
+	for i := range d1 {
+		if d1[i] != d2[i] {
+			t.Fatalf("coeff %d: cached automorphism differs between applications", i)
+		}
+	}
+
+	// A parallel view shares the cache and must agree.
+	par := ctx.WithParallelism(4)
+	third, err := par.RotateColumns(ct, 1, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d3 := par.Decrypt(third, sk)
+	for i := range d1 {
+		if d1[i] != d3[i] {
+			t.Fatalf("coeff %d: parallel-view automorphism differs", i)
+		}
+	}
+}

@@ -3,9 +3,59 @@ package bfv
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"repro/internal/rlwe"
 )
+
+// autoTable is the precomputed action of one automorphism X → X^g on
+// coefficient indices: source coefficient i lands at idx[i], negated when
+// neg[i] (the negacyclic wrap past X^N). Like the ring's bit-reversal
+// table, it is computed once and shared by every limb and every
+// application instead of re-deriving i·g mod 2N per coefficient.
+type autoTable struct {
+	idx []int
+	neg []bool
+}
+
+// autoCache memoizes autoTables per Galois element across all context
+// views (concurrency-safe: servers rotate from many goroutines).
+type autoCache struct {
+	mu sync.RWMutex
+	m  map[uint64]*autoTable
+}
+
+func newAutoCache() *autoCache { return &autoCache{m: map[uint64]*autoTable{}} }
+
+func (c *Context) autoTableFor(galois uint64) *autoTable {
+	c.auto.mu.RLock()
+	tab := c.auto.m[galois]
+	c.auto.mu.RUnlock()
+	if tab != nil {
+		return tab
+	}
+	n := c.Params.N
+	m := uint64(2 * n)
+	g := galois % m
+	tab = &autoTable{idx: make([]int, n), neg: make([]bool, n)}
+	e := uint64(0) // i·g mod 2N, maintained incrementally
+	for i := 0; i < n; i++ {
+		if e < uint64(n) {
+			tab.idx[i] = int(e)
+		} else {
+			tab.idx[i] = int(e - uint64(n))
+			tab.neg[i] = true
+		}
+		e += g
+		if e >= m {
+			e -= m
+		}
+	}
+	c.auto.mu.Lock()
+	c.auto.m[galois] = tab
+	c.auto.mu.Unlock()
+	return tab
+}
 
 // GaloisKeys hold key-switching material for a set of automorphisms
 // X → X^g, enabling slot rotations on batched ciphertexts.
@@ -109,26 +159,26 @@ func (c *Context) keySwitch(d rlwe.RNSPoly, pairs [][2]rlwe.RNSPoly, base uint) 
 }
 
 // applyAutomorphismPoly computes σ_g(p): X^i ↦ X^{i·g mod 2N}, with the
-// negacyclic sign flip when the exponent wraps past N.
+// negacyclic sign flip when the exponent wraps past N, using the cached
+// index table for g and fanning independent limbs over the worker pool.
 func (c *Context) applyAutomorphismPoly(p rlwe.RNSPoly, galois uint64) rlwe.RNSPoly {
-	n := c.Params.N
-	m := uint64(2 * n)
+	tab := c.autoTableFor(galois)
 	out := c.RQ.NewPoly()
-	for l, ring := range c.RQ.Rings {
-		mod := ring.Mod()
-		for i := 0; i < n; i++ {
-			v := p[l][i]
+	c.RQ.ForEachLimb(func(l int) {
+		mod := c.RQ.Rings[l].Mod()
+		src, dst := p[l], out[l]
+		for i, v := range src {
 			if v == 0 {
 				continue
 			}
-			e := uint64(i) * galois % m
-			if e < uint64(n) {
-				out[l][e] = mod.Add(out[l][e], v)
+			j := tab.idx[i]
+			if tab.neg[i] {
+				dst[j] = mod.Sub(dst[j], v)
 			} else {
-				out[l][e-uint64(n)] = mod.Sub(out[l][e-uint64(n)], v)
+				dst[j] = mod.Add(dst[j], v)
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -1,0 +1,69 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/bfv"
+	"repro/internal/rlwe"
+)
+
+// PKEBaseline is one measured data point of the RLWE/BFV public-key
+// encryption substrate — the client-side workload of every prior
+// accelerator in Table III (N = 2^13, three ≈30–60-bit moduli, three NTTs
+// per modulus; Sec. I-A). Unlike the literature constants in PriorWorks,
+// these numbers come from running the substrate on the host CPU, so
+// Table III can show the measured software PKE cost next to the modeled
+// hardware rows.
+type PKEBaseline struct {
+	N       int
+	Moduli  int
+	QBits   uint
+	Workers int // RNS limb fan-out used (0 = GOMAXPROCS)
+	Iters   int
+	Setup   time.Duration // context + key generation
+	Encrypt time.Duration // one public-key encryption (averaged)
+
+	EncryptUS float64 // Encrypt in µs
+	PerElemUS float64 // per packed element (N/2 slots, the 2^12 of Sec. I-A)
+}
+
+// MeasurePKEBaseline times public-key encryption on the lazy, pooled
+// fast path (EncryptInto, zero steady-state allocations when workers=1).
+func MeasurePKEBaseline(n int, qBits uint, nQ, iters, workers int) (PKEBaseline, error) {
+	if iters <= 0 {
+		return PKEBaseline{}, fmt.Errorf("eval: iters must be positive")
+	}
+	setupStart := time.Now()
+	par, err := bfv.NewParams(n, qBits, nQ, 65537)
+	if err != nil {
+		return PKEBaseline{}, err
+	}
+	ctx, err := bfv.NewContext(par)
+	if err != nil {
+		return PKEBaseline{}, err
+	}
+	ctx = ctx.WithParallelism(workers)
+	g := rlwe.NewPRNG("pke-baseline", []byte{1})
+	_, pk, _ := ctx.KeyGen(g)
+	setup := time.Since(setupStart)
+
+	pt := ctx.NewPlaintext()
+	for i := range pt {
+		pt[i] = uint64(i) % par.T
+	}
+	ct := ctx.NewCiphertext()
+	ctx.EncryptInto(pk, pt, g, ct) // warm the scratch pool
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		ctx.EncryptInto(pk, pt, g, ct)
+	}
+	per := time.Since(start) / time.Duration(iters)
+
+	return PKEBaseline{
+		N: n, Moduli: nQ, QBits: qBits, Workers: workers, Iters: iters,
+		Setup: setup, Encrypt: per,
+		EncryptUS: float64(per.Nanoseconds()) / 1e3,
+		PerElemUS: float64(per.Nanoseconds()) / 1e3 / float64(n/2),
+	}, nil
+}

@@ -169,6 +169,25 @@ func Table3(t2 []Table2Row) ([]Table3Row, error) {
 	return rows, nil
 }
 
+// Table3WithSoftware is Table3 plus a measured host-CPU row for the
+// RLWE PKE baseline (the prior works' workload run on this repository's
+// lazy-NTT substrate), so the software cost the paper's comparison
+// implies is a measurement, not an assumption. sw = nil degrades to the
+// plain table.
+func Table3WithSoftware(t2 []Table2Row, sw *PKEBaseline) ([]Table3Row, error) {
+	rows, err := Table3(t2)
+	if err != nil || sw == nil {
+		return rows, err
+	}
+	return append(rows, Table3Row{
+		Ref:       "TW-SW",
+		Platform:  fmt.Sprintf("host CPU (N=%d, %dq)", sw.N, sw.Moduli),
+		EncrUS:    sw.EncryptUS,
+		PerElemUS: sw.PerElemUS,
+		Ours:      true,
+	}), nil
+}
+
 // Fig7Data holds the module-wise area shares of Fig. 7.
 type Fig7Data struct {
 	FPGA map[string]float64 // % of LUTs, PASTA-3 ω=17

@@ -346,6 +346,40 @@ func (m Modulus) reduceSolinasPlus(hi, lo uint64) uint64 {
 	return m.Sub(l, m.reduceSolinasPlus(sHi, sLo))
 }
 
+// ShoupPrecomp returns floor(y·2^64 / p) for y < p — the Shoup
+// representation of a fixed multiplicand. Together with MulShoup it turns
+// a modular multiply by y into two 64-bit multiplies and one conditional
+// subtraction, with no division: the software image of a hardwired
+// constant multiplier. Panics if y ≥ p.
+func (m Modulus) ShoupPrecomp(y uint64) uint64 {
+	if y >= m.p {
+		panic(fmt.Sprintf("ff: ShoupPrecomp operand %d not reduced mod %d", y, m.p))
+	}
+	q, _ := bits.Div64(y, 0, m.p)
+	return q
+}
+
+// MulShoup returns x·y mod p, fully reduced, given yShoup =
+// ShoupPrecomp(y). x may be ANY uint64 (in particular a lazily reduced
+// value in [0, 4p)); y must be reduced.
+func (m Modulus) MulShoup(x, y, yShoup uint64) uint64 {
+	r := m.MulShoupLazy(x, y, yShoup)
+	if r >= m.p {
+		r -= m.p
+	}
+	return r
+}
+
+// MulShoupLazy returns a value ≡ x·y (mod p) in [0, 2p), given yShoup =
+// ShoupPrecomp(y). The quotient estimate hi(x·yShoup) is at most one
+// short of the true quotient, so a single conditional subtraction (see
+// MulShoup) finishes the reduction; lazy NTT butterflies skip even that
+// and let the slack ride to the end of the transform.
+func (m Modulus) MulShoupLazy(x, y, yShoup uint64) uint64 {
+	q, _ := bits.Mul64(x, yShoup)
+	return x*y - q*m.p
+}
+
 // Exp returns base^e mod p by square-and-multiply.
 func (m Modulus) Exp(base, e uint64) uint64 {
 	base = m.Reduce(base)

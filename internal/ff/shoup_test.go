@@ -1,0 +1,61 @@
+package ff
+
+import "testing"
+
+// TestMulShoupMatchesMul: the Shoup product must agree with the
+// division-based Mul for every standard modulus, and the lazy variant
+// must stay under 2p while remaining congruent mod p.
+func TestMulShoupMatchesMul(t *testing.T) {
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		st := uint64(0xfeed)
+		for i := 0; i < 500; i++ {
+			x := splitmix64(&st) % m.P()
+			y := splitmix64(&st) % m.P()
+			ys := m.ShoupPrecomp(y)
+			want := m.Mul(x, y)
+			if got := m.MulShoup(x, y, ys); got != want {
+				t.Fatalf("%v: MulShoup(%d, %d) = %d, want %d", m, x, y, got, want)
+			}
+			lazy := m.MulShoupLazy(x, y, ys)
+			if lazy >= 2*m.P() {
+				t.Fatalf("%v: MulShoupLazy(%d, %d) = %d ≥ 2p", m, x, y, lazy)
+			}
+			if lazy%m.P() != want {
+				t.Fatalf("%v: MulShoupLazy(%d, %d) ≡ %d, want %d", m, x, y, lazy%m.P(), want)
+			}
+		}
+	}
+}
+
+// TestMulShoupLazyWideX: the butterfly feeds MulShoupLazy operands up to
+// 4p (lazy accumulation), not just reduced ones; the congruence and the
+// < 2p bound must hold for those too.
+func TestMulShoupLazyWideX(t *testing.T) {
+	for _, m := range []Modulus{P17, P33, P54, P60} {
+		st := uint64(0xbeef)
+		for i := 0; i < 500; i++ {
+			x := splitmix64(&st) % (4 * m.P()) // lazy-domain operand
+			y := splitmix64(&st) % m.P()
+			ys := m.ShoupPrecomp(y)
+			lazy := m.MulShoupLazy(x, y, ys)
+			if lazy >= 2*m.P() {
+				t.Fatalf("%v: MulShoupLazy(%d, %d) = %d ≥ 2p", m, x, y, lazy)
+			}
+			if want := m.Mul(x%m.P(), y); lazy%m.P() != want {
+				t.Fatalf("%v: MulShoupLazy(%d, %d) ≢ Mul", m, x, y)
+			}
+		}
+	}
+}
+
+// TestShoupPrecompRejectsUnreduced: the precomputation contract is
+// y < p; feeding it an unreduced y must panic rather than silently
+// produce a wrong quotient estimate.
+func TestShoupPrecompRejectsUnreduced(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ShoupPrecomp accepted y ≥ p")
+		}
+	}()
+	P17.ShoupPrecomp(P17.P())
+}

@@ -1,0 +1,113 @@
+package rlwe
+
+// This file is the lazy fast path of the ring: Harvey-style butterflies
+// over Shoup-precomputed twiddles. A classic butterfly costs a 128-bit
+// multiply plus a hardware division (bits.Div64 inside Modulus.Mul); a
+// Shoup butterfly costs two 64-bit multiplies and lets the result stay in
+// [0, 2q) — the slack accumulates to at most [0, 4q) across the transform
+// and is swept once at the end. That is the arithmetic the prior
+// client-side NTT accelerators hardwire (one reduction per butterfly
+// stage, never a division), and it is why the transform speeds up ≈4×
+// on generic (non-Mersenne-structured) NTT primes.
+//
+// NTTLazy/INTTLazy are drop-in replacements for NTT/INTT: same in-place
+// layout, bit-identical outputs (pinned by TestLazyNTTMatchesOracle and
+// FuzzMulPoly). The division-based NTT/INTT remain as the oracle, exactly
+// as internal/pasta keeps its sequential engine beside the parallel one.
+
+// NTTLazy transforms p in place to the negacyclic evaluation domain using
+// lazy Harvey butterflies. Output is fully reduced and bit-identical to
+// NTT's. Requires q < 2^62 (guaranteed: ff caps moduli at 2^60).
+func (r *Ring) NTTLazy(p Poly) {
+	n := r.N
+	q := r.Q
+	twoQ := r.twoQ
+	t := n
+	for numPhi := 1; numPhi < n; numPhi <<= 1 {
+		t >>= 1
+		for i := 0; i < numPhi; i++ {
+			phi := r.psiPow[numPhi+i]
+			phiShoup := r.psiShoup[numPhi+i]
+			base := 2 * i * t
+			for j := base; j < base+t; j++ {
+				// Inputs in [0, 4q): pull u back under 2q, keep the
+				// product lazily in [0, 2q), emit sums in [0, 4q).
+				u := p[j]
+				if u >= twoQ {
+					u -= twoQ
+				}
+				v := r.mod.MulShoupLazy(p[j+t], phi, phiShoup)
+				p[j] = u + v
+				p[j+t] = u + twoQ - v
+			}
+		}
+	}
+	// One correction sweep: [0, 4q) → [0, q).
+	for i := range p {
+		c := p[i]
+		if c >= twoQ {
+			c -= twoQ
+		}
+		if c >= q {
+			c -= q
+		}
+		p[i] = c
+	}
+}
+
+// INTTLazy inverts NTTLazy in place (lazy Gentleman–Sande butterflies,
+// values held in [0, 2q) throughout; the final N⁻¹ scaling reduces fully).
+// Output is bit-identical to INTT's.
+func (r *Ring) INTTLazy(p Poly) {
+	n := r.N
+	twoQ := r.twoQ
+	t := 1
+	for numPhi := n >> 1; numPhi >= 1; numPhi >>= 1 {
+		for i := 0; i < numPhi; i++ {
+			phi := r.psiInvPow[numPhi+i]
+			phiShoup := r.psiInvShoup[numPhi+i]
+			base := 2 * i * t
+			for j := base; j < base+t; j++ {
+				u := p[j]
+				v := p[j+t]
+				w := u + v // < 4q
+				if w >= twoQ {
+					w -= twoQ
+				}
+				p[j] = w
+				p[j+t] = r.mod.MulShoupLazy(u+twoQ-v, phi, phiShoup)
+			}
+		}
+		t <<= 1
+	}
+	for i := range p {
+		p[i] = r.mod.MulShoup(p[i], r.nInv, r.nInvShoup)
+	}
+}
+
+// getScratch fetches a pooled N-coefficient polynomial (contents
+// arbitrary); putScratch returns it.
+func (r *Ring) getScratch() *Poly {
+	if p, _ := r.pool.Get().(*Poly); p != nil {
+		return p
+	}
+	p := make(Poly, r.N)
+	return &p
+}
+
+func (r *Ring) putScratch(p *Poly) { r.pool.Put(p) }
+
+// MulPolyInto sets dst = a·b (all in coefficient domain) via the lazy
+// 3-NTT path, using pooled scratch: zero heap allocations in steady
+// state. dst may alias a or b.
+func (r *Ring) MulPolyInto(dst, a, b Poly) {
+	at, bt := r.getScratch(), r.getScratch()
+	copy(*at, a)
+	copy(*bt, b)
+	r.NTTLazy(*at)
+	r.NTTLazy(*bt)
+	r.MulCoeff(dst, *at, *bt)
+	r.INTTLazy(dst)
+	r.putScratch(at)
+	r.putScratch(bt)
+}

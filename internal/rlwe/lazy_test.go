@@ -1,0 +1,202 @@
+package rlwe
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// TestLazyNTTMatchesOracle pins the golden equivalence the lazy path is
+// built on: NTTLazy/INTTLazy must be bit-identical to the division-based
+// NTT/INTT oracles, across transform sizes and moduli widths (the 60-bit
+// case exercises the 4q < 2^64 headroom bound of the forward butterfly).
+func TestLazyNTTMatchesOracle(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		bits uint
+	}{
+		{64, 20}, {256, 30}, {1024, 55}, {256, 60},
+	} {
+		q, err := FindNTTPrime(tc.bits, tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := NewRing(tc.n, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := NewPRNG("lazy", []byte{byte(tc.n), byte(tc.bits)})
+		for trial := 0; trial < 4; trial++ {
+			p := g.UniformPoly(r)
+			fast, slow := p.Clone(), p.Clone()
+			r.NTTLazy(fast)
+			r.NTT(slow)
+			if !fast.Equal(slow) {
+				t.Fatalf("N=%d q=%d bits: NTTLazy differs from oracle", tc.n, tc.bits)
+			}
+			r.INTTLazy(fast)
+			r.INTT(slow)
+			if !fast.Equal(slow) {
+				t.Fatalf("N=%d q=%d bits: INTTLazy differs from oracle", tc.n, tc.bits)
+			}
+			if !fast.Equal(p) {
+				t.Fatalf("N=%d q=%d bits: lazy roundtrip not identity", tc.n, tc.bits)
+			}
+		}
+	}
+}
+
+// TestMulPolyIntoMatchesNaive pins the allocation-free product against
+// the schoolbook oracle, including aliased destinations.
+func TestMulPolyIntoMatchesNaive(t *testing.T) {
+	r := testRing(t, 64)
+	g := NewPRNG("mulinto", []byte{1})
+	for trial := 0; trial < 5; trial++ {
+		a, b := g.UniformPoly(r), g.UniformPoly(r)
+		want := r.MulPolyNaive(a, b)
+		out := r.NewPoly()
+		r.MulPolyInto(out, a, b)
+		if !out.Equal(want) {
+			t.Fatalf("trial %d: MulPolyInto differs from schoolbook", trial)
+		}
+		// dst aliasing either operand must still be correct: the
+		// transform works on pooled scratch copies.
+		aCopy := a.Clone()
+		r.MulPolyInto(aCopy, aCopy, b)
+		if !aCopy.Equal(want) {
+			t.Fatalf("trial %d: MulPolyInto with dst==a differs", trial)
+		}
+		bCopy := b.Clone()
+		r.MulPolyInto(bCopy, a, bCopy)
+		if !bCopy.Equal(want) {
+			t.Fatalf("trial %d: MulPolyInto with dst==b differs", trial)
+		}
+	}
+}
+
+// TestMulPolyIntoSquaring covers a == b (both operands the same slice).
+func TestMulPolyIntoSquaring(t *testing.T) {
+	r := testRing(t, 32)
+	g := NewPRNG("sq", []byte{2})
+	a := g.UniformPoly(r)
+	want := r.MulPolyNaive(a, a)
+	out := r.NewPoly()
+	r.MulPolyInto(out, a, a)
+	if !out.Equal(want) {
+		t.Fatal("MulPolyInto(out, a, a) differs from schoolbook square")
+	}
+}
+
+// TestMulPolyIntoAllocFree asserts the steady-state allocation contract:
+// after one warm-up call populates the scratch pool, MulPolyInto must
+// not allocate. Tolerance 0.5 because a concurrent GC may empty the
+// sync.Pool between runs.
+func TestMulPolyIntoAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations of its own")
+	}
+	r := testRing(t, 1024)
+	g := NewPRNG("alloc", []byte{3})
+	a, b := g.UniformPoly(r), g.UniformPoly(r)
+	out := r.NewPoly()
+	r.MulPolyInto(out, a, b)
+	avg := testing.AllocsPerRun(20, func() {
+		r.MulPolyInto(out, a, b)
+	})
+	if avg > 0.5 {
+		t.Fatalf("MulPolyInto allocates %.1f objects/op in steady state, want 0", avg)
+	}
+}
+
+// TestNTTLazyAllocFree asserts the in-place transforms never allocate.
+func TestNTTLazyAllocFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation adds allocations of its own")
+	}
+	r := testRing(t, 1024)
+	g := NewPRNG("alloc2", []byte{4})
+	p := g.UniformPoly(r)
+	avg := testing.AllocsPerRun(20, func() {
+		r.NTTLazy(p)
+		r.INTTLazy(p)
+	})
+	if avg > 0 {
+		t.Fatalf("NTTLazy+INTTLazy allocate %.1f objects/op, want 0", avg)
+	}
+}
+
+// TestPrimitiveRootScanBounded pins the failure path of the bounded
+// generator scan: with the candidate budget cut to 1, only g=2 is
+// tried, and for q = 65537 (where 2 has multiplicative order 32, so is
+// a quadratic residue) the scan must fail with a descriptive error
+// rather than looping toward q.
+func TestPrimitiveRootScanBounded(t *testing.T) {
+	mod, err := ff.NewModulus(65537)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := primitiveRoot2N(mod, 256, 1); err == nil {
+		t.Fatal("scan with 1 candidate found a root for q=65537; expected bounded failure")
+	}
+	// The default budget must still succeed for the same modulus.
+	if _, err := primitiveRoot2N(mod, 256, maxRootCandidates); err != nil {
+		t.Fatalf("default budget failed for q=65537: %v", err)
+	}
+}
+
+// TestRNSParallelismEquivalence checks that the worker fan-out is purely
+// an execution strategy: sequential and parallel views of the same ring
+// produce bit-identical transforms and products.
+func TestRNSParallelismEquivalence(t *testing.T) {
+	primes, err := FindNTTPrimes(30, 256, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRNSRing(256, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := rr.WithParallelism(1)
+	par := rr.WithParallelism(4)
+	g := NewPRNG("par", []byte{5})
+	a, b := rr.UniformPoly(g), rr.UniformPoly(g)
+
+	x, y := a.Clone(), a.Clone()
+	seq.NTT(x)
+	par.NTT(y)
+	if !x.Equal(y) {
+		t.Fatal("parallel NTT differs from sequential")
+	}
+	seq.INTT(x)
+	par.INTT(y)
+	if !x.Equal(y) {
+		t.Fatal("parallel INTT differs from sequential")
+	}
+
+	ps, pp := rr.NewPoly(), rr.NewPoly()
+	seq.MulPolyInto(ps, a, b)
+	par.MulPolyInto(pp, a, b)
+	if !ps.Equal(pp) {
+		t.Fatal("parallel MulPolyInto differs from sequential")
+	}
+}
+
+// TestWithParallelismView checks the view semantics: the copy carries
+// the requested worker count and the parent is untouched.
+func TestWithParallelismView(t *testing.T) {
+	primes, _ := FindNTTPrimes(20, 32, 2)
+	rr, err := NewRNSRing(32, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := rr.WithParallelism(3)
+	if v.Parallelism() != 3 {
+		t.Fatalf("view parallelism = %d, want 3", v.Parallelism())
+	}
+	if rr.Parallelism() != 0 {
+		t.Fatalf("parent parallelism mutated to %d", rr.Parallelism())
+	}
+	if v == rr {
+		t.Fatal("WithParallelism returned the receiver, want a copy")
+	}
+}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package rlwe
+
+// raceEnabled mirrors the -race build tag: allocation-count assertions
+// are meaningless under the race detector, whose instrumentation adds
+// heap allocations of its own.
+const raceEnabled = false

@@ -1,0 +1,73 @@
+package rlwe
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSharedRingConcurrentUse drives one Ring from many goroutines at
+// once — transforms on private polynomials plus pool-backed products —
+// so `go test -race` can prove the ring's read-only tables and
+// sync.Pool scratch are safe to share. This is the contract the RNS
+// limb fan-out and the BFV encryption pipeline rely on.
+func TestSharedRingConcurrentUse(t *testing.T) {
+	r := testRing(t, 256)
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := NewPRNG("race", []byte{byte(w)})
+			a, b := g.UniformPoly(r), g.UniformPoly(r)
+			out := r.NewPoly()
+			for i := 0; i < 20; i++ {
+				p := a.Clone()
+				r.NTTLazy(p)
+				r.INTTLazy(p)
+				if !p.Equal(a) {
+					t.Errorf("worker %d: concurrent lazy roundtrip corrupted", w)
+					return
+				}
+				r.MulPolyInto(out, a, b)
+			}
+			if want := r.MulPolyNaive(a, b); !out.Equal(want) {
+				t.Errorf("worker %d: concurrent MulPolyInto wrong", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// TestSharedRNSRingConcurrentUse exercises nested parallelism: multiple
+// goroutines each running limb-parallel transforms on views of the same
+// RNS ring.
+func TestSharedRNSRingConcurrentUse(t *testing.T) {
+	primes, err := FindNTTPrimes(30, 128, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := NewRNSRing(128, primes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := rr.WithParallelism(3)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			g := NewPRNG("rnsrace", []byte{byte(w)})
+			p := par.UniformPoly(g)
+			orig := p.Clone()
+			for i := 0; i < 10; i++ {
+				par.NTT(p)
+				par.INTT(p)
+			}
+			if !p.Equal(orig) {
+				t.Errorf("worker %d: parallel RNS roundtrip corrupted", w)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -8,11 +8,22 @@
 // encryption at N = 2^13 with three ≈30–60-bit moduli, three NTTs per
 // modulus (Sec. I-A). Implementing the substrate lets the benchmark
 // harness run the PKE baseline rather than assume it.
+//
+// Two transform implementations coexist, mirroring how internal/pasta
+// keeps its sequential engine next to the parallel one: NTT/INTT are the
+// straightforward division-based oracles, and NTTLazy/INTTLazy are the
+// production path — Harvey-style butterflies over Shoup-precomputed
+// twiddles that keep coefficients lazily in [0, 2q)–[0, 4q) through the
+// whole transform and correct once at the end. One reduction per butterfly
+// with no hardware division is exactly the single-reduction-per-stage
+// datapath the prior NTT accelerators ([18]–[22], and Medha's microcoded
+// butterflies) implement; the two paths are tested bit-identical.
 package rlwe
 
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/ff"
 )
@@ -24,10 +35,24 @@ type Ring struct {
 	mod ff.Modulus
 
 	// Precomputed twiddle factors in bit-reversed order for the
-	// negacyclic Cooley–Tukey / Gentleman–Sande butterflies.
-	psiPow    []uint64 // psi^bitrev(i)
-	psiInvPow []uint64
-	nInv      uint64 // N^{-1} mod q
+	// negacyclic Cooley–Tukey / Gentleman–Sande butterflies, with their
+	// Shoup representations (floor(w·2^64/q)) for the lazy fast path.
+	psiPow      []uint64 // psi^bitrev(i)
+	psiInvPow   []uint64
+	psiShoup    []uint64
+	psiInvShoup []uint64
+	nInv        uint64 // N^{-1} mod q
+	nInvShoup   uint64
+	twoQ        uint64
+
+	// brt[i] = bit-reversal of i over log2(N) bits, computed once at ring
+	// construction and shared by the twiddle layout and external users
+	// (see BitRevTable).
+	brt []int
+
+	// pool recycles NTT-domain scratch polynomials for MulPolyInto so the
+	// steady-state 3-NTT multiply allocates nothing.
+	pool sync.Pool
 }
 
 // NewRing builds the ring, deriving a primitive 2N-th root of unity.
@@ -42,47 +67,68 @@ func NewRing(n int, q uint64) (*Ring, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rlwe: %w", err)
 	}
-	psi, err := primitiveRoot2N(mod, n)
+	psi, err := primitiveRoot2N(mod, n, maxRootCandidates)
 	if err != nil {
 		return nil, err
 	}
-	r := &Ring{N: n, Q: q, mod: mod}
+	r := &Ring{N: n, Q: q, mod: mod, twoQ: 2 * q}
+	logN := bits.Len(uint(n)) - 1
+	r.brt = make([]int, n)
+	for i := 1; i < n; i++ {
+		r.brt[i] = r.brt[i>>1]>>1 | (i&1)<<(logN-1)
+	}
+	// Successive powers psi^j (N multiplies total, instead of N Exp calls
+	// of ~log q multiplies each), scattered through the bit-reversal table.
+	psiInv := mod.Inv(psi)
+	pow, powInv := make([]uint64, n), make([]uint64, n)
+	pow[0], powInv[0] = 1, 1
+	for j := 1; j < n; j++ {
+		pow[j] = mod.Mul(pow[j-1], psi)
+		powInv[j] = mod.Mul(powInv[j-1], psiInv)
+	}
 	r.psiPow = make([]uint64, n)
 	r.psiInvPow = make([]uint64, n)
-	psiInv := mod.Inv(psi)
-	logN := bits.Len(uint(n)) - 1
+	r.psiShoup = make([]uint64, n)
+	r.psiInvShoup = make([]uint64, n)
 	for i := 0; i < n; i++ {
-		j := bitrev(uint(i), logN)
-		r.psiPow[i] = mod.Exp(psi, uint64(j))
-		r.psiInvPow[i] = mod.Exp(psiInv, uint64(j))
+		j := r.brt[i]
+		r.psiPow[i] = pow[j]
+		r.psiInvPow[i] = powInv[j]
+		r.psiShoup[i] = mod.ShoupPrecomp(pow[j])
+		r.psiInvShoup[i] = mod.ShoupPrecomp(powInv[j])
 	}
 	r.nInv = mod.Inv(uint64(n))
+	r.nInvShoup = mod.ShoupPrecomp(r.nInv)
 	return r, nil
 }
 
 // Mod returns the coefficient modulus wrapper.
 func (r *Ring) Mod() ff.Modulus { return r.mod }
 
-// primitiveRoot2N finds psi with psi^(2N) = 1 and psi^N = -1.
-func primitiveRoot2N(mod ff.Modulus, n int) (uint64, error) {
+// BitRevTable returns the precomputed bit-reversal permutation: entry i is
+// the log2(N)-bit reversal of i. Callers must not modify it.
+func (r *Ring) BitRevTable() []int { return r.brt }
+
+// maxRootCandidates bounds the generator scan of primitiveRoot2N. Half of
+// all field elements are quadratic non-residues, so a valid candidate
+// appears within the first few tries for every real prime; the bound only
+// exists to turn a pathological (or buggy) modulus into a clear error
+// instead of an O(q) spin.
+const maxRootCandidates = 512
+
+// primitiveRoot2N finds psi with psi^(2N) = 1 and psi^N = -1, trying at
+// most maxCandidates generator candidates.
+func primitiveRoot2N(mod ff.Modulus, n int, maxCandidates uint64) (uint64, error) {
 	q := mod.P()
 	order := uint64(2 * n)
 	exp := (q - 1) / order
-	for g := uint64(2); g < q; g++ {
+	for g := uint64(2); g < q && g < 2+maxCandidates; g++ {
 		psi := mod.Exp(g, exp)
 		if mod.Exp(psi, order/2) == q-1 { // psi^N = -1 ⇒ primitive 2N-th root
 			return psi, nil
 		}
 	}
-	return 0, fmt.Errorf("rlwe: no primitive 2N-th root of unity mod %d", q)
-}
-
-func bitrev(v uint, bits int) uint {
-	var r uint
-	for i := 0; i < bits; i++ {
-		r = r<<1 | (v>>uint(i))&1
-	}
-	return r
+	return 0, fmt.Errorf("rlwe: no primitive 2N-th root of unity mod %d among the first %d generator candidates", q, maxCandidates)
 }
 
 // Poly is a polynomial with N coefficients in [0, q).
@@ -115,6 +161,10 @@ func (p Poly) Equal(q Poly) bool {
 // (Cooley–Tukey, decimation in time, with the psi twist merged into the
 // twiddles). One call performs (N/2)·log2(N) butterflies — the
 // multiplication-count basis of the paper's Sec. I-A analysis.
+//
+// This is the division-based reference path, retained as the bit-exact
+// oracle for NTTLazy (every butterfly pays a full reduction via
+// Modulus.Mul); hot paths should call NTTLazy instead.
 func (r *Ring) NTT(p Poly) {
 	n := r.N
 	m := r.mod
@@ -188,14 +238,11 @@ func (r *Ring) MulScalar(dst Poly, c uint64, a Poly) {
 
 // MulPoly returns a·b in the ring (inputs and output in coefficient
 // domain): forward NTTs, pointwise multiply, inverse NTT — the 3-NTT
-// pattern of the client encryption workload.
+// pattern of the client encryption workload. The transforms run on the
+// lazy fast path; use MulPolyInto to also avoid the output allocation.
 func (r *Ring) MulPoly(a, b Poly) Poly {
-	at, bt := a.Clone(), b.Clone()
-	r.NTT(at)
-	r.NTT(bt)
 	out := r.NewPoly()
-	r.MulCoeff(out, at, bt)
-	r.INTT(out)
+	r.MulPolyInto(out, a, b)
 	return out
 }
 

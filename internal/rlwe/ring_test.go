@@ -1,6 +1,7 @@
 package rlwe
 
 import (
+	"fmt"
 	"math/big"
 	"testing"
 )
@@ -238,13 +239,85 @@ func TestSignedPolyConsistency(t *testing.T) {
 	}
 }
 
-func BenchmarkNTT8192(b *testing.B) {
+// BenchmarkNTT compares the production Shoup/Harvey lazy butterfly
+// against the division-based oracle across transform sizes, over a
+// generic 30-bit prime (no special reduction structure). Run with
+// -cpu 1,2,4 to check the single-transform path is scale-invariant
+// (one NTT never fans out; parallelism lives at the RNS limb level,
+// see BenchmarkRNSNTT).
+func BenchmarkNTT(b *testing.B) {
+	for _, n := range []int{1024, 4096, 8192} {
+		q, err := FindNTTPrime(30, n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		r, err := NewRing(n, q)
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := NewPRNG("bench", []byte{7})
+		p := g.UniformPoly(r)
+		b.Run(fmt.Sprintf("N=%d/lazy", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.NTTLazy(p)
+			}
+		})
+		b.Run(fmt.Sprintf("N=%d/oracle", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				r.NTT(p)
+			}
+		})
+	}
+}
+
+// BenchmarkINTT times the inverse lazy transform at the BFV size.
+func BenchmarkINTT(b *testing.B) {
 	q, _ := FindNTTPrime(30, 8192)
 	r, _ := NewRing(8192, q)
 	g := NewPRNG("bench", []byte{7})
 	p := g.UniformPoly(r)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		r.NTT(p)
+		r.INTTLazy(p)
+	}
+}
+
+// BenchmarkMulPolyInto measures a full negacyclic product on the
+// allocation-free path (two forward NTTs, pointwise mul, one inverse;
+// scratch from the ring's pool).
+func BenchmarkMulPolyInto(b *testing.B) {
+	q, _ := FindNTTPrime(30, 4096)
+	r, _ := NewRing(4096, q)
+	g := NewPRNG("bench", []byte{8})
+	a, c := g.UniformPoly(r), g.UniformPoly(r)
+	out := r.NewPoly()
+	r.MulPolyInto(out, a, c) // warm the scratch pool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.MulPolyInto(out, a, c)
+	}
+}
+
+// BenchmarkRNSNTT times the full RNS transform (3 limbs at N=8192, the
+// BFV working size); run with -cpu 1,2,4 to see the limb fan-out scale.
+func BenchmarkRNSNTT(b *testing.B) {
+	primes, err := FindNTTPrimes(55, 8192, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rr, err := NewRNSRing(8192, primes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := NewPRNG("bench", []byte{9})
+	p := rr.UniformPoly(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rr.NTT(p)
 	}
 }

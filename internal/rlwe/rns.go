@@ -3,12 +3,19 @@ package rlwe
 import (
 	"fmt"
 	"math/big"
+	"runtime"
+	"sync"
 )
 
 // RNSRing is the residue-number-system view of Z_Q[x]/(x^N + 1) with
 // Q = q_0·q_1·…·q_{L-1}: one NTT-friendly Ring per prime. This is exactly
 // the representation the prior client-side PKE accelerators operate on
 // ("three different moduli", Sec. I-A).
+//
+// Residue limbs are fully independent, so the transform-heavy operations
+// fan limbs out over a worker pool (default GOMAXPROCS; tune with
+// WithParallelism) and all per-limb arithmetic runs on the lazy Shoup
+// fast path of the underlying rings.
 type RNSRing struct {
 	Rings []*Ring
 	N     int
@@ -18,6 +25,65 @@ type RNSRing struct {
 	qiBig    []*big.Int
 	qiHat    []*big.Int // Q / qi
 	qiHatInv []uint64   // (Q/qi)^{-1} mod qi
+
+	// workers is the limb fan-out width: 0 = GOMAXPROCS, 1 = sequential.
+	workers int
+}
+
+// WithParallelism returns a view of the ring whose per-limb operations
+// fan out over n worker goroutines (0 = GOMAXPROCS, 1 = sequential). The
+// view shares all precomputed state with the receiver and both remain
+// safe for concurrent use; results are bit-identical across widths.
+func (rr *RNSRing) WithParallelism(n int) *RNSRing {
+	out := *rr
+	out.workers = n
+	return &out
+}
+
+// Parallelism reports the configured limb fan-out (0 = GOMAXPROCS).
+func (rr *RNSRing) Parallelism() int { return rr.workers }
+
+// Sequential reports whether per-limb operations run on the calling
+// goroutine (callers can then skip building escaping closures).
+func (rr *RNSRing) Sequential() bool { return rr.effectiveWorkers() <= 1 }
+
+func (rr *RNSRing) effectiveWorkers() int {
+	w := rr.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > len(rr.Rings) {
+		w = len(rr.Rings)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// ForEachLimb runs f(l) for every RNS limb, striding limbs across the
+// worker pool when more than one worker is configured. f must be safe to
+// call concurrently for distinct limbs (all per-limb ring operations
+// are).
+func (rr *RNSRing) ForEachLimb(f func(l int)) {
+	w := rr.effectiveWorkers()
+	if w <= 1 {
+		for l := range rr.Rings {
+			f(l)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for l := g; l < len(rr.Rings); l += w {
+				f(l)
+			}
+		}(g)
+	}
+	wg.Wait()
 }
 
 // NewRNSRing builds the RNS ring for dimension n and the given primes.
@@ -91,18 +157,31 @@ func (p RNSPoly) Equal(q RNSPoly) bool {
 	return true
 }
 
-// NTT / INTT transform every residue polynomial in place.
+// NTT / INTT transform every residue polynomial in place on the lazy
+// Shoup fast path, fanning independent limbs across the worker pool.
+// The sequential branch loops directly rather than building the closure:
+// a func literal passed to ForEachLimb escapes (it may reach a
+// goroutine) and would cost one heap allocation per call, breaking the
+// zero-alloc contract of the encryption pipeline.
 func (rr *RNSRing) NTT(p RNSPoly) {
-	for i, ring := range rr.Rings {
-		ring.NTT(p[i])
+	if rr.effectiveWorkers() <= 1 {
+		for l := range rr.Rings {
+			rr.Rings[l].NTTLazy(p[l])
+		}
+		return
 	}
+	rr.ForEachLimb(func(l int) { rr.Rings[l].NTTLazy(p[l]) })
 }
 
 // INTT inverts NTT.
 func (rr *RNSRing) INTT(p RNSPoly) {
-	for i, ring := range rr.Rings {
-		ring.INTT(p[i])
+	if rr.effectiveWorkers() <= 1 {
+		for l := range rr.Rings {
+			rr.Rings[l].INTTLazy(p[l])
+		}
+		return
 	}
+	rr.ForEachLimb(func(l int) { rr.Rings[l].INTTLazy(p[l]) })
 }
 
 // Add sets dst = a + b.
@@ -126,11 +205,29 @@ func (rr *RNSRing) Neg(dst, a RNSPoly) {
 	}
 }
 
-// MulCoeff sets dst = a ⊙ b (NTT domain).
+// MulCoeff sets dst = a ⊙ b (NTT domain), fanning limbs across the
+// worker pool.
 func (rr *RNSRing) MulCoeff(dst, a, b RNSPoly) {
-	for i, ring := range rr.Rings {
-		ring.MulCoeff(dst[i], a[i], b[i])
+	if rr.effectiveWorkers() <= 1 {
+		for l := range rr.Rings {
+			rr.Rings[l].MulCoeff(dst[l], a[l], b[l])
+		}
+		return
 	}
+	rr.ForEachLimb(func(l int) { rr.Rings[l].MulCoeff(dst[l], a[l], b[l]) })
+}
+
+// MulPolyInto sets dst = a·b (coefficient domain) limb-parallel on the
+// lazy 3-NTT path with pooled scratch: zero steady-state allocations on
+// the sequential path.
+func (rr *RNSRing) MulPolyInto(dst, a, b RNSPoly) {
+	if rr.effectiveWorkers() <= 1 {
+		for l := range rr.Rings {
+			rr.Rings[l].MulPolyInto(dst[l], a[l], b[l])
+		}
+		return
+	}
+	rr.ForEachLimb(func(l int) { rr.Rings[l].MulPolyInto(dst[l], a[l], b[l]) })
 }
 
 // MulScalarBig sets dst = c·a for a (possibly large) integer constant.
@@ -161,6 +258,27 @@ func (rr *RNSRing) SignedPoly(vals []int) RNSPoly {
 		}
 	}
 	return p
+}
+
+// SignedPolyInto embeds vals (which must have exactly N entries) into the
+// caller's polynomial without allocating, overwriting every coefficient.
+func (rr *RNSRing) SignedPolyInto(p RNSPoly, vals []int) {
+	for i, ring := range rr.Rings {
+		q := ring.Q
+		dst := p[i]
+		for j, v := range vals {
+			dst[j] = EmbedSigned(v, q)
+		}
+	}
+}
+
+// UniformPolyInto fills the caller's polynomial with uniform residues
+// without allocating. Sampling stays sequential: the PRNG stream order is
+// part of the deterministic contract.
+func (rr *RNSRing) UniformPolyInto(g *PRNG, p RNSPoly) {
+	for i, ring := range rr.Rings {
+		g.UniformPolyInto(ring, p[i])
+	}
 }
 
 // TernaryPoly samples one ternary polynomial embedded under all primes.

@@ -38,10 +38,16 @@ func (g *PRNG) UniformMod(q uint64) uint64 {
 // UniformPoly fills a fresh polynomial with uniform coefficients in [0, q).
 func (g *PRNG) UniformPoly(r *Ring) Poly {
 	p := r.NewPoly()
+	g.UniformPolyInto(r, p)
+	return p
+}
+
+// UniformPolyInto fills the caller's polynomial with uniform coefficients
+// in [0, q) without allocating.
+func (g *PRNG) UniformPolyInto(r *Ring, p Poly) {
 	for i := range p {
 		p[i] = g.UniformMod(r.Q)
 	}
-	return p
 }
 
 // SignedTernary returns a uniform value from {-1, 0, 1}, the standard
@@ -91,10 +97,16 @@ func (g *PRNG) NoisePoly(r *Ring, eta int) Poly {
 // several moduli.
 func SignedVec(n int, next func() int) []int {
 	v := make([]int, n)
+	FillSigned(v, next)
+	return v
+}
+
+// FillSigned fills v from next without allocating — the scratch-reusing
+// form of SignedVec for the allocation-free encryption path.
+func FillSigned(v []int, next func() int) {
 	for i := range v {
 		v[i] = next()
 	}
-	return v
 }
 
 func embedSigned(v int, q uint64) uint64 {
