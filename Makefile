@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke metrics-smoke ci clean
 
 all: build
 
@@ -44,6 +44,11 @@ bench-json:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMulPoly -fuzztime 5s ./internal/rlwe
 	$(GO) test -run '^$$' -fuzz FuzzDotLazyAgainstNaive -fuzztime 5s ./internal/ff
+
+# End-to-end check of the observability layer: a short co-simulation must
+# emit a JSON metrics snapshot on stdout.
+metrics-smoke:
+	$(GO) run ./cmd/socsim -blocks 2 -metrics -
 
 ci: vet build race bench-smoke
 

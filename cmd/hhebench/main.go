@@ -4,6 +4,7 @@
 // Usage:
 //
 //	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims] [-nonces N] [-enc-cap]
+//	         [-metrics file|-] [-debug-addr host:port]
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/eval"
 	"repro/internal/ff"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -27,7 +29,25 @@ func main() {
 	measurePKE := flag.Bool("measure-pke", true, "measure the software RLWE PKE baseline on this host for Table III (adds a few seconds of setup)")
 	pkeIters := flag.Int("pke-iters", 8, "encryptions to average for the measured PKE baseline")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs for every experiment into this directory")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the benchmarks run")
 	flag.Parse()
+
+	if *debugAddr != "" {
+		srv, err := obs.ServeDebug(*debugAddr, obs.Default())
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "hhebench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
+	}
+	defer func() {
+		if *metrics != "" {
+			if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
+				fatal(err)
+			}
+		}
+	}()
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {

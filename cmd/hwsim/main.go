@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hwsim [-variant pasta3|pasta4] [-w 17|33|54|60] [-nonce N] [-counter N] [-trace] [-verify]
+//	hwsim [-variant pasta3|pasta4] [-w 17|33|54|60] [-nonce N] [-counter N] [-trace] [-verify] [-metrics file|-]
 package main
 
 import (
@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/ff"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pasta"
 )
 
@@ -27,11 +28,18 @@ func main() {
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file (view with GTKWave)")
 	verify := flag.Bool("verify", true, "check the keystream against the software reference")
 	keySeed := flag.String("key-seed", "hwsim", "deterministic key seed")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
 	flag.Parse()
 
 	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath); err != nil {
 		fmt.Fprintln(os.Stderr, "hwsim:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "hwsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"repro/internal/ff"
+	"repro/internal/obs"
 	"repro/internal/pasta"
 )
 
@@ -29,11 +30,18 @@ func main() {
 	in := flag.String("in", "", "input file")
 	outPath := flag.String("out", "", "output file")
 	workers := flag.Int("workers", 0, "keystream worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
 	flag.Parse()
 
 	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "pastacli:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "pastacli:", err)
+			os.Exit(1)
+		}
 	}
 }
 

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	socsim [-blocks N] [-nonce N] [-variant pasta3|pasta4]
+//	socsim [-blocks N] [-nonce N] [-variant pasta3|pasta4] [-metrics file|-]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/ff"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pasta"
 	"repro/internal/soc"
 )
@@ -24,11 +25,18 @@ func main() {
 	variant := flag.String("variant", "pasta4", "pasta3 or pasta4")
 	irq := flag.Bool("irq", false, "use the interrupt-driven (WFI) driver instead of status polling")
 	keySeed := flag.String("key-seed", "socsim", "deterministic key seed")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
 	flag.Parse()
 
 	if err := run(*blocks, *nonce, *variant, *keySeed, *irq); err != nil {
 		fmt.Fprintln(os.Stderr, "socsim:", err)
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
+			fmt.Fprintln(os.Stderr, "socsim:", err)
+			os.Exit(1)
+		}
 	}
 }
 

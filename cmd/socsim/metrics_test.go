@@ -1,0 +1,44 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestMetricsSnapshotCoversAllLayers: one co-simulated run touches every
+// instrumented layer — the software engine (the reference-cipher verify),
+// the cycle-accurate accelerator, and the SoC peripheral — and the
+// written snapshot must show nonzero activity for each.
+func TestMetricsSnapshotCoversAllLayers(t *testing.T) {
+	if err := run(2, 9, "pasta4", "metrics-test", true); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := obs.WriteSnapshot(obs.Default(), path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	for _, c := range []string{
+		"pasta.blocks",                            // software engine (reference verify)
+		"hw.runs", "hw.cycles", "hw.permutations", // accelerator
+		"soc.blocks", "soc.dma_read_words", "soc.dma_write_words", // peripheral
+	} {
+		if snap.Counters[c] <= 0 {
+			t.Errorf("counter %q = %d after a run, want > 0", c, snap.Counters[c])
+		}
+	}
+	if h, ok := snap.Histograms["hw.run_cycles"]; !ok || h.Count == 0 {
+		t.Error("hw.run_cycles histogram empty after a run")
+	}
+}

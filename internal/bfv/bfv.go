@@ -16,6 +16,7 @@ import (
 	"math/big"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/rlwe"
 )
@@ -134,8 +135,10 @@ type encScratch struct {
 
 func (c *Context) getEnc() *encScratch {
 	if sc, _ := c.enc.Get().(*encScratch); sc != nil {
+		mScratchHits.Inc()
 		return sc
 	}
+	mScratchMisses.Inc()
 	return &encScratch{
 		u:     c.RQ.NewPoly(),
 		e1:    c.RQ.NewPoly(),
@@ -270,6 +273,7 @@ func (c *Context) EncryptInto(pk *PublicKey, pt Plaintext, g *rlwe.PRNG, ct *Cip
 	if len(ct.C) != 2 {
 		panic(fmt.Sprintf("bfv: EncryptInto needs a degree-1 ciphertext, got degree %d", ct.Degree()))
 	}
+	start := time.Now()
 	rq := c.RQ
 	sc := c.getEnc()
 
@@ -293,6 +297,15 @@ func (c *Context) EncryptInto(pk *PublicKey, pt Plaintext, g *rlwe.PRNG, ct *Cip
 	rq.Add(c1, c1, sc.e2)
 
 	c.putEnc(sc)
+	observeEncrypt(start, c.limbWorkers())
+}
+
+// limbWorkers resolves the effective RNS limb fan-out width for metrics.
+func (c *Context) limbWorkers() int {
+	if w := c.RQ.Parallelism(); w > 0 {
+		return w
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // addDeltaM adds Δ·m to p in place using the per-limb residues of Δ —
@@ -376,6 +389,7 @@ func (c *Context) EncryptMany(pk *PublicKey, pts []Plaintext, g *rlwe.PRNG) []*C
 
 // encryptPrepared finishes one encryption from pre-sampled randomness.
 func (c *Context) encryptPrepared(pk *PublicKey, pt Plaintext, u, e1, e2 rlwe.RNSPoly) *Ciphertext {
+	start := time.Now()
 	rq := c.RQ
 	ct := c.NewCiphertext()
 	rq.NTT(u)
@@ -387,6 +401,7 @@ func (c *Context) encryptPrepared(pk *PublicKey, pt Plaintext, u, e1, e2 rlwe.RN
 	rq.MulCoeff(c1, pk.P1, u)
 	rq.INTT(c1)
 	rq.Add(c1, c1, e2)
+	observeEncrypt(start, c.limbWorkers())
 	return ct
 }
 

@@ -1,0 +1,33 @@
+package bfv
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric handles for the BFV encryption pipeline, resolved once from the
+// default registry; updates are lock-free atomics so EncryptInto keeps
+// its 0 allocs/op steady state (TestEncryptIntoAllocFree still holds with
+// instrumentation enabled).
+//
+//	bfv.encryptions        public-key encryptions performed
+//	bfv.limb_workers       RNS limb fan-out width of the last encryption
+//	bfv.enc_scratch_hits   pooled encryption scratch reused
+//	bfv.enc_scratch_miss   scratch freshly allocated (pool empty)
+//	bfv.encrypt_ns         per-encryption latency histogram (ns)
+var (
+	mEncryptions   = obs.Default().Counter("bfv.encryptions")
+	mLimbWorkers   = obs.Default().Gauge("bfv.limb_workers")
+	mScratchHits   = obs.Default().Counter("bfv.enc_scratch_hits")
+	mScratchMisses = obs.Default().Counter("bfv.enc_scratch_miss")
+	mEncryptNs     = obs.Default().Histogram("bfv.encrypt_ns")
+)
+
+// observeEncrypt records one finished public-key encryption and the limb
+// fan-out width it ran with.
+func observeEncrypt(start time.Time, limbWorkers int) {
+	mEncryptions.Inc()
+	mLimbWorkers.Set(int64(limbWorkers))
+	mEncryptNs.Observe(time.Since(start).Nanoseconds())
+}

@@ -1,0 +1,40 @@
+package bfv
+
+import (
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestEncryptMetricsNonzero: the BFV pipeline's observability counters
+// advance with both the single-shot and batch encryption entry points.
+func TestEncryptMetricsNonzero(t *testing.T) {
+	ctx, _, pk, _, g := testContext(t)
+	reg := obs.Default()
+	before := reg.Counter("bfv.encryptions").Value()
+	histBefore := reg.Histogram("bfv.encrypt_ns").Count()
+
+	pt := ctx.NewPlaintext()
+	pt[0] = 1
+	ct := ctx.NewCiphertext()
+	ctx.EncryptInto(pk, pt, g, ct)
+	cts := ctx.EncryptMany(pk, []Plaintext{pt, pt, pt}, g)
+	if len(cts) != 3 {
+		t.Fatalf("EncryptMany returned %d ciphertexts", len(cts))
+	}
+
+	if got := reg.Counter("bfv.encryptions").Value() - before; got != 4 {
+		t.Fatalf("bfv.encryptions advanced by %d, want 4", got)
+	}
+	if got := reg.Histogram("bfv.encrypt_ns").Count() - histBefore; got != 4 {
+		t.Fatalf("bfv.encrypt_ns observed %d encryptions, want 4", got)
+	}
+	if reg.Gauge("bfv.limb_workers").Value() < 1 {
+		t.Fatal("bfv.limb_workers not set")
+	}
+	hits := reg.Counter("bfv.enc_scratch_hits").Value()
+	misses := reg.Counter("bfv.enc_scratch_miss").Value()
+	if hits+misses == 0 {
+		t.Fatal("encryption scratch pool saw no traffic")
+	}
+}

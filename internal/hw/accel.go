@@ -48,6 +48,11 @@ type Accelerator struct {
 	// Waveform, when non-nil, records per-cycle signal activity of the
 	// next Run for VCD export (cmd/hwsim -vcd).
 	Waveform *Waveform
+
+	// WatchdogLimit bounds each run's cycle count; a run that exceeds it
+	// aborts with a typed *ErrWatchdog carrying every unit's state. Zero
+	// or negative selects DefaultWatchdogLimit.
+	WatchdogLimit int64
 }
 
 // NewAccelerator validates parameters and key and returns the model.
@@ -109,6 +114,13 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 
 	fault := a.Fault
 	a.Fault = nil // transient: affects a single run
+	if fault != nil {
+		// A spec that can never fire (out-of-range layer/element, no-op
+		// mask) used to yield a silently fault-free run; reject it instead.
+		if err := fault.Validate(a.par); err != nil {
+			return Result{}, err
+		}
+	}
 
 	var res Result
 	st := &res.Stats
@@ -138,7 +150,10 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 
 	// The XOF keeps producing for the *routing* layer which may run ahead
 	// of the compute layer (that is the whole point of the schedule).
-	maxCycles := int64(10_000_000)
+	maxCycles := a.WatchdogLimit
+	if maxCycles <= 0 {
+		maxCycles = DefaultWatchdogLimit
+	}
 	var cycle int64
 	var prevKeccakBusy int64
 	for ; cycle < maxCycles; cycle++ {
@@ -277,10 +292,28 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 		}
 	}
 	if cycle >= maxCycles {
-		return Result{}, fmt.Errorf("hw: accelerator did not finish within %d cycles", maxCycles)
+		mWatchdogTrips.Inc()
+		return Result{}, &ErrWatchdog{
+			Limit: maxCycles,
+			Units: UnitSnapshot{
+				Cycle:         cycle,
+				CtrlPhase:     phase.String(),
+				Layer:         layer,
+				Layers:        layers,
+				RoutingLayer:  routingLayer,
+				ElemInLayer:   elemInLayer,
+				XOFStalls:     st.XOFStalled,
+				DataGenFull:   dg.Stall(),
+				MatEngineBusy: !eng.Idle(cycle),
+				MatOutReady:   [2]bool{matOut[0] != nil, matOut[1] != nil},
+				RCReady:       rcDone,
+			},
+			Stats: *st,
+		}
 	}
 
 	st.Cycles = cycle
+	publishStats(st)
 	res.KeyStream = state[:t].Clone()
 	if msg != nil {
 		res.Ciphertext = ff.NewVec(len(msg))

@@ -18,10 +18,26 @@ type FaultSpec struct {
 	Mask    uint64 // XOR mask applied to the element
 }
 
-func (f *FaultSpec) apply(mod ff.Modulus, state ff.Vec) {
-	if f.Element < 0 || f.Element >= len(state) {
-		return
+// Validate rejects a fault specification that can never fire on a run
+// with the given parameters: a layer outside the schedule, an element
+// outside the 2t-element state, or a mask ≡ 0 (mod p), which is a no-op
+// in the field-element fault model. Before this check an out-of-range
+// spec silently produced a fault-free run and FaultDemo reported an
+// all-zero delta as if the analysis had succeeded.
+func (f FaultSpec) Validate(par pasta.Params) error {
+	if f.Layer < 0 || f.Layer >= par.AffineLayers() {
+		return fmt.Errorf("hw: fault layer %d outside schedule [0, %d)", f.Layer, par.AffineLayers())
 	}
+	if f.Element < 0 || f.Element >= par.StateSize() {
+		return fmt.Errorf("hw: fault element %d outside state [0, %d)", f.Element, par.StateSize())
+	}
+	if f.Mask%par.Mod.P() == 0 {
+		return fmt.Errorf("hw: fault mask %d ≡ 0 (mod %d) can never change the state", f.Mask, par.Mod.P())
+	}
+	return nil
+}
+
+func (f *FaultSpec) apply(mod ff.Modulus, state ff.Vec) {
 	state[f.Element] = (state[f.Element] ^ f.Mask) % mod.P()
 }
 
@@ -120,6 +136,9 @@ func (a *Accelerator) RedundantEncryptBlock(nonce, counter uint64, msg ff.Vec) (
 // final-layer fault is exactly the fault propagated through the linear
 // Mix only — the leakage SASTA exploits.
 func FaultDemo(par pasta.Params, key pasta.Key, nonce, counter uint64, f FaultSpec) (correct, faulty, delta ff.Vec, err error) {
+	if err := f.Validate(par); err != nil {
+		return nil, nil, nil, err
+	}
 	acc, err := NewAccelerator(par, key)
 	if err != nil {
 		return nil, nil, nil, err

@@ -148,15 +148,56 @@ func TestCountermeasureCosts(t *testing.T) {
 	}
 }
 
-func TestFaultSpecOutOfRangeIgnored(t *testing.T) {
+// TestFaultSpecValidation: a fault that can never fire must be rejected
+// up front instead of silently yielding a fault-free run. (Regression:
+// FaultDemo used to report an all-zero delta for an out-of-range Element
+// as if the analysis had succeeded.)
+func TestFaultSpecValidation(t *testing.T) {
 	par := pasta.MustParams(pasta.Pasta4, ff.P17)
 	key := pasta.KeyFromSeed(par, "oor")
-	correct, faulty, _, err := FaultDemo(par, key, 1, 0, FaultSpec{Layer: 0, Element: 10_000, Mask: 1})
+	bad := []struct {
+		name string
+		f    FaultSpec
+	}{
+		{"element out of range", FaultSpec{Layer: 0, Element: 10_000, Mask: 1}},
+		{"element negative", FaultSpec{Layer: 0, Element: -1, Mask: 1}},
+		{"layer out of range", FaultSpec{Layer: par.AffineLayers(), Element: 0, Mask: 1}},
+		{"layer negative", FaultSpec{Layer: -1, Element: 0, Mask: 1}},
+		{"zero mask", FaultSpec{Layer: 0, Element: 0, Mask: 0}},
+		{"mask multiple of p", FaultSpec{Layer: 0, Element: 0, Mask: par.Mod.P()}},
+	}
+	for _, tc := range bad {
+		if _, _, _, err := FaultDemo(par, key, 1, 0, tc.f); err == nil {
+			t.Errorf("%s: FaultDemo accepted %+v", tc.name, tc.f)
+		}
+		if err := tc.f.Validate(par); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.f)
+		}
+	}
+	// The Accelerator run path rejects the spec too (not just FaultDemo).
+	acc, err := NewAccelerator(par, key)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !correct.Equal(faulty) {
-		t.Fatal("out-of-range fault changed output")
+	acc.Fault = &FaultSpec{Layer: 0, Element: 10_000, Mask: 1}
+	if _, err := acc.KeyStream(1, 0); err == nil {
+		t.Fatal("Accelerator ran with an out-of-range fault spec")
+	}
+	// The bad fault is consumed; the next run is clean.
+	if _, err := acc.KeyStream(1, 0); err != nil {
+		t.Fatalf("run after rejected fault: %v", err)
+	}
+	// A valid spec still validates and fires.
+	good := FaultSpec{Layer: 1, Element: 3, Mask: 5}
+	if err := good.Validate(par); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	correct, faulty, _, err := FaultDemo(par, key, 1, 0, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct.Equal(faulty) {
+		t.Fatal("valid fault had no effect")
 	}
 }
 

@@ -1,0 +1,56 @@
+package hw
+
+import "repro/internal/obs"
+
+// Metric handles for the cycle-accurate accelerator model. Each completed
+// Run publishes its per-unit busy/stall Stats — the numbers behind the
+// paper's Fig. 7 utilization shares — as cumulative counters, so a fleet
+// of runs can be monitored the same way the software engine is.
+//
+//	hw.runs            completed accelerator runs
+//	hw.cycles          total accelerator cycles across runs
+//	hw.run_cycles      per-run cycle-count histogram
+//	hw.keccak_busy     cycles the Keccak round function was computing
+//	hw.squeeze_busy    cycles a word was squeezed out of the XOF
+//	hw.xof_stalled     cycles the XOF was backpressured by a full DataGen
+//	hw.matgen_busy     cycles the MatGen MAC bank was active
+//	hw.matmul_busy     cycles the MatMul multiplier bank was active
+//	hw.vecalu_busy     cycles the vector ALU was active
+//	hw.output_busy     cycles spent streaming results out
+//	hw.words_drawn     64-bit XOF words squeezed
+//	hw.words_kept      words surviving rejection sampling
+//	hw.permutations    Keccak-f permutations completed
+//	hw.watchdog_trips  runs aborted by the cycle watchdog
+var (
+	mRuns          = obs.Default().Counter("hw.runs")
+	mCycles        = obs.Default().Counter("hw.cycles")
+	mRunCycles     = obs.Default().Histogram("hw.run_cycles")
+	mKeccakBusy    = obs.Default().Counter("hw.keccak_busy")
+	mSqueezeBusy   = obs.Default().Counter("hw.squeeze_busy")
+	mXOFStalled    = obs.Default().Counter("hw.xof_stalled")
+	mMatGenBusy    = obs.Default().Counter("hw.matgen_busy")
+	mMatMulBusy    = obs.Default().Counter("hw.matmul_busy")
+	mVecALUBusy    = obs.Default().Counter("hw.vecalu_busy")
+	mOutputBusy    = obs.Default().Counter("hw.output_busy")
+	mWordsDrawn    = obs.Default().Counter("hw.words_drawn")
+	mWordsKept     = obs.Default().Counter("hw.words_kept")
+	mPermutations  = obs.Default().Counter("hw.permutations")
+	mWatchdogTrips = obs.Default().Counter("hw.watchdog_trips")
+)
+
+// publishStats exports one completed run's Stats to the registry.
+func publishStats(st *Stats) {
+	mRuns.Inc()
+	mCycles.Add(st.Cycles)
+	mRunCycles.Observe(st.Cycles)
+	mKeccakBusy.Add(st.KeccakBusy)
+	mSqueezeBusy.Add(st.SqueezeBusy)
+	mXOFStalled.Add(st.XOFStalled)
+	mMatGenBusy.Add(st.MatGenBusy)
+	mMatMulBusy.Add(st.MatMulBusy)
+	mVecALUBusy.Add(st.VecALUBusy)
+	mOutputBusy.Add(st.OutputBusy)
+	mWordsDrawn.Add(st.WordsDrawn)
+	mWordsKept.Add(st.WordsKept)
+	mPermutations.Add(st.Permutations)
+}

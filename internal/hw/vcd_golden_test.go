@@ -1,0 +1,64 @@
+package hw
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// TestWriteVCDGolden pins the exact VCD byte stream for one deterministic
+// PASTA-4 block: the cycle model has no randomness, so any change to the
+// schedule, the signal set, or the dump format shows up as a diff against
+// testdata/pasta4_p17_block0.vcd. Regenerate with `go test ./internal/hw
+// -run VCDGolden -update` after an intentional change.
+func TestWriteVCDGolden(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	acc, err := NewAccelerator(par, pasta.KeyFromSeed(par, "vcd-golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Waveform = &Waveform{}
+	if _, err := acc.KeyStream(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := acc.Waveform.WriteVCD(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "pasta4_p17_block0.vcd")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	got := buf.Bytes()
+	if !bytes.Equal(got, want) {
+		gotLines := bytes.Split(got, []byte("\n"))
+		wantLines := bytes.Split(want, []byte("\n"))
+		n := len(gotLines)
+		if len(wantLines) < n {
+			n = len(wantLines)
+		}
+		for i := 0; i < n; i++ {
+			if !bytes.Equal(gotLines[i], wantLines[i]) {
+				t.Fatalf("VCD diverges from golden at line %d: got %q, want %q (%d vs %d lines)",
+					i+1, gotLines[i], wantLines[i], len(gotLines), len(wantLines))
+			}
+		}
+		t.Fatalf("VCD length differs from golden: %d vs %d lines", len(gotLines), len(wantLines))
+	}
+}

@@ -1,0 +1,66 @@
+package hw
+
+import "fmt"
+
+// DefaultWatchdogLimit is the cycle budget an Accelerator run gets when
+// WatchdogLimit is unset. The longest legitimate schedule (PASTA-4,
+// naive Keccak, pathological rejection-sampling nonce) is ~4k cycles, so
+// ten million cycles only trips on a genuinely hung schedule.
+const DefaultWatchdogLimit int64 = 10_000_000
+
+// phaseName maps a controller phase to its diagnostic name.
+func (p layerPhase) String() string {
+	switch p {
+	case phaseMatL:
+		return "matL"
+	case phaseMatR:
+		return "matR"
+	case phaseALU:
+		return "alu"
+	case phaseOutput:
+		return "output"
+	case phaseDone:
+		return "done"
+	default:
+		return fmt.Sprintf("phase(%d)", int(p))
+	}
+}
+
+// UnitSnapshot is the architectural state of every accelerator unit at
+// the moment the watchdog fired — enough to tell a starved matrix engine
+// (controller waiting in matL/matR with DataGen never filling) from a
+// deadlocked ALU handshake (alu phase with a missing matrix half or RC
+// vector) or an XOF wedged by permanent backpressure.
+type UnitSnapshot struct {
+	Cycle         int64   // cycle at which the watchdog fired (= the limit)
+	CtrlPhase     string  // controller phase (matL, matR, alu, output)
+	Layer         int     // affine layer the controller is computing
+	Layers        int     // total affine layers of the schedule
+	RoutingLayer  int     // affine layer the XOF/sampler routing has reached
+	ElemInLayer   int     // elements routed so far in the routing layer (0..4t)
+	XOFStalls     int64   // cycles the XOF was backpressured by a full DataGen
+	DataGenFull   bool    // both ping-pong buffers occupied (XOF cannot push)
+	MatEngineBusy bool    // matrix engine mid-computation
+	MatOutReady   [2]bool // published M·X halves (L, R) awaiting the ALU
+	RCReady       [2]bool // streamed round-constant vectors (L, R) complete
+}
+
+func (u UnitSnapshot) String() string {
+	return fmt.Sprintf("ctrl=%s layer=%d/%d routing=%d elem=%d xofStalls=%d dataGenFull=%v matBusy=%v matOut=[%v %v] rc=[%v %v]",
+		u.CtrlPhase, u.Layer, u.Layers, u.RoutingLayer, u.ElemInLayer, u.XOFStalls,
+		u.DataGenFull, u.MatEngineBusy, u.MatOutReady[0], u.MatOutReady[1], u.RCReady[0], u.RCReady[1])
+}
+
+// ErrWatchdog is returned when an Accelerator run exceeds its cycle
+// budget. It carries a per-unit state snapshot and the run's accumulated
+// statistics so a hung schedule is diagnosable instead of a bare error
+// string; retrieve it with errors.As.
+type ErrWatchdog struct {
+	Limit int64        // the cycle budget that was exhausted
+	Units UnitSnapshot // unit state at the trip point
+	Stats Stats        // occupancy counters accumulated before the trip
+}
+
+func (e *ErrWatchdog) Error() string {
+	return fmt.Sprintf("hw: watchdog: accelerator did not finish within %d cycles (%s)", e.Limit, e.Units)
+}

@@ -1,0 +1,90 @@
+package hw
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/obs"
+	"repro/internal/pasta"
+)
+
+// TestWatchdogTripCarriesDiagnostics forces a non-terminating schedule by
+// giving the accelerator a cycle budget far below one block's runtime and
+// asserts the typed error carries per-unit state — the diagnosability
+// requirement that replaced the bare "did not finish" string.
+func TestWatchdogTripCarriesDiagnostics(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	acc, err := NewAccelerator(par, pasta.KeyFromSeed(par, "wd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tripsBefore := obs.Default().Counter("hw.watchdog_trips").Value()
+	acc.WatchdogLimit = 100 // a real block needs ~1,600 cycles
+	_, err = acc.KeyStream(1, 0)
+	if err == nil {
+		t.Fatal("100-cycle budget completed a block")
+	}
+	var wd *ErrWatchdog
+	if !errors.As(err, &wd) {
+		t.Fatalf("error is %T, want *ErrWatchdog: %v", err, err)
+	}
+	if wd.Limit != 100 || wd.Units.Cycle != 100 {
+		t.Fatalf("limit/cycle = %d/%d, want 100/100", wd.Limit, wd.Units.Cycle)
+	}
+	if wd.Units.CtrlPhase == "" || wd.Units.CtrlPhase == "done" {
+		t.Fatalf("controller phase %q not diagnostic", wd.Units.CtrlPhase)
+	}
+	if wd.Units.Layers != par.AffineLayers() {
+		t.Fatalf("snapshot layers = %d, want %d", wd.Units.Layers, par.AffineLayers())
+	}
+	if wd.Units.Layer < 0 || wd.Units.Layer > wd.Units.Layers ||
+		wd.Units.RoutingLayer < wd.Units.Layer {
+		t.Fatalf("implausible layer state: %+v", wd.Units)
+	}
+	// At cycle 100 the XOF has been running; its occupancy must appear in
+	// the carried stats (this is what makes a hang attributable).
+	if wd.Stats.KeccakBusy == 0 && wd.Stats.SqueezeBusy == 0 {
+		t.Fatalf("carried stats show no XOF activity: %+v", wd.Stats)
+	}
+	for _, frag := range []string{"watchdog", "ctrl=", "routing=", "xofStalls="} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error text missing %q: %s", frag, err)
+		}
+	}
+	if got := obs.Default().Counter("hw.watchdog_trips").Value() - tripsBefore; got != 1 {
+		t.Fatalf("hw.watchdog_trips advanced by %d, want 1", got)
+	}
+	// The accelerator stays usable: a sane budget completes.
+	acc.WatchdogLimit = 0 // back to the default
+	if _, err := acc.KeyStream(1, 0); err != nil {
+		t.Fatalf("run after watchdog trip: %v", err)
+	}
+}
+
+// TestWatchdogDefaultUnchanged: normal runs finish far below the default
+// budget and publish their stats to the metrics registry.
+func TestWatchdogDefaultUnchanged(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	acc, err := NewAccelerator(par, pasta.KeyFromSeed(par, "wd2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	runsBefore := reg.Counter("hw.runs").Value()
+	cyclesBefore := reg.Counter("hw.cycles").Value()
+	res, err := acc.KeyStream(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Cycles >= DefaultWatchdogLimit {
+		t.Fatalf("block took %d cycles, at the watchdog limit", res.Stats.Cycles)
+	}
+	if got := reg.Counter("hw.runs").Value() - runsBefore; got != 1 {
+		t.Fatalf("hw.runs advanced by %d, want 1", got)
+	}
+	if got := reg.Counter("hw.cycles").Value() - cyclesBefore; got != res.Stats.Cycles {
+		t.Fatalf("hw.cycles advanced by %d, want %d", got, res.Stats.Cycles)
+	}
+}

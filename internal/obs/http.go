@@ -1,0 +1,51 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an HTTP handler that serves the registry's snapshot as
+// indented JSON — the expvar-style debug surface.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.Snapshot().WriteJSON(w)
+	})
+}
+
+// DebugServer is a running debug endpoint started by ServeDebug.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// ServeDebug starts a background HTTP server on addr exposing the
+// registry snapshot at /metrics (with /debug/vars as an expvar-style
+// alias) and the standard net/http/pprof profiling handlers under
+// /debug/pprof/. It returns once the listener is bound; serving happens
+// on a background goroutine until Close.
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", Handler(r))
+	mux.Handle("/debug/vars", Handler(r))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}

@@ -1,0 +1,321 @@
+// Package obs is the repository's zero-dependency observability layer:
+// atomic counters, gauges, and bounded latency histograms collected in a
+// registry whose Snapshot serializes to JSON.
+//
+// Design constraints, in order:
+//
+//   - Hot-path safety. Every instrument is a fixed-size struct updated
+//     with sync/atomic operations only — no locks, no maps, and no heap
+//     allocations on the observation path, so the allocation-free
+//     keystream and BFV encryption pipelines stay at 0 allocs/op with
+//     instrumentation enabled (asserted by tests).
+//   - Bounded memory. Histograms use 65 fixed base-2 exponential buckets
+//     (bucket i counts values whose bit length is i), so a histogram's
+//     footprint is constant regardless of how many values it absorbs.
+//   - Zero dependencies. Only the standard library; snapshots are plain
+//     structs that encoding/json renders with deterministic (sorted) keys.
+//
+// Instrumented packages resolve their metric handles once at init time
+// from the Default registry (name lookup takes a lock; updates do not) and
+// the cmd tools expose the snapshot via a -metrics flag and an optional
+// expvar-style debug HTTP endpoint (see http.go).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/bits"
+	"os"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any non-negative amount; negative deltas are the
+// caller's bug, not checked on the hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an atomic instantaneous value (e.g. a fan-out width).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the last stored value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is the fixed bucket count: bucket 0 holds values ≤ 0 and
+// bucket i (1 ≤ i ≤ 64) holds values v with bits.Len64(v) == i, i.e.
+// v ∈ [2^(i-1), 2^i).
+const histBuckets = 65
+
+// Histogram is a bounded base-2 exponential histogram of int64 values
+// (latencies in nanoseconds, cycle counts, …). Observations are three
+// atomic adds plus two bounded CAS loops for min/max; memory use is fixed.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sum     atomic.Int64
+	min     atomic.Int64 // initialized to MaxInt64 by the registry
+	max     atomic.Int64 // initialized to MinInt64 by the registry
+}
+
+func newHistogram() *Histogram {
+	h := &Histogram{}
+	h.min.Store(math.MaxInt64)
+	h.max.Store(math.MinInt64)
+	return h
+}
+
+// bucketIndex maps a value to its bucket.
+func bucketIndex(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// bucketUpper returns the inclusive upper bound of bucket i.
+func bucketUpper(i int) int64 {
+	switch {
+	case i <= 0:
+		return 0
+	case i >= 63:
+		return math.MaxInt64
+	default:
+		return int64(1)<<i - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.buckets[bucketIndex(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.min.Load()
+		if v >= cur || h.min.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Bucket is one non-empty histogram bucket in a snapshot: Count values
+// were ≤ Le (and above the previous bucket's bound).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serialized state of a histogram. Quantiles are
+// bucket-resolution estimates (the upper bound of the bucket containing
+// the quantile, clamped to the observed min/max).
+type HistogramSnapshot struct {
+	Count   int64    `json:"count"`
+	Sum     int64    `json:"sum"`
+	Min     int64    `json:"min"`
+	Max     int64    `json:"max"`
+	Mean    float64  `json:"mean"`
+	P50     int64    `json:"p50"`
+	P90     int64    `json:"p90"`
+	P99     int64    `json:"p99"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	if s.Count == 0 {
+		return s
+	}
+	s.Min = h.min.Load()
+	s.Max = h.max.Load()
+	s.Mean = float64(s.Sum) / float64(s.Count)
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		if counts[i] > 0 {
+			s.Buckets = append(s.Buckets, Bucket{Le: bucketUpper(i), Count: counts[i]})
+		}
+	}
+	quantile := func(q float64) int64 {
+		target := int64(math.Ceil(q * float64(s.Count)))
+		if target < 1 {
+			target = 1
+		}
+		var cum int64
+		for i := range counts {
+			cum += counts[i]
+			if cum >= target {
+				v := bucketUpper(i)
+				if v > s.Max {
+					v = s.Max
+				}
+				if v < s.Min {
+					v = s.Min
+				}
+				return v
+			}
+		}
+		return s.Max
+	}
+	s.P50, s.P90, s.P99 = quantile(0.50), quantile(0.90), quantile(0.99)
+	return s
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. Field
+// maps serialize with sorted keys (encoding/json), so output is
+// deterministic for a fixed metric state.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Registry is a named collection of metrics. Lookup (Counter, Gauge,
+// Histogram) takes a lock and is meant for init-time handle resolution;
+// the returned handles are lock-free.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+	}
+}
+
+// Counter returns the counter registered under name, creating it if new.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it if new.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it if
+// new.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = newHistogram()
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Snapshot copies the current value of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]int64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		s.Histograms[name] = h.snapshot()
+	}
+	return s
+}
+
+// Reset zeroes every metric in place (handles stay valid). Intended for
+// tests and per-run CLI snapshots, not for concurrent use with observers.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, c := range r.counters {
+		c.v.Store(0)
+	}
+	for _, g := range r.gauges {
+		g.v.Store(0)
+	}
+	for _, h := range r.histograms {
+		for i := range h.buckets {
+			h.buckets[i].Store(0)
+		}
+		h.count.Store(0)
+		h.sum.Store(0)
+		h.min.Store(math.MaxInt64)
+		h.max.Store(math.MinInt64)
+	}
+}
+
+// def is the process-wide default registry all instrumented packages use.
+var def = NewRegistry()
+
+// Default returns the process-wide registry.
+func Default() *Registry { return def }
+
+// WriteSnapshot writes the registry's snapshot as indented JSON to path;
+// "-" selects stdout. This is the implementation behind the cmd tools'
+// -metrics flag.
+func WriteSnapshot(r *Registry, path string) error {
+	if path == "-" {
+		return r.Snapshot().WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	if err := r.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,241 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x.count")
+	c.Inc()
+	c.Add(41)
+	if got := c.Value(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	if r.Counter("x.count") != c {
+		t.Fatal("same name returned a different counter")
+	}
+	g := r.Gauge("x.width")
+	g.Set(8)
+	g.Set(3)
+	if got := g.Value(); got != 3 {
+		t.Fatalf("gauge = %d, want 3", got)
+	}
+}
+
+func TestHistogramBucketsAndQuantiles(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.lat")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	s := h.snapshot()
+	if s.Count != 100 || s.Sum != 5050 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Mean != 50.5 {
+		t.Fatalf("mean = %v, want 50.5", s.Mean)
+	}
+	// Base-2 buckets: p50 falls in [32,64) → reported as 63; p99 in
+	// [64,128) → clamped to the observed max 100.
+	if s.P50 != 63 {
+		t.Fatalf("p50 = %d, want 63", s.P50)
+	}
+	if s.P90 != 100 || s.P99 != 100 {
+		t.Fatalf("p90/p99 = %d/%d, want 100/100 (clamped to max)", s.P90, s.P99)
+	}
+	var total int64
+	for _, b := range s.Buckets {
+		total += b.Count
+	}
+	if total != 100 {
+		t.Fatalf("bucket counts sum to %d, want 100", total)
+	}
+}
+
+func TestHistogramExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x.ext")
+	h.Observe(-5)
+	h.Observe(0)
+	h.Observe(math.MaxInt64)
+	s := h.snapshot()
+	if s.Count != 3 || s.Min != -5 || s.Max != math.MaxInt64 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	if s.Buckets[0].Le != 0 || s.Buckets[0].Count != 2 {
+		t.Fatalf("non-positive bucket = %+v", s.Buckets[0])
+	}
+	// Empty histograms stay all-zero.
+	if s := r.Histogram("x.empty").snapshot(); s.Count != 0 || s.Min != 0 || s.Max != 0 {
+		t.Fatalf("empty snapshot = %+v", s)
+	}
+}
+
+func TestConcurrentObservers(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	const workers, perWorker = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				h.Observe(int64(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if c.Value() != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", c.Value(), workers*perWorker)
+	}
+	s := h.snapshot()
+	if s.Count != workers*perWorker || s.Min != 0 || s.Max != workers*perWorker-1 {
+		t.Fatalf("histogram snapshot = %+v", s)
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.blocks").Add(7)
+	r.Gauge("a.workers").Set(4)
+	r.Histogram("a.ns").Observe(1500)
+	var sb strings.Builder
+	if err := r.Snapshot().WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["a.blocks"] != 7 || back.Gauges["a.workers"] != 4 {
+		t.Fatalf("round-trip lost values: %+v", back)
+	}
+	hs := back.Histograms["a.ns"]
+	if hs.Count != 1 || hs.Min != 1500 || hs.Max != 1500 {
+		t.Fatalf("histogram round-trip: %+v", hs)
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := NewRegistry()
+	c, g, h := r.Counter("c"), r.Gauge("g"), r.Histogram("h")
+	c.Add(5)
+	g.Set(5)
+	h.Observe(5)
+	r.Reset()
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 {
+		t.Fatal("Reset left values behind")
+	}
+	h.Observe(9) // handles stay usable, min/max re-initialized
+	if s := h.snapshot(); s.Min != 9 || s.Max != 9 {
+		t.Fatalf("post-reset snapshot = %+v", s)
+	}
+}
+
+func TestWriteSnapshotFile(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("w.count").Inc()
+	path := filepath.Join(t.TempDir(), "metrics.json")
+	if err := WriteSnapshot(r, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["w.count"] != 1 {
+		t.Fatalf("snapshot file: %+v", s)
+	}
+	if err := WriteSnapshot(r, filepath.Join(path, "nope", "metrics.json")); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("h.count").Add(3)
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["h.count"] != 3 {
+		t.Fatalf("handler snapshot: %+v", s)
+	}
+}
+
+func TestServeDebug(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("d.count").Add(9)
+	srv, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Skipf("cannot listen on loopback: %v", err)
+	}
+	defer srv.Close()
+	for _, path := range []string{"/metrics", "/debug/vars"} {
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var s Snapshot
+		err = json.NewDecoder(resp.Body).Decode(&s)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Counters["d.count"] != 9 {
+			t.Fatalf("%s snapshot: %+v", path, s)
+		}
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+}
+
+func TestBucketIndexBounds(t *testing.T) {
+	cases := []struct {
+		v    int64
+		want int
+	}{
+		{math.MinInt64, 0}, {-1, 0}, {0, 0}, {1, 1}, {2, 2}, {3, 2},
+		{4, 3}, {1023, 10}, {1024, 11}, {math.MaxInt64, 63},
+	}
+	for _, c := range cases {
+		if got := bucketIndex(c.v); got != c.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	if bucketUpper(0) != 0 || bucketUpper(10) != 1023 ||
+		bucketUpper(63) != math.MaxInt64 || bucketUpper(64) != math.MaxInt64 {
+		t.Errorf("bucketUpper bounds wrong: %d %d %d %d",
+			bucketUpper(0), bucketUpper(10), bucketUpper(63), bucketUpper(64))
+	}
+}

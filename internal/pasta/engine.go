@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/ff"
 	"repro/internal/xof"
@@ -102,7 +103,10 @@ func newWorkspace(par Params) *workspace {
 func (c *Cipher) getWorkspace() *workspace {
 	ws, _ := c.pool.Get().(*workspace)
 	if ws == nil {
+		mPoolMisses.Inc()
 		ws = newWorkspace(c.par)
+	} else {
+		mPoolHits.Inc()
 	}
 	return ws
 }
@@ -140,8 +144,10 @@ func (c *Cipher) KeyStreamInto(dst ff.Vec, nonce, block uint64) {
 		panic(fmt.Sprintf("pasta: KeyStreamInto dst has %d elements, want %d", len(dst), c.par.T))
 	}
 	ws := c.getWorkspace()
+	start := time.Now()
 	ws.sampler.Reseed(nonce, block)
 	c.permuteInto(ws.sampler, ws)
+	observeBlock(start)
 	copy(dst, ws.state[:c.par.T])
 	c.putWorkspace(ws)
 }
@@ -186,8 +192,10 @@ func (c *Cipher) runBlocks(nonce uint64, in, out ff.Vec, start, stride, blocks i
 		if hi > len(in) {
 			hi = len(in)
 		}
+		blockStart := time.Now()
 		ws.sampler.Reseed(nonce, uint64(b))
 		c.permuteInto(ws.sampler, ws)
+		observeBlock(blockStart)
 		ks := ws.state[:t]
 		src, dst := in[lo:hi], out[lo:hi]
 		for i := range src {
@@ -209,6 +217,7 @@ func (c *Cipher) runBlocks(nonce uint64, in, out ff.Vec, start, stride, blocks i
 // slices and no synchronization beyond the final join is needed.
 func (c *Cipher) fanOut(nonce uint64, in, out ff.Vec, blocks int, encrypt bool) error {
 	workers := c.effectiveWorkers(blocks)
+	mWorkers.Set(int64(workers))
 	if workers <= 1 {
 		return c.runBlocks(nonce, in, out, 0, 1, blocks, encrypt)
 	}
@@ -235,13 +244,17 @@ func (c *Cipher) fanOut(nonce uint64, in, out ff.Vec, blocks int, encrypt bool) 
 // (block first+i at offset i·t). This is the precomputation primitive:
 // CTR-style independence lets a client mask keystream latency by
 // generating blocks before the data to encrypt exists.
+//
+// A non-positive count yields an empty vector (regression: a negative
+// count used to reach ff.NewVec and panic with makeslice).
 func (c *Cipher) KeyStreamBlocks(nonce, first uint64, count int) ff.Vec {
+	if count <= 0 {
+		return ff.NewVec(0)
+	}
 	t := c.par.T
 	out := ff.NewVec(count * t)
-	if count == 0 {
-		return out
-	}
 	workers := c.effectiveWorkers(count)
+	mWorkers.Set(int64(workers))
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -250,8 +263,10 @@ func (c *Cipher) KeyStreamBlocks(nonce, first uint64, count int) ff.Vec {
 			ws := c.getWorkspace()
 			defer c.putWorkspace(ws)
 			for b := w; b < count; b += workers {
+				blockStart := time.Now()
 				ws.sampler.Reseed(nonce, first+uint64(b))
 				c.permuteInto(ws.sampler, ws)
+				observeBlock(blockStart)
 				copy(out[b*t:(b+1)*t], ws.state[:t])
 			}
 		}(w)

@@ -1,0 +1,31 @@
+package pasta
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Metric handles for the parallel keystream engine, resolved once from
+// the default registry so the hot path touches only lock-free atomics.
+// The steady-state keystream path stays 0 allocs/op with these enabled
+// (asserted by TestKeyStreamIntoAllocFreeInstrumented).
+//
+//	pasta.blocks               keystream blocks computed (all entry points)
+//	pasta.workers              worker fan-out width of the last bulk call
+//	pasta.workspace_pool_hits  pooled workspaces reused
+//	pasta.workspace_pool_miss  workspaces freshly allocated (pool empty)
+//	pasta.block_ns             per-block permutation latency histogram (ns)
+var (
+	mBlocks     = obs.Default().Counter("pasta.blocks")
+	mWorkers    = obs.Default().Gauge("pasta.workers")
+	mPoolHits   = obs.Default().Counter("pasta.workspace_pool_hits")
+	mPoolMisses = obs.Default().Counter("pasta.workspace_pool_miss")
+	mBlockNs    = obs.Default().Histogram("pasta.block_ns")
+)
+
+// observeBlock records one computed keystream block and its latency.
+func observeBlock(start time.Time) {
+	mBlocks.Inc()
+	mBlockNs.Observe(time.Since(start).Nanoseconds())
+}

@@ -1,0 +1,86 @@
+package pasta
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/obs"
+)
+
+// TestKeyStreamBlocksNonPositiveCount: a negative (or zero) block count
+// must yield an empty vector, not a makeslice panic (regression for the
+// unguarded ff.NewVec(count*t)).
+func TestKeyStreamBlocksNonPositiveCount(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, err := NewCipher(par, KeyFromSeed(par, "neg"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{-1, -1000, 0} {
+		out := c.KeyStreamBlocks(7, 0, count)
+		if len(out) != 0 {
+			t.Fatalf("KeyStreamBlocks(count=%d) returned %d elements, want 0", count, len(out))
+		}
+	}
+	// Positive counts still work and are unaffected by the guard.
+	if out := c.KeyStreamBlocks(7, 0, 2); len(out) != 2*par.T {
+		t.Fatalf("KeyStreamBlocks(2) returned %d elements, want %d", len(out), 2*par.T)
+	}
+}
+
+// TestEngineMetricsNonzero: after a bulk run the engine's observability
+// counters reflect the work done — blocks processed, fan-out width, pool
+// traffic, and a populated latency histogram.
+func TestEngineMetricsNonzero(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, err := NewCipher(par, KeyFromSeed(par, "metrics"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.Default()
+	blocksBefore := reg.Counter("pasta.blocks").Value()
+	histBefore := reg.Histogram("pasta.block_ns").Count()
+
+	msg := ff.NewVec(8 * par.T)
+	if _, err := c.WithParallelism(2).Encrypt(3, msg); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := reg.Counter("pasta.blocks").Value() - blocksBefore; got != 8 {
+		t.Fatalf("pasta.blocks advanced by %d, want 8", got)
+	}
+	if got := reg.Gauge("pasta.workers").Value(); got != 2 {
+		t.Fatalf("pasta.workers = %d, want 2", got)
+	}
+	if got := reg.Histogram("pasta.block_ns").Count() - histBefore; got != 8 {
+		t.Fatalf("pasta.block_ns observed %d blocks, want 8", got)
+	}
+	hits := reg.Counter("pasta.workspace_pool_hits").Value()
+	misses := reg.Counter("pasta.workspace_pool_miss").Value()
+	if hits+misses == 0 {
+		t.Fatal("workspace pool saw no traffic")
+	}
+}
+
+// TestKeyStreamIntoAllocFreeInstrumented: the acceptance criterion of the
+// observability layer — the steady-state keystream path must stay at
+// 0 allocs/op with instrumentation enabled. Tolerance 0.5: a concurrent
+// GC may clear the sync.Pool between runs.
+func TestKeyStreamIntoAllocFreeInstrumented(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation heap-allocates")
+	}
+	par := MustParams(Pasta4, ff.P17)
+	c, err := NewCipher(par, KeyFromSeed(par, "allocs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ks := ff.NewVec(par.T)
+	c.KeyStreamInto(ks, 1, 0) // warm the workspace pool
+	avg := testing.AllocsPerRun(20, func() {
+		c.KeyStreamInto(ks, 1, 1)
+	})
+	if avg > 0.5 {
+		t.Fatalf("instrumented KeyStreamInto allocates %.1f objects/op, want 0", avg)
+	}
+}

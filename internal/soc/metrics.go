@@ -1,0 +1,17 @@
+package soc
+
+import "repro/internal/obs"
+
+// Metric handles resolved once at init so the peripheral's bus-cycle
+// paths never touch the registry lock.
+var (
+	// mBlocks counts blocks the peripheral has encrypted.
+	mBlocks = obs.Default().Counter("soc.blocks")
+	// mDMARead / mDMAWrite count 32-bit words moved over the master port.
+	mDMARead  = obs.Default().Counter("soc.dma_read_words")
+	mDMAWrite = obs.Default().Counter("soc.dma_write_words")
+	// mIRQAckCycles records the SoC cycles from IRQ assertion (the block's
+	// completion at busyUntil) to the driver's RegIRQAck write — the
+	// interrupt service latency seen by the peripheral.
+	mIRQAckCycles = obs.Default().Histogram("soc.irq_ack_cycles")
+)

@@ -1,0 +1,212 @@
+package soc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/obs"
+	"repro/internal/pasta"
+	"repro/internal/riscv"
+)
+
+// newTestPeriph builds a peripheral on a manually advanced clock with the
+// key loaded and one block of plaintext {0,1,2,...} staged at srcAddr, so
+// register-level behavior can be probed without running driver code on
+// the core.
+func newTestPeriph(t *testing.T, clock *int64) (*Peripheral, *riscv.RAM, pasta.Params) {
+	t.Helper()
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "regs")
+	ram := riscv.NewRAM(RAMBase, 1<<20)
+	p, err := NewPeripheral(par, ram, func() int64 { return *clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(RegKeyRst, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range key {
+		if err := p.Write(RegKeyData, uint32(v), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < par.T; i++ {
+		if err := ram.Write(srcAddr+uint32(4*i), uint32(i), 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, w := range []struct{ off, v uint32 }{
+		{RegSrc, srcAddr}, {RegDst, dstAddr}, {RegLen, uint32(par.T)},
+	} {
+		if err := p.Write(w.off, w.v, 4); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, ram, par
+}
+
+// TestBusyWriteRejected: the slave port must refuse register writes while
+// a block is in flight (the single-bus serialization contract), and
+// accept them again once the busy window has elapsed.
+func TestBusyWriteRejected(t *testing.T) {
+	var clock int64
+	p, _, _ := newTestPeriph(t, &clock)
+	if err := p.Write(RegCtrl, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := p.Read(RegStatus, 4); st != StatusBusy {
+		t.Fatalf("status = %#x right after start, want busy", st)
+	}
+	for _, off := range []uint32{RegCtrl, RegNonceLo, RegSrc, RegLen, RegKeyData} {
+		if err := p.Write(off, 1, 4); err == nil {
+			t.Errorf("write to %#x accepted while busy", off)
+		} else if !strings.Contains(err.Error(), "busy") {
+			t.Errorf("busy rejection at %#x has unhelpful text: %v", off, err)
+		}
+	}
+	clock = p.busyUntil // block completes
+	if st, _ := p.Read(RegStatus, 4); st != StatusDone {
+		t.Fatalf("status = %#x after busy window, want done", st)
+	}
+	if err := p.Write(RegNonceLo, 42, 4); err != nil {
+		t.Fatalf("write rejected after completion: %v", err)
+	}
+}
+
+// TestKeyOverflowRejected: pushing more than 2t key elements must error
+// instead of clobbering state.
+func TestKeyOverflowRejected(t *testing.T) {
+	var clock int64
+	p, _, par := newTestPeriph(t, &clock)
+	err := p.Write(RegKeyData, 1, 4) // element 2t+1
+	if err == nil {
+		t.Fatal("key element beyond 2t accepted")
+	}
+	if !strings.Contains(err.Error(), "overflow") {
+		t.Fatalf("overflow error text: %v", err)
+	}
+	// A key-pointer reset makes the port writable again.
+	if err := p.Write(RegKeyRst, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(RegKeyData, 1, 4); err != nil {
+		t.Fatalf("key write after reset: %v", err)
+	}
+	_ = par
+}
+
+// TestOutOfRangePlaintextRejected: a DMA-fetched word ≥ p must abort the
+// block with a descriptive error, not wrap into the field.
+func TestOutOfRangePlaintextRejected(t *testing.T) {
+	var clock int64
+	p, ram, par := newTestPeriph(t, &clock)
+	if err := ram.Write(srcAddr+4, uint32(par.Mod.P()), 4); err != nil {
+		t.Fatal(err)
+	}
+	err := p.Write(RegCtrl, 1, 4)
+	if err == nil {
+		t.Fatal("out-of-range plaintext element accepted")
+	}
+	if !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("error text: %v", err)
+	}
+}
+
+// TestRegCyclesSaturates: RegCycles used to truncate the int64 cycle
+// count to its low 32 bits, so a >2³²-cycle block read back as a small
+// number. It must saturate, with RegCyclesHi carrying the upper word.
+func TestRegCyclesSaturates(t *testing.T) {
+	var clock int64
+	p, _, _ := newTestPeriph(t, &clock)
+	p.lastCycles = 5<<32 | 0x1234
+	if v, _ := p.Read(RegCycles, 4); v != 0xFFFF_FFFF {
+		t.Fatalf("RegCycles = %#x for 64-bit count, want saturated 0xFFFFFFFF", v)
+	}
+	if v, _ := p.Read(RegCyclesHi, 4); v != 5 {
+		t.Fatalf("RegCyclesHi = %d, want 5", v)
+	}
+	p.lastCycles = 1234
+	if v, _ := p.Read(RegCycles, 4); v != 1234 {
+		t.Fatalf("RegCycles = %d, want 1234", v)
+	}
+	if v, _ := p.Read(RegCyclesHi, 4); v != 0 {
+		t.Fatalf("RegCyclesHi = %d, want 0", v)
+	}
+}
+
+// TestRegisterReadback: drivers can read back the address/nonce/counter
+// registers they programmed (these reads used to error as "unknown
+// register").
+func TestRegisterReadback(t *testing.T) {
+	var clock int64
+	p, _, _ := newTestPeriph(t, &clock)
+	writes := []struct{ off, v uint32 }{
+		{RegNonceLo, 0xDEAD_BEEF}, {RegNonceHi, 0x0123_4567},
+		{RegCtrLo, 77}, {RegCtrHi, 3},
+		{RegSrc, 0x1_0000}, {RegDst, 0x4_0000}, {RegLen, 9},
+	}
+	for _, w := range writes {
+		if err := p.Write(w.off, w.v, 4); err != nil {
+			t.Fatalf("write %#x: %v", w.off, err)
+		}
+	}
+	for _, w := range writes {
+		got, err := p.Read(w.off, 4)
+		if err != nil {
+			t.Fatalf("readback of %#x: %v", w.off, err)
+		}
+		if got != w.v {
+			t.Fatalf("readback of %#x = %#x, want %#x", w.off, got, w.v)
+		}
+	}
+	if p.nonce != 0x0123_4567_DEAD_BEEF {
+		t.Fatalf("assembled nonce = %#x", p.nonce)
+	}
+}
+
+// TestSoCMetricsNonzero: one block through the peripheral advances the
+// soc.* counters and, after an interrupt acknowledge, the IRQ service
+// latency histogram.
+func TestSoCMetricsNonzero(t *testing.T) {
+	reg := obs.Default()
+	blocksBefore := reg.Counter("soc.blocks").Value()
+	readBefore := reg.Counter("soc.dma_read_words").Value()
+	writeBefore := reg.Counter("soc.dma_write_words").Value()
+	ackBefore := reg.Snapshot().Histograms["soc.irq_ack_cycles"].Count
+
+	var clock int64
+	p, _, par := newTestPeriph(t, &clock)
+	if err := p.Write(RegIRQEn, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Write(RegCtrl, 1, 4); err != nil {
+		t.Fatal(err)
+	}
+	clock = p.busyUntil + 17 // the driver services the IRQ 17 cycles late
+	if !p.IRQ() {
+		t.Fatal("IRQ line not asserted after completion")
+	}
+	if err := p.Write(RegIRQAck, 0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if p.IRQ() {
+		t.Fatal("IRQ line still asserted after acknowledge")
+	}
+	if got := reg.Counter("soc.blocks").Value() - blocksBefore; got != 1 {
+		t.Fatalf("soc.blocks advanced by %d, want 1", got)
+	}
+	if got := reg.Counter("soc.dma_read_words").Value() - readBefore; got != int64(par.T) {
+		t.Fatalf("soc.dma_read_words advanced by %d, want %d", got, par.T)
+	}
+	if got := reg.Counter("soc.dma_write_words").Value() - writeBefore; got != int64(par.T) {
+		t.Fatalf("soc.dma_write_words advanced by %d, want %d", got, par.T)
+	}
+	ack := reg.Snapshot().Histograms["soc.irq_ack_cycles"]
+	if ack.Count-ackBefore != 1 {
+		t.Fatalf("soc.irq_ack_cycles count advanced by %d, want 1", ack.Count-ackBefore)
+	}
+	if ack.Max < 17 {
+		t.Fatalf("irq ack latency max = %d, want ≥ 17", ack.Max)
+	}
+}

@@ -39,9 +39,14 @@ const (
 	RegLen     = 0x20 // number of elements in this block (≤ t)
 	RegKeyData = 0x24 // W: push next key element (auto-increment)
 	RegKeyRst  = 0x28 // W: reset the key write pointer
-	RegCycles  = 0x2C // R: accelerator cycles of the last block
+	RegCycles  = 0x2C // R: accelerator cycles of the last block (low word, saturating)
 	RegIRQEn   = 0x30 // W: bit0 enables the completion interrupt line
 	RegIRQAck  = 0x34 // W: clear the pending interrupt
+	// RegCyclesHi returns bits 32..63 of the last block's cycle count.
+	// RegCycles saturates at 0xFFFF_FFFF instead of silently truncating,
+	// so a legacy driver reading only the low word sees "at least 2³²−1"
+	// rather than a wrapped small number; new drivers read both words.
+	RegCyclesHi = 0x38 // R: accelerator cycles of the last block (high word)
 )
 
 // Status bits.
@@ -105,9 +110,30 @@ func (p *Peripheral) Read(off uint32, size int) (uint32, error) {
 		}
 		return 0, nil
 	case RegCycles:
+		// Saturate instead of truncating: lastCycles is an int64 cycle
+		// count and a silent uint32 wrap would report a tiny value for a
+		// >2³²-cycle block. 0xFFFF_FFFF tells the driver to read
+		// RegCyclesHi for the full count.
+		if p.lastCycles > 0xFFFF_FFFF {
+			return 0xFFFF_FFFF, nil
+		}
 		return uint32(p.lastCycles), nil
+	case RegCyclesHi:
+		return uint32(uint64(p.lastCycles) >> 32), nil
 	case RegLen:
 		return p.n, nil
+	case RegSrc:
+		return p.src, nil
+	case RegDst:
+		return p.dst, nil
+	case RegNonceLo:
+		return uint32(p.nonce), nil
+	case RegNonceHi:
+		return uint32(p.nonce >> 32), nil
+	case RegCtrLo:
+		return uint32(p.counter), nil
+	case RegCtrHi:
+		return uint32(p.counter >> 32), nil
 	default:
 		return 0, fmt.Errorf("soc: read of unknown peripheral register %#x", off)
 	}
@@ -143,6 +169,9 @@ func (p *Peripheral) Write(off uint32, v uint32, size int) error {
 	case RegIRQEn:
 		p.irqEnabled = v&1 == 1
 	case RegIRQAck:
+		if p.irqEnabled && p.started && !p.irqAcked && p.clock() >= p.busyUntil {
+			mIRQAckCycles.Observe(p.clock() - p.busyUntil)
+		}
 		p.irqAcked = true
 	case RegKeyRst:
 		p.keyFill = 0
@@ -208,6 +237,9 @@ func (p *Peripheral) start() error {
 	p.irqAcked = false
 	p.BlocksDone++
 	p.AccelCycles += res.Stats.Cycles
+	mBlocks.Inc()
+	mDMARead.Add(int64(p.n))
+	mDMAWrite.Add(int64(len(res.Ciphertext)))
 	return nil
 }
 
