@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke bench-json fuzz-smoke metrics-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json fuzz-smoke metrics-smoke backends-smoke ci clean
 
 all: build
 
@@ -14,6 +14,11 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Fail if any file is not gofmt-clean (CI gate; run `gofmt -w .` to fix).
+fmt-check:
+	@fmt_out="$$(gofmt -l .)"; if [ -n "$$fmt_out" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt_out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -35,8 +40,8 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream' -benchmem \
-		./internal/pasta . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch' -benchmem \
+		./internal/pasta ./internal/backend . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
 
 # Short fuzz runs of the differential harnesses: the lazy NTT product
 # against the schoolbook oracle, and the structured modular reductions
@@ -50,7 +55,14 @@ fuzz-smoke:
 metrics-smoke:
 	$(GO) run ./cmd/socsim -blocks 2 -metrics -
 
-ci: vet build race bench-smoke
+# Cross-backend differential check on the reduced instance (PASTA-4,
+# t = 32): software, accelerator model, and SoC co-simulation must emit
+# bit-identical keystream and ciphertext. The full suite (plus PASTA-3)
+# runs under `make test`/`make race`; this target is the fast CI gate.
+backends-smoke:
+	$(GO) test -run 'TestCrossBackendDifferential/PASTA-4' -v ./internal/backend
+
+ci: vet fmt-check build race backends-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

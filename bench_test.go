@@ -93,7 +93,9 @@ func benchSoftware(b *testing.B, v pasta.Variant) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		c.KeyStreamInto(ks, uint64(i), 0)
+		if err := c.KeyStreamInto(ks, uint64(i), 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 	b.ReportMetric(float64(par.T)*float64(b.N)/b.Elapsed().Seconds(), "elems/s")
 }

@@ -24,14 +24,14 @@ import (
 
 // Result is one parsed benchmark line.
 type Result struct {
-	Op         string             `json:"op"`                  // benchmark name without -N cpu suffix
-	Pkg        string             `json:"pkg,omitempty"`       // import path from the pkg: header
-	CPUs       int                `json:"cpus"`                // GOMAXPROCS from the -N suffix (1 if absent)
-	Iterations int64              `json:"iterations"`          // b.N
-	NsPerOp    float64            `json:"ns_per_op"`           // wall time
-	BytesPerOp float64            `json:"bytes_per_op"`        // -benchmem; -1 when not reported
-	AllocsPerOp float64           `json:"allocs_per_op"`       // -benchmem; -1 when not reported
-	Metrics    map[string]float64 `json:"metrics,omitempty"`   // b.ReportMetric extras
+	Op          string             `json:"op"`                // benchmark name without -N cpu suffix
+	Pkg         string             `json:"pkg,omitempty"`     // import path from the pkg: header
+	CPUs        int                `json:"cpus"`              // GOMAXPROCS from the -N suffix (1 if absent)
+	Iterations  int64              `json:"iterations"`        // b.N
+	NsPerOp     float64            `json:"ns_per_op"`         // wall time
+	BytesPerOp  float64            `json:"bytes_per_op"`      // -benchmem; -1 when not reported
+	AllocsPerOp float64            `json:"allocs_per_op"`     // -benchmem; -1 when not reported
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // b.ReportMetric extras
 }
 
 // Report is the top-level JSON document.

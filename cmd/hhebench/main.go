@@ -4,7 +4,11 @@
 // Usage:
 //
 //	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims] [-nonces N] [-enc-cap]
-//	         [-metrics file|-] [-debug-addr host:port]
+//	         [-backend software|accel|soc] [-metrics file|-] [-debug-addr host:port]
+//
+// The -backend flag selects the execution substrate for the "software"
+// (throughput) experiment; the modelled tables always sample the
+// substrates they reproduce.
 package main
 
 import (
@@ -15,6 +19,8 @@ import (
 	"path/filepath"
 	"strings"
 
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/ff"
 	"repro/internal/obs"
@@ -29,8 +35,8 @@ func main() {
 	measurePKE := flag.Bool("measure-pke", true, "measure the software RLWE PKE baseline on this host for Table III (adds a few seconds of setup)")
 	pkeIters := flag.Int("pke-iters", 8, "encryptions to average for the measured PKE baseline")
 	csvDir := flag.String("csv", "", "also write machine-readable CSVs for every experiment into this directory")
-	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
 	debugAddr := flag.String("debug-addr", "", "serve live /metrics, /debug/vars and /debug/pprof on this address while the benchmarks run")
+	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoftware)
 	flag.Parse()
 
 	if *debugAddr != "" {
@@ -42,10 +48,8 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hhebench: debug server on http://%s (/metrics, /debug/vars, /debug/pprof)\n", srv.Addr())
 	}
 	defer func() {
-		if *metrics != "" {
-			if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
-				fatal(err)
-			}
+		if err := common.Finish(); err != nil {
+			fatal(err)
 		}
 	}()
 
@@ -184,7 +188,7 @@ func main() {
 		ran = true
 	}
 	if want("software") {
-		rows, err := eval.SoftwareThroughput(*workers, *blocks)
+		rows, err := eval.Throughput(common.Backend, *workers, *blocks)
 		if err != nil {
 			fatal(err)
 		}

@@ -1,21 +1,28 @@
-// Command hwsim runs the cycle-accurate cryptoprocessor model for one
-// keystream block and reports cycle statistics, unit utilization, and —
-// with -trace — the Fig. 3 schedule milestones.
+// Command hwsim runs one keystream block on a selectable execution
+// backend and reports its statistics. On the default accel backend (the
+// cycle-accurate cryptoprocessor model) it prints cycle counts, unit
+// utilization, and — with -trace — the Fig. 3 schedule milestones; on
+// the software or soc backends it prints the generic backend counters,
+// which makes it a quick way to confirm all substrates agree on the
+// same block.
 //
 // Usage:
 //
-//	hwsim [-variant pasta3|pasta4] [-w 17|33|54|60] [-nonce N] [-counter N] [-trace] [-verify] [-metrics file|-]
+//	hwsim [-backend software|accel|soc] [-variant pasta3|pasta4] [-w 17|33|54|60]
+//	      [-nonce N] [-counter N] [-trace] [-verify] [-metrics file|-]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"sort"
 
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/ff"
 	"repro/internal/hw"
-	"repro/internal/obs"
 	"repro/internal/pasta"
 )
 
@@ -24,105 +31,109 @@ func main() {
 	width := flag.Uint("w", 17, "modulus bit width: 17, 33, 54 or 60")
 	nonce := flag.Uint64("nonce", 0, "nonce")
 	counter := flag.Uint64("counter", 0, "block counter")
-	trace := flag.Bool("trace", false, "print the schedule trace (Fig. 3)")
-	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file (view with GTKWave)")
+	trace := flag.Bool("trace", false, "print the schedule trace (Fig. 3; accel backend only)")
+	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file (view with GTKWave; accel backend only)")
 	verify := flag.Bool("verify", true, "check the keystream against the software reference")
 	keySeed := flag.String("key-seed", "hwsim", "deterministic key seed")
-	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+	common := cli.RegisterCommon(flag.CommandLine, backend.NameAccel)
 	flag.Parse()
 
-	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath); err != nil {
-		fmt.Fprintln(os.Stderr, "hwsim:", err)
-		os.Exit(1)
+	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath, common.Backend); err != nil {
+		cli.Exit("hwsim", err)
 	}
-	if *metrics != "" {
-		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
-			fmt.Fprintln(os.Stderr, "hwsim:", err)
-			os.Exit(1)
-		}
+	if err := common.Finish(); err != nil {
+		cli.Exit("hwsim", err)
 	}
 }
 
-func run(variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath string) error {
-	mod, ok := ff.StandardModuli[width]
-	if !ok {
-		return fmt.Errorf("unsupported width %d (have 17, 33, 54, 60)", width)
-	}
-	var v pasta.Variant
-	switch variant {
-	case "pasta3":
-		v = pasta.Pasta3
-	case "pasta4":
-		v = pasta.Pasta4
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
-	}
-	par := pasta.MustParams(v, mod)
-	key := pasta.KeyFromSeed(par, keySeed)
-	acc, err := hw.NewAccelerator(par, key)
+func run(variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath, backendName string) error {
+	b, err := cli.OpenPasta(backendName, variant, width, keySeed, 0)
 	if err != nil {
 		return err
 	}
-	acc.TraceEnabled = trace
-	if vcdPath != "" {
-		acc.Waveform = &hw.Waveform{}
+	defer b.Close()
+
+	// The schedule trace and waveform capture are properties of the
+	// cycle-accurate model; the other substrates have nothing to record.
+	var acc *hw.Accelerator
+	ab, isAccel := b.(*backend.AccelBackend)
+	if isAccel {
+		acc = ab.Accelerator()
+		acc.TraceEnabled = trace
+		if vcdPath != "" {
+			acc.Waveform = &hw.Waveform{}
+		}
+	} else if trace || vcdPath != "" {
+		return fmt.Errorf("-trace and -vcd require the %s backend (got %s)", backend.NameAccel, backendName)
 	}
 
-	res, err := acc.KeyStream(nonce, counter)
-	if err != nil {
+	ks := ff.NewVec(b.BlockSize())
+	if err := b.KeyStreamInto(context.Background(), ks, nonce, counter); err != nil {
 		return err
 	}
 
-	fmt.Printf("%s  ω=%d  nonce=%d  counter=%d\n", par, width, nonce, counter)
-	fmt.Printf("cycles: %d  (FPGA 75MHz: %.1f µs, ASIC 1GHz: %.2f µs, SoC 100MHz: %.1f µs)\n",
-		res.Stats.Cycles,
-		hw.Microseconds(res.Stats.Cycles, hw.FPGAHz),
-		hw.Microseconds(res.Stats.Cycles, hw.ASICHz),
-		hw.Microseconds(res.Stats.Cycles, hw.RISCVHz))
-	fmt.Printf("keccak permutations: %d  words drawn: %d  kept: %d (%.1f%% acceptance)\n",
-		res.Stats.Permutations, res.Stats.WordsDrawn, res.Stats.WordsKept,
-		100*float64(res.Stats.WordsKept)/float64(res.Stats.WordsDrawn))
+	fmt.Printf("%s backend  ω=%d  nonce=%d  counter=%d\n", b.Name(), width, nonce, counter)
+	if isAccel {
+		res := ab.LastResult()
+		fmt.Printf("cycles: %d  (FPGA 75MHz: %.1f µs, ASIC 1GHz: %.2f µs, SoC 100MHz: %.1f µs)\n",
+			res.Stats.Cycles,
+			hw.Microseconds(res.Stats.Cycles, hw.FPGAHz),
+			hw.Microseconds(res.Stats.Cycles, hw.ASICHz),
+			hw.Microseconds(res.Stats.Cycles, hw.RISCVHz))
+		fmt.Printf("keccak permutations: %d  words drawn: %d  kept: %d (%.1f%% acceptance)\n",
+			res.Stats.Permutations, res.Stats.WordsDrawn, res.Stats.WordsKept,
+			100*float64(res.Stats.WordsKept)/float64(res.Stats.WordsDrawn))
 
-	util := res.Stats.Utilization()
-	names := make([]string, 0, len(util))
-	for k := range util {
-		names = append(names, k)
-	}
-	sort.Slice(names, func(i, j int) bool { return util[names[i]] > util[names[j]] })
-	fmt.Println("unit utilization:")
-	for _, n := range names {
-		fmt.Printf("  %-8s %5.1f%%\n", n, 100*util[n])
-	}
+		util := res.Stats.Utilization()
+		names := make([]string, 0, len(util))
+		for k := range util {
+			names = append(names, k)
+		}
+		sort.Slice(names, func(i, j int) bool { return util[names[i]] > util[names[j]] })
+		fmt.Println("unit utilization:")
+		for _, n := range names {
+			fmt.Printf("  %-8s %5.1f%%\n", n, 100*util[n])
+		}
 
-	if trace {
-		fmt.Println("schedule trace:")
-		for _, ev := range res.Trace {
-			fmt.Println(" ", ev)
+		if trace {
+			fmt.Println("schedule trace:")
+			for _, ev := range res.Trace {
+				fmt.Println(" ", ev)
+			}
 		}
-	}
 
-	if vcdPath != "" {
-		f, err := os.Create(vcdPath)
-		if err != nil {
-			return err
+		if vcdPath != "" {
+			f, err := os.Create(vcdPath)
+			if err != nil {
+				return err
+			}
+			if err := acc.Waveform.WriteVCD(f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Printf("waveform: %d cycles written to %s\n", acc.Waveform.Cycles(), vcdPath)
 		}
-		if err := acc.Waveform.WriteVCD(f); err != nil {
-			f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
-			return err
-		}
-		fmt.Printf("waveform: %d cycles written to %s\n", acc.Waveform.Cycles(), vcdPath)
+	} else {
+		st := b.Stats()
+		fmt.Printf("blocks: %d  elements: %d  core cycles: %d  accel cycles: %d\n",
+			st.Blocks, st.Elements, st.CoreCycles, st.AccelCycles)
 	}
 
 	if verify {
-		ref, err := pasta.NewCipher(par, key)
+		v, err := cli.ParseVariant(variant)
 		if err != nil {
 			return err
 		}
-		if res.KeyStream.Equal(ref.KeyStream(nonce, counter)) {
-			fmt.Println("verify: hardware keystream matches software reference ✓")
+		par := pasta.MustParams(v, ff.StandardModuli[width])
+		ref, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, keySeed))
+		if err != nil {
+			return err
+		}
+		if ks.Equal(ref.KeyStream(nonce, counter)) {
+			fmt.Printf("verify: %s keystream matches software reference ✓\n", b.Name())
 		} else {
 			return fmt.Errorf("verify FAILED: keystream mismatch")
 		}

@@ -3,28 +3,46 @@ package main
 import "testing"
 
 func TestRunPasta4(t *testing.T) {
-	if err := run("pasta4", 17, 0, 0, false, true, "test", ""); err != nil {
+	if err := run("pasta4", 17, 0, 0, false, true, "test", "", "accel"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWithTrace(t *testing.T) {
-	if err := run("pasta4", 17, 1, 2, true, true, "test", ""); err != nil {
+	if err := run("pasta4", 17, 1, 2, true, true, "test", "", "accel"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunWideModulus(t *testing.T) {
-	if err := run("pasta4", 33, 0, 0, false, true, "test", ""); err != nil {
+	if err := run("pasta4", 33, 0, 0, false, true, "test", "", "accel"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunInvalidArgs(t *testing.T) {
-	if err := run("pasta9", 17, 0, 0, false, false, "t", ""); err == nil {
+	if err := run("pasta9", 17, 0, 0, false, false, "t", "", "accel"); err == nil {
 		t.Fatal("bad variant accepted")
 	}
-	if err := run("pasta4", 19, 0, 0, false, false, "t", ""); err == nil {
+	if err := run("pasta4", 19, 0, 0, false, false, "t", "", "accel"); err == nil {
 		t.Fatal("bad width accepted")
+	}
+}
+
+// TestRunAllBackends drives the same block through every registered
+// substrate with -verify on: each run checks its keystream against the
+// software reference, so a pass means all backends agree bit-for-bit.
+func TestRunAllBackends(t *testing.T) {
+	for _, name := range []string{"software", "accel", "soc"} {
+		if err := run("pasta4", 17, 3, 1, false, true, "test", "", name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := run("pasta4", 17, 0, 0, false, false, "t", "", "fpga"); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	// Trace capture is a property of the cycle-accurate model.
+	if err := run("pasta4", 17, 0, 0, true, false, "t", "", "software"); err == nil {
+		t.Fatal("-trace on the software backend accepted")
 	}
 }

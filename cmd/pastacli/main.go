@@ -1,22 +1,28 @@
 // Command pastacli encrypts and decrypts files with the PASTA stream
-// cipher. Plaintext bytes are packed two per field element (valid for the
-// default 17-bit modulus); ciphertext elements are stored as little-
-// endian uint32 words behind a small header.
+// cipher on any execution backend: the software engine (default), the
+// cycle-accurate accelerator model, or the RISC-V SoC co-simulation.
+// All three produce bit-identical ciphertext — the differential suite in
+// internal/backend enforces that. Plaintext bytes are packed two per
+// field element (valid for the default 17-bit modulus); ciphertext
+// elements are stored as little-endian uint32 words behind a small
+// header.
 //
 // Usage:
 //
 //	pastacli -mode enc -key-seed secret -nonce 7 -in plain.bin -out ct.pasta
 //	pastacli -mode dec -key-seed secret -in ct.pasta -out plain.bin
+//	pastacli -mode enc -backend soc -key-seed secret -nonce 7 -in plain.bin -out ct.pasta
 package main
 
 import (
+	"context"
 	"encoding/binary"
 	"flag"
 	"fmt"
 	"os"
 
+	"repro/internal/cli"
 	"repro/internal/ff"
-	"repro/internal/obs"
 	"repro/internal/pasta"
 )
 
@@ -29,44 +35,35 @@ func main() {
 	nonce := flag.Uint64("nonce", 0, "public nonce (enc mode; must be unique per key)")
 	in := flag.String("in", "", "input file")
 	outPath := flag.String("out", "", "output file")
-	workers := flag.Int("workers", 0, "keystream worker goroutines (0 = GOMAXPROCS, 1 = sequential)")
-	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+	workers := flag.Int("workers", 0, "keystream worker goroutines (0 = GOMAXPROCS, 1 = sequential; software backend only)")
+	common := cli.RegisterCommon(flag.CommandLine, "software")
 	flag.Parse()
 
-	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers); err != nil {
-		fmt.Fprintln(os.Stderr, "pastacli:", err)
-		os.Exit(1)
+	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers, common.Backend); err != nil {
+		cli.Exit("pastacli", err)
 	}
-	if *metrics != "" {
-		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
-			fmt.Fprintln(os.Stderr, "pastacli:", err)
-			os.Exit(1)
-		}
+	if err := common.Finish(); err != nil {
+		cli.Exit("pastacli", err)
 	}
 }
 
-func run(mode, variant, keySeed string, nonce uint64, in, out string, workers int) error {
+func run(mode, variant, keySeed string, nonce uint64, in, out string, workers int, backendName string) error {
 	if mode != "enc" && mode != "dec" {
 		return fmt.Errorf("-mode must be enc or dec")
 	}
-	if keySeed == "" || in == "" || out == "" {
+	if in == "" || out == "" {
 		return fmt.Errorf("-key-seed, -in and -out are required")
 	}
-	var v pasta.Variant
-	switch variant {
-	case "pasta3":
-		v = pasta.Pasta3
-	case "pasta4":
-		v = pasta.Pasta4
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
-	}
-	par := pasta.MustParams(v, ff.P17)
-	cipher, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, keySeed))
+	v, err := cli.ParseVariant(variant)
 	if err != nil {
 		return err
 	}
-	cipher = cipher.WithParallelism(workers)
+	cipher, err := cli.OpenPasta(backendName, variant, 17, keySeed, workers)
+	if err != nil {
+		return err
+	}
+	defer cipher.Close()
+	ctx := context.Background()
 	data, err := os.ReadFile(in)
 	if err != nil {
 		return err
@@ -74,7 +71,7 @@ func run(mode, variant, keySeed string, nonce uint64, in, out string, workers in
 
 	if mode == "enc" {
 		elems := packBytes(data)
-		ct, err := cipher.Encrypt(nonce, elems)
+		ct, err := cipher.Encrypt(ctx, nonce, elems)
 		if err != nil {
 			return err
 		}
@@ -106,7 +103,7 @@ func run(mode, variant, keySeed string, nonce uint64, in, out string, workers in
 	for i := range ct {
 		ct[i] = uint64(binary.LittleEndian.Uint32(body[4*i:]))
 	}
-	elems, err := cipher.Decrypt(hdrNonce, ct)
+	elems, err := cipher.Decrypt(ctx, hdrNonce, ct)
 	if err != nil {
 		return err
 	}

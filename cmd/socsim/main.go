@@ -1,20 +1,25 @@
 // Command socsim co-simulates the RISC-V SoC (Ibex-like core + PASTA
 // peripheral) encrypting a multi-block message, reporting the cycle
-// breakdown behind the RISC-V column of Table II.
+// breakdown behind the RISC-V column of Table II. With -backend it can
+// run the same message through the software engine or the bare
+// accelerator model instead, to confirm every substrate produces the
+// same ciphertext.
 //
 // Usage:
 //
-//	socsim [-blocks N] [-nonce N] [-variant pasta3|pasta4] [-metrics file|-]
+//	socsim [-backend software|accel|soc] [-blocks N] [-nonce N]
+//	       [-variant pasta3|pasta4] [-irq] [-metrics file|-]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
-	"os"
 
+	"repro/internal/backend"
+	"repro/internal/cli"
 	"repro/internal/ff"
 	"repro/internal/hw"
-	"repro/internal/obs"
 	"repro/internal/pasta"
 	"repro/internal/soc"
 )
@@ -23,35 +28,29 @@ func main() {
 	blocks := flag.Int("blocks", 4, "number of blocks to encrypt")
 	nonce := flag.Uint64("nonce", 1, "nonce")
 	variant := flag.String("variant", "pasta4", "pasta3 or pasta4")
-	irq := flag.Bool("irq", false, "use the interrupt-driven (WFI) driver instead of status polling")
+	irq := flag.Bool("irq", false, "use the interrupt-driven (WFI) driver instead of status polling (soc backend only)")
 	keySeed := flag.String("key-seed", "socsim", "deterministic key seed")
-	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file after the run (\"-\" = stdout)")
+	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoC)
 	flag.Parse()
 
-	if err := run(*blocks, *nonce, *variant, *keySeed, *irq); err != nil {
-		fmt.Fprintln(os.Stderr, "socsim:", err)
-		os.Exit(1)
+	if err := run(*blocks, *nonce, *variant, *keySeed, *irq, common.Backend); err != nil {
+		cli.Exit("socsim", err)
 	}
-	if *metrics != "" {
-		if err := obs.WriteSnapshot(obs.Default(), *metrics); err != nil {
-			fmt.Fprintln(os.Stderr, "socsim:", err)
-			os.Exit(1)
-		}
+	if err := common.Finish(); err != nil {
+		cli.Exit("socsim", err)
 	}
 }
 
-func run(blocks int, nonce uint64, variant, keySeed string, irq bool) error {
+func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendName string) error {
 	if blocks < 1 {
 		return fmt.Errorf("-blocks must be ≥ 1")
 	}
-	var v pasta.Variant
-	switch variant {
-	case "pasta3":
-		v = pasta.Pasta3
-	case "pasta4":
-		v = pasta.Pasta4
-	default:
-		return fmt.Errorf("unknown variant %q", variant)
+	if irq && backendName != backend.NameSoC {
+		return fmt.Errorf("-irq requires the %s backend (got %s)", backend.NameSoC, backendName)
+	}
+	v, err := cli.ParseVariant(variant)
+	if err != nil {
+		return err
 	}
 	par := pasta.MustParams(v, ff.P17)
 	key := pasta.KeyFromSeed(par, keySeed)
@@ -60,13 +59,50 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool) error {
 	for i := range msg {
 		msg[i] = uint64(i) % par.Mod.P()
 	}
-	encrypt := soc.EncryptBlocks
-	if irq {
-		encrypt = soc.EncryptBlocksIRQ
-	}
-	ct, stats, err := encrypt(par, key, nonce, msg)
-	if err != nil {
-		return err
+
+	var ct ff.Vec
+	if backendName == backend.NameSoC {
+		// The direct driver path keeps the co-simulation detail (retired
+		// instructions, WFI sleep cycles) that the generic backend
+		// Stats() deliberately flattens.
+		encrypt := soc.EncryptBlocks
+		if irq {
+			encrypt = soc.EncryptBlocksIRQ
+		}
+		var stats soc.RunStats
+		ct, stats, err = encrypt(par, key, nonce, msg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s on the 100 MHz RISC-V SoC\n", par)
+		fmt.Printf("blocks:            %d (%d elements)\n", stats.Blocks, len(msg))
+		fmt.Printf("core cycles:       %d (%d instructions retired)\n", stats.CoreCycles, stats.Instructions)
+		fmt.Printf("accelerator cycles:%d (%.1f%% of total)\n", stats.AccelCycles,
+			100*float64(stats.AccelCycles)/float64(stats.CoreCycles))
+		fmt.Printf("per block:         %d cycles = %.1f µs (paper Table II: 15.9 µs for PASTA-4)\n",
+			stats.CyclesPerBlock(), hw.Microseconds(stats.CyclesPerBlock(), hw.RISCVHz))
+		fmt.Printf("total:             %.1f µs\n", stats.Microseconds)
+		if irq {
+			fmt.Printf("WFI sleep:         %d cycles (%.1f%% of runtime clock-gated)\n",
+				stats.WaitCycles, 100*float64(stats.WaitCycles)/float64(stats.CoreCycles))
+		}
+	} else {
+		b, err := cli.OpenPasta(backendName, variant, 17, keySeed, 0)
+		if err != nil {
+			return err
+		}
+		defer b.Close()
+		ct, err = b.Encrypt(context.Background(), nonce, msg)
+		if err != nil {
+			return err
+		}
+		st := b.Stats()
+		fmt.Printf("%s on the %s backend\n", par, b.Name())
+		fmt.Printf("blocks:            %d (%d elements)\n", st.Blocks, st.Elements)
+		if st.AccelCycles > 0 {
+			fmt.Printf("accelerator cycles:%d (%.1f µs at 75 MHz FPGA)\n", st.AccelCycles,
+				hw.Microseconds(st.AccelCycles, hw.FPGAHz))
+		}
 	}
 
 	// Verify against the reference cipher.
@@ -78,22 +114,8 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool) error {
 	if err != nil {
 		return err
 	}
-	ok := ct.Equal(want)
-
-	fmt.Printf("%s on the 100 MHz RISC-V SoC\n", par)
-	fmt.Printf("blocks:            %d (%d elements)\n", stats.Blocks, len(msg))
-	fmt.Printf("core cycles:       %d (%d instructions retired)\n", stats.CoreCycles, stats.Instructions)
-	fmt.Printf("accelerator cycles:%d (%.1f%% of total)\n", stats.AccelCycles,
-		100*float64(stats.AccelCycles)/float64(stats.CoreCycles))
-	fmt.Printf("per block:         %d cycles = %.1f µs (paper Table II: 15.9 µs for PASTA-4)\n",
-		stats.CyclesPerBlock(), hw.Microseconds(stats.CyclesPerBlock(), hw.RISCVHz))
-	fmt.Printf("total:             %.1f µs\n", stats.Microseconds)
-	if irq {
-		fmt.Printf("WFI sleep:         %d cycles (%.1f%% of runtime clock-gated)\n",
-			stats.WaitCycles, 100*float64(stats.WaitCycles)/float64(stats.CoreCycles))
-	}
-	if ok {
-		fmt.Println("verify: SoC ciphertext matches software reference ✓")
+	if ct.Equal(want) {
+		fmt.Println("verify: ciphertext matches software reference ✓")
 	} else {
 		return fmt.Errorf("verify FAILED: ciphertext mismatch")
 	}

@@ -3,16 +3,33 @@ package main
 import "testing"
 
 func TestRunTwoBlocks(t *testing.T) {
-	if err := run(2, 1, "pasta4", "test", true); err != nil {
+	if err := run(2, 1, "pasta4", "test", true, "soc"); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunInvalidArgs(t *testing.T) {
-	if err := run(0, 1, "pasta4", "t", false); err == nil {
+	if err := run(0, 1, "pasta4", "t", false, "soc"); err == nil {
 		t.Fatal("zero blocks accepted")
 	}
-	if err := run(1, 1, "pasta9", "t", false); err == nil {
+	if err := run(1, 1, "pasta9", "t", false, "soc"); err == nil {
 		t.Fatal("bad variant accepted")
+	}
+}
+
+// TestRunOtherBackends routes the message through the registry instead
+// of the direct driver; each run verifies the ciphertext against the
+// software reference, so a pass proves the substrates agree.
+func TestRunOtherBackends(t *testing.T) {
+	for _, name := range []string{"software", "accel"} {
+		if err := run(2, 1, "pasta4", "test", false, name); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if err := run(1, 1, "pasta4", "t", true, "software"); err == nil {
+		t.Fatal("-irq on a non-soc backend accepted")
+	}
+	if err := run(1, 1, "pasta4", "t", false, "fpga"); err == nil {
+		t.Fatal("unknown backend accepted")
 	}
 }

@@ -1,0 +1,95 @@
+package backend
+
+import (
+	"sync"
+
+	"repro/internal/ff"
+	"repro/internal/hera"
+	"repro/internal/hw"
+	"repro/internal/pasta"
+)
+
+// AccelBackend runs every keystream block through the cycle-accurate
+// cryptoprocessor model (internal/hw), accumulating the modelled cycle
+// counts into Stats().AccelCycles. The accelerator mutates per-run state
+// (fault consumption, waveform capture), so the kernel serializes on a
+// mutex — exactly like the single peripheral instance on the SoC bus.
+// A watchdog abort surfaces as a *backend.Error wrapping *hw.ErrWatchdog,
+// reachable with errors.As.
+type AccelBackend struct {
+	base
+	mu    sync.Mutex
+	accel *hw.Accelerator
+	hera  *hw.HeraAccelerator
+	last  hw.Result // most recent PASTA run, for tooling reports
+}
+
+// NewAccel opens the cycle-accurate accelerator backend.
+func NewAccel(cfg Config) (*AccelBackend, error) {
+	r, err := cfg.resolve()
+	if err != nil {
+		return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+	}
+	b := &AccelBackend{}
+	switch r.scheme {
+	case SchemePasta:
+		a, err := hw.NewAccelerator(r.pastaPar, pasta.Key(r.key))
+		if err != nil {
+			return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+		}
+		a.WatchdogLimit = cfg.WatchdogLimit
+		b.accel = a
+		b.init(NameAccel, SchemePasta, r.pastaPar.T, r.mod, 1)
+		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			res, err := a.KeyStream(nonce, block)
+			if err != nil {
+				return err // *hw.ErrWatchdog stays reachable via errors.As
+			}
+			b.accelCycles.Add(res.Stats.Cycles)
+			b.last = res
+			copy(dst, res.KeyStream)
+			return nil
+		}
+	case SchemeHera:
+		a, err := hw.NewHeraAccelerator(r.heraPar, hera.Key(r.key))
+		if err != nil {
+			return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+		}
+		b.hera = a
+		b.init(NameAccel, SchemeHera, hera.StateSize, r.mod, 1)
+		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			res, err := a.KeyStream(nonce, block)
+			if err != nil {
+				return err
+			}
+			b.accelCycles.Add(res.Stats.Cycles)
+			copy(dst, res.KeyStream)
+			return nil
+		}
+	}
+	return b, nil
+}
+
+// Accelerator exposes the underlying PASTA cryptoprocessor model (nil
+// for HERA) so tools like cmd/hwsim can configure tracing, waveform
+// capture, and fault injection. Configure it between operations, not
+// concurrently with them — the backend serializes runs but cannot guard
+// external field writes.
+func (b *AccelBackend) Accelerator() *hw.Accelerator { return b.accel }
+
+// HeraAccelerator exposes the HERA datapath model (nil for PASTA).
+func (b *AccelBackend) HeraAccelerator() *hw.HeraAccelerator { return b.hera }
+
+// LastResult returns the full cycle-model result of the most recent
+// PASTA keystream run (schedule trace, sampler statistics, unit busy
+// counts) — detail the generic Stats() interface deliberately flattens,
+// but which reporting tools like cmd/hwsim still want.
+func (b *AccelBackend) LastResult() hw.Result {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.last
+}

@@ -1,0 +1,246 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ff"
+	"repro/internal/obs"
+)
+
+// base carries the state and behaviour shared by all three adapters:
+// identity, counters (mirrored into internal/obs), the closed flag, and
+// the context-aware block fan-out. Each adapter supplies a single-block
+// kernel; everything else — length checks, cancellation, range
+// validation, additive encryption — lives here once.
+type base struct {
+	name    string
+	scheme  string
+	t       int
+	mod     ff.Modulus
+	workers int
+
+	// kernel computes one keystream block into dst (exactly t elements).
+	// The software kernel is concurrency-safe; the hardware kernels
+	// serialize internally, so base may always fan out.
+	kernel func(dst ff.Vec, nonce, block uint64) error
+
+	closed      atomic.Bool
+	blocks      atomic.Int64
+	elements    atomic.Int64
+	accelCycles atomic.Int64
+	coreCycles  atomic.Int64
+
+	obsBlocks   *obs.Counter
+	obsElements *obs.Counter
+}
+
+// init wires the base in place (base embeds atomics, so it is never
+// copied after this). The obs counters are registered on the default
+// registry and shared by name across instances, giving process-wide
+// cumulative metrics per backend.
+func (b *base) init(name, scheme string, t int, mod ff.Modulus, workers int) {
+	b.name = name
+	b.scheme = scheme
+	b.t = t
+	b.mod = mod
+	b.workers = workers
+	b.obsBlocks = obs.Default().Counter("backend." + name + ".blocks")
+	b.obsElements = obs.Default().Counter("backend." + name + ".elements")
+}
+
+func (b *base) Name() string        { return b.name }
+func (b *base) Scheme() string      { return b.scheme }
+func (b *base) BlockSize() int      { return b.t }
+func (b *base) Modulus() ff.Modulus { return b.mod }
+
+// Stats returns the instance's cumulative counters.
+func (b *base) Stats() Stats {
+	return Stats{
+		Backend:     b.name,
+		Scheme:      b.scheme,
+		Blocks:      b.blocks.Load(),
+		Elements:    b.elements.Load(),
+		AccelCycles: b.accelCycles.Load(),
+		CoreCycles:  b.coreCycles.Load(),
+	}
+}
+
+// Close marks the backend closed; subsequent operations fail with
+// ErrClosed. Idempotent.
+func (b *base) Close() error {
+	b.closed.Store(true)
+	return nil
+}
+
+// pre runs the per-operation gate: closed check, then context check.
+func (b *base) pre(ctx context.Context, op string) error {
+	if b.closed.Load() {
+		return &Error{Backend: b.name, Op: op, Err: ErrClosed}
+	}
+	if err := ctx.Err(); err != nil {
+		return &Error{Backend: b.name, Op: op, Err: err}
+	}
+	return nil
+}
+
+// account records finished work on both the instance counters and the
+// process-wide obs counters.
+func (b *base) account(blocks, elems int) {
+	b.blocks.Add(int64(blocks))
+	b.elements.Add(int64(elems))
+	b.obsBlocks.Add(int64(blocks))
+	b.obsElements.Add(int64(elems))
+}
+
+// KeyStreamInto writes the keystream block KS(nonce, block) into dst.
+// The software path performs no heap allocation here (asserted by the
+// conformance suite): the error paths allocate, the hot path does not.
+func (b *base) KeyStreamInto(ctx context.Context, dst ff.Vec, nonce, block uint64) error {
+	const op = "keystream"
+	if err := b.pre(ctx, op); err != nil {
+		return err
+	}
+	if len(dst) != b.t {
+		return &Error{Backend: b.name, Op: op,
+			Err: fmt.Errorf("dst has %d elements, want %d", len(dst), b.t)}
+	}
+	if err := b.kernel(dst, nonce, block); err != nil {
+		return &Error{Backend: b.name, Op: op, Err: err}
+	}
+	b.account(1, b.t)
+	return nil
+}
+
+// KeyStreamBlocks returns count blocks of keystream, fanned out over the
+// worker pool with per-block cancellation checks.
+func (b *base) KeyStreamBlocks(ctx context.Context, nonce, first uint64, count int) (ff.Vec, error) {
+	const op = "keystream-blocks"
+	if err := b.pre(ctx, op); err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return ff.NewVec(0), nil
+	}
+	out := ff.NewVec(count * b.t)
+	err := b.forEachBlock(ctx, op, count, func(i int, _ ff.Vec) error {
+		return b.kernel(out[i*b.t:(i+1)*b.t], nonce, first+uint64(i))
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.account(count, count*b.t)
+	return out, nil
+}
+
+// Encrypt encrypts an arbitrary-length message: ct[i] = msg[i] + KS[i].
+func (b *base) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	return b.process(ctx, "encrypt", nonce, msg, true)
+}
+
+// Decrypt inverts Encrypt.
+func (b *base) Decrypt(ctx context.Context, nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	return b.process(ctx, "decrypt", nonce, ct, false)
+}
+
+func (b *base) process(ctx context.Context, op string, nonce uint64, in ff.Vec, encrypt bool) (ff.Vec, error) {
+	if err := b.pre(ctx, op); err != nil {
+		return nil, err
+	}
+	p := b.mod.P()
+	for i, v := range in {
+		if v >= p {
+			return nil, &Error{Backend: b.name, Op: op,
+				Err: fmt.Errorf("element %d = %d out of range for %v", i, v, b.mod)}
+		}
+	}
+	out := ff.NewVec(len(in))
+	nBlocks := (len(in) + b.t - 1) / b.t
+	if nBlocks == 0 {
+		return out, nil
+	}
+	err := b.forEachBlock(ctx, op, nBlocks, func(i int, ks ff.Vec) error {
+		if err := b.kernel(ks, nonce, uint64(i)); err != nil {
+			return err
+		}
+		lo := i * b.t
+		hi := lo + b.t
+		if hi > len(in) {
+			hi = len(in) // last block may be short
+		}
+		src, dst := in[lo:hi], out[lo:hi]
+		for j := range src {
+			if encrypt {
+				dst[j] = b.mod.Add(src[j], ks[j])
+			} else {
+				dst[j] = b.mod.Sub(src[j], ks[j])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.account(nBlocks, len(in))
+	return out, nil
+}
+
+// forEachBlock runs f for every block index in [0, count), strided over
+// the worker pool. Each worker owns a t-element keystream scratch and
+// checks ctx before every block, so cancellation is honoured at block
+// granularity and every worker has exited by the time forEachBlock
+// returns — no goroutine outlives the call.
+func (b *base) forEachBlock(ctx context.Context, op string, count int, f func(i int, ks ff.Vec) error) error {
+	workers := b.effectiveWorkers(count)
+	run := func(start int) error {
+		ks := ff.NewVec(b.t)
+		for i := start; i < count; i += workers {
+			if err := ctx.Err(); err != nil {
+				return &Error{Backend: b.name, Op: op, Err: err}
+			}
+			if err := f(i, ks); err != nil {
+				if _, ok := err.(*Error); ok {
+					return err
+				}
+				return &Error{Backend: b.name, Op: op, Err: err}
+			}
+		}
+		return nil
+	}
+	if workers <= 1 {
+		return run(0)
+	}
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			errs[w] = run(w)
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (b *base) effectiveWorkers(count int) int {
+	n := b.workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > count {
+		n = count
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}

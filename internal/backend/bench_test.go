@@ -1,0 +1,52 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// BenchmarkBackendDispatch quantifies what the backend abstraction costs
+// on the hot path: the same PASTA-4 keystream block generated through a
+// direct *pasta.Cipher call versus through the BlockCipher interface
+// (which adds the closed/context gate, the interface dispatch, and the
+// stats accounting). The contract is <2% overhead — the software path
+// must stay effectively free to route through the backend layer.
+func BenchmarkBackendDispatch(b *testing.B) {
+	par := pasta.MustParams(pasta.Pasta4, ff.P17)
+	key := pasta.KeyFromSeed(par, "bench")
+
+	b.Run("direct", func(b *testing.B) {
+		c, err := pasta.NewCipher(par, key)
+		if err != nil {
+			b.Fatal(err)
+		}
+		dst := ff.NewVec(par.T)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := c.KeyStreamInto(dst, 1, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("backend", func(b *testing.B) {
+		bc, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, Key: ff.Vec(key)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer bc.Close()
+		ctx := context.Background()
+		dst := ff.NewVec(bc.BlockSize())
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := bc.KeyStreamInto(ctx, dst, 1, uint64(i)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

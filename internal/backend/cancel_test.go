@@ -1,0 +1,131 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// Mid-stream cancellation: a context cancelled while KeyStreamBlocks is
+// in flight must make the call return promptly with a typed error, and
+// no worker goroutine may outlive the call (checked under -race by the
+// regular test run).
+
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= baseline {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d running, baseline %d", runtime.NumGoroutine(), baseline)
+}
+
+func TestCancelMidStreamSoftware(t *testing.T) {
+	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta3, KeySeed: "cancel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() {
+		// Enough PASTA-3 blocks to keep every worker busy well past the
+		// cancellation point (~1 ms/block in software).
+		_, err := b.KeyStreamBlocks(ctx, 1, 0, 100_000)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("KeyStreamBlocks did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled through the wrapper, got %v", err)
+	}
+	var be *Error
+	if !errors.As(err, &be) || be.Backend != NameSoftware {
+		t.Fatalf("cancellation not wrapped in *backend.Error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestCancelMidStreamAccel(t *testing.T) {
+	b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "cancel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	baseline := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		// Thousands of cycle-accurate runs; cancellation lands between
+		// accelerator blocks.
+		_, err := b.KeyStreamBlocks(ctx, 1, 0, 10_000)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err = <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("accelerator KeyStreamBlocks did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	waitGoroutines(t, baseline)
+}
+
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta3, KeySeed: "deadline"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = b.KeyStreamBlocks(ctx, 1, 0, 100_000)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestCancelLeavesBackendUsable: a cancelled call must not poison the
+// instance — the next call with a live context succeeds.
+func TestCancelLeavesBackendUsable(t *testing.T) {
+	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, KeySeed: "golden"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.KeyStreamBlocks(ctx, 0, 0, 4); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	dst := ff.NewVec(b.BlockSize())
+	if err := b.KeyStreamInto(context.Background(), dst, 1, 2); err != nil {
+		t.Fatalf("backend unusable after a cancelled call: %v", err)
+	}
+	if dst[0] != goldenP4[0] {
+		t.Fatal("keystream wrong after a cancelled call")
+	}
+}

@@ -1,0 +1,154 @@
+package backend
+
+import (
+	"fmt"
+
+	"repro/internal/ff"
+	"repro/internal/hera"
+	"repro/internal/pasta"
+)
+
+// Config selects and keys a cipher instance for any backend. The zero
+// value opens PASTA-3 over the 17-bit modulus with a fresh random key.
+type Config struct {
+	// Scheme is SchemePasta (default) or SchemeHera.
+	Scheme string
+
+	// Variant selects the PASTA shape (Pasta3 default, Pasta4).
+	// Ignored for HERA and when PastaParams is set.
+	Variant pasta.Variant
+
+	// PastaParams, when non-nil, overrides Variant/Width with an
+	// explicit (possibly toy) instance — the HHE layer evaluates the
+	// homomorphic decryption circuit on reduced instances.
+	PastaParams *pasta.Params
+
+	// HeraRounds is the HERA round count (default 5).
+	HeraRounds int
+
+	// Width selects a standard modulus bit width ω ∈ {17, 33, 54, 60}
+	// (default 17). Ignored when PastaParams is set.
+	Width uint
+
+	// Key is the raw secret key (StateSize elements). When nil, KeySeed
+	// derives one; when that is empty too, a random key is sampled.
+	Key ff.Vec
+
+	// KeySeed deterministically derives the key (tests/examples only).
+	KeySeed string
+
+	// Workers bounds the software backend's block-level fan-out;
+	// ≤ 0 means GOMAXPROCS. The hardware substrates serialize anyway.
+	Workers int
+
+	// WatchdogLimit overrides the accelerator watchdog cycle budget;
+	// 0 keeps hw.DefaultWatchdogLimit.
+	WatchdogLimit int64
+}
+
+// resolved is a fully validated Config: exactly one of the scheme params
+// is meaningful, and key is cloned, range-checked, and never nil.
+type resolved struct {
+	scheme   string
+	mod      ff.Modulus
+	pastaPar pasta.Params
+	heraPar  hera.Params
+	key      ff.Vec
+}
+
+func (c Config) resolve() (resolved, error) {
+	r := resolved{scheme: c.Scheme}
+	if r.scheme == "" {
+		r.scheme = SchemePasta
+	}
+	width := c.Width
+	if width == 0 {
+		width = 17
+	}
+	switch r.scheme {
+	case SchemePasta:
+		if c.PastaParams != nil {
+			r.pastaPar = *c.PastaParams
+			if err := r.pastaPar.Validate(); err != nil {
+				return r, err
+			}
+		} else {
+			mod, ok := ff.StandardModuli[width]
+			if !ok {
+				return r, fmt.Errorf("%w: no standard modulus of width %d", ErrUnsupported, width)
+			}
+			par, err := pasta.NewParams(c.Variant, mod)
+			if err != nil {
+				return r, err
+			}
+			r.pastaPar = par
+		}
+		r.mod = r.pastaPar.Mod
+		key, err := c.pastaKey(r.pastaPar)
+		if err != nil {
+			return r, err
+		}
+		r.key = key
+	case SchemeHera:
+		rounds := c.HeraRounds
+		if rounds == 0 {
+			rounds = 5
+		}
+		mod, ok := ff.StandardModuli[width]
+		if !ok {
+			return r, fmt.Errorf("%w: no standard modulus of width %d", ErrUnsupported, width)
+		}
+		par, err := hera.NewParams(rounds, mod)
+		if err != nil {
+			return r, err
+		}
+		r.heraPar = par
+		r.mod = mod
+		key, err := c.heraKey(par)
+		if err != nil {
+			return r, err
+		}
+		r.key = key
+	default:
+		return r, fmt.Errorf("%w: unknown scheme %q (have %s, %s)", ErrUnsupported, r.scheme, SchemePasta, SchemeHera)
+	}
+	return r, nil
+}
+
+func (c Config) pastaKey(par pasta.Params) (ff.Vec, error) {
+	switch {
+	case c.Key != nil:
+		k := pasta.Key(c.Key.Clone())
+		if err := k.Validate(par); err != nil {
+			return nil, err
+		}
+		return ff.Vec(k), nil
+	case c.KeySeed != "":
+		return ff.Vec(pasta.KeyFromSeed(par, c.KeySeed)), nil
+	default:
+		k, err := pasta.NewRandomKey(par)
+		if err != nil {
+			return nil, err
+		}
+		return ff.Vec(k), nil
+	}
+}
+
+func (c Config) heraKey(par hera.Params) (ff.Vec, error) {
+	switch {
+	case c.Key != nil:
+		k := hera.Key(c.Key.Clone())
+		if err := k.Validate(par); err != nil {
+			return nil, err
+		}
+		return ff.Vec(k), nil
+	case c.KeySeed != "":
+		return ff.Vec(hera.KeyFromSeed(par, c.KeySeed)), nil
+	default:
+		k, err := hera.NewRandomKey(par)
+		if err != nil {
+			return nil, err
+		}
+		return ff.Vec(k), nil
+	}
+}

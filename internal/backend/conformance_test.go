@@ -1,0 +1,301 @@
+package backend
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/hw"
+	"repro/internal/pasta"
+)
+
+// The conformance suite pins the backend contract for every registered
+// substrate: golden keystream vectors, bulk/into agreement, encrypt/
+// decrypt roundtrips (including partial last blocks), typed errors for
+// bad input, cancellation, and use-after-Close. Every backend added to
+// the registry must pass it unchanged.
+
+// goldenP4 pins KS(seed "golden", nonce 1, block 2)[:8] for PASTA-4 over
+// P17 — the same normative vector as internal/pasta's golden test, now
+// required from all three substrates.
+var goldenP4 = ff.Vec{30202, 59975, 22068, 45713, 913, 23296, 29710, 30707}
+
+// conformanceBackends opens every registered backend for PASTA-4/ω=17.
+// The caller must Close them.
+func conformanceBackends(t *testing.T) map[string]BlockCipher {
+	t.Helper()
+	cfg := Config{Variant: pasta.Pasta4, KeySeed: "golden"}
+	out := make(map[string]BlockCipher)
+	for _, name := range Names() {
+		b, err := Open(name, cfg)
+		if err != nil {
+			t.Fatalf("Open(%q): %v", name, err)
+		}
+		out[name] = b
+		t.Cleanup(func() { b.Close() })
+	}
+	return out
+}
+
+func TestConformanceGoldenKeystream(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			dst := ff.NewVec(b.BlockSize())
+			if err := b.KeyStreamInto(context.Background(), dst, 1, 2); err != nil {
+				t.Fatal(err)
+			}
+			for i := range goldenP4 {
+				if dst[i] != goldenP4[i] {
+					t.Fatalf("golden keystream drifted at %d: got %v, want %v",
+						i, dst[:8], goldenP4)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceBulkMatchesSingle(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			const first, count = 3, 3
+			bulk, err := b.KeyStreamBlocks(ctx, 9, first, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(bulk) != count*b.BlockSize() {
+				t.Fatalf("bulk keystream has %d elements, want %d", len(bulk), count*b.BlockSize())
+			}
+			single := ff.NewVec(b.BlockSize())
+			for i := 0; i < count; i++ {
+				if err := b.KeyStreamInto(ctx, single, 9, first+uint64(i)); err != nil {
+					t.Fatal(err)
+				}
+				if !single.Equal(bulk[i*b.BlockSize() : (i+1)*b.BlockSize()]) {
+					t.Fatalf("bulk block %d disagrees with KeyStreamInto", i)
+				}
+			}
+		})
+	}
+}
+
+func TestConformanceRoundtrip(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			// A message with a partial last block.
+			msg := ff.NewVec(b.BlockSize() + b.BlockSize()/2)
+			for i := range msg {
+				msg[i] = uint64(i*7+1) % b.Modulus().P()
+			}
+			ct, err := b.Encrypt(ctx, 4, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ct.Equal(msg) {
+				t.Fatal("ciphertext equals plaintext")
+			}
+			pt, err := b.Decrypt(ctx, 4, ct)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !pt.Equal(msg) {
+				t.Fatalf("roundtrip failed: got %v, want %v", pt[:4], msg[:4])
+			}
+		})
+	}
+}
+
+func TestConformanceTypedErrors(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+
+			// Wrong destination length.
+			err := b.KeyStreamInto(ctx, ff.NewVec(b.BlockSize()+1), 0, 0)
+			var be *Error
+			if !errors.As(err, &be) || be.Backend != name {
+				t.Fatalf("bad-length error not a *backend.Error for %s: %v", name, err)
+			}
+
+			// Out-of-range plaintext element.
+			bad := ff.NewVec(2)
+			bad[1] = b.Modulus().P()
+			if _, err := b.Encrypt(ctx, 0, bad); err == nil {
+				t.Fatal("Encrypt accepted an out-of-range element")
+			}
+
+			// Pre-cancelled context: typed error satisfying context.Canceled.
+			cctx, cancel := context.WithCancel(ctx)
+			cancel()
+			err = b.KeyStreamInto(cctx, ff.NewVec(b.BlockSize()), 0, 0)
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("cancelled call did not surface context.Canceled: %v", err)
+			}
+			if !errors.As(err, &be) {
+				t.Fatalf("cancelled call not wrapped in *backend.Error: %v", err)
+			}
+		})
+	}
+}
+
+func TestConformanceStatsAccumulate(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			before := b.Stats()
+			if before.Backend != name || before.Scheme != SchemePasta {
+				t.Fatalf("stats identity wrong: %+v", before)
+			}
+			if _, err := b.KeyStreamBlocks(ctx, 0, 0, 2); err != nil {
+				t.Fatal(err)
+			}
+			after := b.Stats()
+			if after.Blocks-before.Blocks != 2 {
+				t.Fatalf("blocks counter moved by %d, want 2", after.Blocks-before.Blocks)
+			}
+			if after.Elements-before.Elements != int64(2*b.BlockSize()) {
+				t.Fatalf("elements counter moved by %d, want %d",
+					after.Elements-before.Elements, 2*b.BlockSize())
+			}
+			if name != NameSoftware && after.AccelCycles <= before.AccelCycles {
+				t.Fatalf("%s did not account accelerator cycles", name)
+			}
+			if name == NameSoC && after.CoreCycles <= before.CoreCycles {
+				t.Fatal("soc did not account core cycles")
+			}
+		})
+	}
+}
+
+func TestConformanceClose(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+			err := b.KeyStreamInto(context.Background(), ff.NewVec(b.BlockSize()), 0, 0)
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("use after Close not ErrClosed: %v", err)
+			}
+			if _, err := b.Encrypt(context.Background(), 0, ff.NewVec(1)); !errors.Is(err, ErrClosed) {
+				t.Fatalf("Encrypt after Close not ErrClosed: %v", err)
+			}
+		})
+	}
+}
+
+func TestOpenUnknownBackend(t *testing.T) {
+	_, err := Open("fpga-bridge", Config{})
+	if !errors.Is(err, ErrUnknownBackend) {
+		t.Fatalf("want ErrUnknownBackend, got %v", err)
+	}
+}
+
+func TestSoCUnsupportedConfigs(t *testing.T) {
+	if _, err := Open(NameSoC, Config{Scheme: SchemeHera, KeySeed: "x"}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("soc accepted hera: %v", err)
+	}
+	if _, err := Open(NameSoC, Config{Variant: pasta.Pasta4, Width: 54, KeySeed: "x"}); !errors.Is(err, ErrUnsupported) {
+		t.Fatalf("soc accepted a 54-bit modulus on the 32-bit bus: %v", err)
+	}
+}
+
+// TestHeraConformance runs the HERA-capable backends through the same
+// contract: software and accel must agree bit for bit.
+func TestHeraConformance(t *testing.T) {
+	cfg := Config{Scheme: SchemeHera, KeySeed: "golden"}
+	ctx := context.Background()
+	sw, err := Open(NameSoftware, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+	ac, err := Open(NameAccel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ac.Close()
+	if sw.Scheme() != SchemeHera || ac.Scheme() != SchemeHera {
+		t.Fatal("scheme not propagated")
+	}
+	want, err := sw.KeyStreamBlocks(ctx, 5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ac.KeyStreamBlocks(ctx, 5, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !want.Equal(got) {
+		t.Fatalf("HERA accel keystream diverges from software:\n%v\n%v", got[:8], want[:8])
+	}
+	msg := ff.NewVec(20)
+	for i := range msg {
+		msg[i] = uint64(i + 1)
+	}
+	ct, err := ac.Encrypt(ctx, 5, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := sw.Decrypt(ctx, 5, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Equal(msg) {
+		t.Fatal("cross-substrate HERA roundtrip failed")
+	}
+}
+
+// TestWatchdogSurfacesTyped proves the accelerator watchdog abort stays
+// reachable as *hw.ErrWatchdog through the backend's error wrapper.
+func TestWatchdogSurfacesTyped(t *testing.T) {
+	b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "wd", WatchdogLimit: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	err = b.KeyStreamInto(context.Background(), ff.NewVec(b.BlockSize()), 0, 0)
+	if err == nil {
+		t.Fatal("a 10-cycle watchdog budget did not fire")
+	}
+	var wd *hw.ErrWatchdog
+	if !errors.As(err, &wd) {
+		t.Fatalf("watchdog abort not reachable via errors.As: %v", err)
+	}
+	if wd.Limit != 10 {
+		t.Fatalf("watchdog limit = %d, want 10", wd.Limit)
+	}
+	var be *Error
+	if !errors.As(err, &be) || be.Backend != NameAccel {
+		t.Fatalf("watchdog abort not wrapped in *backend.Error: %v", err)
+	}
+}
+
+// TestSoftwareZeroAlloc pins the steady-state allocation behaviour of
+// the software PASTA path through the interface: zero allocs per block.
+func TestSoftwareZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, KeySeed: "alloc"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	ctx := context.Background()
+	dst := ff.NewVec(b.BlockSize())
+	// Warm the cipher's workspace pool.
+	if err := b.KeyStreamInto(ctx, dst, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if err := b.KeyStreamInto(ctx, dst, 0, 1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("software KeyStreamInto allocates %.1f objects per block, want 0", allocs)
+	}
+}

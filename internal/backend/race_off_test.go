@@ -1,0 +1,7 @@
+//go:build !race
+
+package backend
+
+// raceEnabled mirrors the -race build tag: allocation-count assertions
+// are skipped under the race detector, whose instrumentation allocates.
+const raceEnabled = false

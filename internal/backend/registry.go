@@ -1,0 +1,61 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Registry names of the built-in backends.
+const (
+	NameSoftware = "software"
+	NameAccel    = "accel"
+	NameSoC      = "soc"
+)
+
+// Factory opens a backend instance from a configuration.
+type Factory func(Config) (BlockCipher, error)
+
+var (
+	regMu     sync.RWMutex
+	factories = map[string]Factory{
+		NameSoftware: func(cfg Config) (BlockCipher, error) { return NewSoftware(cfg) },
+		NameAccel:    func(cfg Config) (BlockCipher, error) { return NewAccel(cfg) },
+		NameSoC:      func(cfg Config) (BlockCipher, error) { return NewSoC(cfg) },
+	}
+)
+
+// Register adds (or replaces) a named backend factory. The built-ins are
+// pre-registered; tests and future substrates (e.g. a real FPGA bridge)
+// hook in here.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	factories[name] = f
+}
+
+// Open instantiates the named backend. An unknown name fails with a
+// *Error wrapping ErrUnknownBackend that lists the registered names.
+func Open(name string, cfg Config) (BlockCipher, error) {
+	regMu.RLock()
+	f, ok := factories[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, &Error{Backend: name, Op: "open",
+			Err: fmt.Errorf("%w: %q (have %s)", ErrUnknownBackend, name, strings.Join(Names(), ", "))}
+	}
+	return f(cfg)
+}
+
+// Names returns the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(factories))
+	for n := range factories {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,114 @@
+package backend
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+	"repro/internal/soc"
+)
+
+// SoCBackend runs the keystream on the full RISC-V SoC co-simulation:
+// every operation assembles a bare-metal driver, loads it into the
+// simulated RAM, and executes it against the memory-mapped peripheral.
+// The keystream for a block is extracted by encrypting an all-zero block
+// (ct = 0 + KS mod p), using the driver's first-counter support to
+// address arbitrary block indices.
+//
+// Restrictions of the modelled silicon surface as ErrUnsupported at
+// Open: the 32-bit peripheral bus cannot carry ω > 32 moduli, and there
+// is no HERA peripheral.
+type SoCBackend struct {
+	base
+	mu  sync.Mutex
+	par pasta.Params
+	key pasta.Key
+}
+
+// NewSoC opens the co-simulated SoC backend.
+func NewSoC(cfg Config) (*SoCBackend, error) {
+	r, err := cfg.resolve()
+	if err != nil {
+		return nil, &Error{Backend: NameSoC, Op: "open", Err: err}
+	}
+	if r.scheme != SchemePasta {
+		return nil, &Error{Backend: NameSoC, Op: "open",
+			Err: fmt.Errorf("%w: the SoC has no %s peripheral", ErrUnsupported, r.scheme)}
+	}
+	if r.mod.Bits() > 32 {
+		return nil, &Error{Backend: NameSoC, Op: "open",
+			Err: fmt.Errorf("%w: %v exceeds the 32-bit peripheral bus", ErrUnsupported, r.mod)}
+	}
+	b := &SoCBackend{par: r.pastaPar, key: pasta.Key(r.key)}
+	b.init(NameSoC, SchemePasta, r.pastaPar.T, r.mod, 1)
+	b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+		ct, _, err := b.run(nonce, block, ff.NewVec(b.t))
+		if err != nil {
+			return err
+		}
+		copy(dst, ct)
+		return nil
+	}
+	return b, nil
+}
+
+// run executes one co-simulation encrypting msg from firstCtr and books
+// its cycle counts.
+func (b *SoCBackend) run(nonce, firstCtr uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	ct, stats, err := soc.EncryptBlocksFrom(b.par, b.key, nonce, firstCtr, msg)
+	if err != nil {
+		return nil, stats, err
+	}
+	b.coreCycles.Add(stats.CoreCycles)
+	b.accelCycles.Add(stats.AccelCycles)
+	return ct, stats, nil
+}
+
+// KeyStreamBlocks overrides the per-block fan-out with a single
+// co-simulation over count·t zeros — one driver program, one key load,
+// block counters firstCtr…firstCtr+count-1, exactly how a real firmware
+// image would batch the request. Cancellation is checked at entry; the
+// co-sim itself is one atomic run.
+func (b *SoCBackend) KeyStreamBlocks(ctx context.Context, nonce, first uint64, count int) (ff.Vec, error) {
+	const op = "keystream-blocks"
+	if err := b.pre(ctx, op); err != nil {
+		return nil, err
+	}
+	if count <= 0 {
+		return ff.NewVec(0), nil
+	}
+	ks, _, err := b.run(nonce, first, ff.NewVec(count*b.t))
+	if err != nil {
+		return nil, &Error{Backend: b.name, Op: op, Err: err}
+	}
+	b.account(count, count*b.t)
+	return ks, nil
+}
+
+// Encrypt overrides the generic path with a single whole-message co-sim
+// run (the SoC driver handles partial last blocks natively).
+func (b *SoCBackend) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	const op = "encrypt"
+	if err := b.pre(ctx, op); err != nil {
+		return nil, err
+	}
+	if len(msg) == 0 {
+		return ff.NewVec(0), nil
+	}
+	for i, v := range msg {
+		if v >= b.mod.P() {
+			return nil, &Error{Backend: b.name, Op: op,
+				Err: fmt.Errorf("element %d = %d out of range for %v", i, v, b.mod)}
+		}
+	}
+	ct, stats, err := b.run(nonce, 0, msg)
+	if err != nil {
+		return nil, &Error{Backend: b.name, Op: op, Err: err}
+	}
+	b.account(int(stats.Blocks), len(msg))
+	return ct, nil
+}

@@ -1,0 +1,58 @@
+package backend
+
+import (
+	"repro/internal/ff"
+	"repro/internal/hera"
+	"repro/internal/pasta"
+)
+
+// SoftwareBackend runs the keystream on the host CPU via the reference
+// cipher implementations. The PASTA path is allocation-free in steady
+// state (the cipher's pooled workspaces) and both ciphers are safe for
+// concurrent use, so this backend fans bulk work out over Workers
+// goroutines.
+type SoftwareBackend struct {
+	base
+	pasta *pasta.Cipher
+	hera  *hera.Cipher
+}
+
+// NewSoftware opens the software backend.
+func NewSoftware(cfg Config) (*SoftwareBackend, error) {
+	r, err := cfg.resolve()
+	if err != nil {
+		return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
+	}
+	b := &SoftwareBackend{}
+	switch r.scheme {
+	case SchemePasta:
+		c, err := pasta.NewCipher(r.pastaPar, pasta.Key(r.key))
+		if err != nil {
+			return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
+		}
+		b.pasta = c
+		b.init(NameSoftware, SchemePasta, r.pastaPar.T, r.mod, cfg.Workers)
+		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+			return c.KeyStreamInto(dst, nonce, block)
+		}
+	case SchemeHera:
+		c, err := hera.NewCipher(r.heraPar, hera.Key(r.key))
+		if err != nil {
+			return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
+		}
+		b.hera = c
+		b.init(NameSoftware, SchemeHera, hera.StateSize, r.mod, cfg.Workers)
+		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+			return c.KeyStreamInto(dst, nonce, block)
+		}
+	}
+	return b, nil
+}
+
+// PastaCipher returns the underlying software cipher when the backend
+// runs PASTA, or nil. The HHE client uses it to reach the raw key and
+// the cipher's pooled bulk API.
+func (b *SoftwareBackend) PastaCipher() *pasta.Cipher { return b.pasta }
+
+// HeraCipher returns the underlying HERA cipher, or nil.
+func (b *SoftwareBackend) HeraCipher() *hera.Cipher { return b.hera }

@@ -132,7 +132,7 @@ func TestContextParallelismEquivalence(t *testing.T) {
 	par := ctx.WithParallelism(4)
 	pt := ctx.NewPlaintext()
 	for i := range pt {
-		pt[i] = uint64(3*i + 1) % ctx.Params.T
+		pt[i] = uint64(3*i+1) % ctx.Params.T
 	}
 	g1 := rlwe.NewPRNG("ctx-par", []byte{9})
 	g2 := rlwe.NewPRNG("ctx-par", []byte{9})

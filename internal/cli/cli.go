@@ -1,0 +1,84 @@
+// Package cli holds the flag plumbing shared by the command-line
+// front-ends (pastacli, hwsim, socsim, hhebench). Every tool selects an
+// execution backend the same way (-backend, validated against the
+// registry in internal/backend) and writes the same observability
+// snapshot (-metrics), so the boilerplate lives here once instead of
+// four times.
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/backend"
+	"repro/internal/obs"
+	"repro/internal/pasta"
+)
+
+// Common are the flags every CLI shares.
+type Common struct {
+	Backend string // execution backend name (registry key)
+	Metrics string // metrics snapshot path ("" = off, "-" = stdout)
+}
+
+// RegisterCommon installs the shared -backend and -metrics flags on fs
+// (pass flag.CommandLine from a main package). defaultBackend picks the
+// substrate the tool historically ran on, so plain invocations keep
+// their old behaviour.
+func RegisterCommon(fs *flag.FlagSet, defaultBackend string) *Common {
+	c := &Common{}
+	fs.StringVar(&c.Backend, "backend", defaultBackend,
+		"execution backend: "+strings.Join(backend.Names(), ", "))
+	fs.StringVar(&c.Metrics, "metrics", "",
+		`write a JSON metrics snapshot to this file after the run ("-" = stdout)`)
+	return c
+}
+
+// ParseVariant maps the CLI spelling of a PASTA variant to its typed
+// value.
+func ParseVariant(name string) (pasta.Variant, error) {
+	switch name {
+	case "pasta3":
+		return pasta.Pasta3, nil
+	case "pasta4":
+		return pasta.Pasta4, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want pasta3 or pasta4)", name)
+}
+
+// OpenPasta opens the named backend for a standard PASTA instance with
+// a seed-derived key — the configuration every CLI builds.
+func OpenPasta(backendName, variant string, width uint, keySeed string, workers int) (backend.BlockCipher, error) {
+	v, err := ParseVariant(variant)
+	if err != nil {
+		return nil, err
+	}
+	if keySeed == "" {
+		return nil, fmt.Errorf("-key-seed is required")
+	}
+	return backend.Open(backendName, backend.Config{
+		Variant: v,
+		Width:   width,
+		KeySeed: keySeed,
+		Workers: workers,
+	})
+}
+
+// Finish writes the metrics snapshot if one was requested. Call it after
+// the tool's main work, whether or not that work succeeded — a failed
+// run's counters are exactly what you want to inspect.
+func (c *Common) Finish() error {
+	if c.Metrics == "" {
+		return nil
+	}
+	return obs.WriteSnapshot(obs.Default(), c.Metrics)
+}
+
+// Exit prints err prefixed with the program name and terminates with a
+// non-zero status.
+func Exit(prog string, err error) {
+	fmt.Fprintln(os.Stderr, prog+":", err)
+	os.Exit(1)
+}

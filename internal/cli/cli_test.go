@@ -1,0 +1,63 @@
+package cli
+
+import (
+	"errors"
+	"flag"
+	"testing"
+
+	"repro/internal/backend"
+	"repro/internal/pasta"
+)
+
+func TestParseVariant(t *testing.T) {
+	if v, err := ParseVariant("pasta3"); err != nil || v != pasta.Pasta3 {
+		t.Fatalf("pasta3 = %v, %v", v, err)
+	}
+	if v, err := ParseVariant("pasta4"); err != nil || v != pasta.Pasta4 {
+		t.Fatalf("pasta4 = %v, %v", v, err)
+	}
+	if _, err := ParseVariant("pasta9"); err == nil {
+		t.Fatal("pasta9 accepted")
+	}
+}
+
+func TestRegisterCommonDefaults(t *testing.T) {
+	fs := flag.NewFlagSet("x", flag.ContinueOnError)
+	c := RegisterCommon(fs, backend.NameAccel)
+	if err := fs.Parse(nil); err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend != backend.NameAccel || c.Metrics != "" {
+		t.Fatalf("defaults = %+v", c)
+	}
+	if err := fs.Parse([]string{"-backend", "soc", "-metrics", "-"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.Backend != "soc" || c.Metrics != "-" {
+		t.Fatalf("parsed = %+v", c)
+	}
+	// No metrics requested: Finish is a no-op.
+	if err := (&Common{}).Finish(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenPasta(t *testing.T) {
+	b, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "cli-test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.BlockSize() != 32 {
+		t.Fatalf("block size = %d", b.BlockSize())
+	}
+	if _, err := OpenPasta("fpga", "pasta4", 17, "k", 0); !errors.Is(err, backend.ErrUnknownBackend) {
+		t.Fatalf("unknown backend error = %v", err)
+	}
+	if _, err := OpenPasta(backend.NameSoftware, "pasta9", 17, "k", 0); err == nil {
+		t.Fatal("bad variant accepted")
+	}
+	if _, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "", 0); err == nil {
+		t.Fatal("empty key seed accepted")
+	}
+}

@@ -1,14 +1,18 @@
-// Package core is the top-level API of the reproduction: it wires the
-// PASTA cipher (the paper's workload), the cycle-accurate cryptoprocessor
-// model (the paper's contribution), the calibrated area model, and the
-// RISC-V SoC co-simulation behind one façade, so downstream users can
-// encrypt data and obtain the paper's performance/area characterization
+// Package core is the top-level API of the reproduction: a thin façade
+// over the execution-backend registry (internal/backend). A System keys
+// one PASTA instance and lazily opens the named substrates — "software"
+// (reference cipher), "accel" (cycle-accurate cryptoprocessor model),
+// "soc" (RISC-V co-simulation) — so downstream users can encrypt data on
+// any of them and obtain the paper's performance/area characterization
 // without touching the individual substrates.
 package core
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
+	"repro/internal/backend"
 	"repro/internal/ff"
 	"repro/internal/hw"
 	"repro/internal/hw/area"
@@ -25,11 +29,16 @@ type Config struct {
 // DefaultConfig is the paper's headline configuration: PASTA-4, ω = 17.
 var DefaultConfig = Config{Variant: pasta.Pasta4, Width: 17}
 
-// System bundles a keyed cipher with its hardware models.
+// System binds a configuration and key to the backend registry. Backends
+// are opened on first use and cached; all of them share the same key, so
+// ciphertexts are interchangeable across substrates (the cross-backend
+// differential suite proves bit-identity).
 type System struct {
 	params pasta.Params
-	cipher *pasta.Cipher
-	accel  *hw.Accelerator
+	key    pasta.Key
+
+	mu       sync.Mutex
+	backends map[string]backend.BlockCipher
 }
 
 // NewSystem builds a System for the configuration and key. A nil key
@@ -49,28 +58,86 @@ func NewSystem(cfg Config, key pasta.Key) (*System, error) {
 			return nil, err
 		}
 	}
-	cipher, err := pasta.NewCipher(par, key)
-	if err != nil {
+	if err := key.Validate(par); err != nil {
 		return nil, err
 	}
-	accel, err := hw.NewAccelerator(par, key)
-	if err != nil {
+	s := &System{
+		params:   par,
+		key:      pasta.Key(ff.Vec(key).Clone()),
+		backends: make(map[string]backend.BlockCipher),
+	}
+	// Open the software backend eagerly: it validates the full
+	// configuration and is the substrate every other call compares
+	// against.
+	if _, err := s.Backend(backend.NameSoftware); err != nil {
 		return nil, err
 	}
-	return &System{params: par, cipher: cipher, accel: accel}, nil
+	return s, nil
 }
 
 // Params exposes the underlying PASTA parameters.
 func (s *System) Params() pasta.Params { return s.params }
 
+// Backend returns the named substrate for this System's key, opening it
+// on first use. Names are those of the backend registry ("software",
+// "accel", "soc", plus anything registered by the embedder).
+func (s *System) Backend(name string) (backend.BlockCipher, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.backends[name]; ok {
+		return b, nil
+	}
+	b, err := backend.Open(name, backend.Config{
+		Variant: s.params.Variant,
+		Width:   s.params.Mod.Bits(),
+		Key:     ff.Vec(s.key),
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.backends[name] = b
+	return b, nil
+}
+
+// Close closes every opened backend.
+func (s *System) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, b := range s.backends {
+		b.Close()
+	}
+	return nil
+}
+
+// Stats returns the cumulative counters of every backend opened so far.
+func (s *System) Stats() []backend.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]backend.Stats, 0, len(s.backends))
+	for _, name := range backend.Names() {
+		if b, ok := s.backends[name]; ok {
+			out = append(out, b.Stats())
+		}
+	}
+	return out
+}
+
 // Encrypt encrypts msg with the software reference implementation.
 func (s *System) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
-	return s.cipher.Encrypt(nonce, msg)
+	b, err := s.Backend(backend.NameSoftware)
+	if err != nil {
+		return nil, err
+	}
+	return b.Encrypt(context.Background(), nonce, msg)
 }
 
 // Decrypt inverts Encrypt.
 func (s *System) Decrypt(nonce uint64, ct ff.Vec) (ff.Vec, error) {
-	return s.cipher.Decrypt(nonce, ct)
+	b, err := s.Backend(backend.NameSoftware)
+	if err != nil {
+		return nil, err
+	}
+	return b.Decrypt(context.Background(), nonce, ct)
 }
 
 // CycleReport characterizes one encryption on the modeled hardware.
@@ -85,23 +152,22 @@ type CycleReport struct {
 
 // EncryptAccelerated encrypts msg on the cycle-accurate cryptoprocessor
 // model, returning both the ciphertext (bit-identical to Encrypt) and the
-// modeled timing on the paper's three platforms.
+// modeled timing on the paper's three platforms. The report is derived
+// from the accel backend's Stats() delta across the call.
 func (s *System) EncryptAccelerated(nonce uint64, msg ff.Vec) (ff.Vec, CycleReport, error) {
-	t := s.params.T
-	out := ff.NewVec(len(msg))
-	var rep CycleReport
-	for block := 0; block*t < len(msg); block++ {
-		lo, hi := block*t, (block+1)*t
-		if hi > len(msg) {
-			hi = len(msg)
-		}
-		res, err := s.accel.EncryptBlock(nonce, uint64(block), msg[lo:hi])
-		if err != nil {
-			return nil, CycleReport{}, err
-		}
-		copy(out[lo:hi], res.Ciphertext)
-		rep.TotalCycles += res.Stats.Cycles
-		rep.Blocks++
+	b, err := s.Backend(backend.NameAccel)
+	if err != nil {
+		return nil, CycleReport{}, err
+	}
+	before := b.Stats()
+	out, err := b.Encrypt(context.Background(), nonce, msg)
+	if err != nil {
+		return nil, CycleReport{}, err
+	}
+	after := b.Stats()
+	rep := CycleReport{
+		Blocks:      int(after.Blocks - before.Blocks),
+		TotalCycles: after.AccelCycles - before.AccelCycles,
 	}
 	if rep.Blocks > 0 {
 		rep.CyclesPerBlock = rep.TotalCycles / int64(rep.Blocks)
@@ -113,10 +179,30 @@ func (s *System) EncryptAccelerated(nonce uint64, msg ff.Vec) (ff.Vec, CycleRepo
 }
 
 // EncryptOnSoC runs the full RISC-V SoC co-simulation (core + driver +
-// peripheral) for msg, returning the ciphertext and SoC statistics.
-// Available for configurations whose elements fit the 32-bit bus.
+// peripheral) for msg, returning the ciphertext and SoC statistics
+// reconstructed from the soc backend's Stats() delta: core/accelerator
+// cycles, blocks, and wall-clock at 100 MHz. Driver-level detail
+// (retired instructions, per-block rdcycle samples, WFI cycles) lives in
+// internal/soc, which cmd/socsim uses directly. Available for
+// configurations whose elements fit the 32-bit bus.
 func (s *System) EncryptOnSoC(nonce uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error) {
-	return soc.EncryptBlocks(s.params, s.cipher.Key(), nonce, msg)
+	b, err := s.Backend(backend.NameSoC)
+	if err != nil {
+		return nil, soc.RunStats{}, err
+	}
+	before := b.Stats()
+	out, err := b.Encrypt(context.Background(), nonce, msg)
+	if err != nil {
+		return nil, soc.RunStats{}, err
+	}
+	after := b.Stats()
+	stats := soc.RunStats{
+		CoreCycles:  after.CoreCycles - before.CoreCycles,
+		AccelCycles: after.AccelCycles - before.AccelCycles,
+		Blocks:      after.Blocks - before.Blocks,
+	}
+	stats.Microseconds = hw.Microseconds(stats.CoreCycles, hw.RISCVHz)
+	return out, stats, nil
 }
 
 // AreaReport characterizes the configuration's silicon/FPGA cost.

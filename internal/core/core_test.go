@@ -1,8 +1,10 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 )
@@ -114,6 +116,41 @@ func TestNewSystemValidation(t *testing.T) {
 	}
 	if _, err := s.Encrypt(1, ff.Vec{1}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestBackendAccessorAndStats(t *testing.T) {
+	s := newSystem(t)
+	defer s.Close()
+	sw, err := s.Backend(backend.NameSoftware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := s.Backend(backend.NameSoftware)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw != again {
+		t.Fatal("Backend did not cache the opened instance")
+	}
+	if _, err := s.Backend("no-such-substrate"); !errors.Is(err, backend.ErrUnknownBackend) {
+		t.Fatalf("want ErrUnknownBackend, got %v", err)
+	}
+	if _, _, err := s.EncryptAccelerated(3, ff.NewVec(5)); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	if len(stats) != 2 { // software (eager) + accel
+		t.Fatalf("stats for %d backends, want 2", len(stats))
+	}
+	var accel backend.Stats
+	for _, st := range stats {
+		if st.Backend == backend.NameAccel {
+			accel = st
+		}
+	}
+	if accel.Blocks != 1 || accel.AccelCycles == 0 {
+		t.Fatalf("accel stats not accounted: %+v", accel)
 	}
 }
 

@@ -6,6 +6,8 @@ import (
 	"math"
 	"strings"
 	"testing"
+
+	"repro/internal/backend"
 )
 
 func table2(t *testing.T) []Table2Row {
@@ -282,6 +284,30 @@ func TestSoftwareThroughput(t *testing.T) {
 	}
 	if _, err := SoftwareThroughput(1, 0); err == nil {
 		t.Error("SoftwareThroughput accepted zero blocks")
+	}
+}
+
+// TestThroughputOnAccelBackend: the generic throughput harness must run
+// on the hardware-model substrates too, with one serialized row per
+// scheme.
+func TestThroughputOnAccelBackend(t *testing.T) {
+	rows, err := Throughput(backend.NameAccel, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2 (one serialized row per variant)", len(rows))
+	}
+	for _, r := range rows {
+		if r.Backend != backend.NameAccel || r.Workers != 1 {
+			t.Errorf("accel row not serialized: %+v", r)
+		}
+		if r.ElemsPerSec <= 0 {
+			t.Errorf("%s: non-positive throughput", r.Scheme)
+		}
+	}
+	if _, err := Throughput("no-such-backend", 1, 1); err == nil {
+		t.Error("Throughput accepted an unknown backend")
 	}
 }
 

@@ -1,20 +1,24 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"time"
 
+	"repro/internal/backend"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 )
 
-// SoftwareRow is one measured data point of the pure-software keystream
-// engine: unlike the modelled tables, these numbers come from actually
-// running the cipher on the host CPU, so they quantify the software
-// baseline the paper's accelerator is compared against (Table II's
-// "CPU [9]" column) on *this* machine.
+// SoftwareRow is one measured data point of a keystream substrate:
+// unlike the modelled tables, these numbers come from actually running
+// the backend on the host, so they quantify the software baseline the
+// paper's accelerator is compared against (Table II's "CPU [9]" column)
+// on *this* machine — or, for the hardware-model backends, how fast the
+// host can turn the simulation crank.
 type SoftwareRow struct {
+	Backend     string
 	Scheme      string
 	Workers     int // goroutines used (1 = sequential reference path)
 	Blocks      int
@@ -24,40 +28,63 @@ type SoftwareRow struct {
 	Speedup     float64 // vs the workers=1 row of the same scheme
 }
 
-// SoftwareThroughput runs the keystream engine for PASTA-3 and PASTA-4
+// SoftwareThroughput runs the software backend for PASTA-3 and PASTA-4
 // (ω=17) over `blocks` CTR blocks, once on the sequential reference path
 // and once with the parallel fan-out at `workers` goroutines (0 =
 // GOMAXPROCS). Both paths produce bit-identical keystreams — the
-// equivalence tests in internal/pasta pin that — so the comparison is
-// purely about throughput.
+// differential suite in internal/backend pins that — so the comparison
+// is purely about throughput.
 func SoftwareThroughput(workers, blocks int) ([]SoftwareRow, error) {
+	return Throughput(backend.NameSoftware, workers, blocks)
+}
+
+// Throughput is SoftwareThroughput generalized over the execution-
+// backend registry: it measures keystream generation on any named
+// substrate. The software backend is measured at 1 and `workers`
+// goroutines; the hardware-model backends serialize on the single
+// simulated peripheral, so they get one row at workers = 1.
+func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("eval: blocks must be positive")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	workerSweep := []int{1, workers}
+	if backendName != backend.NameSoftware {
+		workerSweep = []int{1}
+	}
+	ctx := context.Background()
 	var rows []SoftwareRow
 	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
-		par := pasta.MustParams(v, ff.P17)
-		c, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, "software-throughput"))
-		if err != nil {
-			return nil, err
-		}
-		// Warm the workspace pool and page in the code paths.
-		c.KeyStream(0, 0)
-
 		var base float64
-		for _, w := range []int{1, workers} {
-			cw := c.WithParallelism(w)
+		for _, w := range workerSweep {
+			b, err := backend.Open(backendName, backend.Config{
+				Variant: v,
+				KeySeed: "software-throughput",
+				Workers: w,
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Warm the workspace pools and page in the code paths.
+			if err := b.KeyStreamInto(ctx, ff.NewVec(b.BlockSize()), 0, 0); err != nil {
+				b.Close()
+				return nil, err
+			}
 			start := time.Now()
-			ks := cw.KeyStreamBlocks(1, 0, blocks)
+			ks, err := b.KeyStreamBlocks(ctx, 1, 0, blocks)
 			elapsed := time.Since(start)
+			b.Close()
+			if err != nil {
+				return nil, err
+			}
 			eps := float64(len(ks)) / elapsed.Seconds()
 			if w == 1 {
 				base = eps
 			}
 			rows = append(rows, SoftwareRow{
+				Backend:     backendName,
 				Scheme:      v.String(),
 				Workers:     w,
 				Blocks:      blocks,

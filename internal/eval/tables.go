@@ -1,13 +1,14 @@
 package eval
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/ff"
 	"repro/internal/hw"
 	"repro/internal/hw/area"
 	"repro/internal/pasta"
-	"repro/internal/soc"
 )
 
 // Table1Row is one row of Table I (FPGA area).
@@ -58,44 +59,53 @@ type Table2Row struct {
 	PaperCycles int64
 }
 
-// Table2 regenerates Table II by running the cycle-accurate accelerator
-// model (averaged over nonces) and the RISC-V SoC co-simulation.
+// Table2 regenerates Table II by running the accel backend (the
+// cycle-accurate cryptoprocessor model, averaged over nonces) and the
+// soc backend (RISC-V co-simulation), reading the modelled cycle counts
+// from the backends' Stats() deltas.
 func Table2(nonceSamples int) ([]Table2Row, error) {
 	if nonceSamples < 1 {
 		nonceSamples = 1
 	}
+	ctx := context.Background()
 	var rows []Table2Row
 	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
-		par := pasta.MustParams(v, ff.P17)
-		key := pasta.KeyFromSeed(par, "table2")
-		acc, err := hw.NewAccelerator(par, key)
+		cfg := backend.Config{Variant: v, KeySeed: "table2"}
+		acc, err := backend.Open(backend.NameAccel, cfg)
 		if err != nil {
 			return nil, err
 		}
-		var total int64
+		dst := ff.NewVec(acc.BlockSize())
 		for n := 0; n < nonceSamples; n++ {
-			res, err := acc.KeyStream(uint64(n), 0)
-			if err != nil {
+			if err := acc.KeyStreamInto(ctx, dst, uint64(n), 0); err != nil {
+				acc.Close()
 				return nil, err
 			}
-			total += res.Stats.Cycles
 		}
-		cycles := total / int64(nonceSamples)
+		accStats := acc.Stats()
+		acc.Close()
+		cycles := accStats.AccelCycles / accStats.Blocks
 
 		// SoC co-simulation: encrypt a few blocks, take per-block cycles.
-		msg := ff.NewVec(2 * par.T)
-		_, stats, err := soc.EncryptBlocks(par, key, 1, msg)
+		sc, err := backend.Open(backend.NameSoC, cfg)
 		if err != nil {
 			return nil, err
 		}
+		if _, err := sc.Encrypt(ctx, 1, ff.NewVec(2*sc.BlockSize())); err != nil {
+			sc.Close()
+			return nil, err
+		}
+		socStats := sc.Stats()
+		sc.Close()
+		socPerBlock := socStats.CoreCycles / socStats.Blocks
 
 		row := Table2Row{
 			Scheme:   v.String(),
-			Elements: par.T,
+			Elements: sc.BlockSize(),
 			Cycles:   cycles,
 			FPGAus:   hw.Microseconds(cycles, hw.FPGAHz),
 			ASICus:   hw.Microseconds(cycles, hw.ASICHz),
-			RISCVus:  hw.Microseconds(stats.CyclesPerBlock(), hw.RISCVHz),
+			RISCVus:  hw.Microseconds(socPerBlock, hw.RISCVHz),
 		}
 		if v == pasta.Pasta3 {
 			row.CPUCycles = CPUCyclesPasta3

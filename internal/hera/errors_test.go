@@ -1,0 +1,48 @@
+package hera
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// Regression tests: hera's public constructors must return errors for bad
+// input rather than panic; only the Must* variants panic (kept for tests).
+
+func TestNewCipherRejectsBadInput(t *testing.T) {
+	good := MustParams(5, ff.P17)
+	if _, err := NewCipher(Params{Rounds: 0, Mod: ff.P17}, KeyFromSeed(good, "x")); err == nil {
+		t.Fatal("NewCipher accepted zero rounds")
+	}
+	if _, err := NewCipher(Params{Rounds: 5}, KeyFromSeed(good, "x")); err == nil {
+		t.Fatal("NewCipher accepted an uninitialized modulus")
+	}
+	if _, err := NewCipher(good, Key(ff.NewVec(StateSize-1))); err == nil {
+		t.Fatal("NewCipher accepted a short key")
+	}
+	bad := Key(ff.NewVec(StateSize))
+	bad[3] = ff.P17.P() // out of range
+	if _, err := NewCipher(good, bad); err == nil {
+		t.Fatal("NewCipher accepted an out-of-range key element")
+	}
+}
+
+func TestNewParamsRejectsBadModulus(t *testing.T) {
+	// p ≡ 1 (mod 3): the cube S-box is not a bijection.
+	m, err := ff.NewModulus(7681)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewParams(4, m); err == nil {
+		t.Fatal("NewParams accepted p ≡ 1 (mod 3)")
+	}
+}
+
+func TestMustParamsStillPanicsForTests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParams did not panic on zero rounds")
+		}
+	}()
+	MustParams(0, ff.P17)
+}

@@ -162,6 +162,18 @@ func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
 	return state
 }
 
+// KeyStreamInto writes the keystream block KS(nonce, block) into dst,
+// which must have exactly StateSize elements — the same buffer-filling
+// contract as pasta.Cipher.KeyStreamInto, so substrate-generic callers
+// (internal/backend) can treat the two ciphers uniformly.
+func (c *Cipher) KeyStreamInto(dst ff.Vec, nonce, block uint64) error {
+	if len(dst) != StateSize {
+		return fmt.Errorf("hera: KeyStreamInto dst has %d elements, want %d", len(dst), StateSize)
+	}
+	copy(dst, c.KeyStream(nonce, block))
+	return nil
+}
+
 // addRoundKey draws a nonzero 16-element constant vector and adds
 // k ⊙ rc to the state (HERA's randomized key schedule).
 func (c *Cipher) addRoundKey(state ff.Vec, s *xof.Sampler) {

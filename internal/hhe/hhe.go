@@ -22,8 +22,10 @@
 package hhe
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/backend"
 	"repro/internal/bfv"
 	"repro/internal/ff"
 	"repro/internal/pasta"
@@ -72,9 +74,14 @@ func (p Params) Validate() error {
 type EncryptedKey []*bfv.Ciphertext
 
 // Client owns both key materials: the PASTA key and the FHE key pair.
+// The symmetric side runs on an execution backend (internal/backend), so
+// the client-side encryption can execute on the software cipher, the
+// cycle-accurate accelerator model, or the SoC co-simulation — the
+// substrate the paper's cryptoprocessor occupies in Fig. 1.
 type Client struct {
 	params Params
-	cipher *pasta.Cipher
+	key    pasta.Key
+	sym    backend.BlockCipher
 	ctx    *bfv.Context
 	sk     *bfv.SecretKey
 	pk     *bfv.PublicKey
@@ -83,12 +90,26 @@ type Client struct {
 }
 
 // NewClient creates a client with fresh FHE keys (deterministic from the
-// seed, for reproducibility) and the given PASTA key.
+// seed, for reproducibility) and the given PASTA key, encrypting on the
+// software backend.
 func NewClient(p Params, key pasta.Key, seed []byte) (*Client, error) {
+	return NewClientOn(backend.NameSoftware, p, key, seed)
+}
+
+// NewClientOn is NewClient with the symmetric side on the named
+// execution backend ("software", "accel", "soc", …). Reduced (toy) PASTA
+// instances work on any substrate whose constraints they meet.
+func NewClientOn(backendName string, p Params, key pasta.Key, seed []byte) (*Client, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	cipher, err := pasta.NewCipher(p.Pasta, key)
+	if err := key.Validate(p.Pasta); err != nil {
+		return nil, err
+	}
+	sym, err := backend.Open(backendName, backend.Config{
+		PastaParams: &p.Pasta,
+		Key:         ff.Vec(key),
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -98,15 +119,23 @@ func NewClient(p Params, key pasta.Key, seed []byte) (*Client, error) {
 	}
 	g := rlwe.NewPRNG("hhe-client", seed)
 	sk, pk, rlk := ctx.KeyGen(g)
-	return &Client{params: p, cipher: cipher, ctx: ctx, sk: sk, pk: pk, rlk: rlk, prng: g}, nil
+	return &Client{
+		params: p,
+		key:    pasta.Key(ff.Vec(key).Clone()),
+		sym:    sym,
+		ctx:    ctx, sk: sk, pk: pk, rlk: rlk, prng: g,
+	}, nil
 }
+
+// SymmetricBackend exposes the execution backend the symmetric side runs
+// on (for stats inspection and substrate-specific tooling).
+func (c *Client) SymmetricBackend() backend.BlockCipher { return c.sym }
 
 // TransportKey produces the one-time homomorphic encryption of the PASTA
 // key that the server needs (step 1 of the protocol).
 func (c *Client) TransportKey() EncryptedKey {
-	key := c.cipher.Key()
-	ek := make(EncryptedKey, len(key))
-	for i, v := range key {
+	ek := make(EncryptedKey, len(c.key))
+	for i, v := range c.key {
 		ek[i] = c.ctx.EncryptSymmetric(c.sk, c.ctx.EncodeScalar(v), c.prng)
 	}
 	return ek
@@ -115,21 +144,29 @@ func (c *Client) TransportKey() EncryptedKey {
 // EncryptBlock symmetrically encrypts up to t field elements — the cheap
 // client-side operation the paper's cryptoprocessor accelerates.
 func (c *Client) EncryptBlock(nonce, block uint64, msg ff.Vec) (ff.Vec, error) {
-	return c.cipher.EncryptBlock(nonce, block, msg)
+	t := c.params.Pasta.T
+	if len(msg) > t {
+		return nil, fmt.Errorf("hhe: block has %d elements, max %d", len(msg), t)
+	}
+	ks := ff.NewVec(t)
+	if err := c.sym.KeyStreamInto(context.Background(), ks, nonce, block); err != nil {
+		return nil, err
+	}
+	return c.MaskWith(ks, msg)
 }
 
-// Encrypt symmetrically encrypts an arbitrary-length message through the
-// parallel keystream engine (keystream blocks are CTR-independent and fan
-// out over the cipher's worker pool).
+// Encrypt symmetrically encrypts an arbitrary-length message on the
+// client's execution backend (keystream blocks are CTR-independent and
+// fan out over the backend's worker pool on the software substrate).
 func (c *Client) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
-	return c.cipher.Encrypt(nonce, msg)
+	return c.sym.Encrypt(context.Background(), nonce, msg)
 }
 
 // DecryptSymmetric inverts Encrypt on the symmetric (PASTA) side — the
 // sanity path a client uses to check a ciphertext locally; the server
 // never holds this key and transciphers instead.
 func (c *Client) DecryptSymmetric(nonce uint64, ct ff.Vec) (ff.Vec, error) {
-	return c.cipher.Decrypt(nonce, ct)
+	return c.sym.Decrypt(context.Background(), nonce, ct)
 }
 
 // PrecomputeKeystream computes the keystream for blocks [0, blocks) of
@@ -138,8 +175,8 @@ func (c *Client) DecryptSymmetric(nonce uint64, ct ff.Vec) (ff.Vec, error) {
 // the data to encrypt exists and later mask messages with a cheap
 // elementwise addition — the latency-hiding trick CTR-style HHE clients
 // (and Presto's batched pipeline) rely on.
-func (c *Client) PrecomputeKeystream(nonce uint64, blocks int) ff.Vec {
-	return c.cipher.KeyStreamBlocks(nonce, 0, blocks)
+func (c *Client) PrecomputeKeystream(nonce uint64, blocks int) (ff.Vec, error) {
+	return c.sym.KeyStreamBlocks(context.Background(), nonce, 0, blocks)
 }
 
 // MaskWith encrypts msg using a precomputed keystream slice (from

@@ -3,6 +3,7 @@ package hhe
 import (
 	"testing"
 
+	"repro/internal/backend"
 	"repro/internal/bfv"
 	"repro/internal/ff"
 	"repro/internal/pasta"
@@ -152,7 +153,10 @@ func TestClientPrecomputedKeystream(t *testing.T) {
 	msg := ff.Vec{11, 22, 33, 44, 55}[:tt+1] // spans two blocks
 	nonce := uint64(6)
 
-	ks := client.PrecomputeKeystream(nonce, 2)
+	ks, err := client.PrecomputeKeystream(nonce, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ks) != 2*tt {
 		t.Fatalf("precomputed keystream has %d elements, want %d", len(ks), 2*tt)
 	}
@@ -190,5 +194,48 @@ func TestClientPrecomputedKeystream(t *testing.T) {
 	}
 	if _, err := client.MaskWith(ks, ff.Vec{par.Pasta.Mod.P()}); err == nil {
 		t.Fatal("out-of-range message accepted")
+	}
+}
+
+// TestClientOnAccelBackend runs the client's symmetric side on the
+// cycle-accurate accelerator model: ciphertexts must be bit-identical to
+// the software backend's (same key, same toy instance), and the backend
+// must account the work it modelled.
+func TestClientOnAccelBackend(t *testing.T) {
+	par, err := NewToyParams(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "hhe-accel")
+	onAccel, err := NewClientOn(backend.NameAccel, par, key, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	onSoftware, err := NewClient(par, key, []byte{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	msg := ff.Vec{3, 1, 4, 1, 5}
+	ctA, err := onAccel.Encrypt(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctS, err := onSoftware.Encrypt(9, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ctA.Equal(ctS) {
+		t.Fatal("accelerator-backed client ciphertext differs from software")
+	}
+	back, err := onSoftware.DecryptSymmetric(9, ctA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(msg) {
+		t.Fatal("cross-substrate HHE roundtrip failed")
+	}
+	st := onAccel.SymmetricBackend().Stats()
+	if st.Backend != backend.NameAccel || st.Blocks == 0 || st.AccelCycles == 0 {
+		t.Fatalf("accel backend did not account modelled work: %+v", st)
 	}
 }

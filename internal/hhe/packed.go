@@ -43,7 +43,7 @@ func (c *Client) PackedEvalKeys() (PackedEvalKeys, error) {
 	}
 	gks := c.ctx.GenGaloisKeys(c.prng, c.sk, steps)
 
-	key := c.cipher.Key()
+	key := c.key
 	encryptHalf := func(half ff.Vec) (*bfv.Ciphertext, error) {
 		pt, err := enc.EncodeReplicated(half)
 		if err != nil {

@@ -93,7 +93,7 @@ func (c *Cipher) Key() Key { return Key(ff.Vec(c.key).Clone()) }
 // KeyStreamInto, which writes into a caller-provided buffer.
 func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
 	ks := ff.NewVec(c.par.T)
-	c.KeyStreamInto(ks, nonce, block)
+	c.keyStreamInto(ks, nonce, block)
 	return ks
 }
 

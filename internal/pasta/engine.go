@@ -137,12 +137,21 @@ func (c *Cipher) permuteInto(s *xof.Sampler, ws *workspace) {
 }
 
 // KeyStreamInto writes the keystream block KS(nonce, block) into dst,
-// which must have exactly t elements. The steady state allocates nothing:
-// all scratch, including the SHAKE sampler, comes from the cipher's pool.
-func (c *Cipher) KeyStreamInto(dst ff.Vec, nonce, block uint64) {
+// which must have exactly t elements; a length mismatch is reported as an
+// error (regression: it used to panic, which crashed callers feeding
+// user-sized buffers). The steady state allocates nothing: all scratch,
+// including the SHAKE sampler, comes from the cipher's pool.
+func (c *Cipher) KeyStreamInto(dst ff.Vec, nonce, block uint64) error {
 	if len(dst) != c.par.T {
-		panic(fmt.Sprintf("pasta: KeyStreamInto dst has %d elements, want %d", len(dst), c.par.T))
+		return fmt.Errorf("pasta: KeyStreamInto dst has %d elements, want %d", len(dst), c.par.T)
 	}
+	c.keyStreamInto(dst, nonce, block)
+	return nil
+}
+
+// keyStreamInto is KeyStreamInto without the length check, for internal
+// callers that own a correctly sized buffer.
+func (c *Cipher) keyStreamInto(dst ff.Vec, nonce, block uint64) {
 	ws := c.getWorkspace()
 	start := time.Now()
 	ws.sampler.Reseed(nonce, block)
@@ -310,7 +319,7 @@ func (s *Stream) Process(dst, src ff.Vec) error {
 	p := mod.P()
 	for i := range src {
 		if s.used == len(s.ks) {
-			s.c.KeyStreamInto(s.ks, s.nonce, s.block)
+			s.c.keyStreamInto(s.ks, s.nonce, s.block)
 			s.block++
 			s.used = 0
 		}

@@ -1,0 +1,55 @@
+package pasta
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ff"
+)
+
+// Regression tests for the public-API panic conversions: entry points a
+// caller can reach with bad input must report errors, not crash. The
+// Must* variants keep the panicking behaviour for tests and init-time
+// configuration.
+
+func TestKeyStreamIntoLengthMismatchReturnsError(t *testing.T) {
+	par := MustParams(Pasta4, ff.P17)
+	c, err := NewCipher(par, KeyFromSeed(par, "errs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 1, par.T - 1, par.T + 1, 3 * par.T} {
+		err := c.KeyStreamInto(ff.NewVec(n), 1, 0)
+		if n == par.T {
+			t.Fatalf("test bug: %d is the valid length", n)
+		}
+		if err == nil {
+			t.Fatalf("KeyStreamInto accepted a %d-element dst (want %d)", n, par.T)
+		}
+		if !strings.Contains(err.Error(), "elements") {
+			t.Fatalf("unhelpful error: %v", err)
+		}
+	}
+	// The valid length still works and reports no error.
+	if err := c.KeyStreamInto(ff.NewVec(par.T), 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewParamsRejectsBadVariant(t *testing.T) {
+	if _, err := NewParams(Toy, ff.P17); err == nil {
+		t.Fatal("NewParams accepted the Toy variant (ToyParams is the entry point)")
+	}
+	if _, err := NewParams(Variant(99), ff.P17); err == nil {
+		t.Fatal("NewParams accepted an unknown variant")
+	}
+}
+
+func TestMustParamsStillPanicsForTests(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParams did not panic on a bad variant")
+		}
+	}()
+	MustParams(Variant(99), ff.P17)
+}

@@ -76,9 +76,13 @@ func TestKeyStreamIntoAllocFreeInstrumented(t *testing.T) {
 		t.Fatal(err)
 	}
 	ks := ff.NewVec(par.T)
-	c.KeyStreamInto(ks, 1, 0) // warm the workspace pool
+	if err := c.KeyStreamInto(ks, 1, 0); err != nil { // warm the workspace pool
+		t.Fatal(err)
+	}
 	avg := testing.AllocsPerRun(20, func() {
-		c.KeyStreamInto(ks, 1, 1)
+		if err := c.KeyStreamInto(ks, 1, 1); err != nil {
+			t.Fatal(err)
+		}
 	})
 	if avg > 0.5 {
 		t.Fatalf("instrumented KeyStreamInto allocates %.1f objects/op, want 0", avg)

@@ -44,7 +44,10 @@ func TestCipherConcurrentUse(t *testing.T) {
 						return
 					}
 				case 1:
-					c.KeyStreamInto(ks, 5, 0)
+					if err := c.KeyStreamInto(ks, 5, 0); err != nil {
+						errc <- err
+						return
+					}
 					if !ks.Equal(wantKS) {
 						errc <- errKeystreamDrift
 						return

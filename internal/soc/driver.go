@@ -21,7 +21,7 @@ const (
 // status register until done — the serialized block-by-block flow the
 // paper describes for the single slave bus.
 func DriverProgram(par pasta.Params, nBlocks int, lastLen int, nonce uint64) string {
-	return driverProgram(par, nBlocks, lastLen, nonce, false)
+	return driverProgram(par, nBlocks, lastLen, nonce, 0, false)
 }
 
 // DriverProgramIRQ generates the interrupt-driven variant: instead of
@@ -30,10 +30,16 @@ func DriverProgram(par pasta.Params, nBlocks int, lastLen int, nonce uint64) str
 // resume-after-WFI idiom; interrupts stay globally masked). The core
 // idles in a clock-gateable state for the whole accelerator runtime.
 func DriverProgramIRQ(par pasta.Params, nBlocks int, lastLen int, nonce uint64) string {
-	return driverProgram(par, nBlocks, lastLen, nonce, true)
+	return driverProgram(par, nBlocks, lastLen, nonce, 0, true)
 }
 
-func driverProgram(par pasta.Params, nBlocks int, lastLen int, nonce uint64, useIRQ bool) string {
+// driverProgram emits the driver. firstCtr is the block counter of the
+// first block; the loop programs CTR_LO = firstCtr + i for block i (the
+// backend layer uses this to ask the SoC for an arbitrary keystream
+// block). CTR_HI is fixed to the upper word of firstCtr: a run must not
+// cross a 2^32-block counter boundary, which at t elements per block is
+// far beyond the addressable RAM anyway.
+func driverProgram(par pasta.Params, nBlocks int, lastLen int, nonce uint64, firstCtr uint64, useIRQ bool) string {
 	t := par.T
 	wait := fmt.Sprintf(`poll:
 	lw   t0, %d(s0)         # STATUS
@@ -67,14 +73,17 @@ keyload:
 	sw   t0, %[9]d(s0)      # NONCE_LO
 	li   t0, %[10]d
 	sw   t0, %[11]d(s0)     # NONCE_HI
-	sw   zero, %[12]d(s0)   # CTR_HI
+	li   t0, %[27]d
+	sw   t0, %[12]d(s0)     # CTR_HI
 	# --- block loop ---
-	li   s1, 0              # block counter
+	li   s1, 0              # block index
 	li   s2, %[1]d          # block count
 	li   s3, %[13]d         # src pointer
 	li   s4, %[14]d         # dst pointer
+	li   t3, %[28]d         # first block counter
 blockloop:
-	sw   s1, %[15]d(s0)     # CTR_LO
+	add  t4, t3, s1
+	sw   t4, %[15]d(s0)     # CTR_LO
 	sw   s3, %[16]d(s0)     # SRC
 	sw   s4, %[17]d(s0)     # DST
 	li   t0, %[2]d
@@ -106,7 +115,8 @@ fulllen:
 		srcAddr, dstAddr,
 		RegCtrLo, RegSrc, RegDst,
 		lastLen, RegLen, RegCtrl, RegStatus, StatusBusy,
-		4*t, statsAddr, irqSetup, wait)
+		4*t, statsAddr, irqSetup, wait,
+		uint32(firstCtr>>32), uint32(firstCtr))
 }
 
 // RunStats summarizes an EncryptBlocks run.
@@ -139,7 +149,16 @@ func (r RunStats) CyclesPerBlock() int64 {
 // co-simulated cycle statistics — the experiment behind the RISC-V
 // column of Table II.
 func EncryptBlocks(par pasta.Params, key pasta.Key, nonce uint64, msg ff.Vec) (ff.Vec, RunStats, error) {
-	return encryptBlocks(par, key, nonce, msg, false)
+	return encryptBlocks(par, key, nonce, 0, msg, false)
+}
+
+// EncryptBlocksFrom is EncryptBlocks with the block counter of the first
+// block set to firstCtr instead of 0. The backend layer uses it to pull
+// the keystream for an arbitrary block range out of the SoC (encrypting
+// zeros: ct = 0 + KS), keeping the co-simulated substrate addressable
+// with the same (nonce, block) interface as the other two.
+func EncryptBlocksFrom(par pasta.Params, key pasta.Key, nonce, firstCtr uint64, msg ff.Vec) (ff.Vec, RunStats, error) {
+	return encryptBlocks(par, key, nonce, firstCtr, msg, false)
 }
 
 // EncryptBlocksIRQ runs the interrupt-driven driver: the core sleeps in
@@ -147,10 +166,10 @@ func EncryptBlocks(par pasta.Params, key pasta.Key, nonce uint64, msg ff.Vec) (f
 // register. Same ciphertext and end-to-end latency; the active (non-
 // gated) core cycles drop to the driver overhead alone.
 func EncryptBlocksIRQ(par pasta.Params, key pasta.Key, nonce uint64, msg ff.Vec) (ff.Vec, RunStats, error) {
-	return encryptBlocks(par, key, nonce, msg, true)
+	return encryptBlocks(par, key, nonce, 0, msg, true)
 }
 
-func encryptBlocks(par pasta.Params, key pasta.Key, nonce uint64, msg ff.Vec, useIRQ bool) (ff.Vec, RunStats, error) {
+func encryptBlocks(par pasta.Params, key pasta.Key, nonce, firstCtr uint64, msg ff.Vec, useIRQ bool) (ff.Vec, RunStats, error) {
 	if len(msg) == 0 {
 		return nil, RunStats{}, fmt.Errorf("soc: empty message")
 	}
@@ -176,7 +195,7 @@ func encryptBlocks(par pasta.Params, key pasta.Key, nonce uint64, msg ff.Vec, us
 			return nil, RunStats{}, err
 		}
 	}
-	if err := s.LoadProgram(driverProgram(par, nBlocks, lastLen, nonce, useIRQ)); err != nil {
+	if err := s.LoadProgram(driverProgram(par, nBlocks, lastLen, nonce, firstCtr, useIRQ)); err != nil {
 		return nil, RunStats{}, err
 	}
 	if err := s.Run(200_000_000); err != nil {
