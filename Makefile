@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-json fuzz-smoke metrics-smoke backends-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json fuzz-smoke metrics-smoke backends-smoke server-smoke ci clean
 
 all: build
 
@@ -40,8 +40,8 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch' -benchmem \
-		./internal/pasta ./internal/backend . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch|ServerThroughput' -benchmem \
+		./internal/pasta ./internal/backend ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
 
 # Short fuzz runs of the differential harnesses: the lazy NTT product
 # against the schoolbook oracle, and the structured modular reductions
@@ -49,6 +49,7 @@ bench-json:
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMulPoly -fuzztime 5s ./internal/rlwe
 	$(GO) test -run '^$$' -fuzz FuzzDotLazyAgainstNaive -fuzztime 5s ./internal/ff
+	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/wire
 
 # End-to-end check of the observability layer: a short co-simulation must
 # emit a JSON metrics snapshot on stdout.
@@ -62,7 +63,13 @@ metrics-smoke:
 backends-smoke:
 	$(GO) test -run 'TestCrossBackendDifferential/PASTA-4' -v ./internal/backend
 
-ci: vet fmt-check build race backends-smoke bench-smoke
+# End-to-end check of the serving tier: bring an hheserver up in-process,
+# run a client round-trip, provoke an overload rejection, scrape the
+# /metrics endpoint, and shut down cleanly.
+server-smoke:
+	$(GO) test -run TestServerSmoke -count=1 -v ./cmd/hheserver
+
+ci: vet fmt-check build race backends-smoke server-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

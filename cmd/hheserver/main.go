@@ -1,0 +1,108 @@
+// Command hheserver runs the HHE edge serving tier (internal/server): a
+// TCP service speaking the internal/wire protocol that lets many clients
+// register PASTA sessions — symmetric key plus the opaque FHE key
+// registration blob of the Fig. 1 protocol — and stream encrypt and
+// keystream requests against a selectable execution backend.
+//
+// Usage:
+//
+//	hheserver [-addr :8765] [-backend software|accel|soc]
+//	          [-debug-addr :8766] [-workers N] [-queue N]
+//	          [-batch-window 2ms] [-max-sessions N] [-rate N] [-burst N]
+//	          [-request-timeout 10s] [-idle-timeout 2m] [-metrics file|-]
+//
+// SIGINT/SIGTERM trigger a graceful drain: the listener closes, queued
+// work completes, connections are torn down, and — with -metrics — the
+// final observability snapshot is written.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/cli"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8765", "TCP listen address")
+	debugAddr := flag.String("debug-addr", "", "HTTP debug/metrics listen address (empty = off)")
+	workers := flag.Int("workers", 0, "scheduler worker pool size (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "scheduler queue bound (0 = default 256)")
+	batchWindow := flag.Duration("batch-window", 0, "max wait before a partial stream batch flushes (0 = default 2ms)")
+	maxSessions := flag.Int("max-sessions", 0, "live session cap (0 = default 1024)")
+	rate := flag.Float64("rate", 0, "per-session rate limit in elements/second (0 = off)")
+	burst := flag.Float64("burst", 0, "rate-limit burst in elements (0 = one second of rate)")
+	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0 = default 10s)")
+	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection idle deadline (0 = default 2m)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoftware)
+	flag.Parse()
+
+	if err := run(*addr, *debugAddr, *drainTimeout, server.Config{
+		Backend:        common.Backend,
+		Workers:        *workers,
+		QueueBound:     *queue,
+		BatchWindow:    *batchWindow,
+		MaxSessions:    *maxSessions,
+		RatePerSec:     *rate,
+		RateBurst:      *burst,
+		RequestTimeout: *requestTimeout,
+		IdleTimeout:    *idleTimeout,
+	}); err != nil {
+		cli.Exit("hheserver", err)
+	}
+	if err := common.Finish(); err != nil {
+		cli.Exit("hheserver", err)
+	}
+}
+
+func run(addr, debugAddr string, drainTimeout time.Duration, cfg server.Config) error {
+	srv, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	if debugAddr != "" {
+		dbg, err := obs.ServeDebug(debugAddr, obs.Default())
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Printf("hheserver: debug endpoint on http://%s/metrics\n", dbg.Addr())
+	}
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigCh)
+
+	serveDone := make(chan error, 1)
+	go func() {
+		fmt.Printf("hheserver: serving %s sessions on %s\n", srv.Backend(), addr)
+		serveDone <- srv.ListenAndServe(addr)
+	}()
+
+	select {
+	case err := <-serveDone:
+		return err
+	case sig := <-sigCh:
+		fmt.Printf("hheserver: %v, draining (budget %v)\n", sig, drainTimeout)
+		ctx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			return fmt.Errorf("shutdown: %w", err)
+		}
+		if err := <-serveDone; err != nil {
+			return err
+		}
+		fmt.Println("hheserver: drained")
+		return nil
+	}
+}

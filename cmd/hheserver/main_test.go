@@ -1,0 +1,132 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/obs"
+	"repro/internal/server"
+	"repro/internal/wire"
+)
+
+// TestServerSmoke is the `make server-smoke` gate: it brings the serving
+// tier up in-process with its debug endpoint, performs a client
+// round-trip against the software oracle, provokes an overload
+// rejection, scrapes /metrics, and shuts down cleanly.
+func TestServerSmoke(t *testing.T) {
+	// Tight bounds so the overload probe can actually trip them.
+	srv, err := server.New(server.Config{Workers: 1, QueueBound: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+
+	dbg, err := obs.ServeDebug("127.0.0.1:0", obs.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	// Round-trip: open a standard PASTA-4 session, encrypt, decrypt by
+	// fetching the keystream and unmasking.
+	c, err := server.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	key := make([]uint64, 64)
+	for i := range key {
+		key[i] = uint64(i*2654435761+17) % ff.P17.P()
+	}
+	sess, err := c.OpenSession(wire.SessionOpen{
+		Variant: 4, Width: 17, Nonce: 99, Key: key,
+		EvalKey: []byte("fhe-key-blob"),
+	})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	msg := make(ff.Vec, sess.BlockSize)
+	for i := range msg {
+		msg[i] = uint64(i*31+5) % sess.Modulus
+	}
+	ct, err := sess.Encrypt(99, msg)
+	if err != nil {
+		t.Fatalf("encrypt: %v", err)
+	}
+	ks, err := sess.Keystream(99, 0, 1)
+	if err != nil {
+		t.Fatalf("keystream: %v", err)
+	}
+	for i := range msg {
+		if (msg[i]+ks[i])%sess.Modulus != ct[i] {
+			t.Fatalf("ct[%d] = %d, want (msg + ks) %% p = %d", i, ct[i], (msg[i]+ks[i])%sess.Modulus)
+		}
+	}
+
+	// Overload probe: saturate the 2-slot queue from one connection; at
+	// least one request must be rejected (not hung) with a retry hint.
+	results := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		go func(first uint64) {
+			_, err := sess.Keystream(99, first, 8)
+			results <- err
+		}(uint64(i) * 8)
+	}
+	overloaded := false
+	for i := 0; i < 16; i++ {
+		err := <-results
+		if errors.Is(err, server.ErrOverloaded) {
+			overloaded = true
+			var re *server.RemoteError
+			if !errors.As(err, &re) || re.RetryAfter <= 0 {
+				t.Errorf("overload rejection without retry hint: %v", err)
+			}
+		} else if err != nil {
+			t.Errorf("unexpected probe error: %v", err)
+		}
+	}
+	if !overloaded {
+		t.Error("overload probe produced no rejection")
+	}
+
+	// Scrape the debug endpoint and check serving-tier metrics surfaced.
+	resp, err := http.Get("http://" + dbg.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("scrape read: %v", err)
+	}
+	for _, want := range []string{
+		"server.sessions.active", "server.requests.total",
+		"server.requests.rejected.overload", "server.dispatch.software",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics snapshot missing %q", want)
+		}
+	}
+
+	// Clean shutdown.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve returned %v after shutdown", err)
+	}
+}

@@ -4,20 +4,28 @@
 // communication argument rests on: a heavy one-time setup (FHE keys +
 // encrypted PASTA key) followed by symmetric-ciphertext data messages
 // with no FHE expansion.
+//
+// Frames ride the versioned internal/wire codec (magic + version +
+// length, bounded payloads) — the same framing the hheserver serving
+// tier speaks — and both ends run under I/O deadlines, so a stalled or
+// misbehaving peer fails the demo instead of hanging it.
 package main
 
 import (
 	"encoding/binary"
 	"fmt"
-	"io"
 	"log"
 	"net"
+	"time"
 
 	"repro/internal/bfv"
 	"repro/internal/ff"
 	"repro/internal/hhe"
 	"repro/internal/pasta"
+	"repro/internal/wire"
 )
+
+const ioTimeout = 30 * time.Second
 
 func main() {
 	params, err := hhe.NewToyParams(2, 1)
@@ -42,29 +50,35 @@ func main() {
 	}
 }
 
-// frame I/O: 4-byte little-endian length prefix.
-func send(w io.Writer, payload []byte) (int, error) {
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return 0, err
-	}
-	n, err := w.Write(payload)
-	return n + 4, err
+// peer wraps a connection with the wire codec and a rolling deadline:
+// every frame exchange must make progress within ioTimeout.
+type peer struct {
+	conn  net.Conn
+	codec *wire.Codec
 }
 
-func recv(r io.Reader) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+func newPeer(conn net.Conn) *peer {
+	c := wire.NewCodec(conn)
+	c.MaxPayload = 64 << 20 // FHE key blobs are large
+	return &peer{conn: conn, codec: c}
+}
+
+// send writes one blob frame and returns the bytes on the wire.
+func (p *peer) send(payload []byte) (int, error) {
+	if err := p.conn.SetWriteDeadline(time.Now().Add(ioTimeout)); err != nil {
+		return 0, err
+	}
+	if err := p.codec.WriteBlob(payload); err != nil {
+		return 0, err
+	}
+	return wire.HeaderSize + len(payload), nil
+}
+
+func (p *peer) recv() ([]byte, error) {
+	if err := p.conn.SetReadDeadline(time.Now().Add(ioTimeout)); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
-	if n > 64<<20 {
-		return nil, fmt.Errorf("frame too large: %d", n)
-	}
-	buf := make([]byte, n)
-	_, err := io.ReadFull(r, buf)
-	return buf, err
+	return p.codec.ReadBlob()
 }
 
 func runClient(addr string, params hhe.Params) error {
@@ -73,6 +87,7 @@ func runClient(addr string, params hhe.Params) error {
 		return err
 	}
 	defer conn.Close()
+	p := newPeer(conn)
 
 	key, err := pasta.NewRandomKey(params.Pasta)
 	if err != nil {
@@ -91,7 +106,7 @@ func runClient(addr string, params hhe.Params) error {
 	if err != nil {
 		return err
 	}
-	n, err := send(conn, pkBlob)
+	n, err := p.send(pkBlob)
 	if err != nil {
 		return err
 	}
@@ -100,13 +115,13 @@ func runClient(addr string, params hhe.Params) error {
 	if err != nil {
 		return err
 	}
-	if n, err = send(conn, rlkBlob); err != nil {
+	if n, err = p.send(rlkBlob); err != nil {
 		return err
 	}
 	setupBytes += n
 	var cnt [4]byte
 	binary.LittleEndian.PutUint32(cnt[:], uint32(len(keys.Key)))
-	if n, err = send(conn, cnt[:]); err != nil {
+	if n, err = p.send(cnt[:]); err != nil {
 		return err
 	}
 	setupBytes += n
@@ -115,7 +130,7 @@ func runClient(addr string, params hhe.Params) error {
 		if err != nil {
 			return err
 		}
-		if n, err = send(conn, blob); err != nil {
+		if n, err = p.send(blob); err != nil {
 			return err
 		}
 		setupBytes += n
@@ -134,7 +149,7 @@ func runClient(addr string, params hhe.Params) error {
 		if err != nil {
 			return err
 		}
-		if n, err = send(conn, packed); err != nil {
+		if n, err = p.send(packed); err != nil {
 			return err
 		}
 		dataBytes += n
@@ -143,7 +158,7 @@ func runClient(addr string, params hhe.Params) error {
 		len(messages), dataBytes, float64(dataBytes)/float64(2*len(messages)))
 
 	// --- receive the homomorphic computation result ---------------------------
-	blob, err := recv(conn)
+	blob, err := p.recv()
 	if err != nil {
 		return err
 	}
@@ -169,13 +184,14 @@ func runServer(ln net.Listener, params hhe.Params) error {
 		return err
 	}
 	defer conn.Close()
+	p := newPeer(conn)
 
 	ctx, err := bfv.NewContext(params.BFV)
 	if err != nil {
 		return err
 	}
 	// --- receive setup ---------------------------------------------------------
-	pkBlob, err := recv(conn)
+	pkBlob, err := p.recv()
 	if err != nil {
 		return err
 	}
@@ -183,7 +199,7 @@ func runServer(ln net.Listener, params hhe.Params) error {
 	if err != nil {
 		return err
 	}
-	rlkBlob, err := recv(conn)
+	rlkBlob, err := p.recv()
 	if err != nil {
 		return err
 	}
@@ -191,14 +207,20 @@ func runServer(ln net.Listener, params hhe.Params) error {
 	if err != nil {
 		return err
 	}
-	cntBuf, err := recv(conn)
+	cntBuf, err := p.recv()
 	if err != nil {
 		return err
 	}
+	if len(cntBuf) != 4 {
+		return fmt.Errorf("key-count frame: %d bytes, want 4", len(cntBuf))
+	}
 	nKeys := binary.LittleEndian.Uint32(cntBuf)
+	if nKeys > uint32(2*params.Pasta.T) {
+		return fmt.Errorf("implausible encrypted-key count %d", nKeys)
+	}
 	encKey := make(hhe.EncryptedKey, nKeys)
 	for i := range encKey {
-		blob, err := recv(conn)
+		blob, err := p.recv()
 		if err != nil {
 			return err
 		}
@@ -215,7 +237,7 @@ func runServer(ln net.Listener, params hhe.Params) error {
 	// --- trans-cipher incoming blocks and compute on them ----------------------
 	var acc *bfv.Ciphertext
 	for blk := 0; blk < 3; blk++ {
-		packed, err := recv(conn)
+		packed, err := p.recv()
 		if err != nil {
 			return err
 		}
@@ -239,7 +261,7 @@ func runServer(ln net.Listener, params hhe.Params) error {
 	if err != nil {
 		return err
 	}
-	if _, err := send(conn, blob); err != nil {
+	if _, err := p.send(blob); err != nil {
 		return err
 	}
 	return nil

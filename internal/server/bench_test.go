@@ -1,0 +1,61 @@
+package server
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/ff"
+)
+
+// BenchmarkServerThroughput measures end-to-end serving throughput:
+// framed request over loopback TCP, scheduler dispatch, software PASTA
+// keystream, masked response. Bytes/op counts plaintext payload moved.
+func BenchmarkServerThroughput(b *testing.B) {
+	srv, err := New(Config{Workers: 0, QueueBound: 1024})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+		<-serveDone
+	}()
+
+	const msgLen = 128 // four PASTA-4 blocks per request
+	var nextSess atomic.Uint64
+	b.SetBytes(msgLen * 8)
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		c, err := Dial(ln.Addr().String())
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		defer c.Close()
+		id := nextSess.Add(1)
+		sess, err := c.OpenSession(pasta4Open(testKey(64, id, ff.P17.P()), id))
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		msg := testMsg(msgLen, id, sess.Modulus)
+		nonce := uint64(0)
+		for pb.Next() {
+			nonce++
+			if _, err := sess.Encrypt(nonce, msg); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,383 @@
+package server
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/wire"
+)
+
+// RemoteError is a server-side rejection surfaced to a client call. It
+// matches the serving-tier sentinels through errors.Is, so
+// errors.Is(err, server.ErrOverloaded) works on both ends of the wire.
+type RemoteError struct {
+	Code       uint16
+	RetryAfter time.Duration
+	Msg        string
+}
+
+func (e *RemoteError) Error() string {
+	if e.RetryAfter > 0 {
+		return fmt.Sprintf("server: %s (retry after %v): %s",
+			wire.CodeString(e.Code), e.RetryAfter, e.Msg)
+	}
+	return fmt.Sprintf("server: %s: %s", wire.CodeString(e.Code), e.Msg)
+}
+
+// Is maps protocol codes onto the package sentinels.
+func (e *RemoteError) Is(target error) bool {
+	switch e.Code {
+	case wire.CodeOverloaded:
+		return target == ErrOverloaded
+	case wire.CodeRateLimited:
+		return target == ErrRateLimited
+	case wire.CodeShuttingDown:
+		return target == ErrShuttingDown
+	}
+	return false
+}
+
+// Client is the library side of the protocol: it multiplexes concurrent
+// requests over one connection, correlating responses by request id. All
+// methods are safe for concurrent use.
+type Client struct {
+	nc    net.Conn
+	codec *wire.Codec
+	wmu   sync.Mutex
+
+	// Timeout bounds each call's wait for its response (default 30s).
+	Timeout time.Duration
+
+	mu     sync.Mutex
+	calls  map[uint64]chan callResult
+	closed bool
+	cause  error
+
+	nextID  atomic.Uint64
+	done    chan struct{}
+	readerW sync.WaitGroup
+}
+
+type callResult struct {
+	ack  *wire.SessionAck
+	data *wire.Data
+	err  error
+}
+
+// Dial connects to an hheserver.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// NewClient wraps an established connection.
+func NewClient(nc net.Conn) *Client {
+	c := &Client{
+		nc:      nc,
+		codec:   wire.NewCodec(nc),
+		Timeout: 30 * time.Second,
+		calls:   map[uint64]chan callResult{},
+		done:    make(chan struct{}),
+	}
+	c.readerW.Add(1)
+	go c.readLoop()
+	return c
+}
+
+// Close tears the connection down and fails outstanding calls. It waits
+// for the demultiplexer goroutine to exit.
+func (c *Client) Close() error {
+	err := c.nc.Close()
+	c.readerW.Wait()
+	return err
+}
+
+func (c *Client) readLoop() {
+	defer c.readerW.Done()
+	for {
+		t, payload, err := c.codec.ReadFrame()
+		if err != nil {
+			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
+			return
+		}
+		switch t {
+		case wire.TypeSessionAck:
+			m, err := wire.DecodeSessionAck(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(m.ID, callResult{ack: m})
+		case wire.TypeData:
+			m, err := wire.DecodeData(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(m.ID, callResult{data: m})
+		case wire.TypeError:
+			m, err := wire.DecodeErrorMsg(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			remote := &RemoteError{Code: m.Code, Msg: m.Msg,
+				RetryAfter: time.Duration(m.RetryAfterMillis) * time.Millisecond}
+			if m.ID == 0 {
+				// Connection-level fault: the server is about to hang up.
+				c.fail(remote)
+				return
+			}
+			c.deliver(m.ID, callResult{err: remote})
+		default:
+			c.fail(fmt.Errorf("%w: unexpected %v frame from server", wire.ErrBadMessage, t))
+			return
+		}
+	}
+}
+
+// deliver routes a response to its waiting call; unclaimed responses
+// (caller timed out) are dropped.
+func (c *Client) deliver(id uint64, res callResult) {
+	c.mu.Lock()
+	ch := c.calls[id]
+	delete(c.calls, id)
+	c.mu.Unlock()
+	if ch != nil {
+		ch <- res
+	}
+}
+
+// fail poisons the client: every outstanding and future call returns the
+// cause.
+func (c *Client) fail(cause error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cause = cause
+	calls := c.calls
+	c.calls = map[uint64]chan callResult{}
+	c.mu.Unlock()
+	close(c.done)
+	for _, ch := range calls {
+		ch <- callResult{err: cause}
+	}
+}
+
+// register reserves a response slot for a request id.
+func (c *Client) register(id uint64) (chan callResult, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return nil, c.cause
+	}
+	ch := make(chan callResult, 1)
+	c.calls[id] = ch
+	return ch, nil
+}
+
+func (c *Client) unregister(id uint64) {
+	c.mu.Lock()
+	delete(c.calls, id)
+	c.mu.Unlock()
+}
+
+// send writes one frame under the write lock.
+func (c *Client) send(t wire.Type, payload []byte) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
+		return err
+	}
+	return c.codec.WriteFrame(t, payload)
+}
+
+// await blocks for a registered call's response.
+func (c *Client) await(id uint64, ch chan callResult) (callResult, error) {
+	timer := time.NewTimer(c.Timeout)
+	defer timer.Stop()
+	select {
+	case res := <-ch:
+		return res, res.err
+	case <-c.done:
+		c.mu.Lock()
+		cause := c.cause
+		c.mu.Unlock()
+		return callResult{}, cause
+	case <-timer.C:
+		c.unregister(id)
+		return callResult{}, fmt.Errorf("server: request %d timed out after %v", id, c.Timeout)
+	}
+}
+
+// call performs one synchronous request/response exchange.
+func (c *Client) call(t wire.Type, payload []byte, id uint64) (callResult, error) {
+	ch, err := c.register(id)
+	if err != nil {
+		return callResult{}, err
+	}
+	if err := c.send(t, payload); err != nil {
+		c.unregister(id)
+		return callResult{}, err
+	}
+	return c.await(id, ch)
+}
+
+// OpenSession registers a session. The open's ID field is assigned by
+// the client; T, Nonce, Key, etc. describe the cipher instance (see
+// wire.SessionOpen).
+func (c *Client) OpenSession(open wire.SessionOpen) (*Session, error) {
+	open.ID = c.nextID.Add(1)
+	res, err := c.call(wire.TypeSessionOpen, open.Encode(), open.ID)
+	if err != nil {
+		return nil, err
+	}
+	if res.ack == nil {
+		return nil, fmt.Errorf("server: session open got no ack")
+	}
+	return &Session{
+		c:         c,
+		ID:        res.ack.Session,
+		BlockSize: int(res.ack.BlockSize),
+		Modulus:   res.ack.Modulus,
+		Bits:      res.ack.Bits,
+		Nonce:     open.Nonce,
+	}, nil
+}
+
+// Session is a live server-side cipher instance addressed by id.
+type Session struct {
+	c         *Client
+	ID        uint32
+	BlockSize int    // t, elements per keystream block
+	Modulus   uint64 // field prime p
+	Bits      uint8  // wire packing width
+	Nonce     uint64 // stream nonce fixed at open
+}
+
+// Encrypt encrypts msg with block counters from 0 — the semantics of
+// backend.BlockCipher.Encrypt and the sequential hhe client.
+func (s *Session) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	id := s.c.nextID.Add(1)
+	count, packed, err := wire.PackVec(msg, s.Bits)
+	if err != nil {
+		return nil, err
+	}
+	req := &wire.EncryptReq{Session: s.ID, ID: id, Nonce: nonce,
+		Count: count, Bits: s.Bits, Packed: packed}
+	res, err := s.c.call(wire.TypeEncrypt, req.Encode(), id)
+	if err != nil {
+		return nil, err
+	}
+	return res.data.Vec()
+}
+
+// Keystream fetches count keystream blocks [first, first+count).
+func (s *Session) Keystream(nonce, first uint64, count int) (ff.Vec, error) {
+	id := s.c.nextID.Add(1)
+	req := &wire.KeystreamReq{Session: s.ID, ID: id, Nonce: nonce,
+		First: first, Count: uint32(count)}
+	res, err := s.c.call(wire.TypeKeystream, req.Encode(), id)
+	if err != nil {
+		return nil, err
+	}
+	return res.data.Vec()
+}
+
+// EncryptChunk appends one chunk to the session's encryption stream and
+// returns the ciphertext with its assigned stream offset.
+func (s *Session) EncryptChunk(chunk ff.Vec) (ct ff.Vec, offset uint64, err error) {
+	cts, offs, err := s.EncryptChunks([]ff.Vec{chunk})
+	if err != nil {
+		return nil, 0, err
+	}
+	return cts[0], offs[0], nil
+}
+
+// EncryptChunks pipelines chunks into the session's encryption stream:
+// all requests go out before any response is awaited, so the server's
+// batcher can coalesce small chunks into full keystream blocks. Results
+// are returned in submission order with their stream offsets. The first
+// failed chunk aborts collection and returns its error.
+func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64, err error) {
+	ids := make([]uint64, len(chunks))
+	chans := make([]chan callResult, len(chunks))
+	for i, chunk := range chunks {
+		id := s.c.nextID.Add(1)
+		ids[i] = id
+		count, packed, perr := wire.PackVec(chunk, s.Bits)
+		if perr != nil {
+			err = perr
+		} else {
+			var ch chan callResult
+			if ch, err = s.c.register(id); err == nil {
+				req := &wire.StreamReq{Session: s.ID, ID: id,
+					Count: count, Bits: s.Bits, Packed: packed}
+				if err = s.c.send(wire.TypeStream, req.Encode()); err != nil {
+					s.c.unregister(id)
+				} else {
+					chans[i] = ch
+				}
+			}
+		}
+		if err != nil {
+			break
+		}
+	}
+	cts = make([]ff.Vec, 0, len(chunks))
+	offsets = make([]uint64, 0, len(chunks))
+	for i, ch := range chans {
+		if ch == nil {
+			break
+		}
+		res, aerr := s.c.await(ids[i], ch)
+		if aerr != nil {
+			if err == nil {
+				err = aerr
+			}
+			continue // drain remaining registered calls
+		}
+		if err != nil {
+			continue
+		}
+		v, verr := res.data.Vec()
+		if verr != nil {
+			err = verr
+			continue
+		}
+		cts = append(cts, v)
+		offsets = append(offsets, res.data.Offset)
+	}
+	if err != nil {
+		return nil, nil, err
+	}
+	return cts, offsets, nil
+}
+
+// Close retires the session on the server (fire-and-forget).
+func (s *Session) Close() error {
+	m := &wire.SessionClose{Session: s.ID}
+	return s.c.send(wire.TypeSessionClose, m.Encode())
+}
+
+// Unwrap-friendly helper: IsRetryable reports whether err is a transient
+// rejection (overload or rate limit) and how long to wait.
+func IsRetryable(err error) (retry time.Duration, ok bool) {
+	var re *RemoteError
+	if errors.As(err, &re) &&
+		(re.Code == wire.CodeOverloaded || re.Code == wire.CodeRateLimited) {
+		return re.RetryAfter, true
+	}
+	return 0, false
+}

@@ -1,0 +1,343 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/wire"
+)
+
+// conn is one accepted connection: a frame reader goroutine plus
+// mutex-serialized frame writes (scheduler workers and the batch timer
+// reply concurrently with the reader's own error frames). Sessions are
+// connection-scoped: a session id is only addressable from the
+// connection that opened it, and a disconnect evicts every session the
+// connection owns.
+type conn struct {
+	srv   *Server
+	nc    net.Conn
+	codec *wire.Codec
+	wmu   sync.Mutex
+
+	mu       sync.Mutex
+	sessions map[uint32]*session
+	closing  bool
+}
+
+func newConn(s *Server, nc net.Conn) *conn {
+	codec := wire.NewCodec(nc)
+	codec.MaxPayload = s.cfg.MaxPayload
+	return &conn{srv: s, nc: nc, codec: codec, sessions: map[uint32]*session{}}
+}
+
+// serve is the reader loop; it returns when the peer disconnects, the
+// protocol is violated, or the server tears the connection down.
+func (c *conn) serve() {
+	defer c.teardown(true)
+	for {
+		if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout)); err != nil {
+			return
+		}
+		t, payload, err := c.codec.ReadFrame()
+		if err != nil {
+			// Tell the peer why, when the failure is a protocol error
+			// rather than a dead transport.
+			if errors.Is(err, wire.ErrBadMagic) || errors.Is(err, wire.ErrBadVersion) ||
+				errors.Is(err, wire.ErrBadType) || errors.Is(err, wire.ErrTooLarge) {
+				c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+			}
+			return
+		}
+		if !c.handle(t, payload) {
+			return
+		}
+	}
+}
+
+// teardown closes the transport and evicts every session owned by the
+// connection. evict counts disconnect-triggered session teardown in the
+// metrics (an explicit SessionClose does not pass through here).
+func (c *conn) teardown(evict bool) {
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		return
+	}
+	c.closing = true
+	owned := make([]*session, 0, len(c.sessions))
+	for _, sess := range c.sessions {
+		owned = append(owned, sess)
+	}
+	c.sessions = map[uint32]*session{}
+	c.mu.Unlock()
+
+	c.nc.Close()
+	for _, sess := range owned {
+		sess.close()
+		if evict {
+			c.srv.m.evicted.Inc()
+		}
+	}
+	c.srv.dropConn(c)
+}
+
+// close is the server-initiated teardown (shutdown path).
+func (c *conn) close() { c.teardown(false) }
+
+// handle dispatches one frame; a false return closes the connection.
+func (c *conn) handle(t wire.Type, payload []byte) bool {
+	switch t {
+	case wire.TypeSessionOpen:
+		return c.handleOpen(payload)
+	case wire.TypeSessionClose:
+		m, err := wire.DecodeSessionClose(payload)
+		if err != nil {
+			c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+			return false
+		}
+		if sess := c.detachSession(m.Session); sess != nil {
+			sess.close()
+		}
+		return true
+	case wire.TypeEncrypt:
+		return c.handleEncrypt(payload)
+	case wire.TypeKeystream:
+		return c.handleKeystream(payload)
+	case wire.TypeStream:
+		return c.handleStream(payload)
+	default:
+		// Server-bound connections must only carry requests.
+		c.sendError(0, 0, wire.CodeBadRequest, 0,
+			fmt.Sprintf("unexpected %v frame", t))
+		return false
+	}
+}
+
+func (c *conn) handleOpen(payload []byte) bool {
+	m, err := wire.DecodeSessionOpen(payload)
+	if err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess, err := openSession(c, m)
+	if err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(0, m.ID, code, retry, err.Error())
+		return true
+	}
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		sess.close()
+		return false
+	}
+	c.sessions[sess.id] = sess
+	c.mu.Unlock()
+	ack := &wire.SessionAck{
+		ID:        m.ID,
+		Session:   sess.id,
+		BlockSize: uint32(sess.t),
+		Modulus:   sess.mod.P(),
+		Bits:      sess.bits,
+	}
+	return c.send(wire.TypeSessionAck, ack.Encode())
+}
+
+// lookup resolves a request's session or replies with an error.
+func (c *conn) lookup(session uint32, id uint64) *session {
+	c.mu.Lock()
+	sess := c.sessions[session]
+	c.mu.Unlock()
+	if sess == nil {
+		c.sendError(session, id, wire.CodeUnknownSession, 0,
+			fmt.Sprintf("session %d is not open on this connection", session))
+	}
+	return sess
+}
+
+// detachSession removes a session from the connection table.
+func (c *conn) detachSession(id uint32) *session {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sess := c.sessions[id]
+	delete(c.sessions, id)
+	return sess
+}
+
+// admit runs the request-admission gate shared by encrypt and keystream:
+// size bound, rate budget, queue submission. It replies on rejection.
+func (c *conn) admit(sess *session, id uint64, elems int, j *job) bool {
+	c.srv.m.requests.Inc()
+	if elems > c.srv.cfg.MaxRequestElems {
+		c.sendError(sess.id, id, wire.CodeBadRequest, 0,
+			fmt.Sprintf("request for %d elements exceeds the %d-element bound",
+				elems, c.srv.cfg.MaxRequestElems))
+		return true
+	}
+	if ok, retry := sess.takeRate(elems); !ok {
+		c.srv.m.rejectedRate.Inc()
+		c.sendError(sess.id, id, wire.CodeRateLimited, retry, "rate limit exceeded")
+		return true
+	}
+	if err := c.srv.submit(j); err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(sess.id, id, code, retry, err.Error())
+	}
+	return true
+}
+
+func (c *conn) handleEncrypt(payload []byte) bool {
+	m, err := wire.DecodeEncryptReq(payload)
+	if err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess := c.lookup(m.Session, m.ID)
+	if sess == nil {
+		return true
+	}
+	msg, err := m.Vec()
+	if err != nil {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0, err.Error())
+		return true
+	}
+	if !c.checkRange(sess, m.ID, msg) {
+		return true
+	}
+	return c.admit(sess, m.ID, len(msg), &job{
+		kind: jobEncrypt, sess: sess, id: m.ID, nonce: m.Nonce, msg: msg, enq: time.Now(),
+	})
+}
+
+func (c *conn) handleKeystream(payload []byte) bool {
+	m, err := wire.DecodeKeystreamReq(payload)
+	if err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess := c.lookup(m.Session, m.ID)
+	if sess == nil {
+		return true
+	}
+	elems := int(m.Count) * sess.t
+	return c.admit(sess, m.ID, elems, &job{
+		kind: jobKeystream, sess: sess, id: m.ID, nonce: m.Nonce,
+		first: m.First, count: int(m.Count), enq: time.Now(),
+	})
+}
+
+func (c *conn) handleStream(payload []byte) bool {
+	m, err := wire.DecodeStreamReq(payload)
+	if err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess := c.lookup(m.Session, m.ID)
+	if sess == nil {
+		return true
+	}
+	msg, err := m.Vec()
+	if err != nil || len(msg) == 0 {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0, "empty or malformed stream payload")
+		return true
+	}
+	c.srv.m.requests.Inc()
+	if len(msg) > c.srv.cfg.MaxRequestElems {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0,
+			fmt.Sprintf("request for %d elements exceeds the %d-element bound",
+				len(msg), c.srv.cfg.MaxRequestElems))
+		return true
+	}
+	if !c.checkRange(sess, m.ID, msg) {
+		return true
+	}
+	if _, err := sess.acceptStream(m.ID, msg); err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(sess.id, m.ID, code, retry, err.Error())
+	}
+	return true
+}
+
+// checkRange rejects out-of-field elements before they reach a backend.
+func (c *conn) checkRange(sess *session, id uint64, msg ff.Vec) bool {
+	p := sess.mod.P()
+	for i, v := range msg {
+		if v >= p {
+			c.sendError(sess.id, id, wire.CodeBadRequest, 0,
+				fmt.Sprintf("element %d = %d out of range for p = %d", i, v, p))
+			return false
+		}
+	}
+	return true
+}
+
+// errCode maps serving-tier and backend errors onto wire codes and
+// retry hints, counting rejections.
+func (c *conn) errCode(err error) (code uint16, retry time.Duration) {
+	m := c.srv.m
+	switch {
+	case errors.Is(err, ErrOverloaded):
+		m.rejectedOverload.Inc()
+		return wire.CodeOverloaded, c.srv.retryAfter()
+	case errors.Is(err, ErrRateLimited):
+		m.rejectedRate.Inc()
+		var re *rateError
+		if errors.As(err, &re) {
+			return wire.CodeRateLimited, re.retry
+		}
+		return wire.CodeRateLimited, c.srv.cfg.RetryAfter
+	case errors.Is(err, ErrShuttingDown), errors.Is(err, context.Canceled):
+		m.rejectedDraining.Inc()
+		return wire.CodeShuttingDown, 0
+	case errors.Is(err, context.DeadlineExceeded):
+		m.requestErrors.Inc()
+		return wire.CodeDeadline, 0
+	case errors.Is(err, ErrClosed):
+		m.requestErrors.Inc()
+		return wire.CodeUnknownSession, 0
+	default:
+		m.requestErrors.Inc()
+		return wire.CodeInternal, 0
+	}
+}
+
+// sendData replies to a request with a packed vector.
+func (c *conn) sendData(sess *session, id, offset uint64, v ff.Vec) {
+	count, packed, err := wire.PackVec(v, sess.bits)
+	if err != nil {
+		// Field elements always fit the modulus width; this is a bug.
+		c.sendError(sess.id, id, wire.CodeInternal, 0, err.Error())
+		return
+	}
+	m := &wire.Data{Session: sess.id, ID: id, Offset: offset,
+		Count: count, Bits: sess.bits, Packed: packed}
+	c.send(wire.TypeData, m.Encode())
+}
+
+// sendJobError replies to a failed job, classifying the cause.
+func (c *conn) sendJobError(sess *session, id uint64, err error) {
+	code, retry := c.errCode(err)
+	c.sendError(sess.id, id, code, retry, err.Error())
+}
+
+// sendError emits a TypeError frame.
+func (c *conn) sendError(session uint32, id uint64, code uint16, retry time.Duration, msg string) {
+	m := &wire.ErrorMsg{Session: session, ID: id, Code: code,
+		RetryAfterMillis: uint32(retry.Milliseconds()), Msg: msg}
+	c.send(wire.TypeError, m.Encode())
+}
+
+// send writes one frame under the write lock and deadline.
+func (c *conn) send(t wire.Type, payload []byte) bool {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout)); err != nil {
+		return false
+	}
+	return c.codec.WriteFrame(t, payload) == nil
+}

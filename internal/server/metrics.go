@@ -1,0 +1,81 @@
+package server
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// metrics are the serving-tier instruments, resolved once from the
+// process-wide obs registry so `hheserver -metrics`/`-debug-addr` (and
+// every test) sees them under the same names:
+//
+//	server.conns.active / server.conns.total
+//	server.sessions.active / server.sessions.total / server.sessions.evicted
+//	server.queue.depth
+//	server.requests.total / server.requests.rejected.overload /
+//	  server.requests.rejected.rate / server.requests.rejected.draining /
+//	  server.requests.errors
+//	server.request_ns      (accept→response latency histogram)
+//	server.batch.flushes / server.batch.requests / server.batch.elements
+//	server.dispatch.<backend>   (jobs executed per substrate)
+type metrics struct {
+	connsActive    *obs.Gauge
+	connsTotal     *obs.Counter
+	sessionsActive *obs.Gauge
+	sessionsTotal  *obs.Counter
+	evicted        *obs.Counter
+
+	queueDepth *obs.Gauge
+
+	requests         *obs.Counter
+	rejectedOverload *obs.Counter
+	rejectedRate     *obs.Counter
+	rejectedDraining *obs.Counter
+	requestErrors    *obs.Counter
+
+	requestNS    *obs.Histogram
+	batchFlushes *obs.Counter
+	batchReqs    *obs.Histogram
+	batchElems   *obs.Histogram
+}
+
+func newMetrics() *metrics {
+	r := obs.Default()
+	return &metrics{
+		connsActive:      r.Gauge("server.conns.active"),
+		connsTotal:       r.Counter("server.conns.total"),
+		sessionsActive:   r.Gauge("server.sessions.active"),
+		sessionsTotal:    r.Counter("server.sessions.total"),
+		evicted:          r.Counter("server.sessions.evicted"),
+		queueDepth:       r.Gauge("server.queue.depth"),
+		requests:         r.Counter("server.requests.total"),
+		rejectedOverload: r.Counter("server.requests.rejected.overload"),
+		rejectedRate:     r.Counter("server.requests.rejected.rate"),
+		rejectedDraining: r.Counter("server.requests.rejected.draining"),
+		requestErrors:    r.Counter("server.requests.errors"),
+		requestNS:        r.Histogram("server.request_ns"),
+		batchFlushes:     r.Counter("server.batch.flushes"),
+		batchReqs:        r.Histogram("server.batch.requests"),
+		batchElems:       r.Histogram("server.batch.elements"),
+	}
+}
+
+// dispatchCounters caches the per-backend dispatch counters (the name
+// set is small and stable, so one lock-guarded map resolved per session
+// open is fine — job execution uses the cached handle).
+var (
+	dispatchMu  sync.Mutex
+	dispatchFor = map[string]*obs.Counter{}
+)
+
+func dispatchCounter(backendName string) *obs.Counter {
+	dispatchMu.Lock()
+	defer dispatchMu.Unlock()
+	c, ok := dispatchFor[backendName]
+	if !ok {
+		c = obs.Default().Counter("server.dispatch." + backendName)
+		dispatchFor[backendName] = c
+	}
+	return c
+}

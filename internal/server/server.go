@@ -1,0 +1,485 @@
+// Package server is the HHE edge serving tier: a stdlib-only TCP
+// service that exposes the Fig. 1 protocol as a multi-tenant API over
+// the execution-backend layer (internal/backend).
+//
+// A client opens a session — symmetric key material plus the opaque FHE
+// registration blob destined for the compute tier — and then streams
+// encrypt and keystream requests. Requests are executed by a scheduler:
+//
+//   - a bounded global queue feeds a pool of workers; each session owns
+//     a backend.BlockCipher instance (software instances fan out over
+//     the cipher's own worker pool, accelerator/SoC instances serialize
+//     internally like the single peripheral they model);
+//   - stream requests smaller than a keystream block are batched per
+//     session and flushed either when a full block of elements has
+//     accumulated or when the batch window expires, so the per-block
+//     keystream cost is amortized across small requests;
+//   - when the queue is full the request is rejected immediately with a
+//     typed overload error carrying a Retry-After hint — backpressure,
+//     not latency;
+//   - per-session token buckets bound the element rate, per-request
+//     deadlines bound queue residency, and Shutdown drains queued work
+//     before closing connections.
+//
+// Every stage reports into internal/obs (see metrics.go), so the
+// `hheserver -metrics` snapshot and /debug/vars endpoint cover accepted
+// and active sessions, queue depth, batch occupancy, request latency,
+// and per-backend dispatch counts out of the box.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/backend"
+)
+
+// Typed serving-tier failures. The server returns them locally (submit,
+// session open) and the client library maps wire error codes back onto
+// them, so errors.Is works identically on both ends.
+var (
+	// ErrOverloaded reports a full scheduler queue or session table; the
+	// caller should retry after the hinted delay.
+	ErrOverloaded = errors.New("server: overloaded")
+	// ErrRateLimited reports an exhausted per-session rate budget.
+	ErrRateLimited = errors.New("server: rate limited")
+	// ErrShuttingDown reports a server that is draining.
+	ErrShuttingDown = errors.New("server: shutting down")
+	// ErrClosed reports use of a closed client or session.
+	ErrClosed = errors.New("server: connection closed")
+)
+
+// Config tunes a Server. The zero value serves PASTA sessions on the
+// software backend with sensible bounds.
+type Config struct {
+	// Backend is the execution substrate every session runs on
+	// ("software", "accel", "soc"; default "software"). The operator
+	// picks the substrate; clients pick cipher shape and keys.
+	Backend string
+
+	// Workers is the scheduler pool size; ≤ 0 means GOMAXPROCS.
+	Workers int
+
+	// BackendWorkers bounds each session cipher's internal fan-out.
+	// Default 1: cross-session parallelism comes from the scheduler
+	// pool, so a single bulk request cannot oversubscribe the host.
+	BackendWorkers int
+
+	// QueueBound caps queued jobs; submissions beyond it are rejected
+	// with ErrOverloaded. Default 256.
+	QueueBound int
+
+	// BatchWindow is how long a partial stream batch may wait for more
+	// elements before it is flushed anyway. Default 2ms.
+	BatchWindow time.Duration
+
+	// MaxSessions caps live sessions across all connections. Default 1024.
+	MaxSessions int
+
+	// MaxRequestElems caps the elements a single request may carry or
+	// demand (encrypt/stream length, keystream count × block size).
+	// Default 65536.
+	MaxRequestElems int
+
+	// RatePerSec, when > 0, bounds each session to that many elements
+	// per second, enforced by a token bucket of RateBurst capacity.
+	RatePerSec float64
+
+	// RateBurst is the token-bucket capacity in elements; ≤ 0 derives
+	// one second's worth of rate.
+	RateBurst float64
+
+	// RequestTimeout bounds a request from acceptance to completion;
+	// jobs that age out in the queue fail with a deadline error.
+	// Default 10s.
+	RequestTimeout time.Duration
+
+	// IdleTimeout is the per-connection read deadline. Default 2m.
+	IdleTimeout time.Duration
+
+	// WriteTimeout bounds a single response write. Default 10s.
+	WriteTimeout time.Duration
+
+	// RetryAfter is the hint attached to overload rejections. Default 100ms.
+	RetryAfter time.Duration
+
+	// MaxPayload bounds wire frames; 0 means wire.DefaultMaxPayload.
+	MaxPayload uint32
+}
+
+func (c Config) withDefaults() Config {
+	if c.Backend == "" {
+		c.Backend = backend.NameSoftware
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.BackendWorkers <= 0 {
+		c.BackendWorkers = 1
+	}
+	if c.QueueBound <= 0 {
+		c.QueueBound = 256
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxRequestElems <= 0 {
+		c.MaxRequestElems = 1 << 16
+	}
+	if c.RatePerSec > 0 && c.RateBurst <= 0 {
+		c.RateBurst = c.RatePerSec
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 10 * time.Second
+	}
+	if c.IdleTimeout <= 0 {
+		c.IdleTimeout = 2 * time.Minute
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 10 * time.Second
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 100 * time.Millisecond
+	}
+	return c
+}
+
+// jobKind discriminates scheduler jobs.
+type jobKind uint8
+
+const (
+	jobEncrypt jobKind = iota + 1
+	jobKeystream
+	jobFlush
+)
+
+// job is one unit of scheduled work. Encrypt/keystream jobs carry their
+// request inline; flush jobs re-read the owning session's pending batch
+// when they run.
+type job struct {
+	kind  jobKind
+	sess  *session
+	id    uint64 // request id (0 for flush)
+	nonce uint64
+	first uint64
+	count int // keystream blocks
+	msg   []uint64
+	enq   time.Time
+}
+
+// Server is the serving tier. Create with New, start with Serve or
+// ListenAndServe, stop with Shutdown.
+type Server struct {
+	cfg Config
+	m   *metrics
+
+	// runCtx cancels in-flight backend work on forced shutdown.
+	runCtx    context.Context
+	runCancel context.CancelFunc
+
+	// qmu orders submissions against queue close: submit holds RLock,
+	// Shutdown takes Lock before closing, so a send can never race a
+	// close. draining is checked under the same lock.
+	qmu      sync.RWMutex
+	queue    chan *job
+	draining bool
+	depth    atomic.Int64
+
+	workerWG sync.WaitGroup
+	connWG   sync.WaitGroup
+
+	mu        sync.Mutex
+	ln        net.Listener
+	conns     map[*conn]struct{}
+	sessions  map[uint32]*session
+	nextSess  uint32
+	serving   bool
+	shutdown  bool
+	latencyNS atomic.Int64 // EWMA-ish last-request latency, for retry hints
+}
+
+// New validates the configuration (the backend name must be registered)
+// and returns a stopped server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	known := false
+	for _, n := range backend.Names() {
+		if n == cfg.Backend {
+			known = true
+			break
+		}
+	}
+	if !known {
+		return nil, fmt.Errorf("server: unknown backend %q (have %v)", cfg.Backend, backend.Names())
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:       cfg,
+		m:         newMetrics(),
+		runCtx:    ctx,
+		runCancel: cancel,
+		queue:     make(chan *job, cfg.QueueBound),
+		conns:     map[*conn]struct{}{},
+		sessions:  map[uint32]*session{},
+	}
+	return s, nil
+}
+
+// Backend returns the substrate name sessions run on.
+func (s *Server) Backend() string { return s.cfg.Backend }
+
+// Addr returns the bound listen address, or nil before Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// SessionCount returns the number of live sessions (for tests and ops).
+func (s *Server) SessionCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// QueueDepth returns the current scheduler queue depth.
+func (s *Server) QueueDepth() int { return int(s.depth.Load()) }
+
+// ListenAndServe binds addr and serves until Shutdown.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	return s.Serve(ln)
+}
+
+// Serve starts the worker pool and accepts connections on ln until the
+// listener fails or Shutdown closes it; a clean shutdown returns nil.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.serving || s.shutdown {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already served or shut down")
+	}
+	s.serving = true
+	s.ln = ln
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workerWG.Add(1)
+		go s.worker()
+	}
+	s.mu.Unlock()
+
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			stopped := s.shutdown
+			s.mu.Unlock()
+			if stopped {
+				return nil
+			}
+			return err
+		}
+		c := newConn(s, nc)
+		s.mu.Lock()
+		if s.shutdown {
+			s.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.m.connsTotal.Inc()
+		s.m.connsActive.Set(int64(s.connCount()))
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			c.serve()
+		}()
+	}
+}
+
+func (s *Server) connCount() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+// Shutdown gracefully stops the server: it closes the listener, rejects
+// new work with ErrShuttingDown, drains the scheduler queue, then closes
+// connections and session backends. If ctx expires first, in-flight
+// backend work is cancelled and connections are torn down immediately;
+// ctx.Err() is returned.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.shutdown {
+		s.mu.Unlock()
+		return nil
+	}
+	s.shutdown = true
+	ln := s.ln
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+
+	// Stop admitting work, then close the queue so idle workers exit.
+	// Submitters hold qmu.RLock while sending, so the close cannot race
+	// an in-flight send.
+	s.qmu.Lock()
+	s.draining = true
+	close(s.queue)
+	s.qmu.Unlock()
+
+	drained := make(chan struct{})
+	go func() {
+		s.workerWG.Wait()
+		close(drained)
+	}()
+	var err error
+	select {
+	case <-drained:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.runCancel() // abort in-flight backend work
+		<-drained
+	}
+
+	// Queue is drained; now tear down connections and sessions.
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		c.close()
+	}
+	s.connWG.Wait()
+	s.runCancel()
+	return err
+}
+
+// submit enqueues a job without blocking. A full queue is backpressure:
+// the caller gets ErrOverloaded and the client a Retry-After hint.
+func (s *Server) submit(j *job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining {
+		return ErrShuttingDown
+	}
+	select {
+	case s.queue <- j:
+		s.m.queueDepth.Set(s.depth.Add(1))
+		return nil
+	default:
+		return ErrOverloaded
+	}
+}
+
+// retryAfter is the delay hint attached to overload rejections: the
+// configured floor, or the last observed request latency scaled by the
+// queue bound when that is larger — a crude but self-adjusting estimate
+// of when a queue slot will be free.
+func (s *Server) retryAfter() time.Duration {
+	hint := s.cfg.RetryAfter
+	if last := time.Duration(s.latencyNS.Load()); last > 0 {
+		if est := last * 2; est > hint {
+			hint = est
+		}
+	}
+	return hint
+}
+
+func (s *Server) worker() {
+	defer s.workerWG.Done()
+	for j := range s.queue {
+		s.m.queueDepth.Set(s.depth.Add(-1))
+		s.run(j)
+	}
+}
+
+// run executes one job with the per-request deadline applied.
+func (s *Server) run(j *job) {
+	sess := j.sess
+	deadline := j.enq.Add(s.cfg.RequestTimeout)
+	ctx, cancel := context.WithDeadline(s.runCtx, deadline)
+
+	switch j.kind {
+	case jobFlush:
+		sess.runFlush(ctx)
+	case jobEncrypt:
+		sess.dispatch.Inc()
+		ct, err := sess.cipher.Encrypt(ctx, j.nonce, j.msg)
+		if err != nil {
+			sess.conn.sendJobError(sess, j.id, err)
+		} else {
+			sess.conn.sendData(sess, j.id, 0, ct)
+		}
+	case jobKeystream:
+		sess.dispatch.Inc()
+		ks, err := sess.cipher.KeyStreamBlocks(ctx, j.nonce, j.first, j.count)
+		if err != nil {
+			sess.conn.sendJobError(sess, j.id, err)
+		} else {
+			sess.conn.sendData(sess, j.id, 0, ks)
+		}
+	}
+	cancel()
+	lat := time.Since(j.enq)
+	s.m.requestNS.Observe(lat.Nanoseconds())
+	s.latencyNS.Store(lat.Nanoseconds())
+}
+
+// addSession registers a freshly opened session, enforcing MaxSessions.
+func (s *Server) addSession(sess *session) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.shutdown {
+		return ErrShuttingDown
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		return ErrOverloaded
+	}
+	s.nextSess++
+	sess.id = s.nextSess
+	s.sessions[sess.id] = sess
+	s.m.sessionsTotal.Inc()
+	s.m.sessionsActive.Set(int64(len(s.sessions)))
+	return nil
+}
+
+// dropSession removes a session from the server table (the session's
+// own close handles cipher teardown).
+func (s *Server) dropSession(id uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sessions[id]; ok {
+		delete(s.sessions, id)
+		s.m.sessionsActive.Set(int64(len(s.sessions)))
+	}
+}
+
+// dropConn removes a closed connection from the server table.
+func (s *Server) dropConn(c *conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	n := len(s.conns)
+	s.mu.Unlock()
+	s.m.connsActive.Set(int64(n))
+}

@@ -1,0 +1,382 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/ff"
+	"repro/internal/obs"
+	"repro/internal/pasta"
+	"repro/internal/wire"
+)
+
+// session is one tenant: a keyed backend.BlockCipher instance plus the
+// state of its encryption stream. The stream is CTR-addressed keystream
+// shared across requests: each accepted stream request is assigned the
+// next element offsets, and requests smaller than a block are batched so
+// one keystream block masks many requests.
+//
+// Stream invariants (guarded by mu):
+//
+//   - every element offset in [0, tail) is assigned to exactly one
+//     request; [pos, tail) is pending, [0, pos) is flushed;
+//   - at most one flush job is queued or running (flushQueued), so
+//     flushes execute in stream order and the partial-block keystream
+//     cache is single-writer;
+//   - a dropped batch (overload on flush submission) still advances pos:
+//     its keystream positions are consumed, never reused — a gap in the
+//     stream is safe, keystream reuse is not.
+type session struct {
+	id       uint32
+	srv      *Server
+	conn     *conn
+	cipher   backend.BlockCipher
+	t        int
+	mod      ff.Modulus
+	bits     uint8
+	nonce    uint64 // stream nonce, fixed at SessionOpen
+	limiter  *tokenBucket
+	dispatch *obs.Counter
+
+	mu          sync.Mutex
+	closed      bool
+	pending     []streamPending
+	pos, tail   uint64 // element offsets: flushed / assigned
+	flushQueued bool
+	timer       *time.Timer
+	timerArmed  bool
+	ks          ff.Vec // keystream of block ksBlock, when ksValid
+	ksBlock     uint64
+	ksValid     bool
+}
+
+// streamPending is an accepted, unflushed stream request.
+type streamPending struct {
+	id  uint64
+	off uint64
+	msg ff.Vec
+}
+
+// openSession maps a wire.SessionOpen onto a backend.Config, opens the
+// cipher on the server's substrate, and registers the session.
+func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
+	srv := c.srv
+	cfg := backend.Config{
+		Scheme:  m.Scheme,
+		Key:     ff.Vec(m.Key),
+		Workers: srv.cfg.BackendWorkers,
+		Width:   uint(m.Width),
+	}
+	switch m.Variant {
+	case 0, 3:
+		cfg.Variant = pasta.Pasta3
+	case 4:
+		cfg.Variant = pasta.Pasta4
+	default:
+		return nil, fmt.Errorf("unknown PASTA variant %d", m.Variant)
+	}
+	if m.Scheme == backend.SchemeHera {
+		cfg.HeraRounds = int(m.Rounds)
+	} else if m.T != 0 {
+		// Reduced (toy) instance: the HHE layer exercises these shapes.
+		width := cfg.Width
+		if width == 0 {
+			width = 17
+		}
+		mod, ok := ff.StandardModuli[width]
+		if !ok {
+			return nil, fmt.Errorf("no standard modulus of width %d", width)
+		}
+		rounds := int(m.Rounds)
+		if rounds == 0 {
+			rounds = 1
+		}
+		par, err := pasta.ToyParams(int(m.T), rounds, mod)
+		if err != nil {
+			return nil, err
+		}
+		cfg.PastaParams = &par
+	}
+	cipher, err := backend.Open(srv.cfg.Backend, cfg)
+	if err != nil {
+		return nil, err
+	}
+	sess := &session{
+		srv:      srv,
+		conn:     c,
+		cipher:   cipher,
+		t:        cipher.BlockSize(),
+		mod:      cipher.Modulus(),
+		bits:     uint8(cipher.Modulus().Bits()),
+		nonce:    m.Nonce,
+		dispatch: dispatchCounter(srv.cfg.Backend),
+		ks:       ff.NewVec(cipher.BlockSize()),
+	}
+	if srv.cfg.RatePerSec > 0 {
+		sess.limiter = newTokenBucket(srv.cfg.RatePerSec, srv.cfg.RateBurst)
+	}
+	if err := srv.addSession(sess); err != nil {
+		cipher.Close()
+		return nil, err
+	}
+	return sess, nil
+}
+
+// takeRate charges n elements against the session's rate budget.
+func (sess *session) takeRate(n int) (ok bool, retry time.Duration) {
+	if sess.limiter == nil {
+		return true, 0
+	}
+	return sess.limiter.take(float64(n))
+}
+
+// close tears the session down: stops the batch timer, closes the
+// cipher, and removes the session from the server table. Idempotent.
+// Pending stream requests are dropped silently — close happens either on
+// client request or when the connection is already gone.
+func (sess *session) close() {
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return
+	}
+	sess.closed = true
+	sess.pending = nil
+	if sess.timer != nil {
+		sess.timer.Stop()
+	}
+	sess.mu.Unlock()
+	sess.cipher.Close()
+	sess.srv.dropSession(sess.id)
+}
+
+// acceptStream assigns stream offsets to a validated message and decides
+// whether to flush now (a full block of elements is pending) or arm the
+// batch window. It returns the assigned offset, or a typed error the
+// caller converts to a wire error code.
+func (sess *session) acceptStream(id uint64, msg ff.Vec) (off uint64, err error) {
+	if ok, retry := sess.takeRate(len(msg)); !ok {
+		return 0, &rateError{retry: retry}
+	}
+	var dropped []streamPending
+	var dropErr error
+	sess.mu.Lock()
+	if sess.closed {
+		sess.mu.Unlock()
+		return 0, ErrClosed
+	}
+	off = sess.tail
+	sess.tail += uint64(len(msg))
+	sess.pending = append(sess.pending, streamPending{id: id, off: off, msg: msg})
+	if !sess.flushQueued {
+		if sess.tail-sess.pos >= uint64(sess.t) {
+			dropped, dropErr = sess.startFlushLocked()
+		} else {
+			sess.armTimerLocked()
+		}
+	}
+	sess.mu.Unlock()
+	sess.failBatch(dropped, dropErr)
+	return off, nil
+}
+
+// startFlushLocked submits a flush job for the pending batch; mu held.
+// On submission failure (queue full, draining) the batch is dropped: its
+// offsets stay consumed and the requests are failed by the caller via
+// the returned slice.
+func (sess *session) startFlushLocked() (dropped []streamPending, err error) {
+	if sess.timerArmed {
+		sess.timer.Stop()
+		sess.timerArmed = false
+	}
+	sess.flushQueued = true
+	err = sess.srv.submit(&job{kind: jobFlush, sess: sess, enq: time.Now()})
+	if err == nil {
+		return nil, nil
+	}
+	sess.flushQueued = false
+	dropped = sess.pending
+	sess.pending = nil
+	sess.pos = sess.tail // the gap is permanent: never reuse keystream
+	sess.ksValid = false
+	return dropped, err
+}
+
+// armTimerLocked (re)arms the batch-window timer; mu held.
+func (sess *session) armTimerLocked() {
+	if sess.timerArmed {
+		return
+	}
+	sess.timerArmed = true
+	if sess.timer == nil {
+		sess.timer = time.AfterFunc(sess.srv.cfg.BatchWindow, sess.flushDeadline)
+	} else {
+		sess.timer.Reset(sess.srv.cfg.BatchWindow)
+	}
+}
+
+// flushDeadline fires when a partial batch has waited the full window.
+func (sess *session) flushDeadline() {
+	var dropped []streamPending
+	var dropErr error
+	sess.mu.Lock()
+	sess.timerArmed = false
+	if !sess.closed && !sess.flushQueued && len(sess.pending) > 0 {
+		dropped, dropErr = sess.startFlushLocked()
+	}
+	sess.mu.Unlock()
+	sess.failBatch(dropped, dropErr)
+}
+
+// runFlush executes one batch on a scheduler worker: it detaches the
+// pending batch, generates exactly the keystream blocks the batch spans
+// (reusing the cached partial block from the previous flush), masks
+// every request, and replies. Single-flight is guaranteed by
+// flushQueued, so the cache is only ever touched here.
+func (sess *session) runFlush(ctx context.Context) {
+	sess.mu.Lock()
+	if sess.closed || len(sess.pending) == 0 {
+		sess.flushQueued = false
+		sess.mu.Unlock()
+		return
+	}
+	batch := sess.pending
+	sess.pending = nil
+	start, end := sess.pos, sess.tail
+	firstBlk := start / uint64(sess.t)
+	lastBlk := (end - 1) / uint64(sess.t)
+	var cached ff.Vec
+	if sess.ksValid && sess.ksBlock == firstBlk {
+		cached = sess.ks.Clone()
+	}
+	sess.mu.Unlock()
+
+	t := uint64(sess.t)
+	sess.dispatch.Inc()
+	var ks ff.Vec
+	var err error
+	switch {
+	case cached != nil && lastBlk == firstBlk:
+		ks = cached
+	case cached != nil:
+		rest, kerr := sess.cipher.KeyStreamBlocks(ctx, sess.nonce, firstBlk+1, int(lastBlk-firstBlk))
+		if kerr != nil {
+			err = kerr
+		} else {
+			ks = append(cached, rest...)
+		}
+	default:
+		ks, err = sess.cipher.KeyStreamBlocks(ctx, sess.nonce, firstBlk, int(lastBlk-firstBlk+1))
+	}
+
+	type reply struct {
+		id  uint64
+		off uint64
+		ct  ff.Vec
+	}
+	var replies []reply
+	if err == nil {
+		replies = make([]reply, 0, len(batch))
+		for _, p := range batch {
+			ct := ff.NewVec(len(p.msg))
+			for i := range p.msg {
+				ct[i] = sess.mod.Add(p.msg[i], ks[p.off+uint64(i)-firstBlk*t])
+			}
+			replies = append(replies, reply{id: p.id, off: p.off, ct: ct})
+		}
+	}
+
+	var dropped []streamPending
+	var dropErr error
+	sess.mu.Lock()
+	sess.pos = end
+	if err == nil && end%t != 0 {
+		copy(sess.ks, ks[(lastBlk-firstBlk)*t:])
+		sess.ksBlock = lastBlk
+		sess.ksValid = true
+	} else {
+		sess.ksValid = false
+	}
+	sess.flushQueued = false
+	if !sess.closed && len(sess.pending) > 0 {
+		if sess.tail-sess.pos >= t {
+			dropped, dropErr = sess.startFlushLocked()
+		} else {
+			sess.armTimerLocked()
+		}
+	}
+	sess.mu.Unlock()
+
+	if err != nil {
+		sess.failBatch(batch, err)
+	} else {
+		m := sess.srv.m
+		m.batchFlushes.Inc()
+		m.batchReqs.Observe(int64(len(batch)))
+		m.batchElems.Observe(int64(end - start))
+		for _, r := range replies {
+			sess.conn.sendData(sess, r.id, r.off, r.ct)
+		}
+	}
+	sess.failBatch(dropped, dropErr)
+}
+
+// failBatch replies with an error for every request of a dropped or
+// failed batch.
+func (sess *session) failBatch(batch []streamPending, err error) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, p := range batch {
+		sess.conn.sendJobError(sess, p.id, err)
+	}
+}
+
+// rateError carries the token-bucket refill hint to the wire error.
+type rateError struct{ retry time.Duration }
+
+func (e *rateError) Error() string {
+	return fmt.Sprintf("%v (retry after %v)", ErrRateLimited, e.retry)
+}
+
+func (e *rateError) Is(target error) bool { return target == ErrRateLimited }
+
+// tokenBucket is a classic leaky token bucket over element counts.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64) *tokenBucket {
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: time.Now()}
+}
+
+// take withdraws n tokens if available; otherwise it reports how long
+// until the bucket could cover n (requests larger than the burst get the
+// hint for a full bucket — the operator should size RateBurst above the
+// largest legitimate request).
+func (b *tokenBucket) take(n float64) (ok bool, retry time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.tokens += now.Sub(b.last).Seconds() * b.rate
+	if b.tokens > b.burst {
+		b.tokens = b.burst
+	}
+	b.last = now
+	if b.tokens >= n {
+		b.tokens -= n
+		return true, 0
+	}
+	need := n - b.tokens
+	if need > b.burst {
+		need = b.burst
+	}
+	return false, time.Duration(need / b.rate * float64(time.Second))
+}

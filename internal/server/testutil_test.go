@@ -1,0 +1,87 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/backend"
+	"repro/internal/bfv"
+	"repro/internal/ff"
+	"repro/internal/hhe"
+	"repro/internal/pasta"
+	"testing"
+)
+
+// hheParamsFor couples a PASTA instance with a matching toy BFV instance
+// so the hhe.Client oracle can be built over standard cipher parameters.
+func hheParamsFor(par pasta.Params) (hhe.Params, error) {
+	bp, err := bfv.NewParams(1024, 55, 4, par.Mod.P())
+	if err != nil {
+		return hhe.Params{}, err
+	}
+	return hhe.Params{Pasta: par, BFV: bp}, nil
+}
+
+// slowBackendName is a registered test-only substrate that executes on
+// the software cipher after a fixed context-aware delay, so scheduler
+// tests can hold the single worker busy deterministically.
+const slowBackendName = "slowtest"
+
+const slowDelay = 40 * time.Millisecond
+
+var registerSlowOnce sync.Once
+
+func registerSlowBackend(t *testing.T) {
+	t.Helper()
+	registerSlowOnce.Do(func() {
+		backend.Register(slowBackendName, func(cfg backend.Config) (backend.BlockCipher, error) {
+			inner, err := backend.Open(backend.NameSoftware, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return &slowCipher{BlockCipher: inner}, nil
+		})
+	})
+}
+
+type slowCipher struct {
+	backend.BlockCipher
+}
+
+func (s *slowCipher) stall(ctx context.Context) error {
+	select {
+	case <-time.After(slowDelay):
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (s *slowCipher) KeyStreamInto(ctx context.Context, dst ff.Vec, nonce, block uint64) error {
+	if err := s.stall(ctx); err != nil {
+		return err
+	}
+	return s.BlockCipher.KeyStreamInto(ctx, dst, nonce, block)
+}
+
+func (s *slowCipher) KeyStreamBlocks(ctx context.Context, nonce, first uint64, count int) (ff.Vec, error) {
+	if err := s.stall(ctx); err != nil {
+		return nil, err
+	}
+	return s.BlockCipher.KeyStreamBlocks(ctx, nonce, first, count)
+}
+
+func (s *slowCipher) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.Vec, error) {
+	if err := s.stall(ctx); err != nil {
+		return nil, err
+	}
+	return s.BlockCipher.Encrypt(ctx, nonce, msg)
+}
+
+func (s *slowCipher) Decrypt(ctx context.Context, nonce uint64, ct ff.Vec) (ff.Vec, error) {
+	if err := s.stall(ctx); err != nil {
+		return nil, err
+	}
+	return s.BlockCipher.Decrypt(ctx, nonce, ct)
+}

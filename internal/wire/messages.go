@@ -1,0 +1,573 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Decoding bounds. They protect the server from hostile payloads; the
+// frame-level MaxPayload already bounds total bytes, these bound the
+// element counts a single message may claim.
+const (
+	// MaxKeyElems bounds the raw key length in a SessionOpen.
+	MaxKeyElems = 1 << 12
+	// MaxVecElems bounds the element count of any vector message.
+	MaxVecElems = 1 << 20
+	// MaxErrorMsg bounds the diagnostic string of an ErrorMsg.
+	MaxErrorMsg = 1 << 10
+)
+
+// Error codes carried by TypeError frames.
+const (
+	// CodeBadRequest: the request was malformed or out of range.
+	CodeBadRequest uint16 = 1
+	// CodeUnknownSession: the session id is not live on this connection.
+	CodeUnknownSession uint16 = 2
+	// CodeOverloaded: the scheduler queue (or session table) is full;
+	// retry after the hinted delay.
+	CodeOverloaded uint16 = 3
+	// CodeRateLimited: the session exceeded its element rate budget.
+	CodeRateLimited uint16 = 4
+	// CodeDeadline: the request missed its server-side deadline.
+	CodeDeadline uint16 = 5
+	// CodeShuttingDown: the server is draining and accepts no new work.
+	CodeShuttingDown uint16 = 6
+	// CodeInternal: the backend failed; details in Msg.
+	CodeInternal uint16 = 7
+)
+
+// CodeString names an error code for diagnostics.
+func CodeString(code uint16) string {
+	switch code {
+	case CodeBadRequest:
+		return "bad-request"
+	case CodeUnknownSession:
+		return "unknown-session"
+	case CodeOverloaded:
+		return "overloaded"
+	case CodeRateLimited:
+		return "rate-limited"
+	case CodeDeadline:
+		return "deadline"
+	case CodeShuttingDown:
+		return "shutting-down"
+	case CodeInternal:
+		return "internal"
+	}
+	return fmt.Sprintf("code(%d)", code)
+}
+
+// SessionOpen registers a session. The symmetric key travels raw — the
+// edge service is a trusted delegate of the client in the Fig. 1
+// deployment; transport protection (TLS) is a serving-tier follow-up
+// tracked in ROADMAP.md. EvalKey is opaque to the edge: it is the FHE
+// registration blob (public/eval keys + homomorphically encrypted
+// symmetric key) the edge holds for the compute tier.
+type SessionOpen struct {
+	ID      uint64 // request id, echoed by the SessionAck or ErrorMsg
+	Scheme  string // "pasta" (default) or "hera"
+	Variant uint8  // 3 or 4 selects the standard PASTA variant (when T == 0)
+	Width   uint8  // modulus width ω (0 = 17)
+	Rounds  uint8  // HERA or toy-PASTA rounds (0 = scheme default)
+	T       uint16 // non-zero: reduced (toy) PASTA block size
+	Nonce   uint64 // nonce of the session's encryption stream
+	Key     []uint64
+	EvalKey []byte
+}
+
+// SessionAck answers a successful SessionOpen.
+type SessionAck struct {
+	ID        uint64 // echoed request id
+	Session   uint32
+	BlockSize uint32 // t, elements per keystream block
+	Modulus   uint64 // field prime p
+	Bits      uint8  // per-element packing width for this session
+}
+
+// SessionClose retires a session.
+type SessionClose struct {
+	Session uint32
+}
+
+// EncryptReq asks for a one-shot encryption of a packed message with
+// block counters starting at 0 (the backend.BlockCipher.Encrypt
+// semantics, bit-compatible with the sequential hhe.Client).
+type EncryptReq struct {
+	Session uint32
+	ID      uint64
+	Nonce   uint64
+	Count   uint32 // elements packed in Packed
+	Bits    uint8
+	Packed  []byte
+}
+
+// KeystreamReq asks for Count keystream blocks [First, First+Count).
+type KeystreamReq struct {
+	Session uint32
+	ID      uint64
+	Nonce   uint64
+	First   uint64
+	Count   uint32 // blocks
+}
+
+// StreamReq appends Count elements to the session's encryption stream
+// (nonce fixed at SessionOpen). The server assigns the stream offset and
+// batches partial blocks across requests into full keystream blocks.
+type StreamReq struct {
+	Session uint32
+	ID      uint64
+	Count   uint32
+	Bits    uint8
+	Packed  []byte
+}
+
+// Data is the vector response to Encrypt, Keystream, and Stream
+// requests. Offset is the absolute element offset in the session stream
+// (stream responses only; 0 otherwise).
+type Data struct {
+	Session uint32
+	ID      uint64
+	Offset  uint64
+	Count   uint32
+	Bits    uint8
+	Packed  []byte
+}
+
+// ErrorMsg reports a failed request (ID echoes the request) or a
+// connection-level fault (ID 0). RetryAfterMillis is non-zero for
+// transient rejections (overload, rate limit).
+type ErrorMsg struct {
+	Session          uint32
+	ID               uint64
+	Code             uint16
+	RetryAfterMillis uint32
+	Msg              string
+}
+
+// --- vector packing ------------------------------------------------------
+
+// PackVec bit-packs v at the given width for a vector message.
+func PackVec(v ff.Vec, bits uint8) (count uint32, packed []byte, err error) {
+	if len(v) > MaxVecElems {
+		return 0, nil, fmt.Errorf("%w: %d elements (max %d)", ErrBadMessage, len(v), MaxVecElems)
+	}
+	packed, err = ff.PackBits(v, uint(bits))
+	if err != nil {
+		return 0, nil, err
+	}
+	return uint32(len(v)), packed, nil
+}
+
+// Vec unpacks the message's payload vector.
+func (m *Data) Vec() (ff.Vec, error) { return ff.UnpackBits(m.Packed, int(m.Count), uint(m.Bits)) }
+
+// Vec unpacks the request's payload vector.
+func (m *EncryptReq) Vec() (ff.Vec, error) {
+	return ff.UnpackBits(m.Packed, int(m.Count), uint(m.Bits))
+}
+
+// Vec unpacks the request's payload vector.
+func (m *StreamReq) Vec() (ff.Vec, error) { return ff.UnpackBits(m.Packed, int(m.Count), uint(m.Bits)) }
+
+// --- encoder -------------------------------------------------------------
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+func (e *encoder) bytes(b []byte) {
+	e.u32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+func (e *encoder) vec(v []uint64) {
+	e.u32(uint32(len(v)))
+	for _, x := range v {
+		e.u64(x)
+	}
+}
+
+// --- decoder -------------------------------------------------------------
+
+// decoder is a strict cursor over a payload: every read is bounds-checked
+// and sticky-fails, and finish() rejects trailing bytes. Length-prefixed
+// fields are validated against the remaining bytes before any allocation.
+type decoder struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrBadMessage}, args...)...)
+	}
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.b)-d.off < n {
+		d.fail("need %d bytes, have %d", n, len(d.b)-d.off)
+		return nil
+	}
+	b := d.b[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+func (d *decoder) u8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (d *decoder) u16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+func (d *decoder) u32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+func (d *decoder) u64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// bytes reads a length-prefixed byte field of at most max bytes. The
+// returned slice aliases the payload (copy if retained).
+func (d *decoder) bytes(max int) []byte {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int64(n) > int64(max) {
+		d.fail("byte field of %d bytes (max %d)", n, max)
+		return nil
+	}
+	return d.take(int(n))
+}
+
+// vec reads a length-prefixed uint64 vector of at most max elements,
+// checking the claimed count against the remaining bytes before
+// allocating.
+func (d *decoder) vec(max int) []uint64 {
+	n := d.u32()
+	if d.err != nil {
+		return nil
+	}
+	if int64(n) > int64(max) {
+		d.fail("vector of %d elements (max %d)", n, max)
+		return nil
+	}
+	if len(d.b)-d.off < int(n)*8 {
+		d.fail("vector of %d elements needs %d bytes, have %d", n, int(n)*8, len(d.b)-d.off)
+		return nil
+	}
+	v := make([]uint64, n)
+	for i := range v {
+		v[i] = d.u64()
+	}
+	return v
+}
+
+func (d *decoder) finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadMessage, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// checkPacked validates a (count, bits, packed) triple: width in range,
+// count bounded, and the packed length exactly matching.
+func (d *decoder) checkPacked(count uint32, bits uint8, packed []byte) {
+	if d.err != nil {
+		return
+	}
+	if bits == 0 || bits > 64 {
+		d.fail("pack width %d", bits)
+		return
+	}
+	if count > MaxVecElems {
+		d.fail("vector of %d elements (max %d)", count, MaxVecElems)
+		return
+	}
+	if want := ff.PackedSize(int(count), uint(bits)); len(packed) != want {
+		d.fail("packed field has %d bytes, want %d for %d × %d-bit elements",
+			len(packed), want, count, bits)
+	}
+}
+
+// --- message encode/decode ----------------------------------------------
+
+// Encode serializes the message payload (frame with TypeSessionOpen).
+func (m *SessionOpen) Encode() []byte {
+	var e encoder
+	e.u64(m.ID)
+	e.bytes([]byte(m.Scheme))
+	e.u8(m.Variant)
+	e.u8(m.Width)
+	e.u8(m.Rounds)
+	e.u16(m.T)
+	e.u64(m.Nonce)
+	e.vec(m.Key)
+	e.bytes(m.EvalKey)
+	return e.buf
+}
+
+// DecodeSessionOpen parses a TypeSessionOpen payload.
+func DecodeSessionOpen(payload []byte) (*SessionOpen, error) {
+	d := decoder{b: payload}
+	m := &SessionOpen{}
+	m.ID = d.u64()
+	m.Scheme = string(d.bytes(64))
+	m.Variant = d.u8()
+	m.Width = d.u8()
+	m.Rounds = d.u8()
+	m.T = d.u16()
+	m.Nonce = d.u64()
+	m.Key = d.vec(MaxKeyElems)
+	m.EvalKey = append([]byte(nil), d.bytes(DefaultMaxPayload)...)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeSessionAck).
+func (m *SessionAck) Encode() []byte {
+	var e encoder
+	e.u64(m.ID)
+	e.u32(m.Session)
+	e.u32(m.BlockSize)
+	e.u64(m.Modulus)
+	e.u8(m.Bits)
+	return e.buf
+}
+
+// DecodeSessionAck parses a TypeSessionAck payload.
+func DecodeSessionAck(payload []byte) (*SessionAck, error) {
+	d := decoder{b: payload}
+	m := &SessionAck{}
+	m.ID = d.u64()
+	m.Session = d.u32()
+	m.BlockSize = d.u32()
+	m.Modulus = d.u64()
+	m.Bits = d.u8()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeSessionClose).
+func (m *SessionClose) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	return e.buf
+}
+
+// DecodeSessionClose parses a TypeSessionClose payload.
+func DecodeSessionClose(payload []byte) (*SessionClose, error) {
+	d := decoder{b: payload}
+	m := &SessionClose{}
+	m.Session = d.u32()
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeEncrypt).
+func (m *EncryptReq) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Nonce)
+	e.u32(m.Count)
+	e.u8(m.Bits)
+	e.bytes(m.Packed)
+	return e.buf
+}
+
+// DecodeEncryptReq parses a TypeEncrypt payload.
+func DecodeEncryptReq(payload []byte) (*EncryptReq, error) {
+	d := decoder{b: payload}
+	m := &EncryptReq{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Nonce = d.u64()
+	m.Count = d.u32()
+	m.Bits = d.u8()
+	m.Packed = d.bytes(DefaultMaxPayload)
+	d.checkPacked(m.Count, m.Bits, m.Packed)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeKeystream).
+func (m *KeystreamReq) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Nonce)
+	e.u64(m.First)
+	e.u32(m.Count)
+	return e.buf
+}
+
+// DecodeKeystreamReq parses a TypeKeystream payload.
+func DecodeKeystreamReq(payload []byte) (*KeystreamReq, error) {
+	d := decoder{b: payload}
+	m := &KeystreamReq{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Nonce = d.u64()
+	m.First = d.u64()
+	m.Count = d.u32()
+	if m.Count > MaxVecElems {
+		d.fail("keystream request for %d blocks (max %d)", m.Count, MaxVecElems)
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeStream).
+func (m *StreamReq) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u32(m.Count)
+	e.u8(m.Bits)
+	e.bytes(m.Packed)
+	return e.buf
+}
+
+// DecodeStreamReq parses a TypeStream payload.
+func DecodeStreamReq(payload []byte) (*StreamReq, error) {
+	d := decoder{b: payload}
+	m := &StreamReq{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Count = d.u32()
+	m.Bits = d.u8()
+	m.Packed = d.bytes(DefaultMaxPayload)
+	d.checkPacked(m.Count, m.Bits, m.Packed)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeData).
+func (m *Data) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Offset)
+	e.u32(m.Count)
+	e.u8(m.Bits)
+	e.bytes(m.Packed)
+	return e.buf
+}
+
+// DecodeData parses a TypeData payload.
+func DecodeData(payload []byte) (*Data, error) {
+	d := decoder{b: payload}
+	m := &Data{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Offset = d.u64()
+	m.Count = d.u32()
+	m.Bits = d.u8()
+	m.Packed = d.bytes(DefaultMaxPayload)
+	d.checkPacked(m.Count, m.Bits, m.Packed)
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeError).
+func (m *ErrorMsg) Encode() []byte {
+	var e encoder
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u16(m.Code)
+	e.u32(m.RetryAfterMillis)
+	msg := m.Msg
+	if len(msg) > MaxErrorMsg {
+		msg = msg[:MaxErrorMsg]
+	}
+	e.bytes([]byte(msg))
+	return e.buf
+}
+
+// DecodeErrorMsg parses a TypeError payload.
+func DecodeErrorMsg(payload []byte) (*ErrorMsg, error) {
+	d := decoder{b: payload}
+	m := &ErrorMsg{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Code = d.u16()
+	m.RetryAfterMillis = d.u32()
+	m.Msg = string(d.bytes(MaxErrorMsg))
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeAny parses a payload according to its frame type, returning one
+// of the typed messages above. TypeBlob payloads pass through as []byte.
+// This is the single entry point the fuzzer drives.
+func DecodeAny(t Type, payload []byte) (any, error) {
+	switch t {
+	case TypeSessionOpen:
+		return DecodeSessionOpen(payload)
+	case TypeSessionAck:
+		return DecodeSessionAck(payload)
+	case TypeSessionClose:
+		return DecodeSessionClose(payload)
+	case TypeEncrypt:
+		return DecodeEncryptReq(payload)
+	case TypeKeystream:
+		return DecodeKeystreamReq(payload)
+	case TypeStream:
+		return DecodeStreamReq(payload)
+	case TypeData:
+		return DecodeData(payload)
+	case TypeError:
+		return DecodeErrorMsg(payload)
+	case TypeBlob:
+		return payload, nil
+	}
+	return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+}
