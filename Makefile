@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-json fuzz-smoke metrics-smoke backends-smoke server-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke server-smoke ci clean
 
 all: build
 
@@ -40,8 +40,18 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch|ServerThroughput' -benchmem \
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
 		./internal/pasta ./internal/backend ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+
+# Allocation-regression gate on the serving-tier hot path: the
+# end-to-end encrypt round trip (client encode → server decode →
+# dispatch → reply → client decode) must stay within the committed
+# allocs/op budgets. ServerThroughput runs the real PASTA-4 cipher;
+# ServerOverhead isolates the request pipeline on a free keystream.
+bench-guard:
+	$(GO) test -run '^$$' -bench 'ServerThroughput$$|ServerOverhead' -benchmem -benchtime 0.5s \
+		./internal/server | $(GO) run ./cmd/benchjson \
+		-max-allocs 'ServerThroughput$$=4,ServerOverhead$$=3' -out /dev/null
 
 # Short fuzz runs of the differential harnesses: the lazy NTT product
 # against the schoolbook oracle, and the structured modular reductions

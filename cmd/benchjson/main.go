@@ -9,6 +9,13 @@
 // Each benchmark line becomes one record carrying the operation name,
 // the -cpu count parsed from the trailing "-N" suffix, ns/op, B/op,
 // allocs/op, and any custom metrics (cycles/block, µs/enc, ...).
+//
+// -max-allocs turns the converter into a regression gate: it takes
+// comma-separated <op-regex>=<n> pairs and exits nonzero when any
+// matching result reports more than n allocs/op (or when a pattern
+// matches nothing — a renamed benchmark must not silently disarm the
+// guard). `make bench-guard` uses this to hold the serving-tier hot
+// path to its committed allocation budget.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -42,6 +50,8 @@ type Report struct {
 
 func main() {
 	out := flag.String("out", "", "write JSON here instead of stdout")
+	maxAllocs := flag.String("max-allocs", "",
+		"comma-separated op-regex=N pairs; fail if a matching result exceeds N allocs/op")
 	flag.Parse()
 
 	report, err := parseBench(os.Stdin)
@@ -50,6 +60,11 @@ func main() {
 	}
 	if len(report.Results) == 0 {
 		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+	if *maxAllocs != "" {
+		if err := guardAllocs(report, *maxAllocs); err != nil {
+			fatal(err)
+		}
 	}
 
 	w := io.Writer(os.Stdout)
@@ -148,6 +163,43 @@ func splitCPUSuffix(name string) (string, int) {
 		}
 	}
 	return name, 1
+}
+
+// guardAllocs enforces -max-allocs: every pattern must match at least
+// one result that reported allocations, and every match must stay
+// within its budget.
+func guardAllocs(rep Report, spec string) error {
+	for _, pair := range strings.Split(spec, ",") {
+		pattern, limitStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return fmt.Errorf("bad -max-allocs entry %q (want op-regex=N)", pair)
+		}
+		re, err := regexp.Compile(pattern)
+		if err != nil {
+			return fmt.Errorf("bad -max-allocs pattern %q: %v", pattern, err)
+		}
+		limit, err := strconv.ParseFloat(limitStr, 64)
+		if err != nil {
+			return fmt.Errorf("bad -max-allocs limit %q: %v", limitStr, err)
+		}
+		matched := false
+		for _, res := range rep.Results {
+			if !re.MatchString(res.Op) || res.AllocsPerOp < 0 {
+				continue
+			}
+			matched = true
+			if res.AllocsPerOp > limit {
+				return fmt.Errorf("allocation budget exceeded: %s reports %.0f allocs/op (budget %.0f)",
+					res.Op, res.AllocsPerOp, limit)
+			}
+			fmt.Fprintf(os.Stderr, "benchjson: %s within budget: %.0f ≤ %.0f allocs/op\n",
+				res.Op, res.AllocsPerOp, limit)
+		}
+		if !matched {
+			return fmt.Errorf("-max-allocs pattern %q matched no result with allocation data (run with -benchmem?)", pattern)
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

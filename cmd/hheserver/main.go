@@ -9,11 +9,14 @@
 //	hheserver [-addr :8765] [-backend software|accel|soc]
 //	          [-debug-addr :8766] [-workers N] [-queue N]
 //	          [-batch-window 2ms] [-max-sessions N] [-rate N] [-burst N]
-//	          [-request-timeout 10s] [-idle-timeout 2m] [-metrics file|-]
+//	          [-request-timeout 10s] [-idle-timeout 2m]
+//	          [-write-timeout 10s] [-metrics file|-]
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, queued
 // work completes, connections are torn down, and — with -metrics — the
-// final observability snapshot is written.
+// final observability snapshot is written. The drain also prints an I/O
+// summary: requests served, reply frames per vectored write (the outbox
+// coalescing ratio), bytes written, and the frame-buffer pool hit rate.
 package main
 
 import (
@@ -42,6 +45,7 @@ func main() {
 	burst := flag.Float64("burst", 0, "rate-limit burst in elements (0 = one second of rate)")
 	requestTimeout := flag.Duration("request-timeout", 0, "per-request deadline (0 = default 10s)")
 	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection idle deadline (0 = default 2m)")
+	writeTimeout := flag.Duration("write-timeout", 0, "per-flush reply write deadline (0 = default 10s)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoftware)
 	flag.Parse()
@@ -56,6 +60,7 @@ func main() {
 		RateBurst:      *burst,
 		RequestTimeout: *requestTimeout,
 		IdleTimeout:    *idleTimeout,
+		WriteTimeout:   *writeTimeout,
 	}); err != nil {
 		cli.Exit("hheserver", err)
 	}
@@ -103,6 +108,32 @@ func run(addr, debugAddr string, drainTimeout time.Duration, cfg server.Config) 
 			return err
 		}
 		fmt.Println("hheserver: drained")
+		printIOSummary()
 		return nil
 	}
+}
+
+// printIOSummary reports the serving tier's I/O efficiency at drain:
+// how many reply frames each vectored write carried and how often the
+// shared frame-buffer pool was hit instead of the allocator.
+func printIOSummary() {
+	r := obs.Default()
+	requests := r.Counter("server.requests.total").Value()
+	flushes := r.Counter("server.write.flushes").Value()
+	frames := r.Counter("server.write.frames").Value()
+	bytes := r.Counter("server.write.bytes").Value()
+	get := r.Counter("wire.pool.get").Value()
+	miss := r.Counter("wire.pool.miss").Value()
+	oversize := r.Counter("wire.pool.oversize").Value()
+
+	coalesce := 0.0
+	if flushes > 0 {
+		coalesce = float64(frames) / float64(flushes)
+	}
+	hitRate := 0.0
+	if get > 0 {
+		hitRate = float64(get-miss-oversize) / float64(get) * 100
+	}
+	fmt.Printf("hheserver: served %d requests; %d reply frames in %d writes (%.2f frames/write, %d bytes); buffer pool %.1f%% hit\n",
+		requests, frames, flushes, coalesce, bytes, hitRate)
 }

@@ -81,6 +81,22 @@ type BlockCipher interface {
 	Decrypt(ctx context.Context, nonce uint64, ct ff.Vec) (ff.Vec, error)
 }
 
+// IntoCipher is the optional allocation-free extension of BlockCipher:
+// bulk keystream and encryption into caller-owned buffers. All built-in
+// substrates implement it (the software path allocation-free, the
+// hardware models by copying out of their single co-sim run); consumers
+// type-assert and fall back to the allocating methods when a wrapper
+// does not forward it:
+//
+//	if ic, ok := cipher.(backend.IntoCipher); ok { ic.EncryptInto(...) }
+type IntoCipher interface {
+	// KeyStreamBlocksInto writes count keystream blocks for counters
+	// first… into dst (exactly count × BlockSize elements).
+	KeyStreamBlocksInto(ctx context.Context, dst ff.Vec, nonce, first uint64, count int) error
+	// EncryptInto encrypts msg into dst (same length), counters from 0.
+	EncryptInto(ctx context.Context, dst ff.Vec, nonce uint64, msg ff.Vec) error
+}
+
 // Stats is a snapshot of a backend instance's cumulative counters.
 // Blocks/Elements count keystream production; the cycle counters are
 // filled by the substrates that model time (accel, soc).

@@ -36,6 +36,11 @@ type base struct {
 
 	obsBlocks   *obs.Counter
 	obsElements *obs.Counter
+
+	// ksScratch recycles the per-worker t-element keystream scratch of
+	// forEachBlock, so steady-state EncryptInto/KeyStreamBlocksInto calls
+	// allocate nothing.
+	ksScratch sync.Pool
 }
 
 // init wires the base in place (base embeds atomics, so it is never
@@ -50,6 +55,10 @@ func (b *base) init(name, scheme string, t int, mod ff.Modulus, workers int) {
 	b.workers = workers
 	b.obsBlocks = obs.Default().Counter("backend." + name + ".blocks")
 	b.obsElements = obs.Default().Counter("backend." + name + ".elements")
+	b.ksScratch.New = func() any {
+		v := ff.NewVec(t)
+		return &v
+	}
 }
 
 func (b *base) Name() string        { return b.name }
@@ -118,49 +127,87 @@ func (b *base) KeyStreamInto(ctx context.Context, dst ff.Vec, nonce, block uint6
 // KeyStreamBlocks returns count blocks of keystream, fanned out over the
 // worker pool with per-block cancellation checks.
 func (b *base) KeyStreamBlocks(ctx context.Context, nonce, first uint64, count int) (ff.Vec, error) {
-	const op = "keystream-blocks"
-	if err := b.pre(ctx, op); err != nil {
-		return nil, err
-	}
 	if count <= 0 {
+		if err := b.pre(ctx, "keystream-blocks"); err != nil {
+			return nil, err
+		}
 		return ff.NewVec(0), nil
 	}
 	out := ff.NewVec(count * b.t)
-	err := b.forEachBlock(ctx, op, count, func(i int, _ ff.Vec) error {
-		return b.kernel(out[i*b.t:(i+1)*b.t], nonce, first+uint64(i))
-	})
-	if err != nil {
+	if err := b.KeyStreamBlocksInto(ctx, out, nonce, first, count); err != nil {
 		return nil, err
 	}
-	b.account(count, count*b.t)
 	return out, nil
+}
+
+// KeyStreamBlocksInto is KeyStreamBlocks writing into dst (exactly
+// count × BlockSize elements) — the serving-tier hot path; the software
+// substrate performs no heap allocation here in steady state.
+func (b *base) KeyStreamBlocksInto(ctx context.Context, dst ff.Vec, nonce, first uint64, count int) error {
+	const op = "keystream-blocks"
+	if err := b.pre(ctx, op); err != nil {
+		return err
+	}
+	if count <= 0 {
+		return nil
+	}
+	if len(dst) != count*b.t {
+		return &Error{Backend: b.name, Op: op,
+			Err: fmt.Errorf("dst has %d elements, want %d", len(dst), count*b.t)}
+	}
+	err := b.forEachBlock(ctx, op, count, func(i int, _ ff.Vec) error {
+		return b.kernel(dst[i*b.t:(i+1)*b.t], nonce, first+uint64(i))
+	})
+	if err != nil {
+		return err
+	}
+	b.account(count, count*b.t)
+	return nil
 }
 
 // Encrypt encrypts an arbitrary-length message: ct[i] = msg[i] + KS[i].
 func (b *base) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.Vec, error) {
-	return b.process(ctx, "encrypt", nonce, msg, true)
+	out := ff.NewVec(len(msg))
+	if err := b.processInto(ctx, "encrypt", out, nonce, msg, true); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EncryptInto is Encrypt writing the ciphertext into dst (same length as
+// msg) — the serving-tier hot path. dst must not alias msg unless they
+// are the same slice.
+func (b *base) EncryptInto(ctx context.Context, dst ff.Vec, nonce uint64, msg ff.Vec) error {
+	return b.processInto(ctx, "encrypt", dst, nonce, msg, true)
 }
 
 // Decrypt inverts Encrypt.
 func (b *base) Decrypt(ctx context.Context, nonce uint64, ct ff.Vec) (ff.Vec, error) {
-	return b.process(ctx, "decrypt", nonce, ct, false)
+	out := ff.NewVec(len(ct))
+	if err := b.processInto(ctx, "decrypt", out, nonce, ct, false); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
-func (b *base) process(ctx context.Context, op string, nonce uint64, in ff.Vec, encrypt bool) (ff.Vec, error) {
+func (b *base) processInto(ctx context.Context, op string, out ff.Vec, nonce uint64, in ff.Vec, encrypt bool) error {
 	if err := b.pre(ctx, op); err != nil {
-		return nil, err
+		return err
+	}
+	if len(out) != len(in) {
+		return &Error{Backend: b.name, Op: op,
+			Err: fmt.Errorf("dst has %d elements, want %d", len(out), len(in))}
 	}
 	p := b.mod.P()
 	for i, v := range in {
 		if v >= p {
-			return nil, &Error{Backend: b.name, Op: op,
+			return &Error{Backend: b.name, Op: op,
 				Err: fmt.Errorf("element %d = %d out of range for %v", i, v, b.mod)}
 		}
 	}
-	out := ff.NewVec(len(in))
 	nBlocks := (len(in) + b.t - 1) / b.t
 	if nBlocks == 0 {
-		return out, nil
+		return nil
 	}
 	err := b.forEachBlock(ctx, op, nBlocks, func(i int, ks ff.Vec) error {
 		if err := b.kernel(ks, nonce, uint64(i)); err != nil {
@@ -182,10 +229,10 @@ func (b *base) process(ctx context.Context, op string, nonce uint64, in ff.Vec, 
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
 	b.account(nBlocks, len(in))
-	return out, nil
+	return nil
 }
 
 // forEachBlock runs f for every block index in [0, count), strided over
@@ -196,7 +243,9 @@ func (b *base) process(ctx context.Context, op string, nonce uint64, in ff.Vec, 
 func (b *base) forEachBlock(ctx context.Context, op string, count int, f func(i int, ks ff.Vec) error) error {
 	workers := b.effectiveWorkers(count)
 	run := func(start int) error {
-		ks := ff.NewVec(b.t)
+		ksp := b.ksScratch.Get().(*ff.Vec)
+		defer b.ksScratch.Put(ksp)
+		ks := *ksp
 		for i := start; i < count; i += workers {
 			if err := ctx.Err(); err != nil {
 				return &Error{Backend: b.name, Op: op, Err: err}

@@ -107,6 +107,56 @@ func TestConformanceRoundtrip(t *testing.T) {
 	}
 }
 
+// TestConformanceIntoCipher requires every registered substrate to
+// implement the allocation-free IntoCipher extension and to produce
+// output bit-identical to the allocating methods, including dst-length
+// validation.
+func TestConformanceIntoCipher(t *testing.T) {
+	for name, b := range conformanceBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			ctx := context.Background()
+			ic, ok := b.(IntoCipher)
+			if !ok {
+				t.Fatalf("backend %q does not implement IntoCipher", name)
+			}
+			const first, count = 2, 3
+			want, err := b.KeyStreamBlocks(ctx, 11, first, count)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dst := ff.NewVec(count * b.BlockSize())
+			if err := ic.KeyStreamBlocksInto(ctx, dst, 11, first, count); err != nil {
+				t.Fatal(err)
+			}
+			if !dst.Equal(want) {
+				t.Fatal("KeyStreamBlocksInto disagrees with KeyStreamBlocks")
+			}
+			if err := ic.KeyStreamBlocksInto(ctx, dst[:1], 11, first, count); err == nil {
+				t.Fatal("KeyStreamBlocksInto accepted a short dst")
+			}
+
+			msg := ff.NewVec(b.BlockSize() + b.BlockSize()/2)
+			for i := range msg {
+				msg[i] = uint64(i*5+3) % b.Modulus().P()
+			}
+			wantCT, err := b.Encrypt(ctx, 6, msg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ct := ff.NewVec(len(msg))
+			if err := ic.EncryptInto(ctx, ct, 6, msg); err != nil {
+				t.Fatal(err)
+			}
+			if !ct.Equal(wantCT) {
+				t.Fatal("EncryptInto disagrees with Encrypt")
+			}
+			if err := ic.EncryptInto(ctx, ct[:1], 6, msg); err == nil {
+				t.Fatal("EncryptInto accepted a short dst")
+			}
+		})
+	}
+}
+
 func TestConformanceTypedErrors(t *testing.T) {
 	for name, b := range conformanceBackends(t) {
 		t.Run(name, func(t *testing.T) {

@@ -89,6 +89,42 @@ func (b *SoCBackend) KeyStreamBlocks(ctx context.Context, nonce, first uint64, c
 	return ks, nil
 }
 
+// KeyStreamBlocksInto overrides the generic per-block path with the same
+// single co-simulation as KeyStreamBlocks, copying into dst. The co-sim
+// itself allocates (it builds a firmware image per run); the override
+// exists so the serving tier's Into dispatch keeps the one-run-per-batch
+// semantics of the modelled peripheral.
+func (b *SoCBackend) KeyStreamBlocksInto(ctx context.Context, dst ff.Vec, nonce, first uint64, count int) error {
+	const op = "keystream-blocks"
+	if count <= 0 {
+		return b.pre(ctx, op)
+	}
+	if len(dst) != count*b.t {
+		return &Error{Backend: b.name, Op: op,
+			Err: fmt.Errorf("dst has %d elements, want %d", len(dst), count*b.t)}
+	}
+	ks, err := b.KeyStreamBlocks(ctx, nonce, first, count)
+	if err != nil {
+		return err
+	}
+	copy(dst, ks)
+	return nil
+}
+
+// EncryptInto overrides the generic path like Encrypt, copying into dst.
+func (b *SoCBackend) EncryptInto(ctx context.Context, dst ff.Vec, nonce uint64, msg ff.Vec) error {
+	if len(dst) != len(msg) {
+		return &Error{Backend: b.name, Op: "encrypt",
+			Err: fmt.Errorf("dst has %d elements, want %d", len(dst), len(msg))}
+	}
+	ct, err := b.Encrypt(ctx, nonce, msg)
+	if err != nil {
+		return err
+	}
+	copy(dst, ct)
+	return nil
+}
+
 // Encrypt overrides the generic path with a single whole-message co-sim
 // run (the SoC driver handles partial last blocks natively).
 func (b *SoCBackend) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.Vec, error) {

@@ -1,0 +1,54 @@
+package backend
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// TestToyInstanceAllBackends pins the carried ROADMAP bug: reduced
+// (ToyParams) PASTA instances used to panic the cycle-accurate model
+// (round-constant staging overflow in hw/accel.go), which also took down
+// the SoC co-simulation built on it. Every substrate must now serve toy
+// shapes, bit-identical to the software cipher, across several nonces —
+// these shapes are the cheap currency of the serving-tier batching tests
+// and the farm/scheduler work queued behind them.
+func TestToyInstanceAllBackends(t *testing.T) {
+	ctx := context.Background()
+	for _, shape := range []struct{ t, rounds int }{{2, 1}, {4, 2}} {
+		par, err := pasta.ToyParams(shape.t, shape.rounds, ff.P17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{PastaParams: &par, KeySeed: "toy-differential"}
+		ref, err := Open(NameSoftware, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer ref.Close()
+		for _, name := range []string{NameAccel, NameSoC} {
+			b, err := Open(name, cfg)
+			if err != nil {
+				t.Fatalf("t=%d rounds=%d: Open(%q): %v", shape.t, shape.rounds, name, err)
+			}
+			defer b.Close()
+			for nonce := uint64(0); nonce < 3; nonce++ {
+				want, err := ref.KeyStreamBlocks(ctx, nonce, 0, 3)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := b.KeyStreamBlocks(ctx, nonce, 0, 3)
+				if err != nil {
+					t.Fatalf("t=%d rounds=%d nonce=%d on %s: %v",
+						shape.t, shape.rounds, nonce, name, err)
+				}
+				if !got.Equal(want) {
+					t.Fatalf("t=%d rounds=%d nonce=%d: %s keystream differs from software",
+						shape.t, shape.rounds, nonce, name)
+				}
+			}
+		}
+	}
+}

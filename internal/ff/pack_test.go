@@ -1,0 +1,103 @@
+package ff
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestAppendPackBitsMatchesOracle pins the accumulator-based packers to
+// the reference bit-loop implementations across widths that exercise
+// every accumulator edge: sub-byte, byte-aligned, the PASTA widths, and
+// the 57..64 straddle region where a byte can split across elements.
+func TestAppendPackBitsMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for _, bits := range []uint{1, 3, 7, 8, 9, 16, 17, 33, 54, 56, 57, 58, 63, 64} {
+		mask := ^uint64(0)
+		if bits < 64 {
+			mask = 1<<bits - 1
+		}
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 31, 32, 37} {
+			v := NewVec(n)
+			for i := range v {
+				v[i] = rng.Uint64() & mask
+			}
+			want, err := PackBits(v, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := AppendPackBits(nil, v, bits)
+			if err != nil {
+				t.Fatalf("bits=%d n=%d: AppendPackBits: %v", bits, n, err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("bits=%d n=%d: append encoding diverges from PackBits\n got %x\nwant %x", bits, n, got, want)
+			}
+			// Appending after a prefix must leave the prefix intact.
+			prefixed, err := AppendPackBits([]byte{0xaa, 0xbb}, v, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(prefixed[:2], []byte{0xaa, 0xbb}) || !bytes.Equal(prefixed[2:], want) {
+				t.Fatalf("bits=%d n=%d: prefix append corrupted output", bits, n)
+			}
+			back := NewVec(n)
+			if err := UnpackBitsInto(back, want, bits); err != nil {
+				t.Fatalf("bits=%d n=%d: UnpackBitsInto: %v", bits, n, err)
+			}
+			oracle, err := UnpackBits(want, n, bits)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !back.Equal(oracle) || !back.Equal(v) {
+				t.Fatalf("bits=%d n=%d: UnpackBitsInto diverges from UnpackBits", bits, n)
+			}
+		}
+	}
+}
+
+func TestAppendPackBitsValidation(t *testing.T) {
+	if _, err := AppendPackBits(nil, Vec{1 << 20}, 17); err == nil {
+		t.Fatal("oversized element packed")
+	}
+	if _, err := AppendPackBits(nil, Vec{1}, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+	if _, err := AppendPackBits(nil, Vec{1}, 65); err == nil {
+		t.Fatal("overwide width accepted")
+	}
+	if err := UnpackBitsInto(NewVec(5), []byte{1}, 17); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	if err := UnpackBitsInto(NewVec(1), []byte{1, 2, 3}, 0); err == nil {
+		t.Fatal("zero width accepted")
+	}
+}
+
+// TestUnpackBitsIntoZeroAlloc: the hot-path pair must not allocate once
+// the destination capacity exists.
+func TestUnpackBitsIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are skewed by race-detector instrumentation")
+	}
+	v := Vec{11, 22, 33, 44, 55, 66, 77, 88}
+	packed, err := PackBits(v, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := NewVec(len(v))
+	buf := make([]byte, 0, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := UnpackBitsInto(dst, packed, 17); err != nil {
+			t.Fatal(err)
+		}
+		var perr error
+		buf, perr = AppendPackBits(buf[:0], dst, 17)
+		if perr != nil {
+			t.Fatal(perr)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("pack/unpack hot pair allocated %v times per run", allocs)
+	}
+}

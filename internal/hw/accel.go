@@ -134,10 +134,19 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 	layer := 0
 	phase := phaseMatL
 
-	// Per-layer scratch.
-	rc := [2]ff.Vec{ff.NewVec(t), ff.NewVec(t)} // streamed RC vectors (L, R)
-	rcFill := [2]int{}
-	rcDone := [2]bool{}
+	// Round-constant staging, sized from the instance params: the XOF
+	// routing layer runs ahead of the compute layer (that overlap is the
+	// point of the schedule), so RC vectors for layer k+1 can stream in
+	// while layer k still waits on the matrix engine. One buffer pair per
+	// affine layer absorbs that skew for every (t, rounds) shape; a single
+	// shared pair overflowed on reduced instances (ToyParams), where the
+	// sampler outpaces the tiny matrix tasks by whole layers.
+	rc := make([][2]ff.Vec, layers) // streamed RC vectors (L, R) per layer
+	rcFill := make([][2]int, layers)
+	rcDone := make([][2]bool, layers)
+	for l := range rc {
+		rc[l] = [2]ff.Vec{ff.NewVec(t), ff.NewVec(t)}
+	}
 	var matOut [2]ff.Vec // published matrix-multiply results (L, R)
 	matStarted := [2]bool{}
 	matSeedID := -1
@@ -177,10 +186,10 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 				dg.Push(samp.Elem)
 			} else {
 				half := elemKind - 2
-				rc[half][rcFill[half]] = samp.Elem
-				rcFill[half]++
-				if rcFill[half] == t {
-					rcDone[half] = true
+				rc[routingLayer][half][rcFill[routingLayer][half]] = samp.Elem
+				rcFill[routingLayer][half]++
+				if rcFill[routingLayer][half] == t {
+					rcDone[routingLayer][half] = true
 					trace(cycle, "xof", fmt.Sprintf("layer %d rc%c complete", routingLayer, "LR"[half]))
 				}
 			}
@@ -224,12 +233,12 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 			}
 		case phaseALU:
 			if aluDoneAt < 0 {
-				if matOut[0] != nil && matOut[1] != nil && rcDone[0] && rcDone[1] {
+				if matOut[0] != nil && matOut[1] != nil && rcDone[layer][0] && rcDone[layer][1] {
 					// Functionally: state ← Sbox(Mix(M·X + RC)).
 					copy(state[:t], matOut[0])
 					copy(state[t:], matOut[1])
-					ff.AddVec(mod, state[:t], state[:t], rc[0])
-					ff.AddVec(mod, state[t:], state[t:], rc[1])
+					ff.AddVec(mod, state[:t], state[:t], rc[layer][0])
+					ff.AddVec(mod, state[t:], state[t:], rc[layer][1])
 					if fault != nil && fault.Layer == layer {
 						fault.apply(mod, state)
 						trace(cycle, "fault", fmt.Sprintf("layer %d element %d corrupted", layer, fault.Element))
@@ -253,8 +262,6 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 				aluDoneAt = -1
 				matOut[0], matOut[1] = nil, nil
 				matStarted[0], matStarted[1] = false, false
-				rcDone[0], rcDone[1] = false, false
-				rcFill[0], rcFill[1] = 0, 0
 				layer++
 				if layer == layers {
 					phase = phaseOutput
@@ -292,6 +299,10 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 		}
 	}
 	if cycle >= maxCycles {
+		rcReady := [2]bool{}
+		if layer < layers {
+			rcReady = rcDone[layer]
+		}
 		mWatchdogTrips.Inc()
 		return Result{}, &ErrWatchdog{
 			Limit: maxCycles,
@@ -306,7 +317,7 @@ func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
 				DataGenFull:   dg.Stall(),
 				MatEngineBusy: !eng.Idle(cycle),
 				MatOutReady:   [2]bool{matOut[0] != nil, matOut[1] != nil},
-				RCReady:       rcDone,
+				RCReady:       rcReady,
 			},
 			Stats: *st,
 		}

@@ -322,3 +322,40 @@ func TestPasta3WideModulus(t *testing.T) {
 		t.Fatalf("cycles = %d, want ≈5,200", res.Stats.Cycles)
 	}
 }
+
+// TestKeystreamToyInstances is the regression test for the reduced
+// (ToyParams) shapes: with tiny matrix tasks the XOF routing layer runs
+// whole layers ahead of the compute layer, which used to overflow the
+// shared round-constant buffers (index-out-of-range for most nonces,
+// e.g. t=2, rounds=1, nonce 0). The RC staging is now sized from the
+// instance params, so every reduced shape must run and match the
+// software reference bit for bit.
+func TestKeystreamToyInstances(t *testing.T) {
+	for _, shape := range []struct{ t, rounds int }{
+		{2, 1}, {2, 3}, {4, 1}, {4, 2}, {8, 1}, {32, 1},
+	} {
+		par, err := pasta.ToyParams(shape.t, shape.rounds, ff.P17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		key := pasta.KeyFromSeed(par, "toy-rc-regression")
+		acc, err := NewAccelerator(par, key)
+		if err != nil {
+			t.Fatalf("t=%d rounds=%d: NewAccelerator: %v", shape.t, shape.rounds, err)
+		}
+		ref, err := pasta.NewCipher(par, key)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for nonce := uint64(0); nonce < 4; nonce++ {
+			res, err := acc.KeyStream(nonce, nonce)
+			if err != nil {
+				t.Fatalf("t=%d rounds=%d nonce=%d: %v", shape.t, shape.rounds, nonce, err)
+			}
+			if !res.KeyStream.Equal(ref.KeyStream(nonce, nonce)) {
+				t.Fatalf("t=%d rounds=%d nonce=%d: keystream differs from reference",
+					shape.t, shape.rounds, nonce)
+			}
+		}
+	}
+}

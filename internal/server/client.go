@@ -45,6 +45,12 @@ func (e *RemoteError) Is(target error) bool {
 // Client is the library side of the protocol: it multiplexes concurrent
 // requests over one connection, correlating responses by request id. All
 // methods are safe for concurrent use.
+//
+// The call hot path is pooled end to end: requests are encoded straight
+// into pooled frame buffers, data responses hand their pooled read
+// buffer to the waiting caller (the decoded Data aliases it; see
+// DESIGN.md §9), and the per-call response channels and timers are
+// recycled.
 type Client struct {
 	nc    net.Conn
 	codec *wire.Codec
@@ -63,10 +69,46 @@ type Client struct {
 	readerW sync.WaitGroup
 }
 
+// callResult is one demultiplexed response. data is held by value; its
+// Packed field aliases buf, which the receiving caller must release
+// after extracting the vector.
 type callResult struct {
 	ack  *wire.SessionAck
-	data *wire.Data
+	data wire.Data
+	buf  *wire.Buf
 	err  error
+}
+
+// release returns the response's frame buffer to the pool; the caller
+// must not touch res.data.Packed afterwards. Safe on results without a
+// buffer.
+func (r *callResult) release() {
+	if r.buf != nil {
+		r.buf.Release()
+		r.buf = nil
+	}
+}
+
+// Per-call response channels and timeout timers are recycled. A channel
+// is pooled only by the caller that received its value (so a pooled
+// channel is always empty); abandoned channels — timeouts, poisoned
+// clients — are left to the GC.
+var (
+	callChanPool = sync.Pool{New: func() any { return make(chan callResult, 1) }}
+	timerPool    sync.Pool
+)
+
+func getTimer(d time.Duration) *time.Timer {
+	if t, ok := timerPool.Get().(*time.Timer); ok {
+		t.Reset(d)
+		return t
+	}
+	return time.NewTimer(d)
+}
+
+func putTimer(t *time.Timer) {
+	t.Stop()
+	timerPool.Put(t)
 }
 
 // Dial connects to an hheserver.
@@ -100,14 +142,20 @@ func (c *Client) Close() error {
 	return err
 }
 
+// readLoop reads frames into a pooled buffer. Data responses transfer
+// the buffer to the waiting caller (the next frame gets a fresh one);
+// control frames are decoded on the spot and the buffer is reused.
 func (c *Client) readLoop() {
 	defer c.readerW.Done()
+	buf := wire.GetBuf(0)
+	defer func() { buf.Release() }()
 	for {
-		t, payload, err := c.codec.ReadFrame()
+		t, payload, err := c.codec.ReadFrameInto(buf.B)
 		if err != nil {
 			c.fail(fmt.Errorf("%w: %v", ErrClosed, err))
 			return
 		}
+		buf.B = payload
 		switch t {
 		case wire.TypeSessionAck:
 			m, err := wire.DecodeSessionAck(payload)
@@ -117,12 +165,14 @@ func (c *Client) readLoop() {
 			}
 			c.deliver(m.ID, callResult{ack: m})
 		case wire.TypeData:
-			m, err := wire.DecodeData(payload)
-			if err != nil {
+			var res callResult
+			if err := wire.DecodeDataInto(&res.data, payload); err != nil {
 				c.fail(err)
 				return
 			}
-			c.deliver(m.ID, callResult{data: m})
+			res.buf = buf
+			c.deliver(res.data.ID, res)
+			buf = wire.GetBuf(0)
 		case wire.TypeError:
 			m, err := wire.DecodeErrorMsg(payload)
 			if err != nil {
@@ -145,7 +195,7 @@ func (c *Client) readLoop() {
 }
 
 // deliver routes a response to its waiting call; unclaimed responses
-// (caller timed out) are dropped.
+// (caller timed out) are dropped and their buffer released.
 func (c *Client) deliver(id uint64, res callResult) {
 	c.mu.Lock()
 	ch := c.calls[id]
@@ -153,6 +203,8 @@ func (c *Client) deliver(id uint64, res callResult) {
 	c.mu.Unlock()
 	if ch != nil {
 		ch <- res
+	} else {
+		res.release()
 	}
 }
 
@@ -182,7 +234,7 @@ func (c *Client) register(id uint64) (chan callResult, error) {
 	if c.closed {
 		return nil, c.cause
 	}
-	ch := make(chan callResult, 1)
+	ch := callChanPool.Get().(chan callResult)
 	c.calls[id] = ch
 	return ch, nil
 }
@@ -193,41 +245,61 @@ func (c *Client) unregister(id uint64) {
 	c.mu.Unlock()
 }
 
-// send writes one frame under the write lock.
-func (c *Client) send(t wire.Type, payload []byte) error {
+// sendBuf writes one pre-encoded frame under the write lock and
+// releases it.
+func (c *Client) sendBuf(b *wire.Buf) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	defer b.Release()
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
 		return err
 	}
-	return c.codec.WriteFrame(t, payload)
+	_, err := c.nc.Write(b.B)
+	return err
 }
 
-// await blocks for a registered call's response.
+// sendMsg encodes m into a pooled frame and writes it.
+func (c *Client) sendMsg(t wire.Type, m wire.Message) error {
+	b := wire.GetBuf(0)
+	var err error
+	b.B, err = wire.AppendMessageFrame(b.B, t, m)
+	if err != nil {
+		b.Release()
+		return err
+	}
+	return c.sendBuf(b)
+}
+
+// await blocks for a registered call's response. On success the caller
+// owns res (release after use); the response channel is recycled only
+// on this path, so pooled channels are always empty.
 func (c *Client) await(id uint64, ch chan callResult) (callResult, error) {
-	timer := time.NewTimer(c.Timeout)
-	defer timer.Stop()
+	timer := getTimer(c.Timeout)
 	select {
 	case res := <-ch:
+		putTimer(timer)
+		callChanPool.Put(ch)
 		return res, res.err
 	case <-c.done:
+		putTimer(timer)
 		c.mu.Lock()
 		cause := c.cause
 		c.mu.Unlock()
 		return callResult{}, cause
 	case <-timer.C:
+		putTimer(timer)
 		c.unregister(id)
 		return callResult{}, fmt.Errorf("server: request %d timed out after %v", id, c.Timeout)
 	}
 }
 
 // call performs one synchronous request/response exchange.
-func (c *Client) call(t wire.Type, payload []byte, id uint64) (callResult, error) {
+func (c *Client) call(t wire.Type, m wire.Message, id uint64) (callResult, error) {
 	ch, err := c.register(id)
 	if err != nil {
 		return callResult{}, err
 	}
-	if err := c.send(t, payload); err != nil {
+	if err := c.sendMsg(t, m); err != nil {
 		c.unregister(id)
 		return callResult{}, err
 	}
@@ -239,10 +311,12 @@ func (c *Client) call(t wire.Type, payload []byte, id uint64) (callResult, error
 // wire.SessionOpen).
 func (c *Client) OpenSession(open wire.SessionOpen) (*Session, error) {
 	open.ID = c.nextID.Add(1)
-	res, err := c.call(wire.TypeSessionOpen, open.Encode(), open.ID)
+	res, err := c.call(wire.TypeSessionOpen, &open, open.ID)
 	if err != nil {
+		res.release()
 		return nil, err
 	}
+	defer res.release()
 	if res.ack == nil {
 		return nil, fmt.Errorf("server: session open got no ack")
 	}
@@ -267,20 +341,33 @@ type Session struct {
 }
 
 // Encrypt encrypts msg with block counters from 0 — the semantics of
-// backend.BlockCipher.Encrypt and the sequential hhe client.
+// backend.BlockCipher.Encrypt and the sequential hhe client. The
+// request frame is packed in place into a pooled buffer; the only
+// allocation on the call path is the returned ciphertext vector.
 func (s *Session) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
 	id := s.c.nextID.Add(1)
-	count, packed, err := wire.PackVec(msg, s.Bits)
+	ch, err := s.c.register(id)
 	if err != nil {
 		return nil, err
 	}
-	req := &wire.EncryptReq{Session: s.ID, ID: id, Nonce: nonce,
-		Count: count, Bits: s.Bits, Packed: packed}
-	res, err := s.c.call(wire.TypeEncrypt, req.Encode(), id)
-	if err != nil {
+	b := wire.GetBuf(wire.HeaderSize + 29 + ff.PackedSize(len(msg), uint(s.Bits)))
+	if b.B, err = wire.AppendEncryptFrame(b.B, s.ID, id, nonce, msg, s.Bits); err != nil {
+		b.Release()
+		s.c.unregister(id)
 		return nil, err
 	}
-	return res.data.Vec()
+	if err := s.c.sendBuf(b); err != nil {
+		s.c.unregister(id)
+		return nil, err
+	}
+	res, err := s.c.await(id, ch)
+	if err != nil {
+		res.release()
+		return nil, err
+	}
+	v, verr := res.data.Vec()
+	res.release()
+	return v, verr
 }
 
 // Keystream fetches count keystream blocks [first, first+count).
@@ -288,11 +375,14 @@ func (s *Session) Keystream(nonce, first uint64, count int) (ff.Vec, error) {
 	id := s.c.nextID.Add(1)
 	req := &wire.KeystreamReq{Session: s.ID, ID: id, Nonce: nonce,
 		First: first, Count: uint32(count)}
-	res, err := s.c.call(wire.TypeKeystream, req.Encode(), id)
+	res, err := s.c.call(wire.TypeKeystream, req, id)
 	if err != nil {
+		res.release()
 		return nil, err
 	}
-	return res.data.Vec()
+	v, verr := res.data.Vec()
+	res.release()
+	return v, verr
 }
 
 // EncryptChunk appends one chunk to the session's encryption stream and
@@ -316,19 +406,16 @@ func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64
 	for i, chunk := range chunks {
 		id := s.c.nextID.Add(1)
 		ids[i] = id
-		count, packed, perr := wire.PackVec(chunk, s.Bits)
-		if perr != nil {
-			err = perr
-		} else {
-			var ch chan callResult
-			if ch, err = s.c.register(id); err == nil {
-				req := &wire.StreamReq{Session: s.ID, ID: id,
-					Count: count, Bits: s.Bits, Packed: packed}
-				if err = s.c.send(wire.TypeStream, req.Encode()); err != nil {
-					s.c.unregister(id)
-				} else {
-					chans[i] = ch
-				}
+		var ch chan callResult
+		if ch, err = s.c.register(id); err == nil {
+			b := wire.GetBuf(wire.HeaderSize + 21 + ff.PackedSize(len(chunk), uint(s.Bits)))
+			if b.B, err = wire.AppendStreamFrame(b.B, s.ID, id, chunk, s.Bits); err != nil {
+				b.Release()
+				s.c.unregister(id)
+			} else if err = s.c.sendBuf(b); err != nil {
+				s.c.unregister(id)
+			} else {
+				chans[i] = ch
 			}
 		}
 		if err != nil {
@@ -343,21 +430,25 @@ func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64
 		}
 		res, aerr := s.c.await(ids[i], ch)
 		if aerr != nil {
+			res.release()
 			if err == nil {
 				err = aerr
 			}
 			continue // drain remaining registered calls
 		}
 		if err != nil {
+			res.release()
 			continue
 		}
 		v, verr := res.data.Vec()
+		offset := res.data.Offset
+		res.release()
 		if verr != nil {
 			err = verr
 			continue
 		}
 		cts = append(cts, v)
-		offsets = append(offsets, res.data.Offset)
+		offsets = append(offsets, offset)
 	}
 	if err != nil {
 		return nil, nil, err
@@ -367,8 +458,7 @@ func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64
 
 // Close retires the session on the server (fire-and-forget).
 func (s *Session) Close() error {
-	m := &wire.SessionClose{Session: s.ID}
-	return s.c.send(wire.TypeSessionClose, m.Encode())
+	return s.c.sendMsg(wire.TypeSessionClose, &wire.SessionClose{Session: s.ID})
 }
 
 // Unwrap-friendly helper: IsRetryable reports whether err is a transient

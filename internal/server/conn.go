@@ -12,17 +12,25 @@ import (
 	"repro/internal/wire"
 )
 
-// conn is one accepted connection: a frame reader goroutine plus
-// mutex-serialized frame writes (scheduler workers and the batch timer
-// reply concurrently with the reader's own error frames). Sessions are
+// conn is one accepted connection: a frame reader goroutine plus an
+// outbox writer goroutine (scheduler workers and the batch timer reply
+// concurrently with the reader's own error frames; the outbox coalesces
+// everything queued into vectored writes). Sessions are
 // connection-scoped: a session id is only addressable from the
 // connection that opened it, and a disconnect evicts every session the
 // connection owns.
+//
+// The read path is allocation-free in steady state: frames are read
+// into a connection-owned scratch buffer (ReadFrameInto), decoded into
+// stack-allocated messages (DecodeInto), and unpacked straight into the
+// pooled job's reusable element scratch.
 type conn struct {
 	srv   *Server
 	nc    net.Conn
 	codec *wire.Codec
-	wmu   sync.Mutex
+	out   *outbox
+
+	readBuf []byte // reader-owned frame payload scratch
 
 	mu       sync.Mutex
 	sessions map[uint32]*session
@@ -32,7 +40,13 @@ type conn struct {
 func newConn(s *Server, nc net.Conn) *conn {
 	codec := wire.NewCodec(nc)
 	codec.MaxPayload = s.cfg.MaxPayload
-	return &conn{srv: s, nc: nc, codec: codec, sessions: map[uint32]*session{}}
+	return &conn{
+		srv:      s,
+		nc:       nc,
+		codec:    codec,
+		out:      newOutbox(nc, s.cfg.WriteTimeout, s.m),
+		sessions: map[uint32]*session{},
+	}
 }
 
 // serve is the reader loop; it returns when the peer disconnects, the
@@ -43,7 +57,7 @@ func (c *conn) serve() {
 		if err := c.nc.SetReadDeadline(time.Now().Add(c.srv.cfg.IdleTimeout)); err != nil {
 			return
 		}
-		t, payload, err := c.codec.ReadFrame()
+		t, payload, err := c.codec.ReadFrameInto(c.readBuf)
 		if err != nil {
 			// Tell the peer why, when the failure is a protocol error
 			// rather than a dead transport.
@@ -53,15 +67,18 @@ func (c *conn) serve() {
 			}
 			return
 		}
+		c.readBuf = payload // keep the (possibly grown) scratch
 		if !c.handle(t, payload) {
 			return
 		}
 	}
 }
 
-// teardown closes the transport and evicts every session owned by the
-// connection. evict counts disconnect-triggered session teardown in the
-// metrics (an explicit SessionClose does not pass through here).
+// teardown evicts every session owned by the connection, drains the
+// outbox (so error frames queued just before exit still reach the
+// peer), and closes the transport. evict counts disconnect-triggered
+// session teardown in the metrics (an explicit SessionClose does not
+// pass through here).
 func (c *conn) teardown(evict bool) {
 	c.mu.Lock()
 	if c.closing {
@@ -76,13 +93,14 @@ func (c *conn) teardown(evict bool) {
 	c.sessions = map[uint32]*session{}
 	c.mu.Unlock()
 
-	c.nc.Close()
 	for _, sess := range owned {
 		sess.close()
 		if evict {
 			c.srv.m.evicted.Inc()
 		}
 	}
+	c.out.close()
+	c.nc.Close()
 	c.srv.dropConn(c)
 }
 
@@ -90,6 +108,8 @@ func (c *conn) teardown(evict bool) {
 func (c *conn) close() { c.teardown(false) }
 
 // handle dispatches one frame; a false return closes the connection.
+// payload aliases the connection read scratch and must not be retained
+// past the call.
 func (c *conn) handle(t wire.Type, payload []byte) bool {
 	switch t {
 	case wire.TypeSessionOpen:
@@ -145,7 +165,7 @@ func (c *conn) handleOpen(payload []byte) bool {
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
 	}
-	return c.send(wire.TypeSessionAck, ack.Encode())
+	return c.sendMsg(wire.TypeSessionAck, ack)
 }
 
 // lookup resolves a request's session or replies with an error.
@@ -170,21 +190,25 @@ func (c *conn) detachSession(id uint32) *session {
 }
 
 // admit runs the request-admission gate shared by encrypt and keystream:
-// size bound, rate budget, queue submission. It replies on rejection.
+// size bound, rate budget, queue submission. It replies on rejection and
+// owns j until it is submitted (rejected jobs go back to the pool).
 func (c *conn) admit(sess *session, id uint64, elems int, j *job) bool {
 	c.srv.m.requests.Inc()
 	if elems > c.srv.cfg.MaxRequestElems {
+		putJob(j)
 		c.sendError(sess.id, id, wire.CodeBadRequest, 0,
 			fmt.Sprintf("request for %d elements exceeds the %d-element bound",
 				elems, c.srv.cfg.MaxRequestElems))
 		return true
 	}
 	if ok, retry := sess.takeRate(elems); !ok {
+		putJob(j)
 		c.srv.m.rejectedRate.Inc()
 		c.sendError(sess.id, id, wire.CodeRateLimited, retry, "rate limit exceeded")
 		return true
 	}
 	if err := c.srv.submit(j); err != nil {
+		putJob(j)
 		code, retry := c.errCode(err)
 		c.sendError(sess.id, id, code, retry, err.Error())
 	}
@@ -192,8 +216,8 @@ func (c *conn) admit(sess *session, id uint64, elems int, j *job) bool {
 }
 
 func (c *conn) handleEncrypt(payload []byte) bool {
-	m, err := wire.DecodeEncryptReq(payload)
-	if err != nil {
+	var m wire.EncryptReq
+	if err := wire.DecodeEncryptReqInto(&m, payload); err != nil {
 		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
 		return false
 	}
@@ -201,22 +225,25 @@ func (c *conn) handleEncrypt(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
-	msg, err := m.Vec()
-	if err != nil {
+	j := getJob()
+	j.kind, j.sess, j.id, j.nonce = jobEncrypt, sess, m.ID, m.Nonce
+	j.enq = time.Now()
+	j.msg = resizeVec(j.msg, int(m.Count))
+	if err := m.VecInto(j.msg); err != nil {
+		putJob(j)
 		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0, err.Error())
 		return true
 	}
-	if !c.checkRange(sess, m.ID, msg) {
+	if !c.checkRange(sess, m.ID, j.msg) {
+		putJob(j)
 		return true
 	}
-	return c.admit(sess, m.ID, len(msg), &job{
-		kind: jobEncrypt, sess: sess, id: m.ID, nonce: m.Nonce, msg: msg, enq: time.Now(),
-	})
+	return c.admit(sess, m.ID, len(j.msg), j)
 }
 
 func (c *conn) handleKeystream(payload []byte) bool {
-	m, err := wire.DecodeKeystreamReq(payload)
-	if err != nil {
+	var m wire.KeystreamReq
+	if err := wire.DecodeKeystreamReqInto(&m, payload); err != nil {
 		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
 		return false
 	}
@@ -224,16 +251,16 @@ func (c *conn) handleKeystream(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
-	elems := int(m.Count) * sess.t
-	return c.admit(sess, m.ID, elems, &job{
-		kind: jobKeystream, sess: sess, id: m.ID, nonce: m.Nonce,
-		first: m.First, count: int(m.Count), enq: time.Now(),
-	})
+	j := getJob()
+	j.kind, j.sess, j.id, j.nonce = jobKeystream, sess, m.ID, m.Nonce
+	j.first, j.count = m.First, int(m.Count)
+	j.enq = time.Now()
+	return c.admit(sess, m.ID, int(m.Count)*sess.t, j)
 }
 
 func (c *conn) handleStream(payload []byte) bool {
-	m, err := wire.DecodeStreamReq(payload)
-	if err != nil {
+	var m wire.StreamReq
+	if err := wire.DecodeStreamReqInto(&m, payload); err != nil {
 		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
 		return false
 	}
@@ -241,6 +268,8 @@ func (c *conn) handleStream(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
+	// Stream payloads outlive the frame (they sit in the batch until the
+	// flush), so this path allocates the message copy.
 	msg, err := m.Vec()
 	if err != nil || len(msg) == 0 {
 		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0, "empty or malformed stream payload")
@@ -306,17 +335,21 @@ func (c *conn) errCode(err error) (code uint16, retry time.Duration) {
 	}
 }
 
-// sendData replies to a request with a packed vector.
+// sendData replies to a request with a packed vector: the frame is
+// built directly into a pooled buffer (no intermediate message or
+// payload allocation) and handed to the outbox. v is fully copied into
+// the frame before sendData returns, so callers may reuse it.
 func (c *conn) sendData(sess *session, id, offset uint64, v ff.Vec) {
-	count, packed, err := wire.PackVec(v, sess.bits)
+	b := wire.GetBuf(wire.HeaderSize + 29 + ff.PackedSize(len(v), uint(sess.bits)))
+	var err error
+	b.B, err = wire.AppendDataFrame(b.B, sess.id, id, offset, v, sess.bits)
 	if err != nil {
 		// Field elements always fit the modulus width; this is a bug.
+		b.Release()
 		c.sendError(sess.id, id, wire.CodeInternal, 0, err.Error())
 		return
 	}
-	m := &wire.Data{Session: sess.id, ID: id, Offset: offset,
-		Count: count, Bits: sess.bits, Packed: packed}
-	c.send(wire.TypeData, m.Encode())
+	c.out.enqueue(b)
 }
 
 // sendJobError replies to a failed job, classifying the cause.
@@ -329,15 +362,17 @@ func (c *conn) sendJobError(sess *session, id uint64, err error) {
 func (c *conn) sendError(session uint32, id uint64, code uint16, retry time.Duration, msg string) {
 	m := &wire.ErrorMsg{Session: session, ID: id, Code: code,
 		RetryAfterMillis: uint32(retry.Milliseconds()), Msg: msg}
-	c.send(wire.TypeError, m.Encode())
+	c.sendMsg(wire.TypeError, m)
 }
 
-// send writes one frame under the write lock and deadline.
-func (c *conn) send(t wire.Type, payload []byte) bool {
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
-	if err := c.nc.SetWriteDeadline(time.Now().Add(c.srv.cfg.WriteTimeout)); err != nil {
+// sendMsg encodes m into a pooled frame and queues it on the outbox.
+func (c *conn) sendMsg(t wire.Type, m wire.Message) bool {
+	b := wire.GetBuf(0)
+	var err error
+	b.B, err = wire.AppendMessageFrame(b.B, t, m)
+	if err != nil {
+		b.Release()
 		return false
 	}
-	return c.codec.WriteFrame(t, payload) == nil
+	return c.out.enqueue(b)
 }

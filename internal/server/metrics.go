@@ -18,7 +18,12 @@ import (
 //	  server.requests.errors
 //	server.request_ns      (accept→response latency histogram)
 //	server.batch.flushes / server.batch.requests / server.batch.elements
+//	server.write.flushes / server.write.frames / server.write.bytes
+//	  (vectored reply writes: frames÷flushes is the coalescing ratio)
 //	server.dispatch.<backend>   (jobs executed per substrate)
+//
+// The shared frame-buffer pool reports alongside these as wire.pool.get
+// / wire.pool.miss / wire.pool.oversize (hits = get − miss − oversize).
 type metrics struct {
 	connsActive    *obs.Gauge
 	connsTotal     *obs.Counter
@@ -38,6 +43,10 @@ type metrics struct {
 	batchFlushes *obs.Counter
 	batchReqs    *obs.Histogram
 	batchElems   *obs.Histogram
+
+	writeFlushes *obs.Counter
+	writeFrames  *obs.Counter
+	writeBytes   *obs.Counter
 }
 
 func newMetrics() *metrics {
@@ -58,6 +67,9 @@ func newMetrics() *metrics {
 		batchFlushes:     r.Counter("server.batch.flushes"),
 		batchReqs:        r.Histogram("server.batch.requests"),
 		batchElems:       r.Histogram("server.batch.elements"),
+		writeFlushes:     r.Counter("server.write.flushes"),
+		writeFrames:      r.Counter("server.write.frames"),
+		writeBytes:       r.Counter("server.write.bytes"),
 	}
 }
 

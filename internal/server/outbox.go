@@ -1,0 +1,145 @@
+package server
+
+import (
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// outbox is the per-connection reply writer. Producers — the reader
+// loop's error frames, scheduler workers, the batch timer — enqueue
+// pre-encoded pooled frames; a single writer goroutine drains everything
+// queued since its last wake-up into one vectored write (net.Buffers →
+// writev), so a batch flush that masks N stream requests costs one
+// syscall instead of N. This replaces the old mutex-serialized
+// one-frame-one-write path and removes the per-reply lock convoy.
+//
+// Frame ownership follows DESIGN.md §9: enqueue transfers the *wire.Buf
+// to the outbox, which releases it after the flush (or immediately when
+// the outbox is already closed). Reply ordering is enqueue order, the
+// same guarantee the write mutex used to provide.
+type outbox struct {
+	nc      net.Conn
+	timeout time.Duration
+	m       *metrics
+
+	mu     sync.Mutex
+	q      []*wire.Buf
+	closed bool
+
+	kick chan struct{} // cap 1: producer → writer wake-up
+	done chan struct{} // closed when the writer has exited
+
+	// Writer-owned scratch, reused across flushes: the spare queue slice
+	// swapped in under mu, and the iovec slice handed to writev.
+	spare []*wire.Buf
+	iov   net.Buffers
+}
+
+func newOutbox(nc net.Conn, timeout time.Duration, m *metrics) *outbox {
+	o := &outbox{
+		nc:      nc,
+		timeout: timeout,
+		m:       m,
+		kick:    make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+	go o.writer()
+	return o
+}
+
+// enqueue transfers b to the outbox for writing. When the outbox is
+// already closed the frame is released and dropped — the peer is gone.
+func (o *outbox) enqueue(b *wire.Buf) bool {
+	o.mu.Lock()
+	if o.closed {
+		o.mu.Unlock()
+		b.Release()
+		return false
+	}
+	o.q = append(o.q, b)
+	o.mu.Unlock()
+	select {
+	case o.kick <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// close stops accepting frames, lets the writer drain what is already
+// queued, and waits for it to exit. Idempotent; safe to call after a
+// writer-side failure.
+func (o *outbox) close() {
+	o.mu.Lock()
+	o.closed = true
+	o.mu.Unlock()
+	select {
+	case o.kick <- struct{}{}:
+	default:
+	}
+	<-o.done
+}
+
+func (o *outbox) writer() {
+	defer close(o.done)
+	for {
+		o.mu.Lock()
+		for len(o.q) == 0 {
+			if o.closed {
+				o.mu.Unlock()
+				return
+			}
+			o.mu.Unlock()
+			<-o.kick
+			o.mu.Lock()
+		}
+		batch := o.q
+		o.q = o.spare[:0]
+		o.spare = batch
+		o.mu.Unlock()
+
+		if !o.flush(batch) {
+			o.fail()
+			return
+		}
+	}
+}
+
+// flush writes one batch with a single vectored write and releases every
+// frame. The iovec slice is reused; net.Buffers.WriteTo consumes its
+// receiver, so the writer keeps o.iov and hands WriteTo a reslice.
+func (o *outbox) flush(batch []*wire.Buf) bool {
+	o.iov = o.iov[:0]
+	total := 0
+	for _, b := range batch {
+		o.iov = append(o.iov, b.B)
+		total += len(b.B)
+	}
+	o.nc.SetWriteDeadline(time.Now().Add(o.timeout))
+	iov := o.iov
+	_, err := iov.WriteTo(o.nc)
+	for i, b := range batch {
+		b.Release()
+		batch[i] = nil // don't pin released Bufs via the spare slice
+	}
+	o.m.writeFlushes.Inc()
+	o.m.writeFrames.Add(int64(len(batch)))
+	o.m.writeBytes.Add(int64(total))
+	return err == nil
+}
+
+// fail marks the outbox closed after a write error and releases anything
+// still queued; the transport is torn down so the reader exits too.
+func (o *outbox) fail() {
+	o.mu.Lock()
+	o.closed = true
+	q := o.q
+	o.q = nil
+	o.mu.Unlock()
+	for _, b := range q {
+		b.Release()
+	}
+	o.nc.Close()
+}

@@ -38,6 +38,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/ff"
 )
 
 // Typed serving-tier failures. The server returns them locally (submit,
@@ -164,7 +165,9 @@ const (
 
 // job is one unit of scheduled work. Encrypt/keystream jobs carry their
 // request inline; flush jobs re-read the owning session's pending batch
-// when they run.
+// when they run. Jobs are pooled: msg and ct are reusable element
+// scratch that survives recycling, so the steady-state request path
+// performs no per-job allocation.
 type job struct {
 	kind  jobKind
 	sess  *session
@@ -172,8 +175,32 @@ type job struct {
 	nonce uint64
 	first uint64
 	count int // keystream blocks
-	msg   []uint64
+	msg   ff.Vec
+	ct    ff.Vec // worker-filled result scratch
 	enq   time.Time
+}
+
+var jobPool = sync.Pool{New: func() any { return new(job) }}
+
+func getJob() *job { return jobPool.Get().(*job) }
+
+// putJob recycles a job, dropping references but keeping the msg/ct
+// capacity. Callers must be done with both scratch vectors: replies are
+// fully serialized into the frame buffer before the worker releases the
+// job.
+func putJob(j *job) {
+	j.kind, j.sess = 0, nil
+	j.id, j.nonce, j.first, j.count = 0, 0, 0, 0
+	jobPool.Put(j)
+}
+
+// resizeVec returns v resized to n elements, reallocating only when the
+// capacity does not cover n.
+func resizeVec(v ff.Vec, n int) ff.Vec {
+	if cap(v) >= n {
+		return v[:n]
+	}
+	return ff.NewVec(n)
 }
 
 // Server is the serving tier. Create with New, start with Serve or
@@ -414,36 +441,81 @@ func (s *Server) worker() {
 	}
 }
 
-// run executes one job with the per-request deadline applied.
+// run executes one job. The per-request deadline is enforced at
+// dequeue: a job that aged out in the queue is failed without touching
+// the backend (a per-job context.WithDeadline here used to cost two
+// allocations and a timer per request; queue residency is where the
+// budget is actually spent, and in-flight backend work stays bounded by
+// runCtx plus the substrate's own block-granular cancellation checks).
 func (s *Server) run(j *job) {
+	defer putJob(j)
 	sess := j.sess
-	deadline := j.enq.Add(s.cfg.RequestTimeout)
-	ctx, cancel := context.WithDeadline(s.runCtx, deadline)
+	if time.Since(j.enq) > s.cfg.RequestTimeout {
+		switch j.kind {
+		case jobFlush:
+			sess.expireFlush(context.DeadlineExceeded)
+		default:
+			sess.conn.sendJobError(sess, j.id, context.DeadlineExceeded)
+		}
+		s.observeLatency(j.enq)
+		return
+	}
 
 	switch j.kind {
 	case jobFlush:
-		sess.runFlush(ctx)
+		sess.runFlush(s.runCtx)
 	case jobEncrypt:
 		sess.dispatch.Inc()
-		ct, err := sess.cipher.Encrypt(ctx, j.nonce, j.msg)
-		if err != nil {
+		j.ct = resizeVec(j.ct, len(j.msg))
+		if err := encryptInto(s.runCtx, sess.cipher, j.ct, j.nonce, j.msg); err != nil {
 			sess.conn.sendJobError(sess, j.id, err)
 		} else {
-			sess.conn.sendData(sess, j.id, 0, ct)
+			sess.conn.sendData(sess, j.id, 0, j.ct)
 		}
 	case jobKeystream:
 		sess.dispatch.Inc()
-		ks, err := sess.cipher.KeyStreamBlocks(ctx, j.nonce, j.first, j.count)
-		if err != nil {
+		j.ct = resizeVec(j.ct, j.count*sess.t)
+		if err := keystreamInto(s.runCtx, sess.cipher, j.ct, j.nonce, j.first, j.count); err != nil {
 			sess.conn.sendJobError(sess, j.id, err)
 		} else {
-			sess.conn.sendData(sess, j.id, 0, ks)
+			sess.conn.sendData(sess, j.id, 0, j.ct)
 		}
 	}
-	cancel()
-	lat := time.Since(j.enq)
+	s.observeLatency(j.enq)
+}
+
+func (s *Server) observeLatency(enq time.Time) {
+	lat := time.Since(enq)
 	s.m.requestNS.Observe(lat.Nanoseconds())
 	s.latencyNS.Store(lat.Nanoseconds())
+}
+
+// encryptInto dispatches to the cipher's allocation-free path when it
+// has one; wrapped ciphers that don't forward backend.IntoCipher fall
+// back to the allocating method.
+func encryptInto(ctx context.Context, cipher backend.BlockCipher, dst ff.Vec, nonce uint64, msg ff.Vec) error {
+	if ic, ok := cipher.(backend.IntoCipher); ok {
+		return ic.EncryptInto(ctx, dst, nonce, msg)
+	}
+	ct, err := cipher.Encrypt(ctx, nonce, msg)
+	if err != nil {
+		return err
+	}
+	copy(dst, ct)
+	return nil
+}
+
+// keystreamInto is the bulk-keystream analogue of encryptInto.
+func keystreamInto(ctx context.Context, cipher backend.BlockCipher, dst ff.Vec, nonce, first uint64, count int) error {
+	if ic, ok := cipher.(backend.IntoCipher); ok {
+		return ic.KeyStreamBlocksInto(ctx, dst, nonce, first, count)
+	}
+	ks, err := cipher.KeyStreamBlocks(ctx, nonce, first, count)
+	if err != nil {
+		return err
+	}
+	copy(dst, ks)
+	return nil
 }
 
 // addSession registers a freshly opened session, enforcing MaxSessions.

@@ -193,10 +193,13 @@ func (sess *session) startFlushLocked() (dropped []streamPending, err error) {
 		sess.timerArmed = false
 	}
 	sess.flushQueued = true
-	err = sess.srv.submit(&job{kind: jobFlush, sess: sess, enq: time.Now()})
+	j := getJob()
+	j.kind, j.sess, j.enq = jobFlush, sess, time.Now()
+	err = sess.srv.submit(j)
 	if err == nil {
 		return nil, nil
 	}
+	putJob(j)
 	sess.flushQueued = false
 	dropped = sess.pending
 	sess.pending = nil
@@ -229,6 +232,20 @@ func (sess *session) flushDeadline() {
 	}
 	sess.mu.Unlock()
 	sess.failBatch(dropped, dropErr)
+}
+
+// expireFlush fails a flush job that aged out in the scheduler queue:
+// the pending batch is detached and failed, and — as with a dropped
+// batch — its keystream offsets stay consumed; the gap is permanent.
+func (sess *session) expireFlush(err error) {
+	sess.mu.Lock()
+	batch := sess.pending
+	sess.pending = nil
+	sess.pos = sess.tail
+	sess.ksValid = false
+	sess.flushQueued = false
+	sess.mu.Unlock()
+	sess.failBatch(batch, err)
 }
 
 // runFlush executes one batch on a scheduler worker: it detaches the

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"io"
+	"reflect"
 	"testing"
 )
 
@@ -35,16 +36,30 @@ func FuzzWireDecode(f *testing.F) {
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+4))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
+		// Run the frame stream through both read paths: the allocating
+		// ReadFrame and the scratch-reusing ReadFrameInto share the
+		// "never panic, never over-allocate" contract.
 		c := &Codec{r: bytes.NewReader(data)}
+		ci := &Codec{r: bytes.NewReader(data)}
+		var scratch []byte
 		for {
 			typ, payload, err := c.ReadFrame()
+			typI, payloadI, errI := ci.ReadFrameInto(scratch)
+			if (err == nil) != (errI == nil) {
+				t.Fatalf("ReadFrame err %v but ReadFrameInto err %v", err, errI)
+			}
 			if err != nil {
 				if err == io.EOF && len(data) == 0 {
 					return
 				}
 				return // any error is acceptable; panics are not
 			}
+			if typI != typ || !bytes.Equal(payloadI, payload) {
+				t.Fatalf("ReadFrameInto diverges: %v/%v payloads %x/%x", typ, typI, payload, payloadI)
+			}
+			scratch = payloadI
 			msg, err := DecodeAny(typ, payload)
+			fuzzDecodeInto(t, typ, payload, msg, err)
 			if err != nil {
 				continue
 			}
@@ -57,4 +72,39 @@ func FuzzWireDecode(f *testing.F) {
 			}
 		}
 	})
+}
+
+// fuzzDecodeInto holds the DecodeInto variants to the allocating
+// decoders: same accept/reject decision, same decoded message, and the
+// same no-panic guarantee on arbitrary payloads.
+func fuzzDecodeInto(t *testing.T, typ Type, payload []byte, msg any, decErr error) {
+	t.Helper()
+	var got any
+	var err error
+	switch typ {
+	case TypeEncrypt:
+		m := &EncryptReq{}
+		err = DecodeEncryptReqInto(m, payload)
+		got = m
+	case TypeKeystream:
+		m := &KeystreamReq{}
+		err = DecodeKeystreamReqInto(m, payload)
+		got = m
+	case TypeStream:
+		m := &StreamReq{}
+		err = DecodeStreamReqInto(m, payload)
+		got = m
+	case TypeData:
+		m := &Data{}
+		err = DecodeDataInto(m, payload)
+		got = m
+	default:
+		return
+	}
+	if (err == nil) != (decErr == nil) {
+		t.Fatalf("%v: DecodeInto err %v but allocating decode err %v", typ, err, decErr)
+	}
+	if err == nil && !reflect.DeepEqual(got, msg) {
+		t.Fatalf("%v: DecodeInto diverges\n got %#v\nwant %#v", typ, got, msg)
+	}
 }

@@ -171,6 +171,27 @@ func (m *EncryptReq) Vec() (ff.Vec, error) {
 // Vec unpacks the request's payload vector.
 func (m *StreamReq) Vec() (ff.Vec, error) { return ff.UnpackBits(m.Packed, int(m.Count), uint(m.Bits)) }
 
+// vecInto unpacks a validated (count, bits, packed) triple into dst,
+// which must hold exactly count elements.
+func vecInto(dst ff.Vec, count uint32, bits uint8, packed []byte) error {
+	if len(dst) != int(count) {
+		return fmt.Errorf("%w: destination holds %d elements, message %d", ErrBadMessage, len(dst), count)
+	}
+	return ff.UnpackBitsInto(dst, packed, uint(bits))
+}
+
+// VecInto unpacks the message vector into dst (len(dst) == Count)
+// without allocating.
+func (m *Data) VecInto(dst ff.Vec) error { return vecInto(dst, m.Count, m.Bits, m.Packed) }
+
+// VecInto unpacks the request vector into dst (len(dst) == Count)
+// without allocating.
+func (m *EncryptReq) VecInto(dst ff.Vec) error { return vecInto(dst, m.Count, m.Bits, m.Packed) }
+
+// VecInto unpacks the request vector into dst (len(dst) == Count)
+// without allocating.
+func (m *StreamReq) VecInto(dst ff.Vec) error { return vecInto(dst, m.Count, m.Bits, m.Packed) }
+
 // --- encoder -------------------------------------------------------------
 
 type encoder struct{ buf []byte }
@@ -324,8 +345,11 @@ func (d *decoder) checkPacked(count uint32, bits uint8, packed []byte) {
 // --- message encode/decode ----------------------------------------------
 
 // Encode serializes the message payload (frame with TypeSessionOpen).
-func (m *SessionOpen) Encode() []byte {
-	var e encoder
+func (m *SessionOpen) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *SessionOpen) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u64(m.ID)
 	e.bytes([]byte(m.Scheme))
 	e.u8(m.Variant)
@@ -358,8 +382,11 @@ func DecodeSessionOpen(payload []byte) (*SessionOpen, error) {
 }
 
 // Encode serializes the message payload (frame with TypeSessionAck).
-func (m *SessionAck) Encode() []byte {
-	var e encoder
+func (m *SessionAck) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *SessionAck) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u64(m.ID)
 	e.u32(m.Session)
 	e.u32(m.BlockSize)
@@ -384,8 +411,11 @@ func DecodeSessionAck(payload []byte) (*SessionAck, error) {
 }
 
 // Encode serializes the message payload (frame with TypeSessionClose).
-func (m *SessionClose) Encode() []byte {
-	var e encoder
+func (m *SessionClose) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *SessionClose) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	return e.buf
 }
@@ -402,8 +432,11 @@ func DecodeSessionClose(payload []byte) (*SessionClose, error) {
 }
 
 // Encode serializes the message payload (frame with TypeEncrypt).
-func (m *EncryptReq) Encode() []byte {
-	var e encoder
+func (m *EncryptReq) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *EncryptReq) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
 	e.u64(m.Nonce)
@@ -415,8 +448,18 @@ func (m *EncryptReq) Encode() []byte {
 
 // DecodeEncryptReq parses a TypeEncrypt payload.
 func DecodeEncryptReq(payload []byte) (*EncryptReq, error) {
-	d := decoder{b: payload}
 	m := &EncryptReq{}
+	if err := DecodeEncryptReqInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeEncryptReqInto parses a TypeEncrypt payload into m without
+// allocating. m.Packed aliases payload and is only valid until the
+// caller reuses the frame buffer (DESIGN.md §9).
+func DecodeEncryptReqInto(m *EncryptReq, payload []byte) error {
+	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
 	m.Nonce = d.u64()
@@ -424,15 +467,15 @@ func DecodeEncryptReq(payload []byte) (*EncryptReq, error) {
 	m.Bits = d.u8()
 	m.Packed = d.bytes(DefaultMaxPayload)
 	d.checkPacked(m.Count, m.Bits, m.Packed)
-	if err := d.finish(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return d.finish()
 }
 
 // Encode serializes the message payload (frame with TypeKeystream).
-func (m *KeystreamReq) Encode() []byte {
-	var e encoder
+func (m *KeystreamReq) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *KeystreamReq) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
 	e.u64(m.Nonce)
@@ -443,8 +486,17 @@ func (m *KeystreamReq) Encode() []byte {
 
 // DecodeKeystreamReq parses a TypeKeystream payload.
 func DecodeKeystreamReq(payload []byte) (*KeystreamReq, error) {
-	d := decoder{b: payload}
 	m := &KeystreamReq{}
+	if err := DecodeKeystreamReqInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeKeystreamReqInto parses a TypeKeystream payload into m without
+// allocating.
+func DecodeKeystreamReqInto(m *KeystreamReq, payload []byte) error {
+	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
 	m.Nonce = d.u64()
@@ -453,15 +505,15 @@ func DecodeKeystreamReq(payload []byte) (*KeystreamReq, error) {
 	if m.Count > MaxVecElems {
 		d.fail("keystream request for %d blocks (max %d)", m.Count, MaxVecElems)
 	}
-	if err := d.finish(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return d.finish()
 }
 
 // Encode serializes the message payload (frame with TypeStream).
-func (m *StreamReq) Encode() []byte {
-	var e encoder
+func (m *StreamReq) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *StreamReq) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
 	e.u32(m.Count)
@@ -472,23 +524,33 @@ func (m *StreamReq) Encode() []byte {
 
 // DecodeStreamReq parses a TypeStream payload.
 func DecodeStreamReq(payload []byte) (*StreamReq, error) {
-	d := decoder{b: payload}
 	m := &StreamReq{}
+	if err := DecodeStreamReqInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeStreamReqInto parses a TypeStream payload into m without
+// allocating. m.Packed aliases payload and is only valid until the
+// caller reuses the frame buffer (DESIGN.md §9).
+func DecodeStreamReqInto(m *StreamReq, payload []byte) error {
+	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
 	m.Count = d.u32()
 	m.Bits = d.u8()
 	m.Packed = d.bytes(DefaultMaxPayload)
 	d.checkPacked(m.Count, m.Bits, m.Packed)
-	if err := d.finish(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return d.finish()
 }
 
 // Encode serializes the message payload (frame with TypeData).
-func (m *Data) Encode() []byte {
-	var e encoder
+func (m *Data) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *Data) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
 	e.u64(m.Offset)
@@ -500,8 +562,18 @@ func (m *Data) Encode() []byte {
 
 // DecodeData parses a TypeData payload.
 func DecodeData(payload []byte) (*Data, error) {
-	d := decoder{b: payload}
 	m := &Data{}
+	if err := DecodeDataInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeDataInto parses a TypeData payload into m without allocating.
+// m.Packed aliases payload and is only valid until the caller reuses
+// the frame buffer (DESIGN.md §9).
+func DecodeDataInto(m *Data, payload []byte) error {
+	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
 	m.Offset = d.u64()
@@ -509,15 +581,15 @@ func DecodeData(payload []byte) (*Data, error) {
 	m.Bits = d.u8()
 	m.Packed = d.bytes(DefaultMaxPayload)
 	d.checkPacked(m.Count, m.Bits, m.Packed)
-	if err := d.finish(); err != nil {
-		return nil, err
-	}
-	return m, nil
+	return d.finish()
 }
 
 // Encode serializes the message payload (frame with TypeError).
-func (m *ErrorMsg) Encode() []byte {
-	var e encoder
+func (m *ErrorMsg) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *ErrorMsg) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
 	e.u16(m.Code)

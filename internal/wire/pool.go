@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Pooled, size-classed frame buffers shared by the codec hot paths and
+// internal/server. A Buf owns one reusable byte slice; GetBuf hands out
+// the smallest class that fits, Release returns it. The pool removes the
+// per-frame buffer allocation from the encode and read paths — the wire
+// counterpart of the cipher tier's zero-alloc keystream kernels.
+//
+// Ownership rule (see DESIGN.md §9): exactly one owner at a time. The
+// party that calls GetBuf owns the Buf until it either calls Release or
+// explicitly hands it off (e.g. a connection read loop passing a decoded
+// frame to the waiting caller); the receiver then releases it. A decoded
+// message whose fields alias Buf.B (DecodeInto keeps Packed aliased) must
+// not outlive the Buf's current ownership.
+
+// bufClasses are the pooled capacity classes. 512 B covers every control
+// frame and a PASTA-4 block request (32 × 17 bits + framing); 4 KiB the
+// chunked-stream frames; 64 KiB one read chunk; 1 MiB large keystream
+// replies. Larger demands fall through to a plain allocation.
+var bufClasses = [...]int{512, 4 << 10, 64 << 10, 1 << 20}
+
+// Buf is a pooled frame buffer. B always has len 0 on Get; users append
+// into it (frame encoders) or slice it (ReadFrameInto) and must store the
+// grown slice back before Release so the capacity survives recycling.
+type Buf struct {
+	B     []byte
+	class int8 // index into bufClasses; -1 = unpooled oversize
+}
+
+// Pool observability: hits = get − miss − oversize. Exposed through the
+// default registry next to the server metrics so /metrics and the
+// metrics-smoke target report frame-buffer reuse rates.
+var (
+	mPoolGet      = obs.Default().Counter("wire.pool.get")
+	mPoolMiss     = obs.Default().Counter("wire.pool.miss")
+	mPoolOversize = obs.Default().Counter("wire.pool.oversize")
+)
+
+var bufPools = func() [len(bufClasses)]*sync.Pool {
+	var pools [len(bufClasses)]*sync.Pool
+	for i := range pools {
+		class := int8(i)
+		size := bufClasses[i]
+		pools[i] = &sync.Pool{New: func() any {
+			mPoolMiss.Inc()
+			return &Buf{B: make([]byte, 0, size), class: class}
+		}}
+	}
+	return pools
+}()
+
+// GetBuf returns a Buf whose capacity is at least n bytes (len 0).
+// Callers that only append may pass 0.
+func GetBuf(n int) *Buf {
+	mPoolGet.Inc()
+	for i, size := range bufClasses {
+		if n <= size {
+			return bufPools[i].Get().(*Buf)
+		}
+	}
+	mPoolOversize.Inc()
+	return &Buf{B: make([]byte, 0, n), class: -1}
+}
+
+// Release returns the Buf to its pool. The caller must not touch b or
+// any slice aliasing b.B afterwards. Buffers that grew far beyond their
+// class (an oversize frame read into a small-class Buf) are dropped
+// rather than pinned in the wrong pool. Safe on nil.
+func (b *Buf) Release() {
+	if b == nil || b.class < 0 {
+		return
+	}
+	if cap(b.B) > 2*bufClasses[b.class] {
+		return
+	}
+	b.B = b.B[:0]
+	bufPools[b.class].Put(b)
+}

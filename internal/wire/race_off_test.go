@@ -1,0 +1,8 @@
+//go:build !race
+
+package wire
+
+// raceEnabled mirrors the -race build tag: allocation-count assertions
+// are meaningless under the race detector, whose instrumentation forces
+// otherwise stack-allocated closures onto the heap.
+const raceEnabled = false

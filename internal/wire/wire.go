@@ -29,6 +29,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"net"
 )
 
 // Magic is the little-endian frame magic, the bytes "HHEP" on the wire.
@@ -120,6 +121,11 @@ type Codec struct {
 	r io.Reader
 	w io.Writer
 
+	// hdr is the header scratch of the (single) reader; a local array
+	// would escape through the io.Reader interface call and cost one
+	// allocation per frame.
+	hdr [HeaderSize]byte
+
 	// MaxPayload bounds accepted and emitted payloads; 0 means
 	// DefaultMaxPayload.
 	MaxPayload uint32
@@ -154,6 +160,47 @@ func (c *Codec) WriteFrame(t Type, payload []byte) error {
 	return err
 }
 
+// AppendFrame appends one complete frame (header + payload) to dst and
+// returns the extended slice — the allocation-free sibling of WriteFrame
+// for callers that coalesce frames into pooled buffers before a vectored
+// write. The payload is bounded by DefaultMaxPayload.
+func AppendFrame(dst []byte, t Type, payload []byte) ([]byte, error) {
+	if t == 0 || t > maxType {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
+	}
+	off := len(dst)
+	dst = appendHeader(dst, t)
+	dst = append(dst, payload...)
+	return patchLen(dst, off)
+}
+
+// appendHeader appends a frame header with a zero length field; patchLen
+// fills the length once the payload has been appended in place.
+func appendHeader(dst []byte, t Type) []byte {
+	dst = binary.LittleEndian.AppendUint32(dst, Magic)
+	return append(dst, Version, uint8(t), 0, 0, 0, 0)
+}
+
+// patchLen back-fills the payload length of the frame starting at off.
+func patchLen(dst []byte, off int) ([]byte, error) {
+	n := len(dst) - off - HeaderSize
+	if uint64(n) > uint64(DefaultMaxPayload) {
+		return nil, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, DefaultMaxPayload)
+	}
+	binary.LittleEndian.PutUint32(dst[off+6:], uint32(n))
+	return dst, nil
+}
+
+// WriteBuffers flushes pre-encoded frames (each element one or more
+// complete frames, e.g. built with AppendFrame) in a single vectored
+// write — one writev syscall on a *net.TCPConn instead of one Write per
+// frame. WriteBuffers consumes bufs. The caller serializes writers, as
+// with WriteFrame.
+func (c *Codec) WriteBuffers(bufs net.Buffers) error {
+	_, err := bufs.WriteTo(c.w)
+	return err
+}
+
 // readChunk caps the per-step allocation while reading a payload, so a
 // forged length never allocates more than the bytes actually received
 // (rounded up to one chunk).
@@ -162,7 +209,17 @@ const readChunk = 64 << 10
 // ReadFrame reads and validates one frame. io.EOF is returned unwrapped
 // when the stream ends cleanly between frames.
 func (c *Codec) ReadFrame() (Type, []byte, error) {
-	var hdr [HeaderSize]byte
+	return c.ReadFrameInto(nil)
+}
+
+// ReadFrameInto is ReadFrame reusing scratch's capacity for the payload.
+// The returned payload slice is the (possibly regrown) scratch buffer —
+// callers keep it for the next read, so a steady-state connection
+// allocates nothing per frame. The chunked-growth bound of ReadFrame
+// holds: a forged length field never allocates beyond the bytes actually
+// delivered, rounded up to one chunk.
+func (c *Codec) ReadFrameInto(scratch []byte) (Type, []byte, error) {
+	hdr := &c.hdr
 	if _, err := io.ReadFull(c.r, hdr[:]); err != nil {
 		if err == io.ErrUnexpectedEOF {
 			return 0, nil, fmt.Errorf("wire: truncated header: %w", err)
@@ -183,11 +240,15 @@ func (c *Codec) ReadFrame() (Type, []byte, error) {
 	if n > c.limit() {
 		return 0, nil, fmt.Errorf("%w: %d bytes (max %d)", ErrTooLarge, n, c.limit())
 	}
-	payload := make([]byte, 0, min(int(n), readChunk))
+	payload := scratch[:0]
 	for len(payload) < int(n) {
 		step := min(int(n)-len(payload), readChunk)
 		off := len(payload)
-		payload = append(payload, make([]byte, step)...)
+		if cap(payload) >= off+step {
+			payload = payload[:off+step]
+		} else {
+			payload = append(payload, make([]byte, step)...)
+		}
 		if _, err := io.ReadFull(c.r, payload[off:]); err != nil {
 			if err == io.EOF {
 				err = io.ErrUnexpectedEOF
