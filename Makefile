@@ -40,26 +40,33 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
-		./internal/pasta ./internal/backend ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|AccelKeystream|AccelFarm|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
+		./internal/pasta ./internal/backend ./internal/hw ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
 
 # Allocation-regression gate on the serving-tier hot path: the
 # end-to-end encrypt round trip (client encode → server decode →
 # dispatch → reply → client decode) must stay within the committed
 # allocs/op budgets. ServerThroughput runs the real PASTA-4 cipher;
-# ServerOverhead isolates the request pipeline on a free keystream.
+# ServerOverhead isolates the request pipeline on a free keystream;
+# AccelKeystream holds the event-driven accelerator engine to its
+# allocation-free steady state (one alloc: the returned keystream).
 bench-guard:
 	$(GO) test -run '^$$' -bench 'ServerThroughput$$|ServerOverhead' -benchmem -benchtime 0.5s \
 		./internal/server | $(GO) run ./cmd/benchjson \
 		-max-allocs 'ServerThroughput$$=4,ServerOverhead$$=3' -out /dev/null
+	$(GO) test -run '^$$' -bench 'AccelKeystream' -benchmem -benchtime 0.2s \
+		./internal/hw | $(GO) run ./cmd/benchjson \
+		-max-allocs 'AccelKeystream/.*event$$=1' -out /dev/null
 
 # Short fuzz runs of the differential harnesses: the lazy NTT product
-# against the schoolbook oracle, and the structured modular reductions
-# against the generic one.
+# against the schoolbook oracle, the structured modular reductions
+# against the generic one, the wire decoder, and the event-driven
+# accelerator engine against the per-cycle oracle.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz FuzzMulPoly -fuzztime 5s ./internal/rlwe
 	$(GO) test -run '^$$' -fuzz FuzzDotLazyAgainstNaive -fuzztime 5s ./internal/ff
 	$(GO) test -run '^$$' -fuzz FuzzWireDecode -fuzztime 5s ./internal/wire
+	$(GO) test -run '^$$' -fuzz FuzzAccelEventStep -fuzztime 5s ./internal/hw
 
 # End-to-end check of the observability layer: a short co-simulation must
 # emit a JSON metrics snapshot on stdout.

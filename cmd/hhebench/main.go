@@ -188,7 +188,7 @@ func main() {
 		ran = true
 	}
 	if want("software") {
-		rows, err := eval.Throughput(common.Backend, *workers, *blocks)
+		rows, err := eval.ThroughputUnits(common.Backend, *workers, *blocks, common.AccelUnits)
 		if err != nil {
 			fatal(err)
 		}

@@ -53,6 +53,7 @@ func main() {
 	if err := run(*addr, *debugAddr, *drainTimeout, server.Config{
 		Backend:        common.Backend,
 		Workers:        *workers,
+		AccelUnits:     common.AccelUnits,
 		QueueBound:     *queue,
 		BatchWindow:    *batchWindow,
 		MaxSessions:    *maxSessions,

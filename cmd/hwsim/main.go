@@ -9,7 +9,14 @@
 // Usage:
 //
 //	hwsim [-backend software|accel|soc] [-variant pasta3|pasta4] [-w 17|33|54|60]
-//	      [-nonce N] [-counter N] [-trace] [-verify] [-metrics file|-]
+//	      [-nonce N] [-counter N] [-step-mode auto|event|cycle|both] [-accel-units N]
+//	      [-trace] [-verify] [-metrics file|-]
+//
+// -step-mode selects how the accel backend advances modelled time: the
+// event-driven fast-forward engine ("event"), the per-cycle oracle
+// ("cycle"), or "both", which runs the block through each engine, checks
+// that the modelled cycle counts match bit-exactly, and reports the
+// wall-clock speedup of event-driven stepping.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cli"
@@ -31,6 +39,7 @@ func main() {
 	width := flag.Uint("w", 17, "modulus bit width: 17, 33, 54 or 60")
 	nonce := flag.Uint64("nonce", 0, "nonce")
 	counter := flag.Uint64("counter", 0, "block counter")
+	stepMode := flag.String("step-mode", "auto", "accel time stepping: auto, event, cycle, or both (compare engines)")
 	trace := flag.Bool("trace", false, "print the schedule trace (Fig. 3; accel backend only)")
 	vcdPath := flag.String("vcd", "", "write a VCD waveform of the run to this file (view with GTKWave; accel backend only)")
 	verify := flag.Bool("verify", true, "check the keystream against the software reference")
@@ -38,7 +47,7 @@ func main() {
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameAccel)
 	flag.Parse()
 
-	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath, common.Backend); err != nil {
+	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath, *stepMode, common.Backend, common.AccelUnits); err != nil {
 		cli.Exit("hwsim", err)
 	}
 	if err := common.Finish(); err != nil {
@@ -46,8 +55,8 @@ func main() {
 	}
 }
 
-func run(variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath, backendName string) error {
-	b, err := cli.OpenPasta(backendName, variant, width, keySeed, 0)
+func run(variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath, stepMode, backendName string, accelUnits int) error {
+	b, err := cli.OpenPasta(backendName, variant, width, keySeed, 0, accelUnits)
 	if err != nil {
 		return err
 	}
@@ -65,6 +74,21 @@ func run(variant string, width uint, nonce, counter uint64, trace, verify bool, 
 		}
 	} else if trace || vcdPath != "" {
 		return fmt.Errorf("-trace and -vcd require the %s backend (got %s)", backend.NameAccel, backendName)
+	}
+
+	if stepMode != "" && stepMode != "auto" && !isAccel {
+		return fmt.Errorf("-step-mode requires the %s backend (got %s)", backend.NameAccel, backendName)
+	}
+	if stepMode == "both" {
+		if err := compareSteppings(ab, nonce, counter); err != nil {
+			return err
+		}
+	} else if isAccel {
+		m, err := hw.ParseStepMode(stepMode)
+		if err != nil {
+			return err
+		}
+		ab.SetStepMode(m)
 	}
 
 	ks := ff.NewVec(b.BlockSize())
@@ -138,5 +162,47 @@ func run(variant string, width uint, nonce, counter uint64, trace, verify bool, 
 			return fmt.Errorf("verify FAILED: keystream mismatch")
 		}
 	}
+	return nil
+}
+
+// compareSteppings runs the same block through the event-driven engine
+// and the per-cycle oracle, requires the modelled cycle counts to match
+// bit-exactly, and reports the wall-clock speedup of event stepping —
+// the check behind the event engine's equivalence claim, runnable on any
+// instance from the command line.
+func compareSteppings(ab *backend.AccelBackend, nonce, counter uint64) error {
+	const reps = 5
+	ctx := context.Background()
+	ks := ff.NewVec(ab.BlockSize())
+	measure := func(m hw.StepMode) (hw.Result, time.Duration, ff.Vec, error) {
+		ab.SetStepMode(m)
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := ab.KeyStreamInto(ctx, ks, nonce, counter); err != nil {
+				return hw.Result{}, 0, nil, err
+			}
+		}
+		return ab.LastResult(), time.Since(start) / reps, ks.Clone(), nil
+	}
+	evRes, evTime, evKS, err := measure(hw.StepEvent)
+	if err != nil {
+		return err
+	}
+	cyRes, cyTime, cyKS, err := measure(hw.StepCycle)
+	if err != nil {
+		return err
+	}
+	ab.SetStepMode(hw.StepAuto)
+	if evRes.Stats != cyRes.Stats {
+		return fmt.Errorf("step-mode both: STATS MISMATCH\n event: %+v\n cycle: %+v", evRes.Stats, cyRes.Stats)
+	}
+	if !evKS.Equal(cyKS) {
+		return fmt.Errorf("step-mode both: keystream mismatch between engines")
+	}
+	fmt.Printf("step-mode both: modelled cycles match ✓ (%d cycles, all unit counters identical)\n",
+		evRes.Stats.Cycles)
+	fmt.Printf("  event: %v/block   cycle: %v/block   speedup: %.1f×\n",
+		evTime.Round(time.Microsecond), cyTime.Round(time.Microsecond),
+		float64(cyTime)/float64(evTime))
 	return nil
 }

@@ -39,7 +39,7 @@ func main() {
 	common := cli.RegisterCommon(flag.CommandLine, "software")
 	flag.Parse()
 
-	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers, common.Backend); err != nil {
+	if err := run(*mode, *variant, *keySeed, *nonce, *in, *outPath, *workers, common.Backend, common.AccelUnits); err != nil {
 		cli.Exit("pastacli", err)
 	}
 	if err := common.Finish(); err != nil {
@@ -47,7 +47,7 @@ func main() {
 	}
 }
 
-func run(mode, variant, keySeed string, nonce uint64, in, out string, workers int, backendName string) error {
+func run(mode, variant, keySeed string, nonce uint64, in, out string, workers int, backendName string, accelUnits int) error {
 	if mode != "enc" && mode != "dec" {
 		return fmt.Errorf("-mode must be enc or dec")
 	}
@@ -58,7 +58,7 @@ func run(mode, variant, keySeed string, nonce uint64, in, out string, workers in
 	if err != nil {
 		return err
 	}
-	cipher, err := cli.OpenPasta(backendName, variant, 17, keySeed, workers)
+	cipher, err := cli.OpenPasta(backendName, variant, 17, keySeed, workers, accelUnits)
 	if err != nil {
 		return err
 	}

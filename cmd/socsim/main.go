@@ -33,7 +33,7 @@ func main() {
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoC)
 	flag.Parse()
 
-	if err := run(*blocks, *nonce, *variant, *keySeed, *irq, common.Backend); err != nil {
+	if err := run(*blocks, *nonce, *variant, *keySeed, *irq, common.Backend, common.AccelUnits); err != nil {
 		cli.Exit("socsim", err)
 	}
 	if err := common.Finish(); err != nil {
@@ -41,7 +41,7 @@ func main() {
 	}
 }
 
-func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendName string) error {
+func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendName string, accelUnits int) error {
 	if blocks < 1 {
 		return fmt.Errorf("-blocks must be ≥ 1")
 	}
@@ -87,7 +87,7 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendNam
 				stats.WaitCycles, 100*float64(stats.WaitCycles)/float64(stats.CoreCycles))
 		}
 	} else {
-		b, err := cli.OpenPasta(backendName, variant, 17, keySeed, 0)
+		b, err := cli.OpenPasta(backendName, variant, 17, keySeed, 0, accelUnits)
 		if err != nil {
 			return err
 		}

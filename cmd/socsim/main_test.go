@@ -3,16 +3,16 @@ package main
 import "testing"
 
 func TestRunTwoBlocks(t *testing.T) {
-	if err := run(2, 1, "pasta4", "test", true, "soc"); err != nil {
+	if err := run(2, 1, "pasta4", "test", true, "soc", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunInvalidArgs(t *testing.T) {
-	if err := run(0, 1, "pasta4", "t", false, "soc"); err == nil {
+	if err := run(0, 1, "pasta4", "t", false, "soc", 1); err == nil {
 		t.Fatal("zero blocks accepted")
 	}
-	if err := run(1, 1, "pasta9", "t", false, "soc"); err == nil {
+	if err := run(1, 1, "pasta9", "t", false, "soc", 1); err == nil {
 		t.Fatal("bad variant accepted")
 	}
 }
@@ -22,14 +22,14 @@ func TestRunInvalidArgs(t *testing.T) {
 // software reference, so a pass proves the substrates agree.
 func TestRunOtherBackends(t *testing.T) {
 	for _, name := range []string{"software", "accel"} {
-		if err := run(2, 1, "pasta4", "test", false, name); err != nil {
+		if err := run(2, 1, "pasta4", "test", false, name, 1); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 	}
-	if err := run(1, 1, "pasta4", "t", true, "software"); err == nil {
+	if err := run(1, 1, "pasta4", "t", true, "software", 1); err == nil {
 		t.Fatal("-irq on a non-soc backend accepted")
 	}
-	if err := run(1, 1, "pasta4", "t", false, "fpga"); err == nil {
+	if err := run(1, 1, "pasta4", "t", false, "fpga", 1); err == nil {
 		t.Fatal("unknown backend accepted")
 	}
 }

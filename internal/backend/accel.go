@@ -1,27 +1,41 @@
 package backend
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ff"
 	"repro/internal/hera"
 	"repro/internal/hw"
+	"repro/internal/obs"
 	"repro/internal/pasta"
 )
 
 // AccelBackend runs every keystream block through the cycle-accurate
 // cryptoprocessor model (internal/hw), accumulating the modelled cycle
-// counts into Stats().AccelCycles. The accelerator mutates per-run state
-// (fault consumption, waveform capture), so the kernel serializes on a
-// mutex — exactly like the single peripheral instance on the SoC bus.
+// counts into Stats().AccelCycles. It is an N-way farm (Config.AccelUnits,
+// default 1): N accelerator instances cloned from the same params/key,
+// handed out through a free-list so concurrent block requests each own a
+// unit for the duration of a run instead of serializing on one global
+// mutex — the modelled equivalent of replicating the peripheral on the
+// SoC bus. Per-unit occupancy is reported in Stats().Units and mirrored
+// into obs as backend.accel.unit<i>.{blocks,cycles}.
 // A watchdog abort surfaces as a *backend.Error wrapping *hw.ErrWatchdog,
 // reachable with errors.As.
 type AccelBackend struct {
 	base
-	mu    sync.Mutex
-	accel *hw.Accelerator
-	hera  *hw.HeraAccelerator
-	last  hw.Result // most recent PASTA run, for tooling reports
+	units     []*hw.Accelerator
+	heraUnits []*hw.HeraAccelerator
+	free      chan int // indices of idle units
+
+	unitBlocks []atomic.Int64
+	unitCycles []atomic.Int64
+	obsUnitBlk []*obs.Counter
+	obsUnitCyc []*obs.Counter
+
+	mu   sync.Mutex
+	last hw.Result // most recent PASTA run, for tooling reports
 }
 
 // NewAccel opens the cycle-accurate accelerator backend.
@@ -30,43 +44,73 @@ func NewAccel(cfg Config) (*AccelBackend, error) {
 	if err != nil {
 		return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
 	}
-	b := &AccelBackend{}
+	step, err := hw.ParseStepMode(cfg.AccelStep)
+	if err != nil {
+		return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+	}
+	n := cfg.AccelUnits
+	if n <= 0 {
+		n = 1
+	}
+	b := &AccelBackend{
+		free:       make(chan int, n),
+		unitBlocks: make([]atomic.Int64, n),
+		unitCycles: make([]atomic.Int64, n),
+		obsUnitBlk: make([]*obs.Counter, n),
+		obsUnitCyc: make([]*obs.Counter, n),
+	}
+	for i := 0; i < n; i++ {
+		b.free <- i
+		b.obsUnitBlk[i] = obs.Default().Counter(fmt.Sprintf("backend.accel.unit%d.blocks", i))
+		b.obsUnitCyc[i] = obs.Default().Counter(fmt.Sprintf("backend.accel.unit%d.cycles", i))
+	}
 	switch r.scheme {
 	case SchemePasta:
-		a, err := hw.NewAccelerator(r.pastaPar, pasta.Key(r.key))
-		if err != nil {
-			return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+		b.units = make([]*hw.Accelerator, n)
+		for i := range b.units {
+			a, err := hw.NewAccelerator(r.pastaPar, pasta.Key(r.key))
+			if err != nil {
+				return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+			}
+			a.WatchdogLimit = cfg.WatchdogLimit
+			a.Step = step
+			b.units[i] = a
 		}
-		a.WatchdogLimit = cfg.WatchdogLimit
-		b.accel = a
-		b.init(NameAccel, SchemePasta, r.pastaPar.T, r.mod, 1)
+		b.init(NameAccel, SchemePasta, r.pastaPar.T, r.mod, n)
 		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			b.mu.Lock()
-			defer b.mu.Unlock()
+			idx := <-b.free
+			a := b.units[idx]
 			res, err := a.KeyStream(nonce, block)
+			b.free <- idx
 			if err != nil {
 				return err // *hw.ErrWatchdog stays reachable via errors.As
 			}
-			b.accelCycles.Add(res.Stats.Cycles)
+			b.recordUnit(idx, res.Stats.Cycles)
+			b.mu.Lock()
 			b.last = res
+			b.mu.Unlock()
 			copy(dst, res.KeyStream)
 			return nil
 		}
 	case SchemeHera:
-		a, err := hw.NewHeraAccelerator(r.heraPar, hera.Key(r.key))
-		if err != nil {
-			return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+		b.heraUnits = make([]*hw.HeraAccelerator, n)
+		for i := range b.heraUnits {
+			a, err := hw.NewHeraAccelerator(r.heraPar, hera.Key(r.key))
+			if err != nil {
+				return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+			}
+			b.heraUnits[i] = a
 		}
-		b.hera = a
-		b.init(NameAccel, SchemeHera, hera.StateSize, r.mod, 1)
+		b.init(NameAccel, SchemeHera, hera.StateSize, r.mod, n)
 		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			b.mu.Lock()
-			defer b.mu.Unlock()
+			idx := <-b.free
+			a := b.heraUnits[idx]
 			res, err := a.KeyStream(nonce, block)
+			b.free <- idx
 			if err != nil {
 				return err
 			}
-			b.accelCycles.Add(res.Stats.Cycles)
+			b.recordUnit(idx, res.Stats.Cycles)
 			copy(dst, res.KeyStream)
 			return nil
 		}
@@ -74,15 +118,60 @@ func NewAccel(cfg Config) (*AccelBackend, error) {
 	return b, nil
 }
 
-// Accelerator exposes the underlying PASTA cryptoprocessor model (nil
-// for HERA) so tools like cmd/hwsim can configure tracing, waveform
-// capture, and fault injection. Configure it between operations, not
-// concurrently with them — the backend serializes runs but cannot guard
-// external field writes.
-func (b *AccelBackend) Accelerator() *hw.Accelerator { return b.accel }
+// recordUnit accounts one finished block against its farm unit and the
+// aggregate cycle counter.
+func (b *AccelBackend) recordUnit(idx int, cycles int64) {
+	b.accelCycles.Add(cycles)
+	b.unitBlocks[idx].Add(1)
+	b.unitCycles[idx].Add(cycles)
+	b.obsUnitBlk[idx].Add(1)
+	b.obsUnitCyc[idx].Add(cycles)
+}
 
-// HeraAccelerator exposes the HERA datapath model (nil for PASTA).
-func (b *AccelBackend) HeraAccelerator() *hw.HeraAccelerator { return b.hera }
+// Stats extends the shared counters with the per-unit farm breakdown.
+func (b *AccelBackend) Stats() Stats {
+	s := b.base.Stats()
+	s.Units = make([]UnitStats, len(b.unitBlocks))
+	for i := range s.Units {
+		s.Units[i] = UnitStats{
+			Unit:   i,
+			Blocks: b.unitBlocks[i].Load(),
+			Cycles: b.unitCycles[i].Load(),
+		}
+	}
+	return s
+}
+
+// Units returns the farm width.
+func (b *AccelBackend) Units() int { return len(b.unitBlocks) }
+
+// Accelerator exposes unit 0 of the PASTA cryptoprocessor farm (nil for
+// HERA) so tools like cmd/hwsim can configure tracing, waveform capture,
+// and fault injection. Those per-run features observe a single modelled
+// peripheral; configure them only on a single-unit backend (the default),
+// where every run is guaranteed to land on unit 0.
+func (b *AccelBackend) Accelerator() *hw.Accelerator {
+	if len(b.units) == 0 {
+		return nil
+	}
+	return b.units[0]
+}
+
+// SetStepMode applies a time-stepping mode to every PASTA unit in the
+// farm. Configure between operations, not concurrently with them.
+func (b *AccelBackend) SetStepMode(m hw.StepMode) {
+	for _, a := range b.units {
+		a.Step = m
+	}
+}
+
+// HeraAccelerator exposes unit 0 of the HERA datapath farm (nil for PASTA).
+func (b *AccelBackend) HeraAccelerator() *hw.HeraAccelerator {
+	if len(b.heraUnits) == 0 {
+		return nil
+	}
+	return b.heraUnits[0]
+}
 
 // LastResult returns the full cycle-model result of the most recent
 // PASTA keystream run (schedule trace, sampler statistics, unit busy

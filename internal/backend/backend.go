@@ -107,6 +107,18 @@ type Stats struct {
 	Elements    int64  `json:"elements"`
 	AccelCycles int64  `json:"accel_cycles,omitempty"` // cryptoprocessor cycles
 	CoreCycles  int64  `json:"core_cycles,omitempty"`  // RISC-V core cycles (soc only)
+
+	// Units breaks the accel backend's work down per farm unit, so
+	// operators can see whether an N-way farm is actually load-balanced.
+	// Empty for non-farm backends.
+	Units []UnitStats `json:"units,omitempty"`
+}
+
+// UnitStats is one accelerator farm unit's share of the backend's work.
+type UnitStats struct {
+	Unit   int   `json:"unit"`
+	Blocks int64 `json:"blocks"`
+	Cycles int64 `json:"cycles"`
 }
 
 // Sentinel errors, matched with errors.Is through the *Error wrapper.

@@ -2,6 +2,7 @@ package backend
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"repro/internal/ff"
@@ -49,4 +50,49 @@ func BenchmarkBackendDispatch(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAccelFarm is the farm-scaling experiment: an 8-block bulk
+// keystream request against N modelled accelerator units. Two numbers
+// matter per row. ns/op is host wall time — it only improves with farm
+// width when the host has cores to simulate units concurrently (a
+// single-core CI runner shows flat-to-worse wall time; the simulation
+// itself is the bottleneck there). modeled-cycles/batch is the modelled
+// hardware's critical path for the batch — max over units of the cycles
+// each spent — and must scale ~1/N regardless of host shape: that is
+// the throughput claim a replicated peripheral actually makes, and the
+// committed BENCH_pasta.json rows pin it.
+func BenchmarkAccelFarm(b *testing.B) {
+	const batch = 8
+	for _, units := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("units=%d", units), func(b *testing.B) {
+			farm, err := Open(NameAccel, Config{
+				Variant: pasta.Pasta4, KeySeed: "farm-bench", AccelUnits: units,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer farm.Close()
+			ic := farm.(IntoCipher)
+			ctx := context.Background()
+			dst := ff.NewVec(batch * farm.BlockSize())
+			b.SetBytes(int64(len(dst) * 8))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ic.KeyStreamBlocksInto(ctx, dst, 1, uint64(i*batch), batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			st := farm.Stats()
+			var critical int64
+			for _, u := range st.Units {
+				if u.Cycles > critical {
+					critical = u.Cycles
+				}
+			}
+			b.ReportMetric(float64(critical)/float64(b.N), "modeled-cycles/batch")
+		})
+	}
 }

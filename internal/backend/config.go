@@ -44,6 +44,18 @@ type Config struct {
 	// WatchdogLimit overrides the accelerator watchdog cycle budget;
 	// 0 keeps hw.DefaultWatchdogLimit.
 	WatchdogLimit int64
+
+	// AccelUnits sizes the accel backend's farm: the number of modelled
+	// cryptoprocessor instances cloned from the same params/key and
+	// dispatched concurrently (≤ 0 or 1 = the classic single
+	// peripheral). Ignored by the other backends.
+	AccelUnits int
+
+	// AccelStep selects the accel backend's time-stepping mode: "" or
+	// "auto" (event-driven fast-forward unless a per-cycle feature such
+	// as tracing is armed), "event", or "cycle" (force the per-cycle
+	// oracle). Ignored by the other backends.
+	AccelStep string
 }
 
 // resolved is a fully validated Config: exactly one of the scheme params

@@ -1,0 +1,165 @@
+package backend
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// TestAccelFarmKeystream: an N-way farm must produce exactly the
+// single-unit (and software-reference) keystream — replicating the
+// peripheral changes scheduling, never data.
+func TestAccelFarmKeystream(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Variant: pasta.Pasta4, KeySeed: "farm"}
+
+	sw, err := Open(NameSoftware, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sw.Close()
+
+	farmCfg := cfg
+	farmCfg.AccelUnits = 4
+	farm, err := Open(NameAccel, farmCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close()
+
+	const blocks = 12
+	want, err := sw.KeyStreamBlocks(ctx, 7, 0, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := farm.KeyStreamBlocks(ctx, 7, 0, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatal("farm keystream differs from software reference")
+	}
+
+	ab := farm.(*AccelBackend)
+	if ab.Units() != 4 {
+		t.Fatalf("Units() = %d, want 4", ab.Units())
+	}
+	st := ab.Stats()
+	if len(st.Units) != 4 {
+		t.Fatalf("Stats().Units has %d entries, want 4", len(st.Units))
+	}
+	var unitBlocks, busyUnits int64
+	for i, u := range st.Units {
+		if u.Unit != i {
+			t.Errorf("Units[%d].Unit = %d", i, u.Unit)
+		}
+		if (u.Blocks == 0) != (u.Cycles == 0) {
+			t.Errorf("unit %d: blocks=%d but cycles=%d", i, u.Blocks, u.Cycles)
+		}
+		unitBlocks += u.Blocks
+		if u.Blocks > 0 {
+			busyUnits++
+		}
+	}
+	if unitBlocks != st.Blocks || st.Blocks != blocks {
+		t.Fatalf("per-unit blocks sum to %d, backend counted %d, want %d",
+			unitBlocks, st.Blocks, blocks)
+	}
+	// base.init(workers = units) fans a bulk request across the farm, so
+	// a 12-block request on 4 units must not serialize onto one unit.
+	if busyUnits < 2 {
+		t.Errorf("bulk request used %d of 4 farm units; expected the fan-out to spread it", busyUnits)
+	}
+}
+
+// TestAccelFarmConcurrentSessions hammers one farm from many goroutines
+// (the serving-tier shape: independent single-block requests) and checks
+// both correctness and conservation of the per-unit accounting.
+func TestAccelFarmConcurrentSessions(t *testing.T) {
+	ctx := context.Background()
+	cfg := Config{Variant: pasta.Pasta4, KeySeed: "farm-concurrent", AccelUnits: 3}
+	farm, err := Open(NameAccel, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer farm.Close()
+
+	ref, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, KeySeed: "farm-concurrent"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Close()
+
+	const goroutines = 8
+	const perG = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dst := ff.NewVec(farm.BlockSize())
+			want := ff.NewVec(farm.BlockSize())
+			for i := 0; i < perG; i++ {
+				nonce, block := uint64(g), uint64(i)
+				if err := farm.KeyStreamInto(ctx, dst, nonce, block); err != nil {
+					errs <- err
+					return
+				}
+				if err := ref.KeyStreamInto(ctx, want, nonce, block); err != nil {
+					errs <- err
+					return
+				}
+				if !dst.Equal(want) {
+					t.Errorf("goroutine %d block %d: keystream mismatch", g, i)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := farm.Stats()
+	var sum int64
+	for _, u := range st.Units {
+		sum += u.Blocks
+	}
+	if want := int64(goroutines * perG); st.Blocks != want || sum != want {
+		t.Fatalf("accounting: backend %d blocks, units sum %d, want %d", st.Blocks, sum, want)
+	}
+	if st.AccelCycles == 0 {
+		t.Fatal("AccelCycles not accumulated")
+	}
+}
+
+// TestAccelStepConfig pins the Config.AccelStep plumbing: bad spellings
+// are rejected at open, and forcing the per-cycle oracle still matches
+// the (default) event-driven keystream.
+func TestAccelStepConfig(t *testing.T) {
+	if _, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "k", AccelStep: "warp"}); err == nil {
+		t.Fatal("AccelStep \"warp\" accepted")
+	}
+	ctx := context.Background()
+	var out [2]ff.Vec
+	for i, step := range []string{"event", "cycle"} {
+		b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "step", AccelStep: step})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = ff.NewVec(b.BlockSize())
+		if err := b.KeyStreamInto(ctx, out[i], 3, 5); err != nil {
+			t.Fatal(err)
+		}
+		b.Close()
+	}
+	if !out[0].Equal(out[1]) {
+		t.Fatal("event and cycle stepping disagree through the backend layer")
+	}
+}

@@ -19,20 +19,23 @@ import (
 
 // Common are the flags every CLI shares.
 type Common struct {
-	Backend string // execution backend name (registry key)
-	Metrics string // metrics snapshot path ("" = off, "-" = stdout)
+	Backend    string // execution backend name (registry key)
+	Metrics    string // metrics snapshot path ("" = off, "-" = stdout)
+	AccelUnits int    // accel-backend farm width (1 = single peripheral)
 }
 
-// RegisterCommon installs the shared -backend and -metrics flags on fs
-// (pass flag.CommandLine from a main package). defaultBackend picks the
-// substrate the tool historically ran on, so plain invocations keep
-// their old behaviour.
+// RegisterCommon installs the shared -backend, -metrics and -accel-units
+// flags on fs (pass flag.CommandLine from a main package). defaultBackend
+// picks the substrate the tool historically ran on, so plain invocations
+// keep their old behaviour.
 func RegisterCommon(fs *flag.FlagSet, defaultBackend string) *Common {
 	c := &Common{}
 	fs.StringVar(&c.Backend, "backend", defaultBackend,
 		"execution backend: "+strings.Join(backend.Names(), ", "))
 	fs.StringVar(&c.Metrics, "metrics", "",
 		`write a JSON metrics snapshot to this file after the run ("-" = stdout)`)
+	fs.IntVar(&c.AccelUnits, "accel-units", 1,
+		"accel backend: number of modelled accelerator units in the farm")
 	return c
 }
 
@@ -49,8 +52,10 @@ func ParseVariant(name string) (pasta.Variant, error) {
 }
 
 // OpenPasta opens the named backend for a standard PASTA instance with
-// a seed-derived key — the configuration every CLI builds.
-func OpenPasta(backendName, variant string, width uint, keySeed string, workers int) (backend.BlockCipher, error) {
+// a seed-derived key — the configuration every CLI builds. accelUnits
+// sizes the accel backend's farm (≤ 1 = single unit; other backends
+// ignore it).
+func OpenPasta(backendName, variant string, width uint, keySeed string, workers, accelUnits int) (backend.BlockCipher, error) {
 	v, err := ParseVariant(variant)
 	if err != nil {
 		return nil, err
@@ -59,10 +64,11 @@ func OpenPasta(backendName, variant string, width uint, keySeed string, workers 
 		return nil, fmt.Errorf("-key-seed is required")
 	}
 	return backend.Open(backendName, backend.Config{
-		Variant: v,
-		Width:   width,
-		KeySeed: keySeed,
-		Workers: workers,
+		Variant:    v,
+		Width:      width,
+		KeySeed:    keySeed,
+		Workers:    workers,
+		AccelUnits: accelUnits,
 	})
 }
 

@@ -43,7 +43,7 @@ func TestRegisterCommonDefaults(t *testing.T) {
 }
 
 func TestOpenPasta(t *testing.T) {
-	b, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "cli-test", 1)
+	b, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "cli-test", 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,13 +51,13 @@ func TestOpenPasta(t *testing.T) {
 	if b.BlockSize() != 32 {
 		t.Fatalf("block size = %d", b.BlockSize())
 	}
-	if _, err := OpenPasta("fpga", "pasta4", 17, "k", 0); !errors.Is(err, backend.ErrUnknownBackend) {
+	if _, err := OpenPasta("fpga", "pasta4", 17, "k", 0, 1); !errors.Is(err, backend.ErrUnknownBackend) {
 		t.Fatalf("unknown backend error = %v", err)
 	}
-	if _, err := OpenPasta(backend.NameSoftware, "pasta9", 17, "k", 0); err == nil {
+	if _, err := OpenPasta(backend.NameSoftware, "pasta9", 17, "k", 0, 1); err == nil {
 		t.Fatal("bad variant accepted")
 	}
-	if _, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "", 0); err == nil {
+	if _, err := OpenPasta(backend.NameSoftware, "pasta4", 17, "", 0, 1); err == nil {
 		t.Fatal("empty key seed accepted")
 	}
 }

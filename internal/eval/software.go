@@ -44,6 +44,15 @@ func SoftwareThroughput(workers, blocks int) ([]SoftwareRow, error) {
 // goroutines; the hardware-model backends serialize on the single
 // simulated peripheral, so they get one row at workers = 1.
 func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) {
+	return ThroughputUnits(backendName, workers, blocks, 1)
+}
+
+// ThroughputUnits extends Throughput with an accelerator farm width:
+// with accelUnits > 1 on the accel backend, the sweep compares the
+// classic single peripheral against an N-way farm driven by N
+// concurrent block requests, quantifying how accel-backed serving
+// scales when the peripheral is replicated instead of shared.
+func ThroughputUnits(backendName string, workers, blocks, accelUnits int) ([]SoftwareRow, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("eval: blocks must be positive")
 	}
@@ -51,7 +60,10 @@ func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) 
 		workers = runtime.GOMAXPROCS(0)
 	}
 	workerSweep := []int{1, workers}
-	if backendName != backend.NameSoftware {
+	farm := backendName == backend.NameAccel && accelUnits > 1
+	if farm {
+		workerSweep = []int{1, accelUnits}
+	} else if backendName != backend.NameSoftware {
 		workerSweep = []int{1}
 	}
 	ctx := context.Background()
@@ -59,11 +71,15 @@ func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) 
 	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
 		var base float64
 		for _, w := range workerSweep {
-			b, err := backend.Open(backendName, backend.Config{
+			cfg := backend.Config{
 				Variant: v,
 				KeySeed: "software-throughput",
 				Workers: w,
-			})
+			}
+			if farm {
+				cfg.AccelUnits = w // one in-flight block per farm unit
+			}
+			b, err := backend.Open(backendName, cfg)
 			if err != nil {
 				return nil, err
 			}
@@ -93,7 +109,7 @@ func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) 
 				ElemsPerSec: eps,
 				Speedup:     eps / base,
 			})
-			if w == workers && workers == 1 {
+			if w == 1 && workerSweep[len(workerSweep)-1] == 1 {
 				break // sequential row already covers it
 			}
 		}

@@ -53,6 +53,15 @@ type Accelerator struct {
 	// aborts with a typed *ErrWatchdog carrying every unit's state. Zero
 	// or negative selects DefaultWatchdogLimit.
 	WatchdogLimit int64
+
+	// Step selects the simulation stepping strategy. The default
+	// (StepAuto) fast-forwards between events; runs that need per-cycle
+	// observability (Waveform, TraceEnabled, Fault) always take the
+	// per-cycle oracle loop regardless of Step.
+	Step StepMode
+
+	// ev is the event engine's reusable scratch (lazily allocated).
+	ev *evScratch
 }
 
 // NewAccelerator validates parameters and key and returns the model.
@@ -101,7 +110,19 @@ const (
 	phaseDone
 )
 
+// run dispatches one block to the selected stepping engine. The
+// per-cycle loop (runCycle) is the oracle and the forced path whenever a
+// per-cycle observer is armed; everything else fast-forwards through
+// runEvent, which is pinned bit-identical to the oracle — same keystream,
+// same Stats, same watchdog behaviour — by the differential suite.
 func (a *Accelerator) run(nonce, counter uint64, msg ff.Vec) (Result, error) {
+	if a.Step != StepCycle && !a.TraceEnabled && a.Waveform == nil && a.Fault == nil {
+		return a.runEvent(nonce, counter, msg)
+	}
+	return a.runCycle(nonce, counter, msg)
+}
+
+func (a *Accelerator) runCycle(nonce, counter uint64, msg ff.Vec) (Result, error) {
 	t := a.par.T
 	mod := a.par.Mod
 	layers := a.par.AffineLayers()

@@ -1,0 +1,768 @@
+package hw
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/ff"
+	"repro/internal/keccak"
+	"repro/internal/pasta"
+)
+
+// StepMode selects how the Accelerator advances modelled time.
+type StepMode int
+
+const (
+	// StepAuto uses event-driven fast-forwarding unless a per-cycle-only
+	// feature (Waveform, TraceEnabled, Fault) is armed for the run.
+	StepAuto StepMode = iota
+	// StepCycle forces the per-cycle oracle loop for every run.
+	StepCycle
+	// StepEvent requests event-driven stepping. Per-cycle-only features
+	// still force the oracle — they observe individual cycles, which the
+	// event engine skips over by construction.
+	StepEvent
+)
+
+func (s StepMode) String() string {
+	switch s {
+	case StepAuto:
+		return "auto"
+	case StepCycle:
+		return "cycle"
+	case StepEvent:
+		return "event"
+	default:
+		return fmt.Sprintf("step(%d)", int(s))
+	}
+}
+
+// ParseStepMode maps the CLI spelling of a stepping mode to its value.
+func ParseStepMode(name string) (StepMode, error) {
+	switch name {
+	case "", "auto":
+		return StepAuto, nil
+	case "cycle":
+		return StepCycle, nil
+	case "event":
+		return StepEvent, nil
+	}
+	return 0, fmt.Errorf("hw: unknown step mode %q (want auto, cycle or event)", name)
+}
+
+// evXOF is the event-time image of KeccakUnit: it emits the same word
+// sequence at the same cycles, but advances per squeezed word instead of
+// per clock edge. Permutations run eagerly as whole keccak.State.Permute
+// calls; the cycle at which each permutation's first round would have
+// executed is recorded in spans, so KeccakBusy and Permutations can be
+// replayed exactly (clamped to the run's final cycle) without modelling
+// the 24 individual round cycles.
+type evXOF struct {
+	cur, next keccak.State
+	naive     bool
+	sqIdx     int
+	next1     int64   // cycle of the next squeeze attempt
+	spans     []int64 // first-round cycle of every permutation started
+}
+
+func (x *evXOF) init(nonce, counter uint64, naive bool) {
+	x.cur = keccak.State{}
+	x.next = keccak.State{}
+	x.naive = naive
+	x.sqIdx = 0
+	x.spans = x.spans[:0]
+
+	// Absorb at cycle 0, exactly like KeccakUnit's xofAbsorb case.
+	var block [keccak.Rate128]byte
+	binary.BigEndian.PutUint64(block[0:8], nonce)
+	binary.BigEndian.PutUint64(block[8:16], counter)
+	block[16] ^= 0x1F
+	block[keccak.Rate128-1] ^= 0x80
+	for i := 0; i < keccak.Rate128/8; i++ {
+		x.next[i] ^= binary.LittleEndian.Uint64(block[8*i : 8*i+8])
+	}
+
+	// First permutation: rounds on cycles 1..24, rotation at cycle 24,
+	// first squeeze at 25. The double-buffered design starts the second
+	// permutation's rounds with the first squeeze cycle; the naive design
+	// cannot permute while its single buffer is being squeezed.
+	x.next.Permute()
+	x.spans = append(x.spans, 1)
+	x.cur = x.next
+	if !naive {
+		x.next.Permute()
+		x.spans = append(x.spans, 25)
+	}
+	x.next1 = 25
+}
+
+// emit returns the word squeezed at cycle next1 and advances the
+// squeeze/permutation timing to the following attempt cycle, recording
+// rotation and permutation spans when a 21-word batch completes.
+func (x *evXOF) emit() uint64 {
+	w := x.cur[x.sqIdx]
+	c := x.next1
+	x.sqIdx++
+	if x.sqIdx < wordsPerBatch {
+		x.next1 = c + 1
+		return w
+	}
+	var rotate int64
+	if x.naive {
+		// Single buffer: the full 24-cycle permutation runs in place of
+		// the control gap, on cycles c+1..c+24, rotation at c+24.
+		x.next.Permute()
+		x.spans = append(x.spans, c+1)
+		rotate = c + 24
+		x.cur = x.next
+	} else {
+		// Rotation waits for both the 5-cycle control gap and the
+		// in-flight permutation (rounds run every cycle from its span
+		// start, stalled squeezes included).
+		rotate = c + gapCycles
+		if done := x.spans[len(x.spans)-1] + 23; done > rotate {
+			rotate = done
+		}
+		x.cur = x.next
+		x.next.Permute()
+		x.spans = append(x.spans, rotate+1)
+	}
+	x.sqIdx = 0
+	x.next1 = rotate + 1
+	return w
+}
+
+// finalize replays the recorded permutation spans into the busy counters,
+// clamped to the run's last simulated cycle — the per-cycle loop executes
+// one round per cycle from each span's start, so a span contributes
+// min(24, end-start+1) KeccakBusy cycles and one Permutation iff all 24
+// rounds fit.
+func (x *evXOF) finalize(st *Stats, end int64) {
+	for _, s := range x.spans {
+		if s > end {
+			continue
+		}
+		if s+23 <= end {
+			st.KeccakBusy += 24
+			st.Permutations++
+		} else {
+			st.KeccakBusy += end - s + 1
+		}
+	}
+}
+
+// evScratch holds the event engine's reusable buffers. An Accelerator is
+// not safe for concurrent runs (the per-cycle path already mutates
+// per-run state), so one scratch per instance suffices.
+type evScratch struct {
+	t      int
+	layers int
+	xof    evXOF
+	dg     *DataGen
+	rc     [][2]ff.Vec
+	rcFill [][2]int
+	rcDone [][2]bool
+	state  ff.Vec
+	outBuf [2]ff.Vec
+	row    ff.Vec
+	shoup  ff.Vec
+}
+
+func newEvScratch(t, layers int) *evScratch {
+	ev := &evScratch{
+		t:      t,
+		layers: layers,
+		dg:     NewDataGen(t),
+		rc:     make([][2]ff.Vec, layers),
+		rcFill: make([][2]int, layers),
+		rcDone: make([][2]bool, layers),
+		state:  ff.NewVec(2 * t),
+		outBuf: [2]ff.Vec{ff.NewVec(t), ff.NewVec(t)},
+		row:    ff.NewVec(t),
+		shoup:  ff.NewVec(t),
+	}
+	for l := range ev.rc {
+		ev.rc[l] = [2]ff.Vec{ff.NewVec(t), ff.NewVec(t)}
+	}
+	return ev
+}
+
+func (ev *evScratch) reset() {
+	for l := range ev.rc {
+		ev.rcFill[l] = [2]int{}
+		ev.rcDone[l] = [2]bool{}
+	}
+}
+
+// matApplyFast computes out = M(seed)·x with the same row recurrence the
+// MatEngine uses (eq. 1: row'[0] = last·seed[0], row'[j] = last·seed[j] +
+// row[j-1]), but keeps rows lazily reduced in [0, 2p) via Shoup
+// multiplication by the per-matrix seed constants and fuses row
+// generation with the dot product. Outputs are fully reduced, so the
+// published matrix halves are bit-identical to the oracle's
+// ff.Dot/NextMatrixRow path. When 2p·p·t fits in 64 bits (smallDot) the
+// dot accumulates in a plain uint64; otherwise the 192-bit lazy chain of
+// ff.DotLazy carries the products exactly.
+func matApplyFast(mod ff.Modulus, seed, x, out, row, shoup ff.Vec, smallDot bool) {
+	t := len(seed)
+	p := mod.P()
+	twoP := 2 * p
+	for j := 0; j < t; j++ {
+		shoup[j] = mod.ShoupPrecomp(seed[j])
+		row[j] = seed[j]
+	}
+	if smallDot {
+		var acc uint64
+		for j := 0; j < t; j++ {
+			acc += seed[j] * x[j]
+		}
+		out[0] = mod.Reduce(acc)
+		for i := 1; i < t; i++ {
+			last := row[t-1]
+			acc = 0
+			// Descending j so row[j-1] is still the previous row's value.
+			for j := t - 1; j >= 1; j-- {
+				v := mod.MulShoupLazy(last, seed[j], shoup[j]) + row[j-1]
+				if v >= twoP {
+					v -= twoP
+				}
+				row[j] = v
+				acc += v * x[j]
+			}
+			v0 := mod.MulShoupLazy(last, seed[0], shoup[0])
+			row[0] = v0
+			acc += v0 * x[0]
+			out[i] = mod.Reduce(acc)
+		}
+		return
+	}
+	out[0] = ff.DotLazy(mod, row, x)
+	for i := 1; i < t; i++ {
+		last := row[t-1]
+		for j := t - 1; j >= 1; j-- {
+			v := mod.MulShoupLazy(last, seed[j], shoup[j]) + row[j-1]
+			if v >= twoP {
+				v -= twoP
+			}
+			row[j] = v
+		}
+		row[0] = mod.MulShoupLazy(last, seed[0], shoup[0])
+		out[i] = ff.DotLazy(mod, row, x)
+	}
+}
+
+// matApplyFold is matApplyFast specialised for Fermat moduli p = 2^a + 1
+// with small products (the PASTA ω=17 configuration, p = 2^16+1): a 64-bit
+// product x < 2^(2a)·k splits into a-bit limbs x = l0 + 2^a·l1 + 2^2a·l2
+// with 2^a ≡ -1 and 2^2a ≡ 1 (mod p), so x ≡ l0 - l1 + l2 and
+// r = l0 + l2 + p - l1 reduces with conditional subtractions only — no
+// Shoup precomputation (a Div64 per seed element) and no generic reduce.
+// The caller guarantees the fold bounds (see the foldOK derivation in
+// runEvent); outputs are fully reduced and therefore bit-identical to the
+// oracle's matrix halves.
+func matApplyFold(p uint64, a uint, seed, x, out, rowA, rowB ff.Vec) {
+	t := len(seed)
+	twoP := 2 * p
+	// Masking the shift counts to [0, 64) lets the compiler emit bare
+	// shift instructions instead of guarded variable shifts.
+	sh1 := a & 63
+	sh2 := (2 * a) & 63
+	maskA := uint64(1)<<sh1 - 1
+	seed = seed[:t]
+	x = x[:t]
+	out = out[:t]
+	// Rows ping-pong between two buffers so both loops run ascending with
+	// provably in-bounds indices (src holds row i-1 while dst fills row i).
+	src := rowA[:t]
+	dst := rowB[:t]
+	copy(src, seed)
+	var acc uint64
+	for j := 0; j < t; j++ {
+		acc += seed[j] * x[j]
+	}
+	out[0] = foldReduce(acc, p, sh1, sh2, maskA)
+	for i := 1; i < t; i++ {
+		src = src[:t]
+		dst = dst[:t]
+		last := src[t-1]
+		prod := last * seed[0]
+		r := (prod & maskA) + (prod >> sh2) + p - (prod >> sh1 & maskA)
+		if r >= twoP {
+			r -= twoP
+		}
+		dst[0] = r
+		acc = r * x[0]
+		for j := 1; j < t; j++ {
+			prod := last * seed[j]
+			// The folded product is ≤ 2p and the previous lazy row value
+			// < 2p, so their sum folds back into [0, 2p) with a single
+			// conditional subtraction of 2p.
+			r := (prod & maskA) + (prod >> sh2) + p - (prod >> sh1 & maskA)
+			v := r + src[j-1]
+			if v >= twoP {
+				v -= twoP
+			}
+			dst[j] = v
+			acc += v * x[j]
+		}
+		out[i] = foldReduce(acc, p, sh1, sh2, maskA)
+		src, dst = dst, src
+	}
+}
+
+// foldReduce fully reduces a dot accumulator via the Fermat limb fold.
+// Requires acc>>(2a) < p, which bounds the folded value below 3p.
+func foldReduce(acc, p uint64, sh1, sh2 uint, maskA uint64) uint64 {
+	r := (acc & maskA) + (acc >> sh2) + p - (acc >> sh1 & maskA)
+	if r >= p {
+		r -= p
+	}
+	if r >= p {
+		r -= p
+	}
+	return r
+}
+
+// The vector-ALU step specialised for the same Fermat fold: products of
+// canonical elements are < p² = 2^2a + 2^(a+1) + 1, so the overflow limb
+// is ≤ 1 and one conditional subtraction canonicalises the fold. Results
+// are identical to the ff.AddVec/pasta.Mix/Sbox reference path; only the
+// reduction strategy differs.
+
+func addVecFold(p uint64, z, x, y ff.Vec) {
+	for i := range z {
+		v := x[i] + y[i]
+		if v >= p {
+			v -= p
+		}
+		z[i] = v
+	}
+}
+
+func mixFold(p uint64, state ff.Vec) {
+	t := len(state) / 2
+	l, r := state[:t], state[t:t+t]
+	for i := 0; i < t; i++ {
+		s := l[i] + r[i]
+		if s >= p {
+			s -= p
+		}
+		lv := l[i] + s
+		if lv >= p {
+			lv -= p
+		}
+		rv := r[i] + s
+		if rv >= p {
+			rv -= p
+		}
+		l[i] = lv
+		r[i] = rv
+	}
+}
+
+func sboxFeistelFold(p uint64, sh1, sh2 uint, maskA uint64, state ff.Vec) {
+	for j := len(state) - 1; j >= 1; j-- {
+		x := state[j-1]
+		sq := x * x
+		r := (sq & maskA) + (sq >> sh2) + p - (sq >> sh1 & maskA)
+		if r >= p {
+			r -= p
+		}
+		v := state[j] + r
+		if v >= p {
+			v -= p
+		}
+		state[j] = v
+	}
+}
+
+func sboxCubeFold(p uint64, sh1, sh2 uint, maskA uint64, state ff.Vec) {
+	for j := range state {
+		x := state[j]
+		sq := x * x
+		r := (sq & maskA) + (sq >> sh2) + p - (sq >> sh1 & maskA)
+		if r >= p {
+			r -= p
+		}
+		cu := r * x
+		c := (cu & maskA) + (cu >> sh2) + p - (cu >> sh1 & maskA)
+		if c >= p {
+			c -= p
+		}
+		state[j] = c
+	}
+}
+
+// runEvent is the event-driven scheduler: instead of ticking every unit
+// every cycle it computes the next state-changing cycle — the next
+// sampler word from the batched Keccak squeeze timeline, a matrix-engine
+// completion, aluDoneAt/outputDoneAt, or the controller's next eligible
+// dispatch — and fast-forwards to it. The intra-cycle ordering of the
+// per-cycle loop (XOF emission, then engine completion, then exactly one
+// controller action) is preserved at every visited cycle, and all Stats
+// counters are accounted identically, so the result is bit-identical to
+// runCycle (pinned by the differential tests and FuzzAccelEventStep).
+func (a *Accelerator) runEvent(nonce, counter uint64, msg ff.Vec) (Result, error) {
+	t := a.par.T
+	mod := a.par.Mod
+	p := mod.P()
+	mask := mod.Mask()
+	layers := a.par.AffineLayers()
+
+	ev := a.ev
+	if ev == nil || ev.t != t || ev.layers != layers {
+		ev = newEvScratch(t, layers)
+		a.ev = ev
+	}
+	ev.reset()
+	ev.xof.init(nonce, counter, a.NaiveKeccak)
+	xof := &ev.xof
+	dg := ev.dg
+	dg.reset()
+	rc, rcFill, rcDone := ev.rc, ev.rcFill, ev.rcDone
+
+	// The uint64 dot accumulator is exact when t products of a lazy row
+	// value (< 2p) and a reduced state element (< p) cannot overflow.
+	hiB, loB := bits.Mul64(2*p-1, p-1)
+	smallDot := hiB == 0 && loB <= math.MaxUint64/uint64(t)
+
+	// The Fermat limb fold replaces Shoup multiplication when its bounds
+	// hold: MAC products (2p-1)(p-1) must fold below 2p in one subtraction
+	// (overflow limb ≤ 2), and dot accumulators t·(2p-1)(p-1) below 3p
+	// (overflow limb < p). True for every Fermat width the sampler can
+	// reach under smallDot; checked explicitly so exotic toy moduli fall
+	// back to the Shoup path.
+	foldOK := false
+	foldA := uint(0)
+	if smallDot && mod.Kind() == ff.Fermat {
+		fa := mod.Bits() - 1
+		prodMax := (2*p - 1) * (p - 1)
+		accMax := prodMax * uint64(t)
+		if prodMax>>(2*fa) <= 2 && accMax>>(2*fa) < p {
+			foldOK = true
+			foldA = fa
+		}
+	}
+	foldSh1 := foldA & 63
+	foldSh2 := (2 * foldA) & 63
+	foldMask := uint64(1)<<foldSh1 - 1
+
+	var res Result
+	st := &res.Stats
+
+	state := ev.state
+	copy(state, a.key)
+	layer := 0
+	phase := phaseMatL
+
+	var matReady [2]bool
+	engRunning := false
+	var engBusyUntil int64
+	engSeedID := -1
+	engHalf := 0
+
+	// Routing position, kept as (group kind, position-in-group) so the hot
+	// emission loop needs no division: kind 0/1 are the two matrix seeds,
+	// 2/3 the two RC halves; elemInLayer = elemKind*t + posInGroup.
+	elemKind := 0
+	posInGroup := 0
+	routingLayer := 0
+	demandDone := false
+	stalled := false
+	var stallStart int64
+
+	var aluDoneAt int64 = -1
+	var outputDoneAt int64 = -1
+	var ctrlEarliest int64
+	var endCycle int64 = -1
+
+	maxCycles := a.WatchdogLimit
+	if maxCycles <= 0 {
+		maxCycles = DefaultWatchdogLimit
+	}
+	horizon := maxCycles - 1 // last cycle the per-cycle loop would execute
+
+	for {
+		// Next non-emission event: a running engine completes at
+		// engBusyUntil; ALU/output completions are timers; a controller
+		// dispatch whose data conditions already hold fires at
+		// ctrlEarliest (the per-cycle loop evaluates a phase entered at
+		// cycle c no earlier than c+1).
+		other := int64(math.MaxInt64)
+		if engRunning {
+			other = engBusyUntil
+		}
+		switch phase {
+		case phaseMatL:
+			if !engRunning && dg.Ready(2*layer) && ctrlEarliest < other {
+				other = ctrlEarliest
+			}
+		case phaseMatR:
+			if matReady[0] && !engRunning && dg.Ready(2*layer+1) && ctrlEarliest < other {
+				other = ctrlEarliest
+			}
+		case phaseALU:
+			if aluDoneAt >= 0 {
+				if aluDoneAt < other {
+					other = aluDoneAt
+				}
+			} else if matReady[0] && matReady[1] && rcDone[layer][0] && rcDone[layer][1] &&
+				ctrlEarliest < other {
+				other = ctrlEarliest
+			}
+		case phaseOutput:
+			if outputDoneAt < other {
+				other = outputDoneAt
+			}
+		}
+
+		var now int64
+		if !stalled && !demandDone && xof.next1 <= other {
+			// Batched squeeze/sample/route: emit words at their exact
+			// cycles until an element completes a t-group (which may
+			// enable a controller dispatch), backpressure sets in, the
+			// routing demand ends, or another unit's event comes due.
+			if xof.next1 > horizon {
+				break
+			}
+			bound := other
+			if bound > horizon {
+				bound = horizon
+			}
+			var drawn, kept int64
+			// Hoist the squeeze cursor into locals for the batch; written
+			// back below (every exit from the loop falls through to it).
+			next1 := xof.next1
+			sqIdx := xof.sqIdx
+			for next1 <= bound {
+				c := next1
+				// Inline the common mid-batch squeeze; emit() handles the
+				// batch-end rotation bookkeeping.
+				var w uint64
+				if sqIdx < wordsPerBatch-1 {
+					w = xof.cur[sqIdx]
+					sqIdx++
+					next1 = c + 1
+				} else {
+					xof.next1 = c
+					xof.sqIdx = sqIdx
+					w = xof.emit()
+					next1 = xof.next1
+					sqIdx = xof.sqIdx
+				}
+				drawn++
+				now = c
+				v := w & mask
+				seedPhase := elemKind < 2
+				if v >= p || (seedPhase && v == 0 && dg.FillingFirstElement()) {
+					continue // rejected; the squeeze cycle is lost
+				}
+				kept++
+				if seedPhase {
+					dg.Push(v)
+				} else {
+					half := elemKind - 2
+					rc[routingLayer][half][posInGroup] = v
+					if posInGroup+1 == t {
+						rcFill[routingLayer][half] = t
+						rcDone[routingLayer][half] = true
+					}
+				}
+				posInGroup++
+				milestone := posInGroup == t
+				if milestone {
+					posInGroup = 0
+					elemKind++
+					if elemKind == 4 {
+						elemKind = 0
+						routingLayer++
+						if routingLayer == layers {
+							demandDone = true
+							break
+						}
+					}
+				}
+				if elemKind < 2 && dg.Stall() {
+					// The next demanded element is a seed word but both
+					// ping-pong buffers are occupied: squeezing stops at
+					// the next attempt cycle until an engine Release.
+					stalled = true
+					stallStart = next1
+					break
+				}
+				if milestone {
+					break
+				}
+			}
+			xof.next1 = next1
+			xof.sqIdx = sqIdx
+			st.SqueezeBusy += drawn
+			st.WordsDrawn += drawn
+			st.WordsKept += kept
+		} else {
+			if other > horizon {
+				break
+			}
+			now = other
+		}
+
+		// Matrix engine completion (the per-cycle loop's step 2).
+		if engRunning && engBusyUntil == now {
+			engRunning = false
+			matReady[engHalf] = true
+			dg.releaseReuse(engSeedID)
+			if stalled {
+				// The release unstalls the XOF; the per-cycle loop counts
+				// the release cycle itself as stalled (Tick runs before
+				// completions) and resumes squeezing the cycle after.
+				if stallStart <= now {
+					st.XOFStalled += now - stallStart + 1
+					xof.next1 = now + 1
+				}
+				stalled = false
+			}
+		}
+
+		// Controller (step 3): at most one dispatch per visited cycle.
+		if now >= ctrlEarliest {
+			switch phase {
+			case phaseMatL:
+				if !engRunning && dg.Ready(2*layer) {
+					seed := dg.Acquire(2 * layer)
+					engSeedID = 2 * layer
+					engHalf = 0
+					if foldOK {
+						matApplyFold(p, foldA, seed, state[:t], ev.outBuf[0], ev.row, ev.shoup)
+					} else {
+						matApplyFast(mod, seed, state[:t], ev.outBuf[0], ev.row, ev.shoup, smallDot)
+					}
+					engBusyUntil = now + matEngineLatency(t)
+					engRunning = true
+					st.MatGenBusy += int64(t)
+					st.MatMulBusy += int64(t)
+					phase = phaseMatR
+					ctrlEarliest = now + 1
+				}
+			case phaseMatR:
+				if matReady[0] && !engRunning && dg.Ready(2*layer+1) {
+					seed := dg.Acquire(2*layer + 1)
+					engSeedID = 2*layer + 1
+					engHalf = 1
+					if foldOK {
+						matApplyFold(p, foldA, seed, state[t:], ev.outBuf[1], ev.row, ev.shoup)
+					} else {
+						matApplyFast(mod, seed, state[t:], ev.outBuf[1], ev.row, ev.shoup, smallDot)
+					}
+					engBusyUntil = now + matEngineLatency(t)
+					engRunning = true
+					st.MatGenBusy += int64(t)
+					st.MatMulBusy += int64(t)
+					phase = phaseALU
+					ctrlEarliest = now + 1
+				}
+			case phaseALU:
+				if aluDoneAt < 0 {
+					if matReady[0] && matReady[1] && rcDone[layer][0] && rcDone[layer][1] {
+						lat := int64(latRCAdd + latMix)
+						if foldOK {
+							addVecFold(p, state[:t], ev.outBuf[0], rc[layer][0])
+							addVecFold(p, state[t:], ev.outBuf[1], rc[layer][1])
+							mixFold(p, state)
+							switch {
+							case layer < a.par.Rounds-1:
+								sboxFeistelFold(p, foldSh1, foldSh2, foldMask, state)
+								lat += latSbox
+							case layer == a.par.Rounds-1:
+								sboxCubeFold(p, foldSh1, foldSh2, foldMask, state)
+								lat += latSbox
+							}
+						} else {
+							copy(state[:t], ev.outBuf[0])
+							copy(state[t:], ev.outBuf[1])
+							ff.AddVec(mod, state[:t], state[:t], rc[layer][0])
+							ff.AddVec(mod, state[t:], state[t:], rc[layer][1])
+							pasta.Mix(mod, state)
+							switch {
+							case layer < a.par.Rounds-1:
+								pasta.SboxFeistel(mod, state)
+								lat += latSbox
+							case layer == a.par.Rounds-1:
+								pasta.SboxCube(mod, state)
+								lat += latSbox
+							}
+						}
+						aluDoneAt = now + lat
+						st.VecALUBusy += lat
+						ctrlEarliest = now + 1
+					}
+				} else if now >= aluDoneAt {
+					aluDoneAt = -1
+					matReady[0], matReady[1] = false, false
+					layer++
+					if layer == layers {
+						phase = phaseOutput
+						outputDoneAt = now + int64(t)
+						st.OutputBusy += int64(t)
+					} else {
+						phase = phaseMatL
+					}
+					ctrlEarliest = now + 1
+				}
+			case phaseOutput:
+				if now >= outputDoneAt {
+					phase = phaseDone
+					endCycle = now
+				}
+			}
+		}
+		if phase == phaseDone {
+			break
+		}
+	}
+
+	if endCycle < 0 {
+		// No event fits inside the cycle budget: the per-cycle loop would
+		// have spun to maxCycles. Account the XOF activity it would have
+		// seen on the way there.
+		xof.finalize(st, horizon)
+		if stalled && stallStart <= horizon {
+			st.XOFStalled += horizon - stallStart + 1
+		}
+		rcReady := [2]bool{}
+		if layer < layers {
+			rcReady = rcDone[layer]
+		}
+		mWatchdogTrips.Inc()
+		return Result{}, &ErrWatchdog{
+			Limit: maxCycles,
+			Units: UnitSnapshot{
+				Cycle:         maxCycles,
+				CtrlPhase:     phase.String(),
+				Layer:         layer,
+				Layers:        layers,
+				RoutingLayer:  routingLayer,
+				ElemInLayer:   elemKind*t + posInGroup,
+				XOFStalls:     st.XOFStalled,
+				DataGenFull:   dg.Stall(),
+				MatEngineBusy: engRunning && maxCycles < engBusyUntil,
+				MatOutReady:   matReady,
+				RCReady:       rcReady,
+			},
+			Stats: *st,
+		}
+	}
+
+	st.Cycles = endCycle
+	xof.finalize(st, endCycle)
+	publishStats(st)
+	res.KeyStream = state[:t].Clone()
+	if msg != nil {
+		res.Ciphertext = ff.NewVec(len(msg))
+		for i := range msg {
+			res.Ciphertext[i] = mod.Add(msg[i], res.KeyStream[i])
+		}
+	}
+	return res, nil
+}

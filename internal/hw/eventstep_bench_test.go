@@ -1,0 +1,40 @@
+package hw
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// BenchmarkAccelKeystream measures one cycle-accurate keystream block per
+// op in both stepping modes — the number behind the event engine's
+// ≥10× wall-clock claim (the modelled cycle counts are bit-identical;
+// only the wall time differs). Wired into `make bench-json` so the
+// before/after lands in BENCH_pasta.json.
+func BenchmarkAccelKeystream(b *testing.B) {
+	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
+		par := pasta.MustParams(v, ff.StandardModuli[17])
+		key := pasta.KeyFromSeed(par, "bench")
+		for _, mode := range []StepMode{StepEvent, StepCycle} {
+			b.Run(fmt.Sprintf("%v/step=%v", v, mode), func(b *testing.B) {
+				acc, err := NewAccelerator(par, key)
+				if err != nil {
+					b.Fatal(err)
+				}
+				acc.Step = mode
+				b.ReportAllocs()
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					res, err := acc.KeyStream(1, uint64(i))
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Stats.Cycles
+				}
+				b.ReportMetric(float64(cycles), "cycles/block")
+			})
+		}
+	}
+}

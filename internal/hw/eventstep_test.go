@@ -1,0 +1,236 @@
+package hw
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// runBothSteppings runs the same block through the per-cycle oracle and
+// the event-driven engine on two accelerators built from identical
+// params/key, and requires bit-identical results: keystream, ciphertext,
+// every Stats counter, and — when the watchdog trips — the same typed
+// error with the same unit snapshot and partial statistics.
+func runBothSteppings(t *testing.T, par pasta.Params, key pasta.Key, nonce, counter uint64, naive bool, watchdog int64, msg ff.Vec) {
+	t.Helper()
+
+	cyc, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatalf("NewAccelerator(cycle): %v", err)
+	}
+	evt, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatalf("NewAccelerator(event): %v", err)
+	}
+	cyc.Step = StepCycle
+	evt.Step = StepEvent
+	cyc.NaiveKeccak = naive
+	evt.NaiveKeccak = naive
+	cyc.WatchdogLimit = watchdog
+	evt.WatchdogLimit = watchdog
+
+	var cr, er Result
+	var ce, ee error
+	if msg != nil {
+		cr, ce = cyc.EncryptBlock(nonce, counter, msg)
+		er, ee = evt.EncryptBlock(nonce, counter, msg)
+	} else {
+		cr, ce = cyc.KeyStream(nonce, counter)
+		er, ee = evt.KeyStream(nonce, counter)
+	}
+
+	if (ce == nil) != (ee == nil) {
+		t.Fatalf("error divergence: cycle=%v event=%v", ce, ee)
+	}
+	if ce != nil {
+		var cw, ew *ErrWatchdog
+		if !errors.As(ce, &cw) || !errors.As(ee, &ew) {
+			t.Fatalf("non-watchdog errors: cycle=%v event=%v", ce, ee)
+		}
+		if cw.Limit != ew.Limit {
+			t.Fatalf("watchdog limit mismatch: cycle=%d event=%d", cw.Limit, ew.Limit)
+		}
+		if cw.Units != ew.Units {
+			t.Fatalf("watchdog unit snapshot mismatch:\n cycle: %v\n event: %v", cw.Units, ew.Units)
+		}
+		if cw.Stats != ew.Stats {
+			t.Fatalf("watchdog stats mismatch:\n cycle: %v\n event: %v", cw.Stats, ew.Stats)
+		}
+		return
+	}
+	if cr.Stats != er.Stats {
+		t.Fatalf("stats mismatch:\n cycle: %+v\n event: %+v", cr.Stats, er.Stats)
+	}
+	if !cr.KeyStream.Equal(er.KeyStream) {
+		t.Fatalf("keystream mismatch at nonce=%d counter=%d", nonce, counter)
+	}
+	if !cr.Ciphertext.Equal(er.Ciphertext) {
+		t.Fatalf("ciphertext mismatch at nonce=%d counter=%d", nonce, counter)
+	}
+}
+
+// TestEventStepMatchesCycleOracle sweeps the standard PASTA instances
+// over every standard modulus width, several nonces/counters, and both
+// Keccak designs, requiring the event engine to be indistinguishable
+// from the per-cycle oracle.
+func TestEventStepMatchesCycleOracle(t *testing.T) {
+	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
+		for _, w := range []uint{17, 33, 54, 60} {
+			par := pasta.MustParams(v, ff.StandardModuli[w])
+			key := pasta.KeyFromSeed(par, "eventstep")
+			t.Run(fmt.Sprintf("%v/w%d", v, w), func(t *testing.T) {
+				if testing.Short() && w != 17 {
+					t.Skip("short mode: 17-bit widths only")
+				}
+				for _, naive := range []bool{false, true} {
+					for nonce := uint64(0); nonce < 3; nonce++ {
+						runBothSteppings(t, par, key, nonce, nonce*7, naive, 0, nil)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEventStepEncryptBlock pins the ciphertext path (output adder) in
+// both stepping modes.
+func TestEventStepEncryptBlock(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.StandardModuli[17])
+	key := pasta.KeyFromSeed(par, "eventstep-encrypt")
+	msg := ff.NewVec(par.T)
+	for i := range msg {
+		msg[i] = uint64(i*97+13) % par.Mod.P()
+	}
+	runBothSteppings(t, par, key, 5, 9, false, 0, msg)
+}
+
+// TestEventStepToyInstances exercises the reduced instances where the
+// sampler outruns the tiny matrix tasks by whole layers — the shape that
+// once overflowed a shared RC buffer pair — and checks that per-layer RC
+// staging stays correct under fast-forwarding.
+func TestEventStepToyInstances(t *testing.T) {
+	mod := ff.StandardModuli[17]
+	for _, tt := range []int{2, 3, 4, 8} {
+		for rounds := 1; rounds <= 4; rounds++ {
+			par, err := pasta.ToyParams(tt, rounds, mod)
+			if err != nil {
+				t.Fatalf("ToyParams(%d, %d): %v", tt, rounds, err)
+			}
+			key := pasta.KeyFromSeed(par, "eventstep-toy")
+			t.Run(fmt.Sprintf("t%d/r%d", tt, rounds), func(t *testing.T) {
+				for _, naive := range []bool{false, true} {
+					for nonce := uint64(0); nonce < 4; nonce++ {
+						runBothSteppings(t, par, key, nonce, nonce, naive, 0, nil)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEventStepWatchdogEquivalence truncates runs at a dense sweep of
+// cycle budgets and requires the event engine to trip the watchdog with
+// exactly the oracle's unit snapshot and partial statistics at every
+// budget — the strongest probe of the fast-forwarding bookkeeping, since
+// every intermediate cycle becomes an observable trip point.
+func TestEventStepWatchdogEquivalence(t *testing.T) {
+	mod := ff.StandardModuli[17]
+	par, err := pasta.ToyParams(4, 2, mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par, "eventstep-watchdog")
+
+	// Find the full run length, then sweep budgets across it.
+	acc, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acc.KeyStream(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Stats.Cycles
+	for limit := int64(1); limit <= full+2; limit++ {
+		runBothSteppings(t, par, key, 1, 2, false, limit, nil)
+	}
+	// A few budgets over the naive-Keccak variant too.
+	for limit := int64(20); limit <= full+2; limit += 37 {
+		runBothSteppings(t, par, key, 1, 2, true, limit, nil)
+	}
+}
+
+// TestEventStepWatchdogStandard spot-checks truncated standard instances
+// (the toy sweep above covers every cycle; here a coarser stride over
+// PASTA-4 keeps the suite fast).
+func TestEventStepWatchdogStandard(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.StandardModuli[17])
+	key := pasta.KeyFromSeed(par, "eventstep-watchdog")
+	acc, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := acc.KeyStream(3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := res.Stats.Cycles
+	for limit := int64(1); limit <= full+2; limit += 101 {
+		runBothSteppings(t, par, key, 3, 4, false, limit, nil)
+	}
+}
+
+// TestStepModeDispatch pins the oracle-forcing rules: Waveform, trace,
+// and fault runs must take the per-cycle path even under StepEvent (they
+// observe individual cycles), and StepAuto must default to the event
+// engine (observable indirectly: identical results with no waveform).
+func TestStepModeDispatch(t *testing.T) {
+	par := pasta.MustParams(pasta.Pasta4, ff.StandardModuli[17])
+	key := pasta.KeyFromSeed(par, "eventstep-dispatch")
+	acc, err := NewAccelerator(par, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc.Step = StepEvent
+	acc.Waveform = &Waveform{}
+	res, err := acc.KeyStream(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(acc.Waveform.Cycles()) != res.Stats.Cycles+1 {
+		t.Fatalf("waveform recorded %d cycles, want %d (per-cycle path not taken?)",
+			acc.Waveform.Cycles(), res.Stats.Cycles+1)
+	}
+
+	acc.Waveform = nil
+	acc.TraceEnabled = true
+	res, err = acc.KeyStream(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace run recorded no events (per-cycle path not taken?)")
+	}
+}
+
+func TestParseStepMode(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want StepMode
+		ok   bool
+	}{
+		{"", StepAuto, true},
+		{"auto", StepAuto, true},
+		{"cycle", StepCycle, true},
+		{"event", StepEvent, true},
+		{"fast", 0, false},
+	} {
+		got, err := ParseStepMode(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseStepMode(%q) = %v, %v; want %v, ok=%v", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}

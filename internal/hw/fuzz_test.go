@@ -1,0 +1,40 @@
+package hw
+
+import (
+	"testing"
+
+	"repro/internal/ff"
+	"repro/internal/pasta"
+)
+
+// FuzzAccelEventStep is the differential fuzz target behind the event
+// engine's equivalence claim: for a fuzzer-chosen reduced instance,
+// modulus, Keccak scheduling mode, watchdog budget, and (nonce, counter)
+// pair, the event-driven engine must reproduce the per-cycle oracle
+// bit-exactly — same keystream, same Stats down to every stall counter,
+// and on a watchdog trip the same typed error with the same unit
+// snapshot. runBothSteppings (eventstep_test.go) does the comparison;
+// this target feeds it adversarial shapes the hand-written sweeps may
+// miss, in particular odd t/round combinations where the sampler runs
+// whole layers ahead of the datapath, and tight watchdog budgets that
+// turn every intermediate cycle into an observable trip point.
+func FuzzAccelEventStep(f *testing.F) {
+	f.Add(uint8(4), uint8(2), uint8(0), uint64(0), uint64(0), false, uint16(0))
+	f.Add(uint8(2), uint8(1), uint8(1), uint64(1), uint64(7), true, uint16(0))
+	f.Add(uint8(8), uint8(3), uint8(2), uint64(42), uint64(3), false, uint16(97))
+	f.Add(uint8(3), uint8(4), uint8(3), uint64(5), uint64(0), true, uint16(350))
+	widths := []uint{17, 33, 54, 60}
+	f.Fuzz(func(t *testing.T, tSel, rSel, wSel uint8, nonce, counter uint64, naive bool, wd uint16) {
+		size := 2 + int(tSel%7)   // t ∈ [2, 8]
+		rounds := 1 + int(rSel%4) // R ∈ [1, 4]
+		mod := ff.StandardModuli[widths[wSel%4]]
+		par, err := pasta.ToyParams(size, rounds, mod)
+		if err != nil {
+			t.Skip()
+		}
+		key := pasta.KeyFromSeed(par, "fuzz-eventstep")
+		// wd == 0 keeps the default budget (run completes); small values
+		// exercise mid-flight watchdog aborts in both engines.
+		runBothSteppings(t, par, key, nonce, counter, naive, int64(wd), nil)
+	})
+}

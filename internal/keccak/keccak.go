@@ -38,10 +38,84 @@ var rhoOffsets = [5][5]uint{
 type State [25]uint64
 
 // Permute applies the full 24-round Keccak-f[1600] permutation in place.
+// The round body is inlined into the loop (rather than calling Round 24
+// times) so the compiler keeps the theta/chi temporaries in registers
+// across rounds, and the whole computation runs on a local copy of the
+// state: every lane access is a constant index into a non-escaping local
+// array, which the compiler scalarizes, where loads/stores through the
+// receiver pointer would hit memory in every round. The permutation
+// dominates keystream wall time.
 func (s *State) Permute() {
+	a := *s
+	var b State
 	for round := 0; round < 24; round++ {
-		s.Round(round)
+		// theta
+		c0 := a[0] ^ a[5] ^ a[10] ^ a[15] ^ a[20]
+		c1 := a[1] ^ a[6] ^ a[11] ^ a[16] ^ a[21]
+		c2 := a[2] ^ a[7] ^ a[12] ^ a[17] ^ a[22]
+		c3 := a[3] ^ a[8] ^ a[13] ^ a[18] ^ a[23]
+		c4 := a[4] ^ a[9] ^ a[14] ^ a[19] ^ a[24]
+		d0 := c4 ^ bits.RotateLeft64(c1, 1)
+		d1 := c0 ^ bits.RotateLeft64(c2, 1)
+		d2 := c1 ^ bits.RotateLeft64(c3, 1)
+		d3 := c2 ^ bits.RotateLeft64(c4, 1)
+		d4 := c3 ^ bits.RotateLeft64(c0, 1)
+		// rho and pi fused with theta's state update
+		b[0] = a[0] ^ d0
+		b[16] = bits.RotateLeft64(a[5]^d0, 36)
+		b[7] = bits.RotateLeft64(a[10]^d0, 3)
+		b[23] = bits.RotateLeft64(a[15]^d0, 41)
+		b[14] = bits.RotateLeft64(a[20]^d0, 18)
+		b[10] = bits.RotateLeft64(a[1]^d1, 1)
+		b[1] = bits.RotateLeft64(a[6]^d1, 44)
+		b[17] = bits.RotateLeft64(a[11]^d1, 10)
+		b[8] = bits.RotateLeft64(a[16]^d1, 45)
+		b[24] = bits.RotateLeft64(a[21]^d1, 2)
+		b[20] = bits.RotateLeft64(a[2]^d2, 62)
+		b[11] = bits.RotateLeft64(a[7]^d2, 6)
+		b[2] = bits.RotateLeft64(a[12]^d2, 43)
+		b[18] = bits.RotateLeft64(a[17]^d2, 15)
+		b[9] = bits.RotateLeft64(a[22]^d2, 61)
+		b[5] = bits.RotateLeft64(a[3]^d3, 28)
+		b[21] = bits.RotateLeft64(a[8]^d3, 55)
+		b[12] = bits.RotateLeft64(a[13]^d3, 25)
+		b[3] = bits.RotateLeft64(a[18]^d3, 21)
+		b[19] = bits.RotateLeft64(a[23]^d3, 56)
+		b[15] = bits.RotateLeft64(a[4]^d4, 27)
+		b[6] = bits.RotateLeft64(a[9]^d4, 20)
+		b[22] = bits.RotateLeft64(a[14]^d4, 39)
+		b[13] = bits.RotateLeft64(a[19]^d4, 8)
+		b[4] = bits.RotateLeft64(a[24]^d4, 14)
+		// chi
+		a[0] = b[0] ^ (^b[1] & b[2])
+		a[1] = b[1] ^ (^b[2] & b[3])
+		a[2] = b[2] ^ (^b[3] & b[4])
+		a[3] = b[3] ^ (^b[4] & b[0])
+		a[4] = b[4] ^ (^b[0] & b[1])
+		a[5] = b[5] ^ (^b[6] & b[7])
+		a[6] = b[6] ^ (^b[7] & b[8])
+		a[7] = b[7] ^ (^b[8] & b[9])
+		a[8] = b[8] ^ (^b[9] & b[5])
+		a[9] = b[9] ^ (^b[5] & b[6])
+		a[10] = b[10] ^ (^b[11] & b[12])
+		a[11] = b[11] ^ (^b[12] & b[13])
+		a[12] = b[12] ^ (^b[13] & b[14])
+		a[13] = b[13] ^ (^b[14] & b[10])
+		a[14] = b[14] ^ (^b[10] & b[11])
+		a[15] = b[15] ^ (^b[16] & b[17])
+		a[16] = b[16] ^ (^b[17] & b[18])
+		a[17] = b[17] ^ (^b[18] & b[19])
+		a[18] = b[18] ^ (^b[19] & b[15])
+		a[19] = b[19] ^ (^b[15] & b[16])
+		a[20] = b[20] ^ (^b[21] & b[22])
+		a[21] = b[21] ^ (^b[22] & b[23])
+		a[22] = b[22] ^ (^b[23] & b[24])
+		a[23] = b[23] ^ (^b[24] & b[20])
+		a[24] = b[24] ^ (^b[20] & b[21])
+		// iota
+		a[0] ^= roundConstants[round]
 	}
+	*s = a
 }
 
 // Round applies a single Keccak-f round (theta, rho, pi, chi, iota) in

@@ -86,6 +86,19 @@ func BenchmarkServerThroughputParallel(b *testing.B) {
 			benchSessions(b, sessions, Config{Workers: 0, QueueBound: 1024, MaxSessions: 2048})
 		})
 	}
+	// Accel-backed serving: every session runs the cycle-accurate
+	// cryptoprocessor model (event-driven stepping). The units sweep is
+	// the farm-scaling experiment — with AccelUnits > 1 each session's
+	// cipher fans its blocks across N modelled peripherals, so the
+	// units=4 row should show multi-unit throughput scaling over units=1.
+	for _, units := range []int{1, 4} {
+		b.Run(fmt.Sprintf("accel/units=%d/sessions=4", units), func(b *testing.B) {
+			benchSessions(b, 4, Config{
+				Backend: backend.NameAccel, AccelUnits: units,
+				Workers: 0, QueueBound: 1024, MaxSessions: 2048,
+			})
+		})
+	}
 }
 
 // benchSessions drives b.N encrypt requests across the given number of

@@ -72,6 +72,14 @@ type Config struct {
 	// pool, so a single bulk request cannot oversubscribe the host.
 	BackendWorkers int
 
+	// AccelUnits sizes each accel-backend session's accelerator farm
+	// (≤ 0 or 1 = single modelled peripheral). With N > 1 units a
+	// session's cipher fans bulk requests across N cloned accelerator
+	// instances, so one client can keep the whole farm busy; the farm
+	// units are modelled hardware, not host threads, so this does not
+	// oversubscribe the scheduler pool the way BackendWorkers would.
+	AccelUnits int
+
 	// QueueBound caps queued jobs; submissions beyond it are rejected
 	// with ErrOverloaded. Default 256.
 	QueueBound int

@@ -65,10 +65,17 @@ type streamPending struct {
 func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 	srv := c.srv
 	cfg := backend.Config{
-		Scheme:  m.Scheme,
-		Key:     ff.Vec(m.Key),
-		Workers: srv.cfg.BackendWorkers,
-		Width:   uint(m.Width),
+		Scheme:     m.Scheme,
+		Key:        ff.Vec(m.Key),
+		Workers:    srv.cfg.BackendWorkers,
+		Width:      uint(m.Width),
+		AccelUnits: srv.cfg.AccelUnits,
+	}
+	if srv.cfg.Backend == backend.NameAccel && cfg.AccelUnits > cfg.Workers {
+		// An N-way accelerator farm needs N in-flight blocks to stay
+		// busy; the farm units are modelled peripherals, not host
+		// threads, so widening the cipher fan-out to match is free.
+		cfg.Workers = cfg.AccelUnits
 	}
 	switch m.Variant {
 	case 0, 3:
