@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke server-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke server-smoke tls-smoke ci clean
 
 all: build
 
@@ -86,7 +86,14 @@ backends-smoke:
 server-smoke:
 	$(GO) test -run TestServerSmoke -count=1 -v ./cmd/hheserver
 
-ci: vet fmt-check build race backends-smoke server-smoke bench-smoke
+# Transport-security gate: serve over TLS from a self-signed PEM pair,
+# reject a plaintext client, replay a captured Encrypt frame (must be
+# refused with CodeReplay), and resume a parked session by token across
+# a reconnect.
+tls-smoke:
+	$(GO) test -run TestTLSSmoke -count=1 -v ./cmd/hheserver
+
+ci: vet fmt-check build race backends-smoke server-smoke tls-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -11,6 +11,15 @@
 //	          [-batch-window 2ms] [-max-sessions N] [-rate N] [-burst N]
 //	          [-request-timeout 10s] [-idle-timeout 2m]
 //	          [-write-timeout 10s] [-metrics file|-]
+//	          [-tls-cert cert.pem -tls-key key.pem] [-tls-client-ca ca.pem]
+//	          [-resume-window 1m]
+//
+// With -tls-cert/-tls-key the listener speaks TLS, so symmetric keys and
+// resumption tokens never cross the wire in plaintext; -tls-client-ca
+// additionally demands and verifies client certificates (mTLS).
+// -resume-window parks disconnected sessions for the given duration so
+// reconnecting clients can resume by token instead of re-uploading key
+// blobs; 0 evicts on disconnect.
 //
 // SIGINT/SIGTERM trigger a graceful drain: the listener closes, queued
 // work completes, connections are torn down, and — with -metrics — the
@@ -21,6 +30,8 @@ package main
 
 import (
 	"context"
+	"crypto/tls"
+	"crypto/x509"
 	"flag"
 	"fmt"
 	"os"
@@ -47,9 +58,17 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 0, "per-connection idle deadline (0 = default 2m)")
 	writeTimeout := flag.Duration("write-timeout", 0, "per-flush reply write deadline (0 = default 10s)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "graceful shutdown budget")
+	tlsCert := flag.String("tls-cert", "", "TLS certificate PEM file (with -tls-key, serves TLS)")
+	tlsKey := flag.String("tls-key", "", "TLS private key PEM file")
+	tlsClientCA := flag.String("tls-client-ca", "", "client CA PEM file; set to require client certificates (mTLS)")
+	resumeWindow := flag.Duration("resume-window", time.Minute, "how long a disconnected session stays resumable by token (0 = evict on disconnect)")
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoftware)
 	flag.Parse()
 
+	tlsCfg, err := buildTLSConfig(*tlsCert, *tlsKey, *tlsClientCA)
+	if err != nil {
+		cli.Exit("hheserver", err)
+	}
 	if err := run(*addr, *debugAddr, *drainTimeout, server.Config{
 		Backend:        common.Backend,
 		Workers:        *workers,
@@ -62,12 +81,50 @@ func main() {
 		RequestTimeout: *requestTimeout,
 		IdleTimeout:    *idleTimeout,
 		WriteTimeout:   *writeTimeout,
+		TLS:            tlsCfg,
+		ResumeWindow:   *resumeWindow,
 	}); err != nil {
 		cli.Exit("hheserver", err)
 	}
 	if err := common.Finish(); err != nil {
 		cli.Exit("hheserver", err)
 	}
+}
+
+// buildTLSConfig assembles the server TLS configuration from PEM file
+// flags. Both of cert/key or neither must be given; a client CA makes
+// client certificates mandatory (mTLS) and requires TLS to be on.
+func buildTLSConfig(certFile, keyFile, clientCAFile string) (*tls.Config, error) {
+	if certFile == "" && keyFile == "" {
+		if clientCAFile != "" {
+			return nil, fmt.Errorf("-tls-client-ca requires -tls-cert and -tls-key")
+		}
+		return nil, nil
+	}
+	if certFile == "" || keyFile == "" {
+		return nil, fmt.Errorf("-tls-cert and -tls-key must be set together")
+	}
+	cert, err := tls.LoadX509KeyPair(certFile, keyFile)
+	if err != nil {
+		return nil, fmt.Errorf("load TLS key pair: %w", err)
+	}
+	cfg := &tls.Config{
+		Certificates: []tls.Certificate{cert},
+		MinVersion:   tls.VersionTLS12,
+	}
+	if clientCAFile != "" {
+		pem, err := os.ReadFile(clientCAFile)
+		if err != nil {
+			return nil, fmt.Errorf("read client CA: %w", err)
+		}
+		pool := x509.NewCertPool()
+		if !pool.AppendCertsFromPEM(pem) {
+			return nil, fmt.Errorf("client CA %s: no certificates found", clientCAFile)
+		}
+		cfg.ClientCAs = pool
+		cfg.ClientAuth = tls.RequireAndVerifyClientCert
+	}
+	return cfg, nil
 }
 
 func run(addr, debugAddr string, drainTimeout time.Duration, cfg server.Config) error {

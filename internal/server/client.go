@@ -1,6 +1,7 @@
 package server
 
 import (
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -38,6 +39,12 @@ func (e *RemoteError) Is(target error) bool {
 		return target == ErrRateLimited
 	case wire.CodeShuttingDown:
 		return target == ErrShuttingDown
+	case wire.CodeReplay:
+		return target == ErrReplay
+	case wire.CodeDuplicateNonce:
+		return target == ErrDuplicateNonce
+	case wire.CodeBadResume:
+		return target == ErrBadResume
 	}
 	return false
 }
@@ -111,9 +118,20 @@ func putTimer(t *time.Timer) {
 	timerPool.Put(t)
 }
 
-// Dial connects to an hheserver.
+// Dial connects to an hheserver over plaintext TCP.
 func Dial(addr string) (*Client, error) {
 	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(nc), nil
+}
+
+// DialTLS connects to a TLS-wrapped hheserver. cfg follows crypto/tls
+// conventions (nil means defaults with full verification against the
+// system roots; set RootCAs/Certificates for private PKI or mTLS).
+func DialTLS(addr string, cfg *tls.Config) (*Client, error) {
+	nc, err := tls.Dial("tcp", addr, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -246,11 +264,18 @@ func (c *Client) unregister(id uint64) {
 }
 
 // sendBuf writes one pre-encoded frame under the write lock and
-// releases it.
-func (c *Client) sendBuf(b *wire.Buf) error {
+// releases it. wipe zeroes the frame bytes before the buffer returns to
+// the shared pool — required for frames carrying key material, since
+// pooled buffers are recycled across connections in this process.
+func (c *Client) sendBuf(b *wire.Buf, wipe bool) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	defer b.Release()
+	defer func() {
+		if wipe {
+			clear(b.B)
+		}
+		b.Release()
+	}()
 	if err := c.nc.SetWriteDeadline(time.Now().Add(c.Timeout)); err != nil {
 		return err
 	}
@@ -260,14 +285,21 @@ func (c *Client) sendBuf(b *wire.Buf) error {
 
 // sendMsg encodes m into a pooled frame and writes it.
 func (c *Client) sendMsg(t wire.Type, m wire.Message) error {
+	return c.sendMsgWipe(t, m, false)
+}
+
+func (c *Client) sendMsgWipe(t wire.Type, m wire.Message, wipe bool) error {
 	b := wire.GetBuf(0)
 	var err error
 	b.B, err = wire.AppendMessageFrame(b.B, t, m)
 	if err != nil {
+		if wipe {
+			clear(b.B)
+		}
 		b.Release()
 		return err
 	}
-	return c.sendBuf(b)
+	return c.sendBuf(b, wipe)
 }
 
 // await blocks for a registered call's response. On success the caller
@@ -295,11 +327,15 @@ func (c *Client) await(id uint64, ch chan callResult) (callResult, error) {
 
 // call performs one synchronous request/response exchange.
 func (c *Client) call(t wire.Type, m wire.Message, id uint64) (callResult, error) {
+	return c.callWipe(t, m, id, false)
+}
+
+func (c *Client) callWipe(t wire.Type, m wire.Message, id uint64, wipe bool) (callResult, error) {
 	ch, err := c.register(id)
 	if err != nil {
 		return callResult{}, err
 	}
-	if err := c.sendMsg(t, m); err != nil {
+	if err := c.sendMsgWipe(t, m, wipe); err != nil {
 		c.unregister(id)
 		return callResult{}, err
 	}
@@ -308,10 +344,11 @@ func (c *Client) call(t wire.Type, m wire.Message, id uint64) (callResult, error
 
 // OpenSession registers a session. The open's ID field is assigned by
 // the client; T, Nonce, Key, etc. describe the cipher instance (see
-// wire.SessionOpen).
+// wire.SessionOpen). The pooled frame buffer that carried the key is
+// wiped before recycling; the caller's open.Key slice is left intact.
 func (c *Client) OpenSession(open wire.SessionOpen) (*Session, error) {
 	open.ID = c.nextID.Add(1)
-	res, err := c.call(wire.TypeSessionOpen, &open, open.ID)
+	res, err := c.callWipe(wire.TypeSessionOpen, &open, open.ID, true)
 	if err != nil {
 		res.release()
 		return nil, err
@@ -327,7 +364,39 @@ func (c *Client) OpenSession(open wire.SessionOpen) (*Session, error) {
 		Modulus:   res.ack.Modulus,
 		Bits:      res.ack.Bits,
 		Nonce:     open.Nonce,
+		Token:     append([]byte(nil), res.ack.Resume...),
 	}, nil
+}
+
+// ResumeSession re-attaches to a parked session using the resumption
+// token a previous OpenSession (or ResumeSession) returned — no key or
+// EvalKey re-upload. The session resumes with its server-side stream
+// position (Tail) and replay high-water mark; request counters continue
+// from the acknowledged mark, so the resumed session is replay-protected
+// across the reconnect.
+func (c *Client) ResumeSession(token []byte) (*Session, error) {
+	id := c.nextID.Add(1)
+	open := wire.SessionOpen{ID: id, Resume: token}
+	res, err := c.call(wire.TypeSessionOpen, &open, id)
+	if err != nil {
+		res.release()
+		return nil, err
+	}
+	defer res.release()
+	if res.ack == nil {
+		return nil, fmt.Errorf("server: session resume got no ack")
+	}
+	s := &Session{
+		c:         c,
+		ID:        res.ack.Session,
+		BlockSize: int(res.ack.BlockSize),
+		Modulus:   res.ack.Modulus,
+		Bits:      res.ack.Bits,
+		Token:     append([]byte(nil), res.ack.Resume...),
+		Tail:      res.ack.Tail,
+	}
+	s.ctr.Store(res.ack.Counter)
+	return s, nil
 }
 
 // Session is a live server-side cipher instance addressed by id.
@@ -337,7 +406,13 @@ type Session struct {
 	BlockSize int    // t, elements per keystream block
 	Modulus   uint64 // field prime p
 	Bits      uint8  // wire packing width
-	Nonce     uint64 // stream nonce fixed at open
+	Nonce     uint64 // stream nonce fixed at open (zero on a resumed handle)
+	Token     []byte // resumption token; valid for ResumeSession after a disconnect
+	Tail      uint64 // next stream element offset at resume (0 on a fresh open)
+
+	// ctr numbers requests for the server's anti-replay window; seeded
+	// from the acknowledged high-water mark on resume.
+	ctr atomic.Uint64
 }
 
 // Encrypt encrypts msg with block counters from 0 — the semantics of
@@ -350,13 +425,13 @@ func (s *Session) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := wire.GetBuf(wire.HeaderSize + 29 + ff.PackedSize(len(msg), uint(s.Bits)))
-	if b.B, err = wire.AppendEncryptFrame(b.B, s.ID, id, nonce, msg, s.Bits); err != nil {
+	b := wire.GetBuf(wire.HeaderSize + 37 + ff.PackedSize(len(msg), uint(s.Bits)))
+	if b.B, err = wire.AppendEncryptFrame(b.B, s.ID, id, s.ctr.Add(1), nonce, msg, s.Bits); err != nil {
 		b.Release()
 		s.c.unregister(id)
 		return nil, err
 	}
-	if err := s.c.sendBuf(b); err != nil {
+	if err := s.c.sendBuf(b, false); err != nil {
 		s.c.unregister(id)
 		return nil, err
 	}
@@ -373,8 +448,8 @@ func (s *Session) Encrypt(nonce uint64, msg ff.Vec) (ff.Vec, error) {
 // Keystream fetches count keystream blocks [first, first+count).
 func (s *Session) Keystream(nonce, first uint64, count int) (ff.Vec, error) {
 	id := s.c.nextID.Add(1)
-	req := &wire.KeystreamReq{Session: s.ID, ID: id, Nonce: nonce,
-		First: first, Count: uint32(count)}
+	req := &wire.KeystreamReq{Session: s.ID, ID: id, Counter: s.ctr.Add(1),
+		Nonce: nonce, First: first, Count: uint32(count)}
 	res, err := s.c.call(wire.TypeKeystream, req, id)
 	if err != nil {
 		res.release()
@@ -408,11 +483,11 @@ func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64
 		ids[i] = id
 		var ch chan callResult
 		if ch, err = s.c.register(id); err == nil {
-			b := wire.GetBuf(wire.HeaderSize + 21 + ff.PackedSize(len(chunk), uint(s.Bits)))
-			if b.B, err = wire.AppendStreamFrame(b.B, s.ID, id, chunk, s.Bits); err != nil {
+			b := wire.GetBuf(wire.HeaderSize + 29 + ff.PackedSize(len(chunk), uint(s.Bits)))
+			if b.B, err = wire.AppendStreamFrame(b.B, s.ID, id, s.ctr.Add(1), chunk, s.Bits); err != nil {
 				b.Release()
 				s.c.unregister(id)
-			} else if err = s.c.sendBuf(b); err != nil {
+			} else if err = s.c.sendBuf(b, false); err != nil {
 				s.c.unregister(id)
 			} else {
 				chans[i] = ch

@@ -74,11 +74,13 @@ func (c *conn) serve() {
 	}
 }
 
-// teardown evicts every session owned by the connection, drains the
+// teardown detaches every session owned by the connection, drains the
 // outbox (so error frames queued just before exit still reach the
-// peer), and closes the transport. evict counts disconnect-triggered
-// session teardown in the metrics (an explicit SessionClose does not
-// pass through here).
+// peer), and closes the transport. On a client disconnect (evict=true)
+// with a ResumeWindow configured, sessions park instead of closing —
+// their resumption tokens stay valid for the window; without one, or on
+// server-initiated teardown, they are evicted as before (an explicit
+// SessionClose does not pass through here).
 func (c *conn) teardown(evict bool) {
 	c.mu.Lock()
 	if c.closing {
@@ -93,7 +95,12 @@ func (c *conn) teardown(evict bool) {
 	c.sessions = map[uint32]*session{}
 	c.mu.Unlock()
 
+	park := evict && c.srv.cfg.ResumeWindow > 0
 	for _, sess := range owned {
+		if park {
+			sess.park()
+			continue
+		}
 		sess.close()
 		if evict {
 			c.srv.m.evicted.Inc()
@@ -140,9 +147,16 @@ func (c *conn) handle(t wire.Type, payload []byte) bool {
 
 func (c *conn) handleOpen(payload []byte) bool {
 	m, err := wire.DecodeSessionOpen(payload)
+	// The frame scratch carried the raw key words; wipe them before the
+	// buffer is reused for later frames (the decoded copy is wiped by
+	// openSession once the backend cipher holds its own clone).
+	clear(payload)
 	if err != nil {
 		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
 		return false
+	}
+	if len(m.Resume) > 0 {
+		return c.handleResume(m)
 	}
 	sess, err := openSession(c, m)
 	if err != nil {
@@ -164,6 +178,42 @@ func (c *conn) handleOpen(payload []byte) bool {
 		BlockSize: uint32(sess.t),
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
+		Resume:    sess.token,
+	}
+	return c.sendMsg(wire.TypeSessionAck, ack)
+}
+
+// handleResume re-attaches a parked session named by a resumption
+// token. The ack echoes the replay high-water mark and the next stream
+// offset, so the client can renumber its requests and account for the
+// keystream gap left by its in-flight batch at disconnect.
+func (c *conn) handleResume(m *wire.SessionOpen) bool {
+	sess, err := c.srv.resumeSession(c, m.Resume)
+	if err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(0, m.ID, code, retry, err.Error())
+		return true
+	}
+	c.mu.Lock()
+	if c.closing {
+		c.mu.Unlock()
+		sess.park() // back to the parked state; the token stays valid
+		return false
+	}
+	c.sessions[sess.id] = sess
+	c.mu.Unlock()
+	sess.mu.Lock()
+	ctrHigh, tail := sess.ctrHigh, sess.tail
+	sess.mu.Unlock()
+	ack := &wire.SessionAck{
+		ID:        m.ID,
+		Session:   sess.id,
+		BlockSize: uint32(sess.t),
+		Modulus:   sess.mod.P(),
+		Bits:      sess.bits,
+		Counter:   ctrHigh,
+		Tail:      tail,
+		Resume:    sess.token,
 	}
 	return c.sendMsg(wire.TypeSessionAck, ack)
 }
@@ -225,8 +275,11 @@ func (c *conn) handleEncrypt(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
+	if !c.checkCounter(sess, m.ID, m.Counter) {
+		return true
+	}
 	j := getJob()
-	j.kind, j.sess, j.id, j.nonce = jobEncrypt, sess, m.ID, m.Nonce
+	j.kind, j.sess, j.conn, j.id, j.nonce = jobEncrypt, sess, c, m.ID, m.Nonce
 	j.enq = time.Now()
 	j.msg = resizeVec(j.msg, int(m.Count))
 	if err := m.VecInto(j.msg); err != nil {
@@ -251,8 +304,11 @@ func (c *conn) handleKeystream(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
+	if !c.checkCounter(sess, m.ID, m.Counter) {
+		return true
+	}
 	j := getJob()
-	j.kind, j.sess, j.id, j.nonce = jobKeystream, sess, m.ID, m.Nonce
+	j.kind, j.sess, j.conn, j.id, j.nonce = jobKeystream, sess, c, m.ID, m.Nonce
 	j.first, j.count = m.First, int(m.Count)
 	j.enq = time.Now()
 	return c.admit(sess, m.ID, int(m.Count)*sess.t, j)
@@ -266,6 +322,9 @@ func (c *conn) handleStream(payload []byte) bool {
 	}
 	sess := c.lookup(m.Session, m.ID)
 	if sess == nil {
+		return true
+	}
+	if !c.checkCounter(sess, m.ID, m.Counter) {
 		return true
 	}
 	// Stream payloads outlive the frame (they sit in the batch until the
@@ -288,6 +347,18 @@ func (c *conn) handleStream(payload []byte) bool {
 	if _, err := sess.acceptStream(m.ID, msg); err != nil {
 		code, retry := c.errCode(err)
 		c.sendError(sess.id, m.ID, code, retry, err.Error())
+	}
+	return true
+}
+
+// checkCounter runs the anti-replay gate: the request's counter must be
+// fresh in the session's window, checked before rate, size, or offset
+// handling so a replayed frame consumes nothing but the reader's time.
+func (c *conn) checkCounter(sess *session, id uint64, ctr uint64) bool {
+	if err := sess.acceptCounter(ctr); err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(sess.id, id, code, retry, err.Error())
+		return false
 	}
 	return true
 }
@@ -326,6 +397,15 @@ func (c *conn) errCode(err error) (code uint16, retry time.Duration) {
 	case errors.Is(err, context.DeadlineExceeded):
 		m.requestErrors.Inc()
 		return wire.CodeDeadline, 0
+	case errors.Is(err, ErrReplay):
+		m.rejectedReplay.Inc()
+		return wire.CodeReplay, 0
+	case errors.Is(err, ErrDuplicateNonce):
+		// Counted at the registry check, where the owning session is known.
+		return wire.CodeDuplicateNonce, 0
+	case errors.Is(err, ErrBadResume):
+		m.rejectedBadResume.Inc()
+		return wire.CodeBadResume, 0
 	case errors.Is(err, ErrClosed):
 		m.requestErrors.Inc()
 		return wire.CodeUnknownSession, 0

@@ -12,10 +12,12 @@ import (
 //
 //	server.conns.active / server.conns.total
 //	server.sessions.active / server.sessions.total / server.sessions.evicted
+//	server.sessions.parked / server.sessions.resumed /
+//	  server.sessions.rejected.duplicate_nonce / server.sessions.rejected.bad_resume
 //	server.queue.depth
 //	server.requests.total / server.requests.rejected.overload /
 //	  server.requests.rejected.rate / server.requests.rejected.draining /
-//	  server.requests.errors
+//	  server.requests.rejected.replay / server.requests.errors
 //	server.request_ns      (accept→response latency histogram)
 //	server.batch.flushes / server.batch.requests / server.batch.elements
 //	server.write.flushes / server.write.frames / server.write.bytes
@@ -30,14 +32,19 @@ type metrics struct {
 	sessionsActive *obs.Gauge
 	sessionsTotal  *obs.Counter
 	evicted        *obs.Counter
+	parked         *obs.Counter
+	resumed        *obs.Counter
 
 	queueDepth *obs.Gauge
 
-	requests         *obs.Counter
-	rejectedOverload *obs.Counter
-	rejectedRate     *obs.Counter
-	rejectedDraining *obs.Counter
-	requestErrors    *obs.Counter
+	requests          *obs.Counter
+	rejectedOverload  *obs.Counter
+	rejectedRate      *obs.Counter
+	rejectedDraining  *obs.Counter
+	rejectedReplay    *obs.Counter
+	rejectedDupNonce  *obs.Counter
+	rejectedBadResume *obs.Counter
+	requestErrors     *obs.Counter
 
 	requestNS    *obs.Histogram
 	batchFlushes *obs.Counter
@@ -52,24 +59,29 @@ type metrics struct {
 func newMetrics() *metrics {
 	r := obs.Default()
 	return &metrics{
-		connsActive:      r.Gauge("server.conns.active"),
-		connsTotal:       r.Counter("server.conns.total"),
-		sessionsActive:   r.Gauge("server.sessions.active"),
-		sessionsTotal:    r.Counter("server.sessions.total"),
-		evicted:          r.Counter("server.sessions.evicted"),
-		queueDepth:       r.Gauge("server.queue.depth"),
-		requests:         r.Counter("server.requests.total"),
-		rejectedOverload: r.Counter("server.requests.rejected.overload"),
-		rejectedRate:     r.Counter("server.requests.rejected.rate"),
-		rejectedDraining: r.Counter("server.requests.rejected.draining"),
-		requestErrors:    r.Counter("server.requests.errors"),
-		requestNS:        r.Histogram("server.request_ns"),
-		batchFlushes:     r.Counter("server.batch.flushes"),
-		batchReqs:        r.Histogram("server.batch.requests"),
-		batchElems:       r.Histogram("server.batch.elements"),
-		writeFlushes:     r.Counter("server.write.flushes"),
-		writeFrames:      r.Counter("server.write.frames"),
-		writeBytes:       r.Counter("server.write.bytes"),
+		connsActive:       r.Gauge("server.conns.active"),
+		connsTotal:        r.Counter("server.conns.total"),
+		sessionsActive:    r.Gauge("server.sessions.active"),
+		sessionsTotal:     r.Counter("server.sessions.total"),
+		evicted:           r.Counter("server.sessions.evicted"),
+		parked:            r.Counter("server.sessions.parked"),
+		resumed:           r.Counter("server.sessions.resumed"),
+		queueDepth:        r.Gauge("server.queue.depth"),
+		requests:          r.Counter("server.requests.total"),
+		rejectedOverload:  r.Counter("server.requests.rejected.overload"),
+		rejectedRate:      r.Counter("server.requests.rejected.rate"),
+		rejectedDraining:  r.Counter("server.requests.rejected.draining"),
+		rejectedReplay:    r.Counter("server.requests.rejected.replay"),
+		rejectedDupNonce:  r.Counter("server.sessions.rejected.duplicate_nonce"),
+		rejectedBadResume: r.Counter("server.sessions.rejected.bad_resume"),
+		requestErrors:     r.Counter("server.requests.errors"),
+		requestNS:         r.Histogram("server.request_ns"),
+		batchFlushes:      r.Counter("server.batch.flushes"),
+		batchReqs:         r.Histogram("server.batch.requests"),
+		batchElems:        r.Histogram("server.batch.elements"),
+		writeFlushes:      r.Counter("server.write.flushes"),
+		writeFrames:       r.Counter("server.write.frames"),
+		writeBytes:        r.Counter("server.write.bytes"),
 	}
 }
 

@@ -1,0 +1,8 @@
+//go:build !race
+
+package server
+
+// raceEnabled mirrors the -race build tag: the churn test scales its
+// session count down under the race detector, whose instrumentation
+// makes each connection roughly an order of magnitude slower.
+const raceEnabled = false

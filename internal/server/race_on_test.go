@@ -1,0 +1,6 @@
+//go:build race
+
+package server
+
+// raceEnabled mirrors the -race build tag; see race_off_test.go.
+const raceEnabled = true

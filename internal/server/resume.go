@@ -1,0 +1,100 @@
+package server
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+
+	"repro/internal/ff"
+)
+
+// Session-resumption tokens let a reconnecting client re-attach to a
+// parked session without re-uploading its key and EvalKey blobs. A token
+// is a bearer credential:
+//
+//	token = session id (4 bytes LE) || HMAC-SHA256(secret, id || keyFP || nonce)
+//
+// where secret is a per-process random key drawn at server construction,
+// keyFP is the SHA-256 fingerprint of the session's symmetric key, and
+// nonce is the session's stream nonce. Binding the key fingerprint and
+// nonce into the MAC means a token only ever re-attaches to the exact
+// cipher stream it was minted for; binding the session id keeps lookup
+// O(1). Tokens are minted over TLS and verified with hmac.Equal, and the
+// replay-counter high-water mark survives the reconnect, so a resumed
+// session cannot be replayed into keystream reuse. See DESIGN.md §9 for
+// what tokens do and do not protect.
+
+// resumeTokenLen is the fixed wire length of a resumption token.
+const resumeTokenLen = 4 + sha256.Size
+
+// keyFingerprint hashes the little-endian encoding of the symmetric key
+// words. The fingerprint — never the key — is kept on the session after
+// the backend cipher is constructed, and indexes the duplicate-nonce
+// registry.
+func keyFingerprint(key []uint64) [32]byte {
+	h := sha256.New()
+	var w [8]byte
+	for _, k := range key {
+		binary.LittleEndian.PutUint64(w[:], k)
+		h.Write(w[:])
+	}
+	var fp [32]byte
+	h.Sum(fp[:0])
+	return fp
+}
+
+// mintToken builds the resumption token for a session.
+func (s *Server) mintToken(id uint32, keyFP [32]byte, nonce uint64) []byte {
+	mac := hmac.New(sha256.New, s.resumeSecret[:])
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], id)
+	binary.LittleEndian.PutUint64(hdr[4:], nonce)
+	mac.Write(hdr[:4])
+	mac.Write(keyFP[:])
+	mac.Write(hdr[4:])
+	token := make([]byte, 4, resumeTokenLen)
+	binary.LittleEndian.PutUint32(token, id)
+	return mac.Sum(token)
+}
+
+// resumeSession verifies a token and re-attaches the parked session it
+// names to conn c. The session keeps its cipher, stream position, and
+// replay high-water mark; only the owning connection changes.
+func (s *Server) resumeSession(c *conn, token []byte) (*session, error) {
+	if len(token) != resumeTokenLen {
+		return nil, fmt.Errorf("%w: token is %d bytes, want %d", ErrBadResume, len(token), resumeTokenLen)
+	}
+	id := binary.LittleEndian.Uint32(token)
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		return nil, fmt.Errorf("%w: no such session", ErrBadResume)
+	}
+	// The MAC binds id, key fingerprint, and nonce; a forged or stale
+	// token fails here without touching session state.
+	if !hmac.Equal(token, s.mintToken(id, sess.keyFP, sess.nonce)) {
+		return nil, fmt.Errorf("%w: bad token", ErrBadResume)
+	}
+	sess.mu.Lock()
+	if sess.closed || !sess.parked {
+		sess.mu.Unlock()
+		return nil, fmt.Errorf("%w: session is not resumable", ErrBadResume)
+	}
+	sess.parked = false
+	if sess.parkTimer != nil {
+		sess.parkTimer.Stop()
+	}
+	sess.conn = c
+	sess.mu.Unlock()
+	s.m.resumed.Inc()
+	return sess, nil
+}
+
+// zeroKey wipes key material in place.
+func zeroKey(key ff.Vec) {
+	for i := range key {
+		key[i] = 0
+	}
+}

@@ -29,6 +29,8 @@ package server
 
 import (
 	"context"
+	"crypto/rand"
+	"crypto/tls"
 	"errors"
 	"fmt"
 	"net"
@@ -54,6 +56,17 @@ var (
 	ErrShuttingDown = errors.New("server: shutting down")
 	// ErrClosed reports use of a closed client or session.
 	ErrClosed = errors.New("server: connection closed")
+	// ErrReplay reports a request counter that was already consumed or
+	// fell behind the anti-replay window; the request is rejected before
+	// any keystream offset is assigned.
+	ErrReplay = errors.New("server: replayed or stale request counter")
+	// ErrDuplicateNonce reports a SessionOpen whose (key, nonce) pair is
+	// already bound to a live session — accepting it would derive the
+	// same keystream twice (a two-time pad).
+	ErrDuplicateNonce = errors.New("server: (key, nonce) already in use by a live session")
+	// ErrBadResume reports an invalid, expired, or already-claimed
+	// session-resumption token.
+	ErrBadResume = errors.New("server: invalid resumption token")
 )
 
 // Config tunes a Server. The zero value serves PASTA sessions on the
@@ -120,6 +133,18 @@ type Config struct {
 
 	// MaxPayload bounds wire frames; 0 means wire.DefaultMaxPayload.
 	MaxPayload uint32
+
+	// TLS, when non-nil, wraps the accept path in crypto/tls so key
+	// material and resumption tokens never cross the wire in plaintext.
+	// The zero value serves plaintext TCP (tests, loopback demos).
+	TLS *tls.Config
+
+	// ResumeWindow, when > 0, parks a session for that long after its
+	// connection drops instead of evicting it: a client presenting the
+	// session's resumption token re-attaches without re-uploading key
+	// blobs, keeping its stream position and replay high-water mark.
+	// 0 (the default) evicts on disconnect, as before.
+	ResumeWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -179,6 +204,7 @@ const (
 type job struct {
 	kind  jobKind
 	sess  *session
+	conn  *conn  // reply target, pinned at admission (the session may re-attach elsewhere)
 	id    uint64 // request id (0 for flush)
 	nonce uint64
 	first uint64
@@ -197,7 +223,7 @@ func getJob() *job { return jobPool.Get().(*job) }
 // fully serialized into the frame buffer before the worker releases the
 // job.
 func putJob(j *job) {
-	j.kind, j.sess = 0, nil
+	j.kind, j.sess, j.conn = 0, nil, nil
 	j.id, j.nonce, j.first, j.count = 0, 0, 0, 0
 	jobPool.Put(j)
 }
@@ -236,10 +262,24 @@ type Server struct {
 	ln        net.Listener
 	conns     map[*conn]struct{}
 	sessions  map[uint32]*session
+	streams   map[streamKey]uint32 // live (key fingerprint, nonce) → session id
 	nextSess  uint32
 	serving   bool
 	shutdown  bool
 	latencyNS atomic.Int64 // EWMA-ish last-request latency, for retry hints
+
+	// resumeSecret keys the HMAC over resumption tokens; drawn once per
+	// server from crypto/rand, never serialized.
+	resumeSecret [32]byte
+}
+
+// streamKey identifies one keystream: a symmetric key fingerprint plus
+// the stream nonce. Two live sessions sharing a streamKey would derive
+// identical keystream — a two-time pad — so opens are rejected against
+// this registry.
+type streamKey struct {
+	fp    [32]byte
+	nonce uint64
 }
 
 // New validates the configuration (the backend name must be registered)
@@ -265,6 +305,11 @@ func New(cfg Config) (*Server, error) {
 		queue:     make(chan *job, cfg.QueueBound),
 		conns:     map[*conn]struct{}{},
 		sessions:  map[uint32]*session{},
+		streams:   map[streamKey]uint32{},
+	}
+	if _, err := rand.Read(s.resumeSecret[:]); err != nil {
+		cancel()
+		return nil, fmt.Errorf("server: resumption secret: %w", err)
 	}
 	return s, nil
 }
@@ -303,7 +348,12 @@ func (s *Server) ListenAndServe(addr string) error {
 
 // Serve starts the worker pool and accepts connections on ln until the
 // listener fails or Shutdown closes it; a clean shutdown returns nil.
+// With Config.TLS set, ln is wrapped in a TLS listener here, so both
+// Serve and ListenAndServe speak TLS without double-wrapping.
 func (s *Server) Serve(ln net.Listener) error {
+	if s.cfg.TLS != nil {
+		ln = tls.NewListener(ln, s.cfg.TLS)
+	}
 	s.mu.Lock()
 	if s.serving || s.shutdown {
 		s.mu.Unlock()
@@ -463,12 +513,15 @@ func (s *Server) run(j *job) {
 		case jobFlush:
 			sess.expireFlush(context.DeadlineExceeded)
 		default:
-			sess.conn.sendJobError(sess, j.id, context.DeadlineExceeded)
+			j.conn.sendJobError(sess, j.id, context.DeadlineExceeded)
 		}
 		s.observeLatency(j.enq)
 		return
 	}
 
+	// Replies go to j.conn, the connection that admitted the request: a
+	// session that detached and resumed elsewhere mid-flight must not
+	// leak a stale reply into the new connection's request-id space.
 	switch j.kind {
 	case jobFlush:
 		sess.runFlush(s.runCtx)
@@ -476,17 +529,17 @@ func (s *Server) run(j *job) {
 		sess.dispatch.Inc()
 		j.ct = resizeVec(j.ct, len(j.msg))
 		if err := encryptInto(s.runCtx, sess.cipher, j.ct, j.nonce, j.msg); err != nil {
-			sess.conn.sendJobError(sess, j.id, err)
+			j.conn.sendJobError(sess, j.id, err)
 		} else {
-			sess.conn.sendData(sess, j.id, 0, j.ct)
+			j.conn.sendData(sess, j.id, 0, j.ct)
 		}
 	case jobKeystream:
 		sess.dispatch.Inc()
 		j.ct = resizeVec(j.ct, j.count*sess.t)
 		if err := keystreamInto(s.runCtx, sess.cipher, j.ct, j.nonce, j.first, j.count); err != nil {
-			sess.conn.sendJobError(sess, j.id, err)
+			j.conn.sendJobError(sess, j.id, err)
 		} else {
-			sess.conn.sendData(sess, j.id, 0, j.ct)
+			j.conn.sendData(sess, j.id, 0, j.ct)
 		}
 	}
 	s.observeLatency(j.enq)
@@ -526,7 +579,11 @@ func keystreamInto(ctx context.Context, cipher backend.BlockCipher, dst ff.Vec, 
 	return nil
 }
 
-// addSession registers a freshly opened session, enforcing MaxSessions.
+// addSession registers a freshly opened session, enforcing MaxSessions
+// and rejecting (key, nonce) pairs already bound to a live session —
+// two sessions on one streamKey would derive identical keystream. The
+// check and the insert happen under one lock, so concurrent opens of
+// the same pair cannot both succeed.
 func (s *Server) addSession(sess *session) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -536,21 +593,31 @@ func (s *Server) addSession(sess *session) error {
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return ErrOverloaded
 	}
+	key := streamKey{fp: sess.keyFP, nonce: sess.nonce}
+	if owner, dup := s.streams[key]; dup {
+		s.m.rejectedDupNonce.Inc()
+		return fmt.Errorf("%w (session %d)", ErrDuplicateNonce, owner)
+	}
 	s.nextSess++
 	sess.id = s.nextSess
 	s.sessions[sess.id] = sess
+	s.streams[key] = sess.id
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Set(int64(len(s.sessions)))
 	return nil
 }
 
-// dropSession removes a session from the server table (the session's
-// own close handles cipher teardown).
-func (s *Server) dropSession(id uint32) {
+// dropSession removes a session from the server and stream-registry
+// tables (the session's own close handles cipher teardown).
+func (s *Server) dropSession(sess *session) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if _, ok := s.sessions[id]; ok {
-		delete(s.sessions, id)
+	if _, ok := s.sessions[sess.id]; ok {
+		delete(s.sessions, sess.id)
+		key := streamKey{fp: sess.keyFP, nonce: sess.nonce}
+		if s.streams[key] == sess.id {
+			delete(s.streams, key)
+		}
 		s.m.sessionsActive.Set(int64(len(s.sessions)))
 	}
 }

@@ -28,21 +28,35 @@ import (
 //     cache is single-writer;
 //   - a dropped batch (overload on flush submission) still advances pos:
 //     its keystream positions are consumed, never reused — a gap in the
-//     stream is safe, keystream reuse is not.
+//     stream is safe, keystream reuse is not;
+//   - every request carries a strictly increasing counter checked
+//     against a 64-wide anti-replay window (acceptCounter) before any
+//     offset is assigned, so a replayed frame can never re-derive
+//     keystream; the high-water mark survives park/resume;
+//   - conn is the current owning connection; it changes only under mu
+//     (resume re-attach), and every reply path captures it under mu —
+//     in-flight jobs pin their admission-time conn instead, so a stale
+//     reply can never land in a successor connection's id space.
 type session struct {
 	id       uint32
 	srv      *Server
-	conn     *conn
 	cipher   backend.BlockCipher
 	t        int
 	mod      ff.Modulus
 	bits     uint8
-	nonce    uint64 // stream nonce, fixed at SessionOpen
+	nonce    uint64   // stream nonce, fixed at SessionOpen
+	keyFP    [32]byte // SHA-256 of the symmetric key (the key itself is wiped)
+	token    []byte   // resumption token minted at open
 	limiter  *tokenBucket
 	dispatch *obs.Counter
 
 	mu          sync.Mutex
+	conn        *conn
 	closed      bool
+	parked      bool // disconnected, awaiting resume inside ResumeWindow
+	parkTimer   *time.Timer
+	ctrHigh     uint64 // anti-replay high-water mark (counters start at 1)
+	ctrWindow   uint64 // bitmap over [ctrHigh-63, ctrHigh], bit 0 = ctrHigh
 	pending     []streamPending
 	pos, tail   uint64 // element offsets: flushed / assigned
 	flushQueued bool
@@ -107,7 +121,12 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		}
 		cfg.PastaParams = &par
 	}
+	// The key fingerprint is taken before the raw key is wiped: the
+	// backend clones the key words it needs, so the decoded wire copy is
+	// zeroed here and only the fingerprint outlives the open.
+	fp := keyFingerprint(m.Key)
 	cipher, err := backend.Open(srv.cfg.Backend, cfg)
+	zeroKey(ff.Vec(m.Key))
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +138,7 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		mod:      cipher.Modulus(),
 		bits:     uint8(cipher.Modulus().Bits()),
 		nonce:    m.Nonce,
+		keyFP:    fp,
 		dispatch: dispatchCounter(srv.cfg.Backend),
 		ks:       ff.NewVec(cipher.BlockSize()),
 	}
@@ -129,7 +149,45 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		cipher.Close()
 		return nil, err
 	}
+	sess.token = srv.mintToken(sess.id, sess.keyFP, sess.nonce)
 	return sess, nil
+}
+
+// acceptCounter validates a request's anti-replay counter and consumes
+// it. Counters start at 1 and must be fresh within a 64-wide sliding
+// window below the high-water mark — wide enough for the reordering a
+// pipelined client can produce (requests are numbered atomically but
+// serialized onto the socket afterwards), while bounding state to two
+// words. Rejected counters stay consumed; acceptance happens before any
+// stream offset is assigned, so a replayed frame never touches keystream.
+func (sess *session) acceptCounter(ctr uint64) error {
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if sess.closed {
+		return ErrClosed
+	}
+	if ctr == 0 {
+		return fmt.Errorf("%w: counter 0 (counters start at 1)", ErrReplay)
+	}
+	if ctr > sess.ctrHigh {
+		if shift := ctr - sess.ctrHigh; shift >= 64 {
+			sess.ctrWindow = 0
+		} else {
+			sess.ctrWindow <<= shift
+		}
+		sess.ctrWindow |= 1
+		sess.ctrHigh = ctr
+		return nil
+	}
+	d := sess.ctrHigh - ctr
+	if d >= 64 {
+		return fmt.Errorf("%w: counter %d is below the replay window (high %d)", ErrReplay, ctr, sess.ctrHigh)
+	}
+	if sess.ctrWindow&(1<<d) != 0 {
+		return fmt.Errorf("%w: counter %d already consumed", ErrReplay, ctr)
+	}
+	sess.ctrWindow |= 1 << d
+	return nil
 }
 
 // takeRate charges n elements against the session's rate budget.
@@ -150,14 +208,68 @@ func (sess *session) close() {
 		sess.mu.Unlock()
 		return
 	}
+	sess.closeLocked()
+}
+
+// closeLocked finishes a close with mu held (and releases it): callers
+// that must couple the close decision to other session state — the park
+// expiry racing a resume — take mu, decide, and fall through here.
+func (sess *session) closeLocked() {
 	sess.closed = true
 	sess.pending = nil
 	if sess.timer != nil {
 		sess.timer.Stop()
 	}
+	if sess.parkTimer != nil {
+		sess.parkTimer.Stop()
+	}
 	sess.mu.Unlock()
 	sess.cipher.Close()
-	sess.srv.dropSession(sess.id)
+	sess.srv.dropSession(sess)
+}
+
+// park detaches the session from a dropped connection instead of
+// closing it: pending batch failed (offsets stay consumed — the gap
+// rule), batch timer stopped, and a one-shot expiry armed. A client
+// presenting the session's resumption token inside ResumeWindow
+// re-attaches; otherwise parkExpire evicts.
+func (sess *session) park() {
+	sess.mu.Lock()
+	if sess.closed || sess.parked {
+		sess.mu.Unlock()
+		return
+	}
+	rc := sess.conn
+	batch := sess.pending
+	sess.pending = nil
+	sess.pos = sess.tail // never reuse offsets assigned to the failed batch
+	sess.ksValid = false
+	sess.parked = true
+	if sess.timerArmed {
+		sess.timer.Stop()
+		sess.timerArmed = false
+	}
+	if sess.parkTimer == nil {
+		sess.parkTimer = time.AfterFunc(sess.srv.cfg.ResumeWindow, sess.parkExpire)
+	} else {
+		sess.parkTimer.Reset(sess.srv.cfg.ResumeWindow)
+	}
+	sess.mu.Unlock()
+	sess.srv.m.parked.Inc()
+	sess.failBatch(rc, batch, ErrClosed)
+}
+
+// parkExpire evicts a session whose ResumeWindow lapsed unclaimed. The
+// parked check and the close commit share one critical section, so an
+// expiry can never race a resume into closing a just-claimed session.
+func (sess *session) parkExpire() {
+	sess.mu.Lock()
+	if sess.closed || !sess.parked {
+		sess.mu.Unlock()
+		return
+	}
+	sess.closeLocked()
+	sess.srv.m.evicted.Inc()
 }
 
 // acceptStream assigns stream offsets to a validated message and decides
@@ -175,6 +287,7 @@ func (sess *session) acceptStream(id uint64, msg ff.Vec) (off uint64, err error)
 		sess.mu.Unlock()
 		return 0, ErrClosed
 	}
+	rc := sess.conn
 	off = sess.tail
 	sess.tail += uint64(len(msg))
 	sess.pending = append(sess.pending, streamPending{id: id, off: off, msg: msg})
@@ -186,7 +299,7 @@ func (sess *session) acceptStream(id uint64, msg ff.Vec) (off uint64, err error)
 		}
 	}
 	sess.mu.Unlock()
-	sess.failBatch(dropped, dropErr)
+	sess.failBatch(rc, dropped, dropErr)
 	return off, nil
 }
 
@@ -233,12 +346,13 @@ func (sess *session) flushDeadline() {
 	var dropped []streamPending
 	var dropErr error
 	sess.mu.Lock()
+	rc := sess.conn
 	sess.timerArmed = false
 	if !sess.closed && !sess.flushQueued && len(sess.pending) > 0 {
 		dropped, dropErr = sess.startFlushLocked()
 	}
 	sess.mu.Unlock()
-	sess.failBatch(dropped, dropErr)
+	sess.failBatch(rc, dropped, dropErr)
 }
 
 // expireFlush fails a flush job that aged out in the scheduler queue:
@@ -246,13 +360,14 @@ func (sess *session) flushDeadline() {
 // batch — its keystream offsets stay consumed; the gap is permanent.
 func (sess *session) expireFlush(err error) {
 	sess.mu.Lock()
+	rc := sess.conn
 	batch := sess.pending
 	sess.pending = nil
 	sess.pos = sess.tail
 	sess.ksValid = false
 	sess.flushQueued = false
 	sess.mu.Unlock()
-	sess.failBatch(batch, err)
+	sess.failBatch(rc, batch, err)
 }
 
 // runFlush executes one batch on a scheduler worker: it detaches the
@@ -267,6 +382,9 @@ func (sess *session) runFlush(ctx context.Context) {
 		sess.mu.Unlock()
 		return
 	}
+	// Replies for this batch go to the connection that owns the session
+	// now; captured under mu so a concurrent resume cannot tear the read.
+	rc := sess.conn
 	batch := sess.pending
 	sess.pending = nil
 	start, end := sess.pos, sess.tail
@@ -316,7 +434,13 @@ func (sess *session) runFlush(ctx context.Context) {
 	var dropped []streamPending
 	var dropErr error
 	sess.mu.Lock()
-	sess.pos = end
+	rc2 := sess.conn // successor batches belong to the current owner
+	if sess.pos < end {
+		// A park while this flush was in flight already advanced pos to
+		// tail; never rewind it — the generated keystream simply covers a
+		// permanent gap, and masking above indexes absolute offsets.
+		sess.pos = end
+	}
 	if err == nil && end%t != 0 {
 		copy(sess.ks, ks[(lastBlk-firstBlk)*t:])
 		sess.ksBlock = lastBlk
@@ -335,27 +459,28 @@ func (sess *session) runFlush(ctx context.Context) {
 	sess.mu.Unlock()
 
 	if err != nil {
-		sess.failBatch(batch, err)
+		sess.failBatch(rc, batch, err)
 	} else {
 		m := sess.srv.m
 		m.batchFlushes.Inc()
 		m.batchReqs.Observe(int64(len(batch)))
 		m.batchElems.Observe(int64(end - start))
 		for _, r := range replies {
-			sess.conn.sendData(sess, r.id, r.off, r.ct)
+			rc.sendData(sess, r.id, r.off, r.ct)
 		}
 	}
-	sess.failBatch(dropped, dropErr)
+	sess.failBatch(rc2, dropped, dropErr)
 }
 
-// failBatch replies with an error for every request of a dropped or
-// failed batch.
-func (sess *session) failBatch(batch []streamPending, err error) {
+// failBatch replies on c with an error for every request of a dropped
+// or failed batch. c is the connection the batch was accepted on,
+// captured under sess.mu by the caller.
+func (sess *session) failBatch(c *conn, batch []streamPending, err error) {
 	if len(batch) == 0 {
 		return
 	}
 	for _, p := range batch {
-		sess.conn.sendJobError(sess, p.id, err)
+		c.sendJobError(sess, p.id, err)
 	}
 }
 

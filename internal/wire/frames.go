@@ -43,11 +43,12 @@ func appendVecTail(dst []byte, v ff.Vec, bits uint8) ([]byte, error) {
 
 // AppendEncryptFrame appends a complete TypeEncrypt frame carrying v
 // packed at the given width.
-func AppendEncryptFrame(dst []byte, session uint32, id, nonce uint64, v ff.Vec, bits uint8) ([]byte, error) {
+func AppendEncryptFrame(dst []byte, session uint32, id, counter, nonce uint64, v ff.Vec, bits uint8) ([]byte, error) {
 	off := len(dst)
 	dst = appendHeader(dst, TypeEncrypt)
 	dst = binary.LittleEndian.AppendUint32(dst, session)
 	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, counter)
 	dst = binary.LittleEndian.AppendUint64(dst, nonce)
 	dst, err := appendVecTail(dst, v, bits)
 	if err != nil {
@@ -58,11 +59,12 @@ func AppendEncryptFrame(dst []byte, session uint32, id, nonce uint64, v ff.Vec, 
 
 // AppendStreamFrame appends a complete TypeStream frame carrying v
 // packed at the given width.
-func AppendStreamFrame(dst []byte, session uint32, id uint64, v ff.Vec, bits uint8) ([]byte, error) {
+func AppendStreamFrame(dst []byte, session uint32, id, counter uint64, v ff.Vec, bits uint8) ([]byte, error) {
 	off := len(dst)
 	dst = appendHeader(dst, TypeStream)
 	dst = binary.LittleEndian.AppendUint32(dst, session)
 	dst = binary.LittleEndian.AppendUint64(dst, id)
+	dst = binary.LittleEndian.AppendUint64(dst, counter)
 	dst, err := appendVecTail(dst, v, bits)
 	if err != nil {
 		return nil, err

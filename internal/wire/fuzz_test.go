@@ -24,11 +24,13 @@ func FuzzWireDecode(f *testing.F) {
 	}
 	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Scheme: "pasta", Variant: 3, Width: 17,
 		Nonce: 4, Key: []uint64{9, 9}, EvalKey: []byte{1, 2, 3}}).Encode())
-	seed(TypeSessionAck, (&SessionAck{ID: 1, Session: 2, BlockSize: 32, Modulus: 65537, Bits: 17}).Encode())
+	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Resume: bytes.Repeat([]byte{7}, 36)}).Encode())
+	seed(TypeSessionAck, (&SessionAck{ID: 1, Session: 2, BlockSize: 32, Modulus: 65537, Bits: 17,
+		Counter: 12, Tail: 96, Resume: []byte{9, 8, 7}}).Encode())
 	seed(TypeSessionClose, (&SessionClose{Session: 2}).Encode())
-	seed(TypeEncrypt, (&EncryptReq{Session: 2, ID: 3, Nonce: 1, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
-	seed(TypeKeystream, (&KeystreamReq{Session: 2, ID: 4, Nonce: 1, First: 7, Count: 2}).Encode())
-	seed(TypeStream, (&StreamReq{Session: 2, ID: 5, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
+	seed(TypeEncrypt, (&EncryptReq{Session: 2, ID: 3, Counter: 1, Nonce: 1, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
+	seed(TypeKeystream, (&KeystreamReq{Session: 2, ID: 4, Counter: 2, Nonce: 1, First: 7, Count: 2}).Encode())
+	seed(TypeStream, (&StreamReq{Session: 2, ID: 5, Counter: 3, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
 	seed(TypeData, (&Data{Session: 2, ID: 5, Offset: 32, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
 	seed(TypeError, (&ErrorMsg{Session: 2, ID: 6, Code: CodeOverloaded, RetryAfterMillis: 9, Msg: "m"}).Encode())
 	seed(TypeBlob, []byte("opaque"))

@@ -66,11 +66,11 @@ func TestAppendVecFramesMatchEncode(t *testing.T) {
 		got  func() ([]byte, error)
 	}{
 		{"encrypt", frameBytes(t, TypeEncrypt,
-			(&EncryptReq{Session: 3, ID: 8, Nonce: 5, Count: count, Bits: 17, Packed: packed}).Encode()),
-			func() ([]byte, error) { return AppendEncryptFrame(nil, 3, 8, 5, v, 17) }},
+			(&EncryptReq{Session: 3, ID: 8, Counter: 2, Nonce: 5, Count: count, Bits: 17, Packed: packed}).Encode()),
+			func() ([]byte, error) { return AppendEncryptFrame(nil, 3, 8, 2, 5, v, 17) }},
 		{"stream", frameBytes(t, TypeStream,
-			(&StreamReq{Session: 3, ID: 9, Count: count, Bits: 17, Packed: packed}).Encode()),
-			func() ([]byte, error) { return AppendStreamFrame(nil, 3, 9, v, 17) }},
+			(&StreamReq{Session: 3, ID: 9, Counter: 4, Count: count, Bits: 17, Packed: packed}).Encode()),
+			func() ([]byte, error) { return AppendStreamFrame(nil, 3, 9, 4, v, 17) }},
 		{"data", frameBytes(t, TypeData,
 			(&Data{Session: 3, ID: 10, Offset: 77, Count: count, Bits: 17, Packed: packed}).Encode()),
 			func() ([]byte, error) { return AppendDataFrame(nil, 3, 10, 77, v, 17) }},
@@ -91,7 +91,7 @@ func TestAppendVecFramesMatchEncode(t *testing.T) {
 	if _, err := AppendDataFrame(nil, 1, 1, 0, ff.Vec{1 << 20}, 17); err == nil {
 		t.Fatal("oversized element framed")
 	}
-	if _, err := AppendEncryptFrame(nil, 1, 1, 0, v, 0); err == nil {
+	if _, err := AppendEncryptFrame(nil, 1, 1, 1, 0, v, 0); err == nil {
 		t.Fatal("zero pack width framed")
 	}
 }
@@ -170,7 +170,7 @@ func TestWireHotPathZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, func() {
 		// Encrypt request: inline-packed encode, framed read, into-decode.
 		var err error
-		buf.B, err = AppendEncryptFrame(buf.B[:0], 3, 8, 5, v, 17)
+		buf.B, err = AppendEncryptFrame(buf.B[:0], 3, 8, 1, 5, v, 17)
 		if err != nil {
 			t.Fatal(err)
 		}

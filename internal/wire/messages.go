@@ -17,6 +17,10 @@ const (
 	MaxVecElems = 1 << 20
 	// MaxErrorMsg bounds the diagnostic string of an ErrorMsg.
 	MaxErrorMsg = 1 << 10
+	// MaxResumeToken bounds a session-resumption token (SessionOpen.Resume
+	// and SessionAck.Resume). The server mints 36-byte tokens; the bound
+	// leaves headroom for future MAC agility.
+	MaxResumeToken = 64
 )
 
 // Error codes carried by TypeError frames.
@@ -36,6 +40,17 @@ const (
 	CodeShuttingDown uint16 = 6
 	// CodeInternal: the backend failed; details in Msg.
 	CodeInternal uint16 = 7
+	// CodeReplay: the request counter was already accepted or is older
+	// than the session's anti-replay window. The request was discarded
+	// before any keystream offset was assigned.
+	CodeReplay uint16 = 8
+	// CodeDuplicateNonce: a SessionOpen carried a (key, nonce) pair that
+	// is already live — accepting it would derive the same keystream
+	// twice (a two-time pad).
+	CodeDuplicateNonce uint16 = 9
+	// CodeBadResume: a resumption token did not verify (unknown session,
+	// bad MAC, or the session is still attached or already gone).
+	CodeBadResume uint16 = 10
 )
 
 // CodeString names an error code for diagnostics.
@@ -55,16 +70,26 @@ func CodeString(code uint16) string {
 		return "shutting-down"
 	case CodeInternal:
 		return "internal"
+	case CodeReplay:
+		return "replay"
+	case CodeDuplicateNonce:
+		return "duplicate-nonce"
+	case CodeBadResume:
+		return "bad-resume"
 	}
 	return fmt.Sprintf("code(%d)", code)
 }
 
-// SessionOpen registers a session. The symmetric key travels raw — the
-// edge service is a trusted delegate of the client in the Fig. 1
-// deployment; transport protection (TLS) is a serving-tier follow-up
-// tracked in ROADMAP.md. EvalKey is opaque to the edge: it is the FHE
-// registration blob (public/eval keys + homomorphically encrypted
-// symmetric key) the edge holds for the compute tier.
+// SessionOpen registers a session (Resume empty) or resumes a parked one
+// (Resume carries a token from a previous SessionAck; every other field
+// except ID is then ignored — the server retains the cipher, so key
+// material is never re-uploaded). Key confidentiality on the wire is the
+// transport's job: run the serving tier behind TLS (server.Config.TLS /
+// hheserver -tls-cert) so the symmetric key never crosses the network in
+// plaintext; the server zeroes its copy of the raw key bytes as soon as
+// the backend cipher is constructed. EvalKey is opaque to the edge: it
+// is the FHE registration blob (public/eval keys + homomorphically
+// encrypted symmetric key) the edge holds for the compute tier.
 type SessionOpen struct {
 	ID      uint64 // request id, echoed by the SessionAck or ErrorMsg
 	Scheme  string // "pasta" (default) or "hera"
@@ -75,15 +100,23 @@ type SessionOpen struct {
 	Nonce   uint64 // nonce of the session's encryption stream
 	Key     []uint64
 	EvalKey []byte
+	Resume  []byte // resumption token; non-empty = resume, not register
 }
 
-// SessionAck answers a successful SessionOpen.
+// SessionAck answers a successful SessionOpen — fresh or resumed.
+// Counter and Tail let a resuming client realign: Counter is the
+// server's replay high-water mark (the client's next request counter
+// must exceed it) and Tail is the next unassigned element offset of the
+// session's encryption stream. Both are zero on a fresh open.
 type SessionAck struct {
 	ID        uint64 // echoed request id
 	Session   uint32
 	BlockSize uint32 // t, elements per keystream block
 	Modulus   uint64 // field prime p
 	Bits      uint8  // per-element packing width for this session
+	Counter   uint64 // replay-counter high-water mark
+	Tail      uint64 // next stream element offset
+	Resume    []byte // token accepted by a future SessionOpen.Resume
 }
 
 // SessionClose retires a session.
@@ -94,9 +127,17 @@ type SessionClose struct {
 // EncryptReq asks for a one-shot encryption of a packed message with
 // block counters starting at 0 (the backend.BlockCipher.Encrypt
 // semantics, bit-compatible with the sequential hhe.Client).
+//
+// Counter (here and on KeystreamReq/StreamReq) is the session's replay
+// counter: each transmitted request carries a fresh value, strictly
+// increasing per sender, and the server rejects duplicates and values
+// older than its anti-replay window with CodeReplay before assigning any
+// keystream offset. A rejected request's counter stays consumed — a
+// retry uses a new one.
 type EncryptReq struct {
 	Session uint32
 	ID      uint64
+	Counter uint64 // replay counter (see above)
 	Nonce   uint64
 	Count   uint32 // elements packed in Packed
 	Bits    uint8
@@ -107,6 +148,7 @@ type EncryptReq struct {
 type KeystreamReq struct {
 	Session uint32
 	ID      uint64
+	Counter uint64 // replay counter (see EncryptReq)
 	Nonce   uint64
 	First   uint64
 	Count   uint32 // blocks
@@ -118,6 +160,7 @@ type KeystreamReq struct {
 type StreamReq struct {
 	Session uint32
 	ID      uint64
+	Counter uint64 // replay counter (see EncryptReq)
 	Count   uint32
 	Bits    uint8
 	Packed  []byte
@@ -359,6 +402,7 @@ func (m *SessionOpen) AppendPayload(dst []byte) []byte {
 	e.u64(m.Nonce)
 	e.vec(m.Key)
 	e.bytes(m.EvalKey)
+	e.bytes(m.Resume)
 	return e.buf
 }
 
@@ -375,6 +419,7 @@ func DecodeSessionOpen(payload []byte) (*SessionOpen, error) {
 	m.Nonce = d.u64()
 	m.Key = d.vec(MaxKeyElems)
 	m.EvalKey = append([]byte(nil), d.bytes(DefaultMaxPayload)...)
+	m.Resume = append([]byte(nil), d.bytes(MaxResumeToken)...)
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -392,6 +437,9 @@ func (m *SessionAck) AppendPayload(dst []byte) []byte {
 	e.u32(m.BlockSize)
 	e.u64(m.Modulus)
 	e.u8(m.Bits)
+	e.u64(m.Counter)
+	e.u64(m.Tail)
+	e.bytes(m.Resume)
 	return e.buf
 }
 
@@ -404,6 +452,9 @@ func DecodeSessionAck(payload []byte) (*SessionAck, error) {
 	m.BlockSize = d.u32()
 	m.Modulus = d.u64()
 	m.Bits = d.u8()
+	m.Counter = d.u64()
+	m.Tail = d.u64()
+	m.Resume = append([]byte(nil), d.bytes(MaxResumeToken)...)
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -439,6 +490,7 @@ func (m *EncryptReq) AppendPayload(dst []byte) []byte {
 	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
+	e.u64(m.Counter)
 	e.u64(m.Nonce)
 	e.u32(m.Count)
 	e.u8(m.Bits)
@@ -462,6 +514,7 @@ func DecodeEncryptReqInto(m *EncryptReq, payload []byte) error {
 	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
+	m.Counter = d.u64()
 	m.Nonce = d.u64()
 	m.Count = d.u32()
 	m.Bits = d.u8()
@@ -478,6 +531,7 @@ func (m *KeystreamReq) AppendPayload(dst []byte) []byte {
 	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
+	e.u64(m.Counter)
 	e.u64(m.Nonce)
 	e.u64(m.First)
 	e.u32(m.Count)
@@ -499,6 +553,7 @@ func DecodeKeystreamReqInto(m *KeystreamReq, payload []byte) error {
 	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
+	m.Counter = d.u64()
 	m.Nonce = d.u64()
 	m.First = d.u64()
 	m.Count = d.u32()
@@ -516,6 +571,7 @@ func (m *StreamReq) AppendPayload(dst []byte) []byte {
 	e := encoder{buf: dst}
 	e.u32(m.Session)
 	e.u64(m.ID)
+	e.u64(m.Counter)
 	e.u32(m.Count)
 	e.u8(m.Bits)
 	e.bytes(m.Packed)
@@ -538,6 +594,7 @@ func DecodeStreamReqInto(m *StreamReq, payload []byte) error {
 	d := decoder{b: payload}
 	m.Session = d.u32()
 	m.ID = d.u64()
+	m.Counter = d.u64()
 	m.Count = d.u32()
 	m.Bits = d.u8()
 	m.Packed = d.bytes(DefaultMaxPayload)

@@ -37,7 +37,9 @@ const Magic uint32 = 0x50454848
 
 // Version is the protocol version this package speaks. A peer that sees
 // a different version must fail the connection rather than guess.
-const Version uint8 = 1
+// Version 2 added per-session request counters (replay protection),
+// session-resumption tokens, and the resume/replay error codes.
+const Version uint8 = 2
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 10
