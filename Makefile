@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke server-smoke tls-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke cipher-smoke server-smoke tls-smoke ci clean
 
 all: build
 
@@ -40,8 +40,8 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|AccelKeystream|AccelFarm|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
-		./internal/pasta ./internal/backend ./internal/hw ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|MastaKeystream|AccelKeystream|AccelFarm|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
+		./internal/pasta ./internal/masta ./internal/backend ./internal/hw ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
 
 # Allocation-regression gate on the serving-tier hot path: the
 # end-to-end encrypt round trip (client encode → server decode →
@@ -80,6 +80,14 @@ metrics-smoke:
 backends-smoke:
 	$(GO) test -run 'TestCrossBackendDifferential/PASTA-4' -v ./internal/backend
 
+# Conformance over the full cipher × backend matrix: every registered
+# cipher family (PASTA, HERA, MASTA, plus any test-local Register) on
+# every registered substrate, with typed skip-with-reason for pairs the
+# capability probes refuse. This is the registry's CI gate: a new
+# cipher package is covered the moment its init calls cipher.Register.
+cipher-smoke:
+	$(GO) test -run 'TestConformance|TestCrossBackendDifferential|TestSoftwareZeroAlloc|TestDummyCipher' -v ./internal/backend
+
 # End-to-end check of the serving tier: bring an hheserver up in-process,
 # run a client round-trip, provoke an overload rejection, scrape the
 # /metrics endpoint, and shut down cleanly.
@@ -93,7 +101,7 @@ server-smoke:
 tls-smoke:
 	$(GO) test -run TestTLSSmoke -count=1 -v ./cmd/hheserver
 
-ci: vet fmt-check build race backends-smoke server-smoke tls-smoke bench-smoke
+ci: vet fmt-check build race backends-smoke cipher-smoke server-smoke tls-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -4,11 +4,14 @@
 // Usage:
 //
 //	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims] [-nonces N] [-enc-cap]
-//	         [-backend software|accel|soc] [-metrics file|-] [-debug-addr host:port]
+//	         [-backend software|accel|soc] [-cipher pasta|hera|masta]
+//	         [-metrics file|-] [-debug-addr host:port]
 //
 // The -backend flag selects the execution substrate for the "software"
 // (throughput) experiment; the modelled tables always sample the
-// substrates they reproduce.
+// substrates they reproduce. The throughput experiment sweeps every
+// registered cipher family the substrate can run (MASTA vs PASTA vs
+// HERA on one axis); -cipher narrows it to a single family.
 package main
 
 import (
@@ -188,7 +191,14 @@ func main() {
 		ran = true
 	}
 	if want("software") {
-		rows, err := eval.ThroughputUnits(common.Backend, *workers, *blocks, common.AccelUnits)
+		// nil = the full cipher registry (PASTA-3/4, HERA, MASTA, …);
+		// -cipher narrows the sweep to one family. Families the selected
+		// substrate cannot run are skipped by the capability probes.
+		var ciphers []string
+		if common.Cipher != "" {
+			ciphers = []string{common.Cipher}
+		}
+		rows, err := eval.ThroughputCiphers(common.Backend, ciphers, *workers, *blocks, common.AccelUnits)
 		if err != nil {
 			fatal(err)
 		}

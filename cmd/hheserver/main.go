@@ -7,12 +7,18 @@
 // Usage:
 //
 //	hheserver [-addr :8765] [-backend software|accel|soc]
+//	          [-cipher pasta|hera|masta]
 //	          [-debug-addr :8766] [-workers N] [-queue N]
 //	          [-batch-window 2ms] [-max-sessions N] [-rate N] [-burst N]
 //	          [-request-timeout 10s] [-idle-timeout 2m]
 //	          [-write-timeout 10s] [-metrics file|-]
 //	          [-tls-cert cert.pem -tls-key key.pem] [-tls-client-ca ca.pem]
 //	          [-resume-window 1m]
+//
+// Sessions negotiate their cipher family per tenant in SessionOpen;
+// -cipher only sets the default family applied to clients that do not
+// name one (the capability probes still arbitrate which families the
+// selected backend can actually run).
 //
 // With -tls-cert/-tls-key the listener speaks TLS, so symmetric keys and
 // resumption tokens never cross the wire in plaintext; -tls-client-ca
@@ -71,6 +77,7 @@ func main() {
 	}
 	if err := run(*addr, *debugAddr, *drainTimeout, server.Config{
 		Backend:        common.Backend,
+		DefaultCipher:  common.Cipher,
 		Workers:        *workers,
 		AccelUnits:     common.AccelUnits,
 		QueueBound:     *queue,

@@ -8,9 +8,15 @@
 //
 // Usage:
 //
-//	hwsim [-backend software|accel|soc] [-variant pasta3|pasta4] [-w 17|33|54|60]
+//	hwsim [-backend software|accel|soc] [-cipher pasta|hera|masta]
+//	      [-variant pasta3|pasta4] [-w 17|33|54|60]
 //	      [-nonce N] [-counter N] [-step-mode auto|event|cycle|both] [-accel-units N]
 //	      [-trace] [-verify] [-metrics file|-]
+//
+// -cipher selects the registered cipher family (default pasta); the
+// capability probes decide which substrates can run it, so e.g.
+// software-only families are refused by the accel and soc backends with
+// a typed error instead of wrong numbers.
 //
 // -step-mode selects how the accel backend advances modelled time: the
 // event-driven fast-forward engine ("event"), the per-cycle oracle
@@ -31,7 +37,6 @@ import (
 	"repro/internal/cli"
 	"repro/internal/ff"
 	"repro/internal/hw"
-	"repro/internal/pasta"
 )
 
 func main() {
@@ -47,7 +52,7 @@ func main() {
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameAccel)
 	flag.Parse()
 
-	if err := run(*variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath, *stepMode, common.Backend, common.AccelUnits); err != nil {
+	if err := run(common.CipherName(), *variant, *width, *nonce, *counter, *trace, *verify, *keySeed, *vcdPath, *stepMode, common.Backend, common.AccelUnits); err != nil {
 		cli.Exit("hwsim", err)
 	}
 	if err := common.Finish(); err != nil {
@@ -55,35 +60,46 @@ func main() {
 	}
 }
 
-func run(variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath, stepMode, backendName string, accelUnits int) error {
-	b, err := cli.OpenPasta(backendName, variant, width, keySeed, 0, accelUnits)
+func run(cipherName, variant string, width uint, nonce, counter uint64, trace, verify bool, keySeed, vcdPath, stepMode, backendName string, accelUnits int) error {
+	params, err := cli.CipherParams(cipherName, variant, width)
+	if err != nil {
+		return err
+	}
+	b, err := cli.OpenCipher(backendName, cipherName, params, keySeed, 0, accelUnits)
 	if err != nil {
 		return err
 	}
 	defer b.Close()
 
-	// The schedule trace and waveform capture are properties of the
-	// cycle-accurate model; the other substrates have nothing to record.
+	// The schedule trace, waveform capture, and step-mode selection are
+	// properties of the PASTA cryptoprocessor model; the other substrates
+	// (and the accel backend's non-PASTA datapaths) have nothing to
+	// record.
 	var acc *hw.Accelerator
 	ab, isAccel := b.(*backend.AccelBackend)
 	if isAccel {
-		acc = ab.Accelerator()
+		acc = ab.Accelerator() // nil for non-PASTA accel datapaths
+	}
+	hasModel := acc != nil
+	if hasModel {
 		acc.TraceEnabled = trace
 		if vcdPath != "" {
 			acc.Waveform = &hw.Waveform{}
 		}
 	} else if trace || vcdPath != "" {
-		return fmt.Errorf("-trace and -vcd require the %s backend (got %s)", backend.NameAccel, backendName)
+		return fmt.Errorf("-trace and -vcd require the PASTA model on the %s backend (got %s on %s)",
+			backend.NameAccel, cipherName, backendName)
 	}
 
-	if stepMode != "" && stepMode != "auto" && !isAccel {
-		return fmt.Errorf("-step-mode requires the %s backend (got %s)", backend.NameAccel, backendName)
+	if stepMode != "" && stepMode != "auto" && !hasModel {
+		return fmt.Errorf("-step-mode requires the PASTA model on the %s backend (got %s on %s)",
+			backend.NameAccel, cipherName, backendName)
 	}
 	if stepMode == "both" {
 		if err := compareSteppings(ab, nonce, counter); err != nil {
 			return err
 		}
-	} else if isAccel {
+	} else if hasModel {
 		m, err := hw.ParseStepMode(stepMode)
 		if err != nil {
 			return err
@@ -96,8 +112,8 @@ func run(variant string, width uint, nonce, counter uint64, trace, verify bool, 
 		return err
 	}
 
-	fmt.Printf("%s backend  ω=%d  nonce=%d  counter=%d\n", b.Name(), width, nonce, counter)
-	if isAccel {
+	fmt.Printf("%s backend  %s  ω=%d  nonce=%d  counter=%d\n", b.Name(), cipherName, width, nonce, counter)
+	if hasModel {
 		res := ab.LastResult()
 		fmt.Printf("cycles: %d  (FPGA 75MHz: %.1f µs, ASIC 1GHz: %.2f µs, SoC 100MHz: %.1f µs)\n",
 			res.Stats.Cycles,
@@ -147,16 +163,11 @@ func run(variant string, width uint, nonce, counter uint64, trace, verify bool, 
 	}
 
 	if verify {
-		v, err := cli.ParseVariant(variant)
+		ref, err := cli.ReferenceKeystream(cipherName, params, keySeed, nonce, counter, 1)
 		if err != nil {
 			return err
 		}
-		par := pasta.MustParams(v, ff.StandardModuli[width])
-		ref, err := pasta.NewCipher(par, pasta.KeyFromSeed(par, keySeed))
-		if err != nil {
-			return err
-		}
-		if ks.Equal(ref.KeyStream(nonce, counter)) {
+		if ks.Equal(ref) {
 			fmt.Printf("verify: %s keystream matches software reference ✓\n", b.Name())
 		} else {
 			return fmt.Errorf("verify FAILED: keystream mismatch")

@@ -21,7 +21,7 @@ func TestEncryptDecryptFile(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	if err := run("enc", "pasta4", "secret", 42, plain, ct, 2, "software", 1); err != nil {
+	if err := run("enc", "pasta", "pasta4", "secret", 42, plain, ct, 2, "software", 1); err != nil {
 		t.Fatal(err)
 	}
 	ctData, err := os.ReadFile(ct)
@@ -31,7 +31,7 @@ func TestEncryptDecryptFile(t *testing.T) {
 	if bytes.Contains(ctData, data[:64]) {
 		t.Fatal("ciphertext contains plaintext")
 	}
-	if err := run("dec", "pasta4", "secret", 0, ct, back, 0, "software", 1); err != nil {
+	if err := run("dec", "pasta", "pasta4", "secret", 0, ct, back, 0, "software", 1); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(back)
@@ -51,10 +51,10 @@ func TestOddLengthFile(t *testing.T) {
 	if err := os.WriteFile(plain, []byte{1, 2, 3}, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("enc", "pasta3", "k", 1, plain, ct, 1, "software", 1); err != nil {
+	if err := run("enc", "pasta", "pasta3", "k", 1, plain, ct, 1, "software", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dec", "pasta3", "k", 0, ct, back, 4, "software", 1); err != nil {
+	if err := run("dec", "pasta", "pasta3", "k", 0, ct, back, 4, "software", 1); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(back)
@@ -72,10 +72,10 @@ func TestWrongKeyGivesGarbage(t *testing.T) {
 	if err := os.WriteFile(plain, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("enc", "pasta4", "right-key", 7, plain, ct, 0, "software", 1); err != nil {
+	if err := run("enc", "pasta", "pasta4", "right-key", 7, plain, ct, 0, "software", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dec", "pasta4", "wrong-key", 0, ct, back, 0, "software", 1); err != nil {
+	if err := run("dec", "pasta", "pasta4", "wrong-key", 0, ct, back, 0, "software", 1); err != nil {
 		t.Fatal(err)
 	}
 	got, _ := os.ReadFile(back)
@@ -95,12 +95,12 @@ func TestInvalidArgs(t *testing.T) {
 		{"enc", "pasta4", "k", filepath.Join(dir, "missing")},
 	}
 	for _, c := range cases {
-		if err := run(c.mode, c.variant, c.seed, 0, c.in, filepath.Join(dir, "out"), 0, "software", 1); err == nil {
+		if err := run(c.mode, "pasta", c.variant, c.seed, 0, c.in, filepath.Join(dir, "out"), 0, "software", 1); err == nil {
 			t.Errorf("run(%q, %q, %q) succeeded", c.mode, c.variant, c.seed)
 		}
 	}
 	// Decrypting a non-ciphertext file.
-	if err := run("dec", "pasta4", "k", 0, f, filepath.Join(dir, "out"), 0, "software", 1); err == nil {
+	if err := run("dec", "pasta", "pasta4", "k", 0, f, filepath.Join(dir, "out"), 0, "software", 1); err == nil {
 		t.Error("decrypted a non-ciphertext file")
 	}
 }
@@ -110,10 +110,10 @@ func TestVariantMismatchDetected(t *testing.T) {
 	plain := filepath.Join(dir, "p")
 	ct := filepath.Join(dir, "c")
 	_ = os.WriteFile(plain, []byte("data"), 0o644)
-	if err := run("enc", "pasta4", "k", 1, plain, ct, 0, "software", 1); err != nil {
+	if err := run("enc", "pasta", "pasta4", "k", 1, plain, ct, 0, "software", 1); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("dec", "pasta3", "k", 0, ct, filepath.Join(dir, "b"), 0, "software", 1); err == nil {
+	if err := run("dec", "pasta", "pasta3", "k", 0, ct, filepath.Join(dir, "b"), 0, "software", 1); err == nil {
 		t.Fatal("variant mismatch not detected")
 	}
 }
@@ -149,7 +149,7 @@ func TestBackendsProduceIdenticalCiphertext(t *testing.T) {
 	cts := make(map[string][]byte, len(backends))
 	for _, name := range backends {
 		ct := filepath.Join(dir, "ct."+name)
-		if err := run("enc", "pasta4", "diff", 11, plain, ct, 0, name, 1); err != nil {
+		if err := run("enc", "pasta", "pasta4", "diff", 11, plain, ct, 0, name, 1); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		b, err := os.ReadFile(ct)
@@ -166,7 +166,7 @@ func TestBackendsProduceIdenticalCiphertext(t *testing.T) {
 
 	// Cross-substrate decryption: software-made ciphertext, SoC decrypt.
 	back := filepath.Join(dir, "back.bin")
-	if err := run("dec", "pasta4", "diff", 0, filepath.Join(dir, "ct.software"), back, 0, "soc", 1); err != nil {
+	if err := run("dec", "pasta", "pasta4", "diff", 0, filepath.Join(dir, "ct.software"), back, 0, "soc", 1); err != nil {
 		t.Fatal(err)
 	}
 	got, err := os.ReadFile(back)
@@ -175,5 +175,48 @@ func TestBackendsProduceIdenticalCiphertext(t *testing.T) {
 	}
 	if !bytes.Equal(got, data) {
 		t.Fatal("cross-backend roundtrip failed")
+	}
+}
+
+// TestCipherFamilyRoundtrip drives the -cipher axis end to end: a
+// MASTA-encrypted file records its family in the header, decrypts only
+// with the matching -cipher, and a legacy PASTA file refuses a
+// mismatched -cipher instead of emitting garbage.
+func TestCipherFamilyRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	plain := filepath.Join(dir, "p")
+	ct := filepath.Join(dir, "c")
+	back := filepath.Join(dir, "b")
+	data := []byte("registry-selected keystream")
+	if err := os.WriteFile(plain, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := run("enc", "masta", "pasta4", "k", 5, plain, ct, 0, "software", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dec", "masta", "pasta4", "k", 0, ct, back, 0, "software", 1); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := os.ReadFile(back)
+	if !bytes.Equal(got, data) {
+		t.Fatal("masta roundtrip failed")
+	}
+
+	// Family mismatches are detected from the header, both directions.
+	if err := run("dec", "pasta", "pasta4", "k", 0, ct, back, 0, "software", 1); err == nil {
+		t.Fatal("masta file decrypted as pasta")
+	}
+	ctP := filepath.Join(dir, "cp")
+	if err := run("enc", "pasta", "pasta4", "k", 6, plain, ctP, 0, "software", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("dec", "hera", "pasta4", "k", 0, ctP, back, 0, "software", 1); err == nil {
+		t.Fatal("pasta file decrypted as hera")
+	}
+
+	// Unknown families surface the registry's typed error.
+	if err := run("enc", "rasta", "pasta4", "k", 7, plain, ct, 0, "software", 1); err == nil {
+		t.Fatal("unknown cipher accepted")
 	}
 }

@@ -7,8 +7,15 @@
 //
 // Usage:
 //
-//	socsim [-backend software|accel|soc] [-blocks N] [-nonce N]
+//	socsim [-backend software|accel|soc] [-cipher pasta|hera|masta]
+//	       [-blocks N] [-nonce N]
 //	       [-variant pasta3|pasta4] [-irq] [-metrics file|-]
+//
+// -cipher selects the registered cipher family (default pasta). The
+// detailed co-simulation path (retired instructions, WFI cycles) exists
+// for the PASTA peripheral only; other families go through the generic
+// backend, whose capability probes refuse substrates that cannot run
+// them.
 package main
 
 import (
@@ -33,7 +40,7 @@ func main() {
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoC)
 	flag.Parse()
 
-	if err := run(*blocks, *nonce, *variant, *keySeed, *irq, common.Backend, common.AccelUnits); err != nil {
+	if err := run(*blocks, *nonce, common.CipherName(), *variant, *keySeed, *irq, common.Backend, common.AccelUnits); err != nil {
 		cli.Exit("socsim", err)
 	}
 	if err := common.Finish(); err != nil {
@@ -41,30 +48,36 @@ func main() {
 	}
 }
 
-func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendName string, accelUnits int) error {
+func run(blocks int, nonce uint64, cipherName, variant, keySeed string, irq bool, backendName string, accelUnits int) error {
 	if blocks < 1 {
 		return fmt.Errorf("-blocks must be ≥ 1")
 	}
 	if irq && backendName != backend.NameSoC {
 		return fmt.Errorf("-irq requires the %s backend (got %s)", backend.NameSoC, backendName)
 	}
-	v, err := cli.ParseVariant(variant)
+	params, err := cli.CipherParams(cipherName, variant, 17)
 	if err != nil {
 		return err
 	}
-	par := pasta.MustParams(v, ff.P17)
-	key := pasta.KeyFromSeed(par, keySeed)
+	inst, refEng, err := cli.ReferenceEngine(cipherName, params, keySeed)
+	if err != nil {
+		return err
+	}
 
-	msg := ff.NewVec(blocks * par.T)
+	msg := ff.NewVec(blocks * inst.Block)
 	for i := range msg {
-		msg[i] = uint64(i) % par.Mod.P()
+		msg[i] = uint64(i) % inst.Mod.P()
 	}
 
 	var ct ff.Vec
-	if backendName == backend.NameSoC {
+	if backendName == backend.NameSoC && cipherName == backend.DefaultCipher {
 		// The direct driver path keeps the co-simulation detail (retired
 		// instructions, WFI sleep cycles) that the generic backend
-		// Stats() deliberately flattens.
+		// Stats() deliberately flattens. It speaks to the PASTA
+		// peripheral; other families take the generic path below, where
+		// the capability probes arbitrate substrate support.
+		par := inst.Params.(pasta.Params)
+		key := pasta.KeyFromSeed(par, keySeed)
 		encrypt := soc.EncryptBlocks
 		if irq {
 			encrypt = soc.EncryptBlocksIRQ
@@ -87,7 +100,7 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendNam
 				stats.WaitCycles, 100*float64(stats.WaitCycles)/float64(stats.CoreCycles))
 		}
 	} else {
-		b, err := cli.OpenPasta(backendName, variant, 17, keySeed, 0, accelUnits)
+		b, err := cli.OpenCipher(backendName, cipherName, params, keySeed, 0, accelUnits)
 		if err != nil {
 			return err
 		}
@@ -97,7 +110,7 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendNam
 			return err
 		}
 		st := b.Stats()
-		fmt.Printf("%s on the %s backend\n", par, b.Name())
+		fmt.Printf("%s on the %s backend\n", inst.Label, b.Name())
 		fmt.Printf("blocks:            %d (%d elements)\n", st.Blocks, st.Elements)
 		if st.AccelCycles > 0 {
 			fmt.Printf("accelerator cycles:%d (%.1f µs at 75 MHz FPGA)\n", st.AccelCycles,
@@ -105,14 +118,16 @@ func run(blocks int, nonce uint64, variant, keySeed string, irq bool, backendNam
 		}
 	}
 
-	// Verify against the reference cipher.
-	ref, err := pasta.NewCipher(par, key)
-	if err != nil {
-		return err
+	// Verify against the registry's sequential reference engine:
+	// ciphertext is the additive mask of the oracle keystream.
+	want := ff.NewVec(len(msg))
+	for b := 0; b < blocks; b++ {
+		if err := refEng.KeyStreamInto(want[b*inst.Block:(b+1)*inst.Block], nonce, uint64(b)); err != nil {
+			return err
+		}
 	}
-	want, err := ref.Encrypt(nonce, msg)
-	if err != nil {
-		return err
+	for i := range want {
+		want[i] = inst.Mod.Add(msg[i], want[i])
 	}
 	if ct.Equal(want) {
 		fmt.Println("verify: ciphertext matches software reference ✓")

@@ -14,7 +14,7 @@ import (
 // the cycle-accurate accelerator, and the SoC peripheral — and the
 // written snapshot must show nonzero activity for each.
 func TestMetricsSnapshotCoversAllLayers(t *testing.T) {
-	if err := run(2, 9, "pasta4", "metrics-test", true, "soc", 1); err != nil {
+	if err := run(2, 9, "pasta", "pasta4", "metrics-test", true, "soc", 1); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "metrics.json")

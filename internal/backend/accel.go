@@ -5,12 +5,50 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/hera"
 	"repro/internal/hw"
 	"repro/internal/obs"
 	"repro/internal/pasta"
 )
+
+// AccelUnit is one modelled cryptoprocessor instance in the farm: it
+// runs a single keystream block and reports the modelled cycle count.
+// Units may serialize internally; the farm hands each concurrent block
+// request its own unit through a free-list.
+type AccelUnit interface {
+	KeyStream(dst ff.Vec, nonce, block uint64) (cycles int64, err error)
+}
+
+// AccelUnitFactory builds one farm unit for a resolved cipher instance.
+// Factories receive the full Config so substrate knobs (WatchdogLimit,
+// AccelStep) reach the modelled hardware.
+type AccelUnitFactory func(inst cipher.Instance, key ff.Vec, cfg Config) (AccelUnit, error)
+
+var (
+	accelMu    sync.RWMutex
+	accelUnits = map[string]AccelUnitFactory{}
+)
+
+// RegisterAccelUnit registers the accelerator-model factory for a
+// cipher family. Families without a factory (or whose capability probe
+// declines the instance) fail accel opens with ErrUnsupported.
+func RegisterAccelUnit(cipherName string, f AccelUnitFactory) {
+	accelMu.Lock()
+	defer accelMu.Unlock()
+	if _, dup := accelUnits[cipherName]; dup {
+		panic(fmt.Sprintf("backend: RegisterAccelUnit called twice for %q", cipherName))
+	}
+	accelUnits[cipherName] = f
+}
+
+func lookupAccelUnit(cipherName string) (AccelUnitFactory, bool) {
+	accelMu.RLock()
+	defer accelMu.RUnlock()
+	f, ok := accelUnits[cipherName]
+	return f, ok
+}
 
 // AccelBackend runs every keystream block through the cycle-accurate
 // cryptoprocessor model (internal/hw), accumulating the modelled cycle
@@ -25,34 +63,37 @@ import (
 // reachable with errors.As.
 type AccelBackend struct {
 	base
-	units     []*hw.Accelerator
-	heraUnits []*hw.HeraAccelerator
-	free      chan int // indices of idle units
+	units []AccelUnit
+	free  chan int // indices of idle units
 
 	unitBlocks []atomic.Int64
 	unitCycles []atomic.Int64
 	obsUnitBlk []*obs.Counter
 	obsUnitCyc []*obs.Counter
-
-	mu   sync.Mutex
-	last hw.Result // most recent PASTA run, for tooling reports
 }
 
-// NewAccel opens the cycle-accurate accelerator backend.
+// NewAccel opens the cycle-accurate accelerator backend for any cipher
+// whose family probes accel support and has a registered unit factory.
 func NewAccel(cfg Config) (*AccelBackend, error) {
 	r, err := cfg.resolve()
 	if err != nil {
 		return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
 	}
-	step, err := hw.ParseStepMode(cfg.AccelStep)
-	if err != nil {
-		return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+	if err := cipher.Probe(r.inst, cipher.SubstrateAccel); err != nil {
+		return nil, &Error{Backend: NameAccel, Op: "open",
+			Err: fmt.Errorf("%w: %v", ErrUnsupported, err)}
+	}
+	factory, ok := lookupAccelUnit(r.scheme())
+	if !ok {
+		return nil, &Error{Backend: NameAccel, Op: "open",
+			Err: fmt.Errorf("%w: no accelerator model for cipher %s", ErrUnsupported, r.scheme())}
 	}
 	n := cfg.AccelUnits
 	if n <= 0 {
 		n = 1
 	}
 	b := &AccelBackend{
+		units:      make([]AccelUnit, n),
 		free:       make(chan int, n),
 		unitBlocks: make([]atomic.Int64, n),
 		unitCycles: make([]atomic.Int64, n),
@@ -60,60 +101,26 @@ func NewAccel(cfg Config) (*AccelBackend, error) {
 		obsUnitCyc: make([]*obs.Counter, n),
 	}
 	for i := 0; i < n; i++ {
+		u, err := factory(r.inst, r.key, cfg)
+		if err != nil {
+			return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
+		}
+		b.units[i] = u
 		b.free <- i
 		b.obsUnitBlk[i] = obs.Default().Counter(fmt.Sprintf("backend.accel.unit%d.blocks", i))
 		b.obsUnitCyc[i] = obs.Default().Counter(fmt.Sprintf("backend.accel.unit%d.cycles", i))
 	}
-	switch r.scheme {
-	case SchemePasta:
-		b.units = make([]*hw.Accelerator, n)
-		for i := range b.units {
-			a, err := hw.NewAccelerator(r.pastaPar, pasta.Key(r.key))
-			if err != nil {
-				return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
-			}
-			a.WatchdogLimit = cfg.WatchdogLimit
-			a.Step = step
-			b.units[i] = a
+	b.init(NameAccel, r.scheme(), r.inst.Block, r.mod(), n)
+	b.label = r.inst.Label
+	b.kernel = func(dst ff.Vec, nonce, block uint64) error {
+		idx := <-b.free
+		cycles, err := b.units[idx].KeyStream(dst, nonce, block)
+		b.free <- idx
+		if err != nil {
+			return err // *hw.ErrWatchdog stays reachable via errors.As
 		}
-		b.init(NameAccel, SchemePasta, r.pastaPar.T, r.mod, n)
-		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			idx := <-b.free
-			a := b.units[idx]
-			res, err := a.KeyStream(nonce, block)
-			b.free <- idx
-			if err != nil {
-				return err // *hw.ErrWatchdog stays reachable via errors.As
-			}
-			b.recordUnit(idx, res.Stats.Cycles)
-			b.mu.Lock()
-			b.last = res
-			b.mu.Unlock()
-			copy(dst, res.KeyStream)
-			return nil
-		}
-	case SchemeHera:
-		b.heraUnits = make([]*hw.HeraAccelerator, n)
-		for i := range b.heraUnits {
-			a, err := hw.NewHeraAccelerator(r.heraPar, hera.Key(r.key))
-			if err != nil {
-				return nil, &Error{Backend: NameAccel, Op: "open", Err: err}
-			}
-			b.heraUnits[i] = a
-		}
-		b.init(NameAccel, SchemeHera, hera.StateSize, r.mod, n)
-		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			idx := <-b.free
-			a := b.heraUnits[idx]
-			res, err := a.KeyStream(nonce, block)
-			b.free <- idx
-			if err != nil {
-				return err
-			}
-			b.recordUnit(idx, res.Stats.Cycles)
-			copy(dst, res.KeyStream)
-			return nil
-		}
+		b.recordUnit(idx, cycles)
+		return nil
 	}
 	return b, nil
 }
@@ -145,40 +152,148 @@ func (b *AccelBackend) Stats() Stats {
 // Units returns the farm width.
 func (b *AccelBackend) Units() int { return len(b.unitBlocks) }
 
+// Optional per-family unit capabilities, type-asserted by the tooling
+// accessors below. The PASTA unit implements all of them; new families
+// implement what their model supports.
+type (
+	pastaToolingUnit interface {
+		Accelerator() *hw.Accelerator
+		LastResult() hw.Result
+	}
+	stepModeUnit    interface{ SetStepMode(hw.StepMode) }
+	heraToolingUnit interface {
+		HeraAccelerator() *hw.HeraAccelerator
+	}
+)
+
 // Accelerator exposes unit 0 of the PASTA cryptoprocessor farm (nil for
-// HERA) so tools like cmd/hwsim can configure tracing, waveform capture,
-// and fault injection. Those per-run features observe a single modelled
-// peripheral; configure them only on a single-unit backend (the default),
-// where every run is guaranteed to land on unit 0.
+// other ciphers) so tools like cmd/hwsim can configure tracing, waveform
+// capture, and fault injection. Those per-run features observe a single
+// modelled peripheral; configure them only on a single-unit backend (the
+// default), where every run is guaranteed to land on unit 0.
 func (b *AccelBackend) Accelerator() *hw.Accelerator {
 	if len(b.units) == 0 {
 		return nil
 	}
-	return b.units[0]
+	if u, ok := b.units[0].(pastaToolingUnit); ok {
+		return u.Accelerator()
+	}
+	return nil
 }
 
-// SetStepMode applies a time-stepping mode to every PASTA unit in the
-// farm. Configure between operations, not concurrently with them.
+// SetStepMode applies a time-stepping mode to every unit in the farm
+// that models stepped time. Configure between operations, not
+// concurrently with them.
 func (b *AccelBackend) SetStepMode(m hw.StepMode) {
-	for _, a := range b.units {
-		a.Step = m
+	for _, u := range b.units {
+		if s, ok := u.(stepModeUnit); ok {
+			s.SetStepMode(m)
+		}
 	}
 }
 
-// HeraAccelerator exposes unit 0 of the HERA datapath farm (nil for PASTA).
+// HeraAccelerator exposes unit 0 of the HERA datapath farm (nil for
+// other ciphers).
 func (b *AccelBackend) HeraAccelerator() *hw.HeraAccelerator {
-	if len(b.heraUnits) == 0 {
+	if len(b.units) == 0 {
 		return nil
 	}
-	return b.heraUnits[0]
+	if u, ok := b.units[0].(heraToolingUnit); ok {
+		return u.HeraAccelerator()
+	}
+	return nil
 }
 
-// LastResult returns the full cycle-model result of the most recent
-// PASTA keystream run (schedule trace, sampler statistics, unit busy
-// counts) — detail the generic Stats() interface deliberately flattens,
-// but which reporting tools like cmd/hwsim still want.
+// LastResult returns the full cycle-model result of unit 0's most
+// recent PASTA keystream run (schedule trace, sampler statistics, unit
+// busy counts) — detail the generic Stats() interface deliberately
+// flattens, but which reporting tools like cmd/hwsim still want. Like
+// the other per-run tooling hooks it is meaningful on single-unit
+// backends, where every run lands on unit 0.
 func (b *AccelBackend) LastResult() hw.Result {
-	b.mu.Lock()
-	defer b.mu.Unlock()
-	return b.last
+	if len(b.units) > 0 {
+		if u, ok := b.units[0].(pastaToolingUnit); ok {
+			return u.LastResult()
+		}
+	}
+	return hw.Result{}
+}
+
+// pastaAccelUnit adapts the cycle-accurate PASTA cryptoprocessor model
+// to the generic farm unit contract, keeping the per-run Result
+// reachable for tooling.
+type pastaAccelUnit struct {
+	a    *hw.Accelerator
+	mu   sync.Mutex
+	last hw.Result
+}
+
+func (u *pastaAccelUnit) KeyStream(dst ff.Vec, nonce, block uint64) (int64, error) {
+	res, err := u.a.KeyStream(nonce, block)
+	if err != nil {
+		return 0, err
+	}
+	u.mu.Lock()
+	u.last = res
+	u.mu.Unlock()
+	copy(dst, res.KeyStream)
+	return res.Stats.Cycles, nil
+}
+
+func (u *pastaAccelUnit) Accelerator() *hw.Accelerator { return u.a }
+func (u *pastaAccelUnit) SetStepMode(m hw.StepMode)    { u.a.Step = m }
+func (u *pastaAccelUnit) LastResult() hw.Result {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	return u.last
+}
+
+// heraAccelUnit adapts the HERA datapath model.
+type heraAccelUnit struct {
+	a *hw.HeraAccelerator
+}
+
+func (u *heraAccelUnit) KeyStream(dst ff.Vec, nonce, block uint64) (int64, error) {
+	res, err := u.a.KeyStream(nonce, block)
+	if err != nil {
+		return 0, err
+	}
+	copy(dst, res.KeyStream)
+	return res.Stats.Cycles, nil
+}
+
+func (u *heraAccelUnit) HeraAccelerator() *hw.HeraAccelerator { return u.a }
+
+// The built-in families' accelerator models. Registration is data, not
+// dispatch: the open path consults only the capability probe and this
+// registry, never a cipher name switch.
+func init() {
+	RegisterAccelUnit(pasta.CipherName, func(inst cipher.Instance, key ff.Vec, cfg Config) (AccelUnit, error) {
+		par, ok := inst.Params.(pasta.Params)
+		if !ok {
+			return nil, fmt.Errorf("accel: instance params are %T, want pasta.Params", inst.Params)
+		}
+		step, err := hw.ParseStepMode(cfg.AccelStep)
+		if err != nil {
+			return nil, err
+		}
+		a, err := hw.NewAccelerator(par, pasta.Key(key))
+		if err != nil {
+			return nil, err
+		}
+		a.WatchdogLimit = cfg.WatchdogLimit
+		a.Step = step
+		return &pastaAccelUnit{a: a}, nil
+	})
+	RegisterAccelUnit(hera.CipherName, func(inst cipher.Instance, key ff.Vec, cfg Config) (AccelUnit, error) {
+		par, ok := inst.Params.(hera.Params)
+		if !ok {
+			return nil, fmt.Errorf("accel: instance params are %T, want hera.Params", inst.Params)
+		}
+		a, err := hw.NewHeraAccelerator(par, hera.Key(key))
+		if err != nil {
+			return nil, err
+		}
+		return &heraAccelUnit{a: a}, nil
+	})
 }

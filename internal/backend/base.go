@@ -19,6 +19,7 @@ import (
 type base struct {
 	name    string
 	scheme  string
+	label   string
 	t       int
 	mod     ff.Modulus
 	workers int
@@ -65,6 +66,13 @@ func (b *base) Name() string        { return b.name }
 func (b *base) Scheme() string      { return b.scheme }
 func (b *base) BlockSize() int      { return b.t }
 func (b *base) Modulus() ff.Modulus { return b.mod }
+
+// InstanceLabel names the resolved cipher instance (cipher.Instance.
+// Label, e.g. "PASTA-3(p=65537)"). Two instances with different
+// keystream functions have different labels; the serving tier folds the
+// label into its duplicate-nonce fingerprint so the same (key, nonce)
+// under different ciphers is not mistaken for keystream reuse.
+func (b *base) InstanceLabel() string { return b.label }
 
 // Stats returns the instance's cumulative counters.
 func (b *base) Stats() Stats {

@@ -3,35 +3,38 @@ package backend
 import (
 	"fmt"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
-	"repro/internal/hera"
 	"repro/internal/pasta"
 )
 
+// DefaultCipher is the cipher family the zero-value Config opens.
+const DefaultCipher = "pasta"
+
 // Config selects and keys a cipher instance for any backend. The zero
 // value opens PASTA-3 over the 17-bit modulus with a fresh random key.
+//
+// The cipher axis is registry-driven: Cipher names any family
+// registered with internal/cipher, and CipherParams carries the
+// family-interpreted parameters. The scheme-specific fields below the
+// deprecation line are aliases kept for one PR so existing callers
+// don't break; they are folded into CipherParams by resolve().
 type Config struct {
-	// Scheme is SchemePasta (default) or SchemeHera.
-	Scheme string
+	// Cipher names a registered cipher family (see cipher.Names());
+	// "" falls back to the deprecated Scheme, then DefaultCipher.
+	Cipher string
 
-	// Variant selects the PASTA shape (Pasta3 default, Pasta4).
-	// Ignored for HERA and when PastaParams is set.
-	Variant pasta.Variant
-
-	// PastaParams, when non-nil, overrides Variant/Width with an
-	// explicit (possibly toy) instance — the HHE layer evaluates the
-	// homomorphic decryption circuit on reduced instances.
-	PastaParams *pasta.Params
-
-	// HeraRounds is the HERA round count (default 5).
-	HeraRounds int
+	// CipherParams carries the substrate-independent cipher
+	// parameters (variant, rounds, state size, modulus selection),
+	// interpreted by the named family's Spec.
+	CipherParams cipher.Params
 
 	// Width selects a standard modulus bit width ω ∈ {17, 33, 54, 60}
-	// (default 17). Ignored when PastaParams is set.
+	// (default 17). Shorthand for CipherParams.Width.
 	Width uint
 
-	// Key is the raw secret key (StateSize elements). When nil, KeySeed
-	// derives one; when that is empty too, a random key is sampled.
+	// Key is the raw secret key. When nil, KeySeed derives one; when
+	// that is empty too, a random key is sampled.
 	Key ff.Vec
 
 	// KeySeed deterministically derives the key (tests/examples only).
@@ -56,111 +59,123 @@ type Config struct {
 	// as tracing is armed), "event", or "cycle" (force the per-cycle
 	// oracle). Ignored by the other backends.
 	AccelStep string
+
+	// Scheme is the old name of Cipher; used when Cipher is "".
+	//
+	// Deprecated: set Cipher.
+	Scheme string
+
+	// Variant selects the PASTA shape (Pasta3 default, Pasta4).
+	//
+	// Deprecated: set CipherParams.Variant (family numbering: 3, 4).
+	Variant pasta.Variant
+
+	// PastaParams, when non-nil, overrides Variant/Width with an
+	// explicit (possibly toy) instance.
+	//
+	// Deprecated: set CipherParams.{T,Rounds,Mod}.
+	PastaParams *pasta.Params
+
+	// HeraRounds is the HERA round count (default 5).
+	//
+	// Deprecated: set CipherParams.Rounds.
+	HeraRounds int
 }
 
-// resolved is a fully validated Config: exactly one of the scheme params
-// is meaningful, and key is cloned, range-checked, and never nil.
+// cipherName resolves the cipher axis: Cipher, then the deprecated
+// Scheme alias, then DefaultCipher.
+func (c Config) cipherName() string {
+	if c.Cipher != "" {
+		return c.Cipher
+	}
+	if c.Scheme != "" {
+		return c.Scheme
+	}
+	return DefaultCipher
+}
+
+// cipherParams folds the deprecated per-scheme fields into the
+// registry-facing CipherParams. Explicit CipherParams fields win.
+func (c Config) cipherParams() cipher.Params {
+	p := c.CipherParams
+	if p.Width == 0 {
+		p.Width = c.Width
+	}
+	if p.Variant == 0 {
+		// Map the legacy pasta.Variant enum onto the family's public
+		// numbering; values without a public number (Toy without
+		// explicit params) are passed through for the spec to reject.
+		switch c.Variant {
+		case pasta.Pasta3: // zero value; leave the default
+		case pasta.Pasta4:
+			p.Variant = 4
+		default:
+			p.Variant = int(c.Variant)
+		}
+	}
+	if c.HeraRounds != 0 && p.Rounds == 0 {
+		p.Rounds = c.HeraRounds
+	}
+	if c.PastaParams != nil {
+		pp := *c.PastaParams
+		p.T = pp.T
+		p.Rounds = pp.Rounds
+		p.Mod = pp.Mod
+		p.Variant = 0
+	}
+	return p
+}
+
+// resolved is a fully validated Config: the cipher family, the
+// resolved instance, and a cloned, range-checked, never-nil key.
 type resolved struct {
-	scheme   string
-	mod      ff.Modulus
-	pastaPar pasta.Params
-	heraPar  hera.Params
-	key      ff.Vec
+	spec cipher.Spec
+	inst cipher.Instance
+	key  ff.Vec
 }
 
+func (r resolved) scheme() string  { return r.spec.Name() }
+func (r resolved) mod() ff.Modulus { return r.inst.Mod }
+
+// resolve dispatches Config through the cipher registry: no per-family
+// switch — the named Spec validates parameters and derives the key.
 func (c Config) resolve() (resolved, error) {
-	r := resolved{scheme: c.Scheme}
-	if r.scheme == "" {
-		r.scheme = SchemePasta
+	var r resolved
+	name := c.cipherName()
+	spec, err := cipher.Open(name)
+	if err != nil {
+		// Wrap in ErrUnsupported for continuity with the pre-registry
+		// error contract; cipher.ErrUnknownCipher stays matchable.
+		return r, fmt.Errorf("%w: %w", ErrUnsupported, err)
 	}
-	width := c.Width
-	if width == 0 {
-		width = 17
+	r.spec = spec
+	inst, err := spec.Resolve(c.cipherParams())
+	if err != nil {
+		return r, err
 	}
-	switch r.scheme {
-	case SchemePasta:
-		if c.PastaParams != nil {
-			r.pastaPar = *c.PastaParams
-			if err := r.pastaPar.Validate(); err != nil {
-				return r, err
-			}
-		} else {
-			mod, ok := ff.StandardModuli[width]
-			if !ok {
-				return r, fmt.Errorf("%w: no standard modulus of width %d", ErrUnsupported, width)
-			}
-			par, err := pasta.NewParams(c.Variant, mod)
-			if err != nil {
-				return r, err
-			}
-			r.pastaPar = par
-		}
-		r.mod = r.pastaPar.Mod
-		key, err := c.pastaKey(r.pastaPar)
-		if err != nil {
-			return r, err
-		}
-		r.key = key
-	case SchemeHera:
-		rounds := c.HeraRounds
-		if rounds == 0 {
-			rounds = 5
-		}
-		mod, ok := ff.StandardModuli[width]
-		if !ok {
-			return r, fmt.Errorf("%w: no standard modulus of width %d", ErrUnsupported, width)
-		}
-		par, err := hera.NewParams(rounds, mod)
-		if err != nil {
-			return r, err
-		}
-		r.heraPar = par
-		r.mod = mod
-		key, err := c.heraKey(par)
-		if err != nil {
-			return r, err
-		}
-		r.key = key
-	default:
-		return r, fmt.Errorf("%w: unknown scheme %q (have %s, %s)", ErrUnsupported, r.scheme, SchemePasta, SchemeHera)
+	r.inst = inst
+	key, err := c.resolveKey(spec, inst)
+	if err != nil {
+		return r, err
 	}
+	r.key = key
 	return r, nil
 }
 
-func (c Config) pastaKey(par pasta.Params) (ff.Vec, error) {
+// resolveKey produces the instance key: explicit Key (validated),
+// seeded derivation, or a fresh random key — uniformly through the
+// family's Spec.
+func (c Config) resolveKey(spec cipher.Spec, inst cipher.Instance) (ff.Vec, error) {
 	switch {
 	case c.Key != nil:
-		k := pasta.Key(c.Key.Clone())
-		if err := k.Validate(par); err != nil {
+		k := c.Key.Clone()
+		if err := spec.ValidateKey(inst, k); err != nil {
 			return nil, err
 		}
-		return ff.Vec(k), nil
+		return k, nil
 	case c.KeySeed != "":
-		return ff.Vec(pasta.KeyFromSeed(par, c.KeySeed)), nil
+		return spec.KeyFromSeed(inst, c.KeySeed), nil
 	default:
-		k, err := pasta.NewRandomKey(par)
-		if err != nil {
-			return nil, err
-		}
-		return ff.Vec(k), nil
-	}
-}
-
-func (c Config) heraKey(par hera.Params) (ff.Vec, error) {
-	switch {
-	case c.Key != nil:
-		k := hera.Key(c.Key.Clone())
-		if err := k.Validate(par); err != nil {
-			return nil, err
-		}
-		return ff.Vec(k), nil
-	case c.KeySeed != "":
-		return ff.Vec(hera.KeyFromSeed(par, c.KeySeed)), nil
-	default:
-		k, err := hera.NewRandomKey(par)
-		if err != nil {
-			return nil, err
-		}
-		return ff.Vec(k), nil
+		return spec.NewRandomKey(inst)
 	}
 }

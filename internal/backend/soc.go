@@ -5,26 +5,60 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 	"repro/internal/soc"
 )
 
-// SoCBackend runs the keystream on the full RISC-V SoC co-simulation:
-// every operation assembles a bare-metal driver, loads it into the
-// simulated RAM, and executes it against the memory-mapped peripheral.
+// SoCRunner drives one co-simulated batch encryption on the modelled
+// SoC for a specific cipher family: assemble a bare-metal driver, load
+// it into the simulated RAM, and execute it against the memory-mapped
+// peripheral. Runners may be stateful; the backend serializes calls.
+type SoCRunner interface {
+	EncryptBlocksFrom(nonce, firstCtr uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error)
+}
+
+// SoCRunnerFactory builds the co-sim runner for a resolved instance.
+type SoCRunnerFactory func(inst cipher.Instance, key ff.Vec) (SoCRunner, error)
+
+var (
+	socMu      sync.RWMutex
+	socRunners = map[string]SoCRunnerFactory{}
+)
+
+// RegisterSoCRunner registers a cipher family's SoC driver. Families
+// without one (or whose capability probe declines the instance) fail
+// SoC opens with ErrUnsupported.
+func RegisterSoCRunner(cipherName string, f SoCRunnerFactory) {
+	socMu.Lock()
+	defer socMu.Unlock()
+	if _, dup := socRunners[cipherName]; dup {
+		panic(fmt.Sprintf("backend: RegisterSoCRunner called twice for %q", cipherName))
+	}
+	socRunners[cipherName] = f
+}
+
+func lookupSoCRunner(cipherName string) (SoCRunnerFactory, bool) {
+	socMu.RLock()
+	defer socMu.RUnlock()
+	f, ok := socRunners[cipherName]
+	return f, ok
+}
+
+// SoCBackend runs the keystream on the full RISC-V SoC co-simulation.
 // The keystream for a block is extracted by encrypting an all-zero block
 // (ct = 0 + KS mod p), using the driver's first-counter support to
 // address arbitrary block indices.
 //
-// Restrictions of the modelled silicon surface as ErrUnsupported at
-// Open: the 32-bit peripheral bus cannot carry ω > 32 moduli, and there
-// is no HERA peripheral.
+// Restrictions of the modelled silicon come from the cipher family's
+// capability probe and the runner registry, and surface as
+// ErrUnsupported at Open: the 32-bit peripheral bus cannot carry ω > 32
+// moduli, and only PASTA has a co-simulated peripheral today.
 type SoCBackend struct {
 	base
-	mu  sync.Mutex
-	par pasta.Params
-	key pasta.Key
+	mu     sync.Mutex
+	runner SoCRunner
 }
 
 // NewSoC opens the co-simulated SoC backend.
@@ -33,16 +67,22 @@ func NewSoC(cfg Config) (*SoCBackend, error) {
 	if err != nil {
 		return nil, &Error{Backend: NameSoC, Op: "open", Err: err}
 	}
-	if r.scheme != SchemePasta {
+	if err := cipher.Probe(r.inst, cipher.SubstrateSoC); err != nil {
 		return nil, &Error{Backend: NameSoC, Op: "open",
-			Err: fmt.Errorf("%w: the SoC has no %s peripheral", ErrUnsupported, r.scheme)}
+			Err: fmt.Errorf("%w: %v", ErrUnsupported, err)}
 	}
-	if r.mod.Bits() > 32 {
+	factory, ok := lookupSoCRunner(r.scheme())
+	if !ok {
 		return nil, &Error{Backend: NameSoC, Op: "open",
-			Err: fmt.Errorf("%w: %v exceeds the 32-bit peripheral bus", ErrUnsupported, r.mod)}
+			Err: fmt.Errorf("%w: the SoC has no %s peripheral", ErrUnsupported, r.scheme())}
 	}
-	b := &SoCBackend{par: r.pastaPar, key: pasta.Key(r.key)}
-	b.init(NameSoC, SchemePasta, r.pastaPar.T, r.mod, 1)
+	runner, err := factory(r.inst, r.key)
+	if err != nil {
+		return nil, &Error{Backend: NameSoC, Op: "open", Err: err}
+	}
+	b := &SoCBackend{runner: runner}
+	b.init(NameSoC, r.scheme(), r.inst.Block, r.mod(), 1)
+	b.label = r.inst.Label
 	b.kernel = func(dst ff.Vec, nonce, block uint64) error {
 		ct, _, err := b.run(nonce, block, ff.NewVec(b.t))
 		if err != nil {
@@ -59,7 +99,7 @@ func NewSoC(cfg Config) (*SoCBackend, error) {
 func (b *SoCBackend) run(nonce, firstCtr uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
-	ct, stats, err := soc.EncryptBlocksFrom(b.par, b.key, nonce, firstCtr, msg)
+	ct, stats, err := b.runner.EncryptBlocksFrom(nonce, firstCtr, msg)
 	if err != nil {
 		return nil, stats, err
 	}
@@ -147,4 +187,24 @@ func (b *SoCBackend) Encrypt(ctx context.Context, nonce uint64, msg ff.Vec) (ff.
 	}
 	b.account(int(stats.Blocks), len(msg))
 	return ct, nil
+}
+
+// pastaSoCRunner drives the bare-metal PASTA driver.
+type pastaSoCRunner struct {
+	par pasta.Params
+	key pasta.Key
+}
+
+func (r pastaSoCRunner) EncryptBlocksFrom(nonce, firstCtr uint64, msg ff.Vec) (ff.Vec, soc.RunStats, error) {
+	return soc.EncryptBlocksFrom(r.par, r.key, nonce, firstCtr, msg)
+}
+
+func init() {
+	RegisterSoCRunner(pasta.CipherName, func(inst cipher.Instance, key ff.Vec) (SoCRunner, error) {
+		par, ok := inst.Params.(pasta.Params)
+		if !ok {
+			return nil, fmt.Errorf("soc: instance params are %T, want pasta.Params", inst.Params)
+		}
+		return pastaSoCRunner{par: par, key: pasta.Key(key)}, nil
+	})
 }

@@ -1,58 +1,51 @@
 package backend
 
 import (
-	"repro/internal/ff"
+	"repro/internal/cipher"
 	"repro/internal/hera"
 	"repro/internal/pasta"
 )
 
-// SoftwareBackend runs the keystream on the host CPU via the reference
-// cipher implementations. The PASTA path is allocation-free in steady
-// state (the cipher's pooled workspaces) and both ciphers are safe for
+// SoftwareBackend runs the keystream on the host CPU via the registered
+// cipher family's reference engine. Engines are required to be
+// allocation-free in steady state (pooled workspaces) and safe for
 // concurrent use, so this backend fans bulk work out over Workers
-// goroutines.
+// goroutines sharing one engine.
 type SoftwareBackend struct {
 	base
-	pasta *pasta.Cipher
-	hera  *hera.Cipher
+	engine cipher.BlockEngine
 }
 
-// NewSoftware opens the software backend.
+// NewSoftware opens the software backend for any registered cipher.
 func NewSoftware(cfg Config) (*SoftwareBackend, error) {
 	r, err := cfg.resolve()
 	if err != nil {
 		return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
 	}
-	b := &SoftwareBackend{}
-	switch r.scheme {
-	case SchemePasta:
-		c, err := pasta.NewCipher(r.pastaPar, pasta.Key(r.key))
-		if err != nil {
-			return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
-		}
-		b.pasta = c
-		b.init(NameSoftware, SchemePasta, r.pastaPar.T, r.mod, cfg.Workers)
-		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			return c.KeyStreamInto(dst, nonce, block)
-		}
-	case SchemeHera:
-		c, err := hera.NewCipher(r.heraPar, hera.Key(r.key))
-		if err != nil {
-			return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
-		}
-		b.hera = c
-		b.init(NameSoftware, SchemeHera, hera.StateSize, r.mod, cfg.Workers)
-		b.kernel = func(dst ff.Vec, nonce, block uint64) error {
-			return c.KeyStreamInto(dst, nonce, block)
-		}
+	eng, err := r.spec.NewEngine(r.inst, r.key)
+	if err != nil {
+		return nil, &Error{Backend: NameSoftware, Op: "open", Err: err}
 	}
+	b := &SoftwareBackend{engine: eng}
+	b.init(NameSoftware, r.scheme(), r.inst.Block, r.mod(), cfg.Workers)
+	b.label = r.inst.Label
+	b.kernel = eng.KeyStreamInto
 	return b, nil
 }
+
+// Engine returns the underlying software block engine.
+func (b *SoftwareBackend) Engine() cipher.BlockEngine { return b.engine }
 
 // PastaCipher returns the underlying software cipher when the backend
 // runs PASTA, or nil. The HHE client uses it to reach the raw key and
 // the cipher's pooled bulk API.
-func (b *SoftwareBackend) PastaCipher() *pasta.Cipher { return b.pasta }
+func (b *SoftwareBackend) PastaCipher() *pasta.Cipher {
+	c, _ := b.engine.(*pasta.Cipher)
+	return c
+}
 
 // HeraCipher returns the underlying HERA cipher, or nil.
-func (b *SoftwareBackend) HeraCipher() *hera.Cipher { return b.hera }
+func (b *SoftwareBackend) HeraCipher() *hera.Cipher {
+	c, _ := b.engine.(*hera.Cipher)
+	return c
+}

@@ -1,0 +1,60 @@
+package cipher
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrUnknownCipher is returned (wrapped) by Open for names with no
+// registered Spec, mirroring backend.ErrUnknownBackend. Match with
+// errors.Is.
+var ErrUnknownCipher = errors.New("unknown cipher")
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Spec{}
+)
+
+// Register adds a cipher family to the registry. It panics on a
+// duplicate or empty name — registration happens from package inits,
+// so a collision is a programming error, not a runtime condition.
+func Register(s Spec) {
+	name := s.Name()
+	if name == "" {
+		panic("cipher: Register with empty name")
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("cipher: Register called twice for %q", name))
+	}
+	registry[name] = s
+}
+
+// Open looks up a registered cipher family by name. Unknown names get
+// an error wrapping ErrUnknownCipher that lists the registered names,
+// so CLI flag errors and wire rejections are self-describing.
+func Open(name string) (Spec, error) {
+	regMu.RLock()
+	s, ok := registry[name]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q (have %s)", ErrUnknownCipher, name, strings.Join(Names(), ", "))
+	}
+	return s, nil
+}
+
+// Names returns the registered cipher names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 )
 
 func table2(t *testing.T) []Table2Row {
@@ -321,4 +322,56 @@ func blockSizeFor(t *testing.T, scheme string) int {
 	}
 	t.Fatalf("unknown scheme %q", scheme)
 	return 0
+}
+
+// TestThroughputCiphersSweepsRegistry: the nil sweep covers every
+// registered cipher family on the software backend (PASTA twice, for
+// both public variants), rows carry the cipher column, and on the accel
+// backend software-only families are skipped rather than failing.
+func TestThroughputCiphersSweepsRegistry(t *testing.T) {
+	rows, err := ThroughputCiphers(backend.NameSoftware, nil, 1, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, r := range rows {
+		if r.Cipher == "" {
+			t.Errorf("row %q has no cipher family", r.Scheme)
+		}
+		seen[r.Cipher] = true
+		if r.ElemsPerSec <= 0 {
+			t.Errorf("%s/%s: non-positive throughput", r.Cipher, r.Scheme)
+		}
+	}
+	for _, name := range cipher.Names() {
+		if !seen[name] {
+			t.Errorf("registered cipher %q missing from the software sweep", name)
+		}
+	}
+
+	// The accel backend runs PASTA and HERA but not the software-only
+	// MASTA family: the sweep must skip it, not fail.
+	rows, err = ThroughputCiphers(backend.NameAccel, nil, 1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Cipher == "masta" {
+			t.Error("software-only masta measured on the accel backend")
+		}
+	}
+
+	// A sweep with nothing runnable is an error, as is an unknown name.
+	if _, err := ThroughputCiphers(backend.NameSoC, []string{"masta"}, 1, 1, 1); err == nil {
+		t.Error("masta-on-soc sweep did not fail")
+	}
+	if _, err := ThroughputCiphers(backend.NameSoftware, []string{"rasta"}, 1, 1, 1); err == nil {
+		t.Error("unknown cipher accepted")
+	}
+
+	var sb strings.Builder
+	RenderSoftware(&sb, rows)
+	if !strings.Contains(sb.String(), "Cipher") {
+		t.Error("RenderSoftware output missing the cipher column")
+	}
 }

@@ -179,15 +179,19 @@ func RenderBitwidth(w io.Writer, rows []BitwidthRow) {
 // -backend sweeps stay readable.
 func RenderSoftware(w io.Writer, rows []SoftwareRow) {
 	fmt.Fprintln(w, "SOFTWARE — measured keystream throughput on this host (lazy-reduction engine)")
-	fmt.Fprintf(w, "%-10s %-8s %7s | %7s %8s | %12s %8s\n",
-		"Backend", "Scheme", "workers", "blocks", "elems", "elems/s", "speedup")
+	fmt.Fprintf(w, "%-10s %-7s %-8s %7s | %7s %8s | %12s %8s\n",
+		"Backend", "Cipher", "Scheme", "workers", "blocks", "elems", "elems/s", "speedup")
 	for _, r := range rows {
 		name := r.Backend
 		if name == "" {
 			name = "software"
 		}
-		fmt.Fprintf(w, "%-10s %-8s %7d | %7d %8d | %12.0f %7.2f×\n",
-			name, r.Scheme, r.Workers, r.Blocks, r.Elems, r.ElemsPerSec, r.Speedup)
+		cn := r.Cipher
+		if cn == "" {
+			cn = "pasta"
+		}
+		fmt.Fprintf(w, "%-10s %-7s %-8s %7d | %7d %8d | %12.0f %7.2f×\n",
+			name, cn, r.Scheme, r.Workers, r.Blocks, r.Elems, r.ElemsPerSec, r.Speedup)
 	}
 	fmt.Fprintln(w, "note: workers=1 is the sequential reference path; speedup is wall-clock")
 	fmt.Fprintln(w, "and depends on available cores (GOMAXPROCS).")

@@ -2,13 +2,15 @@ package eval
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
-	"repro/internal/pasta"
 )
 
 // SoftwareRow is one measured data point of a keystream substrate:
@@ -19,13 +21,45 @@ import (
 // host can turn the simulation crank.
 type SoftwareRow struct {
 	Backend     string
-	Scheme      string
-	Workers     int // goroutines used (1 = sequential reference path)
+	Cipher      string // registry family name ("pasta", "hera", "masta")
+	Scheme      string // instance shorthand within the family ("PASTA-3")
+	Workers     int    // goroutines used (1 = sequential reference path)
 	Blocks      int
 	Elems       int
 	Elapsed     time.Duration
 	ElemsPerSec float64
 	Speedup     float64 // vs the workers=1 row of the same scheme
+}
+
+// throughputInstance is one (cipher family, params) point of the sweep.
+type throughputInstance struct {
+	cipher string
+	params cipher.Params
+	scheme string
+}
+
+// throughputSweep expands cipher family names into measured instances:
+// PASTA contributes both public variants, every other family its
+// recommended default. nil/empty ciphers means every registered family —
+// the MASTA-vs-PASTA-vs-HERA comparison the throughput table exists for.
+func throughputSweep(ciphers []string) ([]throughputInstance, error) {
+	if len(ciphers) == 0 {
+		ciphers = cipher.Names()
+	}
+	var list []throughputInstance
+	for _, name := range ciphers {
+		if _, err := cipher.Open(name); err != nil {
+			return nil, err
+		}
+		if name == backend.DefaultCipher {
+			list = append(list,
+				throughputInstance{name, cipher.Params{Variant: 3}, "PASTA-3"},
+				throughputInstance{name, cipher.Params{Variant: 4}, "PASTA-4"})
+			continue
+		}
+		list = append(list, throughputInstance{name, cipher.Params{}, strings.ToUpper(name)})
+	}
+	return list, nil
 }
 
 // SoftwareThroughput runs the software backend for PASTA-3 and PASTA-4
@@ -51,13 +85,29 @@ func Throughput(backendName string, workers, blocks int) ([]SoftwareRow, error) 
 // with accelUnits > 1 on the accel backend, the sweep compares the
 // classic single peripheral against an N-way farm driven by N
 // concurrent block requests, quantifying how accel-backed serving
-// scales when the peripheral is replicated instead of shared.
+// scales when the peripheral is replicated instead of shared. Like
+// Throughput it covers the PASTA family only; ThroughputCiphers sweeps
+// the whole cipher registry.
 func ThroughputUnits(backendName string, workers, blocks, accelUnits int) ([]SoftwareRow, error) {
+	return ThroughputCiphers(backendName, []string{backend.DefaultCipher}, workers, blocks, accelUnits)
+}
+
+// ThroughputCiphers measures keystream throughput for the named cipher
+// families (nil = every registered family) on one execution backend.
+// Cipher/substrate pairs the capability probes refuse are skipped, so a
+// full-registry sweep on the accel backend silently drops the
+// software-only families rather than failing; if nothing at all can run
+// on the substrate, that is an error.
+func ThroughputCiphers(backendName string, ciphers []string, workers, blocks, accelUnits int) ([]SoftwareRow, error) {
 	if blocks <= 0 {
 		return nil, fmt.Errorf("eval: blocks must be positive")
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
+	}
+	sweep, err := throughputSweep(ciphers)
+	if err != nil {
+		return nil, err
 	}
 	workerSweep := []int{1, workers}
 	farm := backendName == backend.NameAccel && accelUnits > 1
@@ -68,18 +118,24 @@ func ThroughputUnits(backendName string, workers, blocks, accelUnits int) ([]Sof
 	}
 	ctx := context.Background()
 	var rows []SoftwareRow
-	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
+	skipped := 0
+	for _, ti := range sweep {
 		var base float64
 		for _, w := range workerSweep {
 			cfg := backend.Config{
-				Variant: v,
-				KeySeed: "software-throughput",
-				Workers: w,
+				Cipher:       ti.cipher,
+				CipherParams: ti.params,
+				KeySeed:      "software-throughput",
+				Workers:      w,
 			}
 			if farm {
 				cfg.AccelUnits = w // one in-flight block per farm unit
 			}
 			b, err := backend.Open(backendName, cfg)
+			if errors.Is(err, backend.ErrUnsupported) {
+				skipped++
+				break // the substrate cannot run this family; next instance
+			}
 			if err != nil {
 				return nil, err
 			}
@@ -101,7 +157,8 @@ func ThroughputUnits(backendName string, workers, blocks, accelUnits int) ([]Sof
 			}
 			rows = append(rows, SoftwareRow{
 				Backend:     backendName,
-				Scheme:      v.String(),
+				Cipher:      ti.cipher,
+				Scheme:      ti.scheme,
 				Workers:     w,
 				Blocks:      blocks,
 				Elems:       len(ks),
@@ -113,6 +170,10 @@ func ThroughputUnits(backendName string, workers, blocks, accelUnits int) ([]Sof
 				break // sequential row already covers it
 			}
 		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("eval: no requested cipher instance runs on the %s backend (%d skipped as unsupported)",
+			backendName, skipped)
 	}
 	return rows, nil
 }

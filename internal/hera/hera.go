@@ -22,6 +22,7 @@ import (
 	"crypto/rand"
 	"encoding/binary"
 	"fmt"
+	"sync"
 
 	"repro/internal/ff"
 	"repro/internal/xof"
@@ -123,6 +124,9 @@ func (k Key) Validate(p Params) error {
 type Cipher struct {
 	par Params
 	key Key
+	// pool recycles *xof.Sampler values so KeyStreamInto is
+	// allocation-free in steady state.
+	pool sync.Pool
 }
 
 // NewCipher validates and builds the cipher.
@@ -141,10 +145,15 @@ func (c *Cipher) Params() Params { return c.par }
 
 // KeyStream produces the 16-element keystream block for (nonce, block).
 func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
-	m := c.par.Mod
-	s := xof.NewSampler(m, nonce, block)
+	out := ff.NewVec(StateSize)
+	_ = c.KeyStreamInto(out, nonce, block)
+	return out
+}
 
-	state := ff.Vec(c.key).Clone()
+// permute runs the keyed HERA permutation in place on state, drawing
+// the randomized key schedule from s.
+func (c *Cipher) permute(state ff.Vec, s *xof.Sampler) {
+	m := c.par.Mod
 	c.addRoundKey(state, s) // ARK_0
 	for r := 1; r < c.par.Rounds; r++ {
 		MixColumns(m, state)
@@ -159,18 +168,28 @@ func (c *Cipher) KeyStream(nonce, block uint64) ff.Vec {
 	MixColumns(m, state)
 	MixRows(m, state)
 	c.addRoundKey(state, s) // ARK_rounds... final
-	return state
 }
 
 // KeyStreamInto writes the keystream block KS(nonce, block) into dst,
 // which must have exactly StateSize elements — the same buffer-filling
 // contract as pasta.Cipher.KeyStreamInto, so substrate-generic callers
-// (internal/backend) can treat the two ciphers uniformly.
+// (internal/backend) can treat all cipher families uniformly. The
+// permutation runs in place in dst with a pooled, reseeded sampler, so
+// steady-state calls perform zero heap allocations (the BlockEngine
+// contract of internal/cipher).
 func (c *Cipher) KeyStreamInto(dst ff.Vec, nonce, block uint64) error {
 	if len(dst) != StateSize {
 		return fmt.Errorf("hera: KeyStreamInto dst has %d elements, want %d", len(dst), StateSize)
 	}
-	copy(dst, c.KeyStream(nonce, block))
+	s, _ := c.pool.Get().(*xof.Sampler)
+	if s == nil {
+		s = xof.NewSampler(c.par.Mod, nonce, block)
+	} else {
+		s.Reseed(nonce, block)
+	}
+	copy(dst, c.key)
+	c.permute(dst, s)
+	c.pool.Put(s)
 	return nil
 }
 

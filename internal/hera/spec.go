@@ -1,0 +1,84 @@
+package hera
+
+import (
+	"fmt"
+
+	"repro/internal/cipher"
+	"repro/internal/ff"
+)
+
+// CipherName is the registry and wire name of the HERA family.
+const CipherName = "hera"
+
+// DefaultRounds is the recommended round count (HERA-80/128 use 5).
+const DefaultRounds = 5
+
+// spec implements cipher.Spec for HERA.
+type spec struct{}
+
+func init() { cipher.Register(spec{}) }
+
+func (spec) Name() string { return CipherName }
+
+// Resolve maps wire-level params onto a HERA instance: Rounds (0 =
+// DefaultRounds) over the resolved modulus. HERA has a fixed 4×4
+// state, so Variant/T requests are rejected rather than ignored.
+func (spec) Resolve(p cipher.Params) (cipher.Instance, error) {
+	mod, err := p.Modulus()
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	if p.Variant != 0 {
+		return cipher.Instance{}, fmt.Errorf("hera: has no variant %d (family has a single shape)", p.Variant)
+	}
+	if p.T != 0 && p.T != StateSize {
+		return cipher.Instance{}, fmt.Errorf("hera: state size is fixed at %d (got t=%d)", StateSize, p.T)
+	}
+	rounds := p.Rounds
+	if rounds == 0 {
+		rounds = DefaultRounds
+	}
+	par, err := NewParams(rounds, mod)
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	return cipher.Instance{
+		Spec:   spec{},
+		Block:  StateSize,
+		KeyLen: StateSize,
+		Mod:    mod,
+		Params: par,
+		Label:  fmt.Sprintf("HERA(r=%d, %v)", par.Rounds, mod),
+	}, nil
+}
+
+func (spec) NewRandomKey(inst cipher.Instance) (ff.Vec, error) {
+	return cipher.RandomKey(CipherName, inst.Mod, inst.KeyLen)
+}
+
+// KeyFromSeed matches the historical hera.KeyFromSeed derivation
+// ("hera-key:"+seed).
+func (spec) KeyFromSeed(inst cipher.Instance, seed string) ff.Vec {
+	return cipher.SeededKey(CipherName, inst.Mod, inst.KeyLen, seed)
+}
+
+func (spec) ValidateKey(inst cipher.Instance, key ff.Vec) error {
+	return cipher.CheckKey(CipherName, inst.Mod, inst.KeyLen, key)
+}
+
+func (spec) NewEngine(inst cipher.Instance, key ff.Vec) (cipher.BlockEngine, error) {
+	return NewCipher(inst.Params.(Params), Key(key))
+}
+
+// ProbeSubstrate: the cycle-accurate accelerator model has a HERA
+// datapath; the SoC co-simulation has no HERA peripheral.
+func (spec) ProbeSubstrate(substrate string, inst cipher.Instance) error {
+	switch substrate {
+	case cipher.SubstrateAccel:
+		return nil
+	case cipher.SubstrateSoC:
+		return fmt.Errorf("the SoC has no hera peripheral")
+	default:
+		return fmt.Errorf("unknown substrate %q", substrate)
+	}
+}

@@ -1,0 +1,76 @@
+package masta
+
+import (
+	"fmt"
+
+	"repro/internal/cipher"
+	"repro/internal/ff"
+)
+
+// CipherName is the registry and wire name of the MASTA family.
+const CipherName = "masta"
+
+// spec implements cipher.Spec for MASTA. MASTA has no hardware
+// substrate in this repo (software-only), so the spec deliberately
+// does NOT implement cipher.SubstrateProber — the registry's default
+// "software-only" probe answer covers it, which is exactly what keeps
+// accel/soc opens failing with ErrUnsupported.
+type spec struct{}
+
+func init() { cipher.Register(spec{}) }
+
+func (spec) Name() string { return CipherName }
+
+// Resolve maps wire-level params onto a MASTA instance. The family's
+// public numbering is MASTA-R (rounds): Variant, when non-zero, names
+// the round count, and must agree with Rounds if both are given. T
+// overrides the state size (DefaultT otherwise).
+func (spec) Resolve(p cipher.Params) (cipher.Instance, error) {
+	mod, err := p.Modulus()
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	rounds := p.Rounds
+	if p.Variant != 0 {
+		if rounds != 0 && rounds != p.Variant {
+			return cipher.Instance{}, fmt.Errorf("masta: variant %d and rounds %d disagree", p.Variant, rounds)
+		}
+		rounds = p.Variant
+	}
+	if rounds == 0 {
+		rounds = DefaultRounds
+	}
+	t := p.T
+	if t == 0 {
+		t = DefaultT
+	}
+	par, err := NewParams(t, rounds, mod)
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	return cipher.Instance{
+		Spec:   spec{},
+		Block:  par.T,
+		KeyLen: par.T,
+		Mod:    mod,
+		Params: par,
+		Label:  par.String(),
+	}, nil
+}
+
+func (spec) NewRandomKey(inst cipher.Instance) (ff.Vec, error) {
+	return cipher.RandomKey(CipherName, inst.Mod, inst.KeyLen)
+}
+
+// KeyFromSeed matches KeyFromSeed's "masta-key:"+seed derivation.
+func (spec) KeyFromSeed(inst cipher.Instance, seed string) ff.Vec {
+	return cipher.SeededKey(CipherName, inst.Mod, inst.KeyLen, seed)
+}
+
+func (spec) ValidateKey(inst cipher.Instance, key ff.Vec) error {
+	return cipher.CheckKey(CipherName, inst.Mod, inst.KeyLen, key)
+}
+
+func (spec) NewEngine(inst cipher.Instance, key ff.Vec) (cipher.BlockEngine, error) {
+	return NewCipher(inst.Params.(Params), Key(key))
+}

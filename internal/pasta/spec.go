@@ -1,0 +1,102 @@
+package pasta
+
+import (
+	"fmt"
+
+	"repro/internal/cipher"
+	"repro/internal/ff"
+)
+
+// CipherName is the registry and wire name of the PASTA family.
+const CipherName = "pasta"
+
+// spec implements cipher.Spec for PASTA. Registered from init, so any
+// import of this package makes "pasta" available to the registry.
+type spec struct{}
+
+func init() { cipher.Register(spec{}) }
+
+func (spec) Name() string { return CipherName }
+
+// Resolve maps wire-level params onto a PASTA instance. T != 0 selects
+// a toy/reduced instance (Rounds defaulting to 1); otherwise Variant
+// uses the family's public numbering: 0 (default) and 3 mean PASTA-3,
+// 4 means PASTA-4.
+func (spec) Resolve(p cipher.Params) (cipher.Instance, error) {
+	mod, err := p.Modulus()
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	// The variant is validated even for toy instances (which only use it
+	// as a family hint), so a typo'd variant never silently resolves.
+	switch p.Variant {
+	case 0, 3, 4:
+	default:
+		return cipher.Instance{}, fmt.Errorf("pasta: unknown variant %d (want 3 or 4)", p.Variant)
+	}
+	var par Params
+	if p.T != 0 {
+		rounds := p.Rounds
+		if rounds == 0 {
+			rounds = 1
+		}
+		par, err = ToyParams(p.T, rounds, mod)
+	} else {
+		v := Pasta3
+		if p.Variant == 4 {
+			v = Pasta4
+		}
+		par, err = NewParams(v, mod)
+		if err == nil && p.Rounds != 0 && p.Rounds != par.Rounds {
+			err = fmt.Errorf("pasta: %v has %d rounds, cannot override to %d", par.Variant, par.Rounds, p.Rounds)
+		}
+	}
+	if err != nil {
+		return cipher.Instance{}, err
+	}
+	if err := par.Validate(); err != nil {
+		return cipher.Instance{}, err
+	}
+	return cipher.Instance{
+		Spec:   spec{},
+		Block:  par.T,
+		KeyLen: par.StateSize(),
+		Mod:    mod,
+		Params: par,
+		Label:  par.String(),
+	}, nil
+}
+
+func (spec) NewRandomKey(inst cipher.Instance) (ff.Vec, error) {
+	return cipher.RandomKey(CipherName, inst.Mod, inst.KeyLen)
+}
+
+// KeyFromSeed matches the historical pasta.KeyFromSeed derivation
+// ("pasta-key:"+seed) so seed-keyed golden vectors are stable.
+func (spec) KeyFromSeed(inst cipher.Instance, seed string) ff.Vec {
+	return cipher.SeededKey(CipherName, inst.Mod, inst.KeyLen, seed)
+}
+
+func (spec) ValidateKey(inst cipher.Instance, key ff.Vec) error {
+	return cipher.CheckKey(CipherName, inst.Mod, inst.KeyLen, key)
+}
+
+func (spec) NewEngine(inst cipher.Instance, key ff.Vec) (cipher.BlockEngine, error) {
+	return NewCipher(inst.Params.(Params), Key(key))
+}
+
+// ProbeSubstrate: PASTA runs on every substrate; the SoC's peripheral
+// carries a 32-bit data bus, so wide moduli stay off it.
+func (spec) ProbeSubstrate(substrate string, inst cipher.Instance) error {
+	switch substrate {
+	case cipher.SubstrateAccel:
+		return nil
+	case cipher.SubstrateSoC:
+		if inst.Mod.Bits() > 32 {
+			return fmt.Errorf("modulus %v exceeds the 32-bit peripheral bus", inst.Mod)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown substrate %q", substrate)
+	}
+}

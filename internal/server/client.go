@@ -45,6 +45,8 @@ func (e *RemoteError) Is(target error) bool {
 		return target == ErrDuplicateNonce
 	case wire.CodeBadResume:
 		return target == ErrBadResume
+	case wire.CodeUnknownCipher:
+		return target == ErrUnknownCipher
 	}
 	return false
 }
@@ -360,6 +362,7 @@ func (c *Client) OpenSession(open wire.SessionOpen) (*Session, error) {
 	return &Session{
 		c:         c,
 		ID:        res.ack.Session,
+		Cipher:    res.ack.Cipher,
 		BlockSize: int(res.ack.BlockSize),
 		Modulus:   res.ack.Modulus,
 		Bits:      res.ack.Bits,
@@ -389,6 +392,7 @@ func (c *Client) ResumeSession(token []byte) (*Session, error) {
 	s := &Session{
 		c:         c,
 		ID:        res.ack.Session,
+		Cipher:    res.ack.Cipher,
 		BlockSize: int(res.ack.BlockSize),
 		Modulus:   res.ack.Modulus,
 		Bits:      res.ack.Bits,
@@ -403,6 +407,7 @@ func (c *Client) ResumeSession(token []byte) (*Session, error) {
 type Session struct {
 	c         *Client
 	ID        uint32
+	Cipher    string // negotiated cipher family name, echoed by the server
 	BlockSize int    // t, elements per keystream block
 	Modulus   uint64 // field prime p
 	Bits      uint8  // wire packing width

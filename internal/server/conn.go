@@ -8,6 +8,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/wire"
 )
@@ -175,6 +177,7 @@ func (c *conn) handleOpen(payload []byte) bool {
 	ack := &wire.SessionAck{
 		ID:        m.ID,
 		Session:   sess.id,
+		Cipher:    sess.cipher.Scheme(),
 		BlockSize: uint32(sess.t),
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
@@ -208,6 +211,7 @@ func (c *conn) handleResume(m *wire.SessionOpen) bool {
 	ack := &wire.SessionAck{
 		ID:        m.ID,
 		Session:   sess.id,
+		Cipher:    sess.cipher.Scheme(),
 		BlockSize: uint32(sess.t),
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
@@ -406,6 +410,13 @@ func (c *conn) errCode(err error) (code uint16, retry time.Duration) {
 	case errors.Is(err, ErrBadResume):
 		m.rejectedBadResume.Inc()
 		return wire.CodeBadResume, 0
+	case errors.Is(err, cipher.ErrUnknownCipher), errors.Is(err, backend.ErrUnsupported):
+		// Unknown cipher name, or a registered cipher the configured
+		// substrate cannot run. Permanent for this server configuration:
+		// no Retry-After hint, and the connection stays up so the client
+		// can renegotiate with a supported cipher.
+		m.rejectedCipher.Inc()
+		return wire.CodeUnknownCipher, 0
 	case errors.Is(err, ErrClosed):
 		m.requestErrors.Inc()
 		return wire.CodeUnknownSession, 0

@@ -13,7 +13,8 @@ import (
 //	server.conns.active / server.conns.total
 //	server.sessions.active / server.sessions.total / server.sessions.evicted
 //	server.sessions.parked / server.sessions.resumed /
-//	  server.sessions.rejected.duplicate_nonce / server.sessions.rejected.bad_resume
+//	  server.sessions.rejected.duplicate_nonce / server.sessions.rejected.bad_resume /
+//	  server.sessions.rejected.unknown_cipher
 //	server.queue.depth
 //	server.requests.total / server.requests.rejected.overload /
 //	  server.requests.rejected.rate / server.requests.rejected.draining /
@@ -44,6 +45,7 @@ type metrics struct {
 	rejectedReplay    *obs.Counter
 	rejectedDupNonce  *obs.Counter
 	rejectedBadResume *obs.Counter
+	rejectedCipher    *obs.Counter
 	requestErrors     *obs.Counter
 
 	requestNS    *obs.Histogram
@@ -74,6 +76,7 @@ func newMetrics() *metrics {
 		rejectedReplay:    r.Counter("server.requests.rejected.replay"),
 		rejectedDupNonce:  r.Counter("server.sessions.rejected.duplicate_nonce"),
 		rejectedBadResume: r.Counter("server.sessions.rejected.bad_resume"),
+		rejectedCipher:    r.Counter("server.sessions.rejected.unknown_cipher"),
 		requestErrors:     r.Counter("server.requests.errors"),
 		requestNS:         r.Histogram("server.request_ns"),
 		batchFlushes:      r.Counter("server.batch.flushes"),

@@ -270,7 +270,7 @@ func TestOpenSessionWipesKeyCopy(t *testing.T) {
 			t.Fatalf("decoded key word %d = %d after open, want 0 (wiped)", i, w)
 		}
 	}
-	if sess.keyFP != keyFingerprint(key) {
+	if sess.keyFP != keyFingerprint(key, sess.cipher.Scheme(), instanceLabel(sess.cipher)) {
 		t.Fatal("session fingerprint does not match the original key")
 	}
 	if len(sess.token) != resumeTokenLen {

@@ -28,13 +28,25 @@ import (
 // resumeTokenLen is the fixed wire length of a resumption token.
 const resumeTokenLen = 4 + sha256.Size
 
-// keyFingerprint hashes the little-endian encoding of the symmetric key
-// words. The fingerprint — never the key — is kept on the session after
-// the backend cipher is constructed, and indexes the duplicate-nonce
-// registry.
-func keyFingerprint(key []uint64) [32]byte {
+// keyFingerprint hashes the cipher name, the resolved instance label,
+// and the little-endian encoding of the symmetric key words, with
+// length framing so no two (scheme, label, key) triples collide by
+// concatenation. The fingerprint — never the key — is kept on the
+// session after the backend cipher is constructed; it indexes the
+// duplicate-nonce registry and is bound into resumption-token MACs.
+// Folding the cipher identity in means the same key words and nonce
+// under two different ciphers (or two instances of one family) name
+// two different keystreams — which they are: only an exact
+// (scheme, instance, key, nonce) collision risks a two-time pad.
+func keyFingerprint(key []uint64, scheme, label string) [32]byte {
 	h := sha256.New()
 	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(len(scheme)))
+	h.Write(w[:])
+	h.Write([]byte(scheme))
+	binary.LittleEndian.PutUint64(w[:], uint64(len(label)))
+	h.Write(w[:])
+	h.Write([]byte(label))
 	for _, k := range key {
 		binary.LittleEndian.PutUint64(w[:], k)
 		h.Write(w[:])
@@ -42,6 +54,16 @@ func keyFingerprint(key []uint64) [32]byte {
 	var fp [32]byte
 	h.Sum(fp[:0])
 	return fp
+}
+
+// instanceLabel extracts the resolved cipher-instance label from a
+// backend (backend.base exposes it); wrapped ciphers without one
+// contribute an empty label.
+func instanceLabel(bc interface{ Scheme() string }) string {
+	if l, ok := bc.(interface{ InstanceLabel() string }); ok {
+		return l.InstanceLabel()
+	}
+	return ""
 }
 
 // mintToken builds the resumption token for a session.

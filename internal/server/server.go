@@ -67,6 +67,11 @@ var (
 	// ErrBadResume reports an invalid, expired, or already-claimed
 	// session-resumption token.
 	ErrBadResume = errors.New("server: invalid resumption token")
+	// ErrUnknownCipher reports a SessionOpen naming a cipher family that
+	// is not registered on this server, or one the configured execution
+	// substrate cannot run. The rejection is per-request: the connection
+	// stays up and the client may retry with a supported cipher.
+	ErrUnknownCipher = errors.New("server: unknown or unsupported cipher")
 )
 
 // Config tunes a Server. The zero value serves PASTA sessions on the
@@ -76,6 +81,12 @@ type Config struct {
 	// ("software", "accel", "soc"; default "software"). The operator
 	// picks the substrate; clients pick cipher shape and keys.
 	Backend string
+
+	// DefaultCipher is the cipher family assumed when a SessionOpen
+	// does not name one ("" = backend.DefaultCipher, i.e. "pasta").
+	// Clients can always negotiate any registered family per session;
+	// this only fills the empty wire field.
+	DefaultCipher string
 
 	// Workers is the scheduler pool size; ≤ 0 means GOMAXPROCS.
 	Workers int

@@ -7,9 +7,9 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/obs"
-	"repro/internal/pasta"
 	"repro/internal/wire"
 )
 
@@ -75,14 +75,34 @@ type streamPending struct {
 }
 
 // openSession maps a wire.SessionOpen onto a backend.Config, opens the
-// cipher on the server's substrate, and registers the session.
+// cipher on the server's substrate, and registers the session. The
+// cipher axis is negotiated per tenant: m.Scheme names any registered
+// cipher family (empty = the server's DefaultCipher) and the fixed
+// parameter fields pass through as registry cipher.Params — no
+// per-family interpretation happens here.
 func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 	srv := c.srv
+	name := m.Scheme
+	if name == "" {
+		name = srv.cfg.DefaultCipher
+	}
+	if len(m.CipherParams) > 0 {
+		// No registered family defines extension parameters yet; reject
+		// rather than silently negotiate an instance the client did not
+		// ask for.
+		return nil, fmt.Errorf("%w %q: unsupported cipher-params extension blob (%d bytes)",
+			cipher.ErrUnknownCipher, name, len(m.CipherParams))
+	}
 	cfg := backend.Config{
-		Scheme:     m.Scheme,
+		Cipher: name,
+		CipherParams: cipher.Params{
+			Width:   uint(m.Width),
+			Variant: int(m.Variant),
+			Rounds:  int(m.Rounds),
+			T:       int(m.T),
+		},
 		Key:        ff.Vec(m.Key),
 		Workers:    srv.cfg.BackendWorkers,
-		Width:      uint(m.Width),
 		AccelUnits: srv.cfg.AccelUnits,
 	}
 	if srv.cfg.Backend == backend.NameAccel && cfg.AccelUnits > cfg.Workers {
@@ -91,62 +111,35 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		// threads, so widening the cipher fan-out to match is free.
 		cfg.Workers = cfg.AccelUnits
 	}
-	switch m.Variant {
-	case 0, 3:
-		cfg.Variant = pasta.Pasta3
-	case 4:
-		cfg.Variant = pasta.Pasta4
-	default:
-		return nil, fmt.Errorf("unknown PASTA variant %d", m.Variant)
-	}
-	if m.Scheme == backend.SchemeHera {
-		cfg.HeraRounds = int(m.Rounds)
-	} else if m.T != 0 {
-		// Reduced (toy) instance: the HHE layer exercises these shapes.
-		width := cfg.Width
-		if width == 0 {
-			width = 17
-		}
-		mod, ok := ff.StandardModuli[width]
-		if !ok {
-			return nil, fmt.Errorf("no standard modulus of width %d", width)
-		}
-		rounds := int(m.Rounds)
-		if rounds == 0 {
-			rounds = 1
-		}
-		par, err := pasta.ToyParams(int(m.T), rounds, mod)
-		if err != nil {
-			return nil, err
-		}
-		cfg.PastaParams = &par
-	}
-	// The key fingerprint is taken before the raw key is wiped: the
-	// backend clones the key words it needs, so the decoded wire copy is
-	// zeroed here and only the fingerprint outlives the open.
-	fp := keyFingerprint(m.Key)
-	cipher, err := backend.Open(srv.cfg.Backend, cfg)
-	zeroKey(ff.Vec(m.Key))
+	bc, err := backend.Open(srv.cfg.Backend, cfg)
 	if err != nil {
+		zeroKey(ff.Vec(m.Key))
 		return nil, err
 	}
+	// The stream fingerprint is taken before the raw key is wiped: the
+	// backend clones the key words it needs, so the decoded wire copy is
+	// zeroed here and only the fingerprint outlives the open. The cipher
+	// name and instance label are folded in, so the same key words under
+	// different ciphers (or instances) name different keystreams.
+	fp := keyFingerprint(m.Key, bc.Scheme(), instanceLabel(bc))
+	zeroKey(ff.Vec(m.Key))
 	sess := &session{
 		srv:      srv,
 		conn:     c,
-		cipher:   cipher,
-		t:        cipher.BlockSize(),
-		mod:      cipher.Modulus(),
-		bits:     uint8(cipher.Modulus().Bits()),
+		cipher:   bc,
+		t:        bc.BlockSize(),
+		mod:      bc.Modulus(),
+		bits:     uint8(bc.Modulus().Bits()),
 		nonce:    m.Nonce,
 		keyFP:    fp,
 		dispatch: dispatchCounter(srv.cfg.Backend),
-		ks:       ff.NewVec(cipher.BlockSize()),
+		ks:       ff.NewVec(bc.BlockSize()),
 	}
 	if srv.cfg.RatePerSec > 0 {
 		sess.limiter = newTokenBucket(srv.cfg.RatePerSec, srv.cfg.RateBurst)
 	}
 	if err := srv.addSession(sess); err != nil {
-		cipher.Close()
+		bc.Close()
 		return nil, err
 	}
 	sess.token = srv.mintToken(sess.id, sess.keyFP, sess.nonce)

@@ -5,6 +5,14 @@ import (
 	"io"
 	"reflect"
 	"testing"
+
+	"repro/internal/cipher"
+
+	// Link the built-in cipher families so the SessionOpen seed corpus
+	// below covers every registered name.
+	_ "repro/internal/hera"
+	_ "repro/internal/masta"
+	_ "repro/internal/pasta"
 )
 
 // FuzzWireDecode drives the full decode path — frame header validation,
@@ -22,10 +30,19 @@ func FuzzWireDecode(f *testing.F) {
 		}
 		f.Add(buf.Bytes())
 	}
-	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Scheme: "pasta", Variant: 3, Width: 17,
-		Nonce: 4, Key: []uint64{9, 9}, EvalKey: []byte{1, 2, 3}}).Encode())
+	// One SessionOpen per registered cipher family (so negotiation
+	// parsing is fuzzed for every name a real client can send), plus a
+	// junk name the server must reject gracefully, a params-blob open,
+	// and a resume-token open.
+	for _, cn := range cipher.Names() {
+		seed(TypeSessionOpen, (&SessionOpen{ID: 1, Scheme: cn, Variant: 3, Width: 17,
+			Nonce: 4, Key: []uint64{9, 9}, EvalKey: []byte{1, 2, 3}}).Encode())
+	}
+	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Scheme: "rasta", Nonce: 4, Key: []uint64{9}}).Encode())
+	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Scheme: "pasta", Nonce: 4, Key: []uint64{9},
+		CipherParams: []byte{0xca, 0xfe}}).Encode())
 	seed(TypeSessionOpen, (&SessionOpen{ID: 1, Resume: bytes.Repeat([]byte{7}, 36)}).Encode())
-	seed(TypeSessionAck, (&SessionAck{ID: 1, Session: 2, BlockSize: 32, Modulus: 65537, Bits: 17,
+	seed(TypeSessionAck, (&SessionAck{ID: 1, Session: 2, Cipher: "pasta", BlockSize: 32, Modulus: 65537, Bits: 17,
 		Counter: 12, Tail: 96, Resume: []byte{9, 8, 7}}).Encode())
 	seed(TypeSessionClose, (&SessionClose{Session: 2}).Encode())
 	seed(TypeEncrypt, (&EncryptReq{Session: 2, ID: 3, Counter: 1, Nonce: 1, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())

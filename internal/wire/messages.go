@@ -21,6 +21,14 @@ const (
 	// and SessionAck.Resume). The server mints 36-byte tokens; the bound
 	// leaves headroom for future MAC agility.
 	MaxResumeToken = 64
+	// MaxCipherName bounds the cipher registry name in a SessionOpen
+	// and its echo in a SessionAck.
+	MaxCipherName = 64
+	// MaxCipherParams bounds the opaque cipher-parameter extension blob
+	// of a SessionOpen. The fixed Variant/Width/Rounds/T fields cover
+	// every registered family today; the blob is the version-3 escape
+	// hatch for families whose parameters do not fit them.
+	MaxCipherParams = 1 << 10
 )
 
 // Error codes carried by TypeError frames.
@@ -51,6 +59,10 @@ const (
 	// CodeBadResume: a resumption token did not verify (unknown session,
 	// bad MAC, or the session is still attached or already gone).
 	CodeBadResume uint16 = 10
+	// CodeUnknownCipher: the SessionOpen named a cipher family that is
+	// not registered on this server (or parameters/substrate the family
+	// rejects). The connection stays up; Msg lists the supported names.
+	CodeUnknownCipher uint16 = 11
 )
 
 // CodeString names an error code for diagnostics.
@@ -76,6 +88,8 @@ func CodeString(code uint16) string {
 		return "duplicate-nonce"
 	case CodeBadResume:
 		return "bad-resume"
+	case CodeUnknownCipher:
+		return "unknown-cipher"
 	}
 	return fmt.Sprintf("code(%d)", code)
 }
@@ -91,16 +105,23 @@ func CodeString(code uint16) string {
 // is the FHE registration blob (public/eval keys + homomorphically
 // encrypted symmetric key) the edge holds for the compute tier.
 type SessionOpen struct {
-	ID      uint64 // request id, echoed by the SessionAck or ErrorMsg
-	Scheme  string // "pasta" (default) or "hera"
-	Variant uint8  // 3 or 4 selects the standard PASTA variant (when T == 0)
+	ID     uint64 // request id, echoed by the SessionAck or ErrorMsg
+	Scheme string // registered cipher family name ("" = server default "pasta")
+	// Variant/Width/Rounds/T use the family's public numbering and are
+	// interpreted by the family's Spec (PASTA: Variant 3/4 or toy T;
+	// HERA/MASTA: Rounds). Zero means family default throughout.
+	Variant uint8  // named instance within the family (PASTA: 3 or 4)
 	Width   uint8  // modulus width ω (0 = 17)
-	Rounds  uint8  // HERA or toy-PASTA rounds (0 = scheme default)
-	T       uint16 // non-zero: reduced (toy) PASTA block size
+	Rounds  uint8  // round count where the family allows it
+	T       uint16 // non-zero: reduced/toy state size
 	Nonce   uint64 // nonce of the session's encryption stream
 	Key     []uint64
 	EvalKey []byte
 	Resume  []byte // resumption token; non-empty = resume, not register
+	// CipherParams is an opaque family-interpreted extension blob
+	// (version 3) for parameters the fixed fields above cannot express;
+	// empty for every built-in family. Bounded by MaxCipherParams.
+	CipherParams []byte
 }
 
 // SessionAck answers a successful SessionOpen — fresh or resumed.
@@ -111,6 +132,7 @@ type SessionOpen struct {
 type SessionAck struct {
 	ID        uint64 // echoed request id
 	Session   uint32
+	Cipher    string // negotiated cipher family name (version 3)
 	BlockSize uint32 // t, elements per keystream block
 	Modulus   uint64 // field prime p
 	Bits      uint8  // per-element packing width for this session
@@ -403,6 +425,7 @@ func (m *SessionOpen) AppendPayload(dst []byte) []byte {
 	e.vec(m.Key)
 	e.bytes(m.EvalKey)
 	e.bytes(m.Resume)
+	e.bytes(m.CipherParams)
 	return e.buf
 }
 
@@ -411,7 +434,7 @@ func DecodeSessionOpen(payload []byte) (*SessionOpen, error) {
 	d := decoder{b: payload}
 	m := &SessionOpen{}
 	m.ID = d.u64()
-	m.Scheme = string(d.bytes(64))
+	m.Scheme = string(d.bytes(MaxCipherName))
 	m.Variant = d.u8()
 	m.Width = d.u8()
 	m.Rounds = d.u8()
@@ -420,6 +443,7 @@ func DecodeSessionOpen(payload []byte) (*SessionOpen, error) {
 	m.Key = d.vec(MaxKeyElems)
 	m.EvalKey = append([]byte(nil), d.bytes(DefaultMaxPayload)...)
 	m.Resume = append([]byte(nil), d.bytes(MaxResumeToken)...)
+	m.CipherParams = append([]byte(nil), d.bytes(MaxCipherParams)...)
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
@@ -434,6 +458,7 @@ func (m *SessionAck) AppendPayload(dst []byte) []byte {
 	e := encoder{buf: dst}
 	e.u64(m.ID)
 	e.u32(m.Session)
+	e.bytes([]byte(m.Cipher))
 	e.u32(m.BlockSize)
 	e.u64(m.Modulus)
 	e.u8(m.Bits)
@@ -449,6 +474,7 @@ func DecodeSessionAck(payload []byte) (*SessionAck, error) {
 	m := &SessionAck{}
 	m.ID = d.u64()
 	m.Session = d.u32()
+	m.Cipher = string(d.bytes(MaxCipherName))
 	m.BlockSize = d.u32()
 	m.Modulus = d.u64()
 	m.Bits = d.u8()

@@ -39,7 +39,11 @@ const Magic uint32 = 0x50454848
 // a different version must fail the connection rather than guess.
 // Version 2 added per-session request counters (replay protection),
 // session-resumption tokens, and the resume/replay error codes.
-const Version uint8 = 2
+// Version 3 added per-tenant cipher negotiation: SessionOpen.Scheme
+// names any registered cipher family, SessionOpen gained the opaque
+// CipherParams extension blob, SessionAck echoes the negotiated cipher
+// name, and the unknown-cipher error code was assigned.
+const Version uint8 = 3
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 10
