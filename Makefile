@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke cipher-smoke server-smoke tls-smoke ci clean
+.PHONY: all build vet fmt-check test race bench bench-smoke bench-json bench-guard fuzz-smoke metrics-smoke backends-smoke cipher-smoke server-smoke tls-smoke transcipher-smoke ci clean
 
 all: build
 
@@ -40,8 +40,8 @@ bench-smoke:
 bench-json:
 	$(GO) test -run '^$$' -bench 'NTT|MulPolyInto|BFVEncrypt|PKEEncrypt|Table3PKE' -benchmem \
 		./internal/rlwe ./internal/bfv . | $(GO) run ./cmd/benchjson -out BENCH_rlwe.json
-	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|MastaKeystream|AccelKeystream|AccelFarm|BackendDispatch|ServerThroughput|ServerOverhead' -benchmem \
-		./internal/pasta ./internal/masta ./internal/backend ./internal/hw ./internal/server . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
+	$(GO) test -run '^$$' -bench 'Table2CPUSoftware|KeyStream|MastaKeystream|AccelKeystream|AccelFarm|BackendDispatch|ServerThroughput|ServerOverhead|TranscipherBlock' -benchmem \
+		./internal/pasta ./internal/masta ./internal/backend ./internal/hw ./internal/server ./internal/transcipher . | $(GO) run ./cmd/benchjson -out BENCH_pasta.json
 
 # Allocation-regression gate on the serving-tier hot path: the
 # end-to-end encrypt round trip (client encode → server decode →
@@ -101,7 +101,15 @@ server-smoke:
 tls-smoke:
 	$(GO) test -run TestTLSSmoke -count=1 -v ./cmd/hheserver
 
-ci: vet fmt-check build race backends-smoke cipher-smoke server-smoke tls-smoke bench-smoke
+# Networked transciphering gate: a keyless session enrolls BFV eval keys
+# over real TCP in chunks and transciphers symmetric PASTA ciphertext
+# into BFV ciphertexts bit-identical to the local PackedServer oracle,
+# while concurrent keystream sessions keep their latency (the heavy pool
+# is segregated from the keystream path).
+transcipher-smoke:
+	$(GO) test -run 'TestTranscipherE2E|TestTranscipherDoesNotBlockKeystream' -count=1 -v ./internal/server
+
+ci: vet fmt-check build race backends-smoke cipher-smoke server-smoke tls-smoke transcipher-smoke bench-smoke
 
 clean:
 	$(GO) clean ./...

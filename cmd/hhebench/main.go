@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims] [-nonces N] [-enc-cap]
-//	         [-backend software|accel|soc] [-cipher pasta|hera|masta]
+//	hhebench [-experiment all|table1|table2|table3|fig7|fig8|claims|schemes|bitwidth|
+//	          communication|energy|countermeasures|software|transcipher] [-nonces N]
+//	         [-enc-cap] [-backend software|accel|soc] [-cipher pasta|hera|masta]
 //	         [-metrics file|-] [-debug-addr host:port]
 //
 // The -backend flag selects the execution substrate for the "software"
@@ -21,16 +22,30 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/backend"
 	"repro/internal/cli"
 	"repro/internal/eval"
 	"repro/internal/ff"
+	"repro/internal/hhe"
 	"repro/internal/obs"
+	"repro/internal/pasta"
+	"repro/internal/transcipher"
 )
 
+// experiments is the canonical list the -experiment flag accepts (besides
+// "all" and comma-separated combinations). The flag help and the
+// unknown-experiment error are both derived from it so they cannot drift.
+var experiments = []string{
+	"table1", "table2", "table3", "fig7", "fig8", "claims", "schemes",
+	"bitwidth", "communication", "energy", "countermeasures", "software",
+	"transcipher",
+}
+
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures, software")
+	experiment := flag.String("experiment", "all",
+		"which experiment to run: all, "+strings.Join(experiments, ", ")+" (comma-separated to combine)")
 	nonces := flag.Int("nonces", 5, "nonce samples for cycle averaging (Table II)")
 	encCap := flag.Bool("enc-cap", false, "include client encryption throughput as a cap in Fig. 8")
 	workers := flag.Int("workers", 0, "goroutines for the software experiment (0 = GOMAXPROCS)")
@@ -206,9 +221,86 @@ func main() {
 		fmt.Fprintln(out)
 		ran = true
 	}
-	if !ran {
-		fatal(fmt.Errorf("unknown experiment %q (want all, table1, table2, table3, fig7, fig8, claims, schemes, countermeasures)", *experiment))
+	if want("transcipher") {
+		if err := runTranscipher(out); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(out)
+		ran = true
 	}
+	if !ran {
+		fatal(fmt.Errorf("unknown experiment %q (want all, %s)", *experiment, strings.Join(experiments, ", ")))
+	}
+}
+
+// runTranscipher measures the serving tier's transciphering engine
+// in-process: eval-key enrollment, a cold homomorphic PASTA decryption
+// of one block, and the Enc(KS)-cached repeat of the same block.
+func runTranscipher(out io.Writer) error {
+	par, err := hhe.NewToyParams(4, 2)
+	if err != nil {
+		return err
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "hhebench-transcipher")
+	client, err := hhe.NewClient(par, key, []byte{7})
+	if err != nil {
+		return err
+	}
+	blob, err := client.EvalKeysBlob()
+	if err != nil {
+		return err
+	}
+	svc := transcipher.New(transcipher.Config{Budget: time.Hour})
+	defer svc.Close()
+
+	readyCh := make(chan error, 1)
+	enrollStart := time.Now()
+	_, deferred, err := svc.AcceptChunk(1, par.Pasta, 0, uint64(len(blob)), blob,
+		func(_ transcipher.UploadState, err error) { readyCh <- err })
+	if err != nil {
+		return err
+	}
+	if deferred {
+		if err := <-readyCh; err != nil {
+			return err
+		}
+	}
+	enroll := time.Since(enrollStart)
+
+	sym, err := client.EncryptBlock(5, 0, ff.Vec{1, 2, 3, 4})
+	if err != nil {
+		return err
+	}
+	evalOnce := func() (time.Duration, error) {
+		done := make(chan error, 1)
+		start := time.Now()
+		err := svc.Transcipher(1, 5, 0, []ff.Vec{sym},
+			func(_ []byte, err error) { done <- err })
+		if err != nil {
+			return 0, err
+		}
+		if err := <-done; err != nil {
+			return 0, err
+		}
+		return time.Since(start), nil
+	}
+	cold, err := evalOnce()
+	if err != nil {
+		return err
+	}
+	warm, err := evalOnce()
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "Transciphering tier (toy PASTA t=%d, %d rounds):\n",
+		par.Pasta.T, par.Pasta.Rounds)
+	fmt.Fprintf(out, "  eval-key blob      %d bytes\n", len(blob))
+	fmt.Fprintf(out, "  enroll (build)     %v\n", enroll.Round(time.Millisecond))
+	fmt.Fprintf(out, "  cold block eval    %v\n", cold.Round(time.Millisecond))
+	fmt.Fprintf(out, "  Enc(KS) cache hit  %v\n", warm.Round(10*time.Microsecond))
+	fmt.Fprintf(out, "  EWMA eval estimate %.1f ms\n", svc.EvalMSEstimate())
+	return nil
 }
 
 func fatal(err error) {

@@ -14,11 +14,25 @@
 //	          [-write-timeout 10s] [-metrics file|-]
 //	          [-tls-cert cert.pem -tls-key key.pem] [-tls-client-ca ca.pem]
 //	          [-resume-window 1m]
+//	          [-transcipher-workers N] [-transcipher-queue N]
+//	          [-transcipher-budget 30s] [-transcipher-cache N]
+//	          [-max-eval-keys 256MiB]
 //
 // Sessions negotiate their cipher family per tenant in SessionOpen;
 // -cipher only sets the default family applied to clients that do not
 // name one (the capability probes still arbitrate which families the
 // selected backend can actually run).
+//
+// The server also hosts the transciphering tier: sessions opened without
+// a symmetric key may upload a BFV eval-key blob (chunked, resumable, up
+// to -max-eval-keys) and submit symmetric PASTA ciphertexts, which the
+// tier converts to BFV ciphertexts by evaluating the PASTA decryption
+// circuit homomorphically. Circuit evaluations run on a dedicated heavy
+// pool (-transcipher-workers/-transcipher-queue), segregated from the
+// µs-scale keystream path; when the estimated backlog exceeds
+// -transcipher-budget, requests are refused with a Retry-After hint.
+// -transcipher-cache bounds the per-session Enc(KS) block cache that
+// makes repeat offsets cheap.
 //
 // With -tls-cert/-tls-key the listener speaks TLS, so symmetric keys and
 // resumption tokens never cross the wire in plaintext; -tls-client-ca
@@ -68,8 +82,18 @@ func main() {
 	tlsKey := flag.String("tls-key", "", "TLS private key PEM file")
 	tlsClientCA := flag.String("tls-client-ca", "", "client CA PEM file; set to require client certificates (mTLS)")
 	resumeWindow := flag.Duration("resume-window", time.Minute, "how long a disconnected session stays resumable by token (0 = evict on disconnect)")
+	tcWorkers := flag.Int("transcipher-workers", 0, "transcipher tier heavy worker pool size (0 = default 1)")
+	tcQueue := flag.Int("transcipher-queue", 0, "transcipher tier pending-job bound (0 = default 16)")
+	tcBudget := flag.Duration("transcipher-budget", 0, "estimated transcipher backlog at which new circuit evaluations are refused with Retry-After (0 = default 30s)")
+	tcCache := flag.Int("transcipher-cache", 0, "per-session Enc(KS) block cache capacity (0 = default 32)")
+	maxEvalKeys := flag.String("max-eval-keys", "", "cap on a session's assembled eval-key upload, e.g. 256MiB or 64M (empty = default 256MiB)")
 	common := cli.RegisterCommon(flag.CommandLine, backend.NameSoftware)
 	flag.Parse()
+
+	maxEvalKeysBytes, err := cli.ParseSize(*maxEvalKeys)
+	if err != nil {
+		cli.Exit("hheserver", err)
+	}
 
 	tlsCfg, err := buildTLSConfig(*tlsCert, *tlsKey, *tlsClientCA)
 	if err != nil {
@@ -90,6 +114,12 @@ func main() {
 		WriteTimeout:   *writeTimeout,
 		TLS:            tlsCfg,
 		ResumeWindow:   *resumeWindow,
+
+		TranscipherWorkers:     *tcWorkers,
+		TranscipherQueue:       *tcQueue,
+		TranscipherBudget:      *tcBudget,
+		TranscipherCacheBlocks: *tcCache,
+		MaxEvalKeysBytes:       maxEvalKeysBytes,
 	}); err != nil {
 		cli.Exit("hheserver", err)
 	}

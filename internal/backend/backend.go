@@ -9,8 +9,8 @@
 // opened by name through the registry:
 //
 //	b, err := backend.Open(backend.NameAccel, backend.Config{
-//		Variant: pasta.Pasta4,
-//		KeySeed: "demo",
+//		CipherParams: cipher.Params{Variant: 4},
+//		KeySeed:      "demo",
 //	})
 //
 // and every backend satisfies the same contract:

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 )
@@ -35,7 +36,7 @@ func BenchmarkBackendDispatch(b *testing.B) {
 	})
 
 	b.Run("backend", func(b *testing.B) {
-		bc, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, Key: ff.Vec(key)})
+		bc, err := Open(NameSoftware, Config{CipherParams: cipher.Params{Variant: 4}, Key: ff.Vec(key)})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -67,7 +68,7 @@ func BenchmarkAccelFarm(b *testing.B) {
 	for _, units := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("units=%d", units), func(b *testing.B) {
 			farm, err := Open(NameAccel, Config{
-				Variant: pasta.Pasta4, KeySeed: "farm-bench", AccelUnits: units,
+				CipherParams: cipher.Params{Variant: 4}, KeySeed: "farm-bench", AccelUnits: units,
 			})
 			if err != nil {
 				b.Fatal(err)

@@ -7,8 +7,8 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
-	"repro/internal/pasta"
 )
 
 // Mid-stream cancellation: a context cancelled while KeyStreamBlocks is
@@ -29,7 +29,7 @@ func waitGoroutines(t *testing.T, baseline int) {
 }
 
 func TestCancelMidStreamSoftware(t *testing.T) {
-	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta3, KeySeed: "cancel"})
+	b, err := Open(NameSoftware, Config{CipherParams: cipher.Params{Variant: 3}, KeySeed: "cancel"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +66,7 @@ func TestCancelMidStreamSoftware(t *testing.T) {
 }
 
 func TestCancelMidStreamAccel(t *testing.T) {
-	b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "cancel"})
+	b, err := Open(NameAccel, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "cancel"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestCancelMidStreamAccel(t *testing.T) {
 }
 
 func TestDeadlineExceededSurfaces(t *testing.T) {
-	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta3, KeySeed: "deadline"})
+	b, err := Open(NameSoftware, Config{CipherParams: cipher.Params{Variant: 3}, KeySeed: "deadline"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +111,7 @@ func TestDeadlineExceededSurfaces(t *testing.T) {
 // TestCancelLeavesBackendUsable: a cancelled call must not poison the
 // instance — the next call with a live context succeeds.
 func TestCancelLeavesBackendUsable(t *testing.T) {
-	b, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, KeySeed: "golden"})
+	b, err := Open(NameSoftware, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "golden"})
 	if err != nil {
 		t.Fatal(err)
 	}

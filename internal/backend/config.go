@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/cipher"
 	"repro/internal/ff"
-	"repro/internal/pasta"
 )
 
 // DefaultCipher is the cipher family the zero-value Config opens.
@@ -16,12 +15,10 @@ const DefaultCipher = "pasta"
 //
 // The cipher axis is registry-driven: Cipher names any family
 // registered with internal/cipher, and CipherParams carries the
-// family-interpreted parameters. The scheme-specific fields below the
-// deprecation line are aliases kept for one PR so existing callers
-// don't break; they are folded into CipherParams by resolve().
+// family-interpreted parameters.
 type Config struct {
 	// Cipher names a registered cipher family (see cipher.Names());
-	// "" falls back to the deprecated Scheme, then DefaultCipher.
+	// "" falls back to DefaultCipher.
 	Cipher string
 
 	// CipherParams carries the substrate-independent cipher
@@ -59,69 +56,22 @@ type Config struct {
 	// as tracing is armed), "event", or "cycle" (force the per-cycle
 	// oracle). Ignored by the other backends.
 	AccelStep string
-
-	// Scheme is the old name of Cipher; used when Cipher is "".
-	//
-	// Deprecated: set Cipher.
-	Scheme string
-
-	// Variant selects the PASTA shape (Pasta3 default, Pasta4).
-	//
-	// Deprecated: set CipherParams.Variant (family numbering: 3, 4).
-	Variant pasta.Variant
-
-	// PastaParams, when non-nil, overrides Variant/Width with an
-	// explicit (possibly toy) instance.
-	//
-	// Deprecated: set CipherParams.{T,Rounds,Mod}.
-	PastaParams *pasta.Params
-
-	// HeraRounds is the HERA round count (default 5).
-	//
-	// Deprecated: set CipherParams.Rounds.
-	HeraRounds int
 }
 
-// cipherName resolves the cipher axis: Cipher, then the deprecated
-// Scheme alias, then DefaultCipher.
+// cipherName resolves the cipher axis: Cipher, then DefaultCipher.
 func (c Config) cipherName() string {
 	if c.Cipher != "" {
 		return c.Cipher
 	}
-	if c.Scheme != "" {
-		return c.Scheme
-	}
 	return DefaultCipher
 }
 
-// cipherParams folds the deprecated per-scheme fields into the
-// registry-facing CipherParams. Explicit CipherParams fields win.
+// cipherParams applies the Width shorthand on top of the explicit
+// CipherParams; explicit fields win.
 func (c Config) cipherParams() cipher.Params {
 	p := c.CipherParams
 	if p.Width == 0 {
 		p.Width = c.Width
-	}
-	if p.Variant == 0 {
-		// Map the legacy pasta.Variant enum onto the family's public
-		// numbering; values without a public number (Toy without
-		// explicit params) are passed through for the spec to reject.
-		switch c.Variant {
-		case pasta.Pasta3: // zero value; leave the default
-		case pasta.Pasta4:
-			p.Variant = 4
-		default:
-			p.Variant = int(c.Variant)
-		}
-	}
-	if c.HeraRounds != 0 && p.Rounds == 0 {
-		p.Rounds = c.HeraRounds
-	}
-	if c.PastaParams != nil {
-		pp := *c.PastaParams
-		p.T = pp.T
-		p.Rounds = pp.Rounds
-		p.Mod = pp.Mod
-		p.Variant = 0
 	}
 	return p
 }

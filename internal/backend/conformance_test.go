@@ -290,7 +290,7 @@ func TestSoCUnsupportedConfigs(t *testing.T) {
 	if _, err := Open(NameSoC, Config{Cipher: "masta", KeySeed: "x"}); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("soc accepted masta: %v", err)
 	}
-	if _, err := Open(NameSoC, Config{Variant: pasta.Pasta4, Width: 54, KeySeed: "x"}); !errors.Is(err, ErrUnsupported) {
+	if _, err := Open(NameSoC, Config{CipherParams: cipher.Params{Variant: 4}, Width: 54, KeySeed: "x"}); !errors.Is(err, ErrUnsupported) {
 		t.Fatalf("soc accepted a 54-bit modulus on the 32-bit bus: %v", err)
 	}
 }
@@ -304,7 +304,7 @@ func TestAccelUnsupportedCipher(t *testing.T) {
 // TestWatchdogSurfacesTyped proves the accelerator watchdog abort stays
 // reachable as *hw.ErrWatchdog through the backend's error wrapper.
 func TestWatchdogSurfacesTyped(t *testing.T) {
-	b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "wd", WatchdogLimit: 10})
+	b, err := Open(NameAccel, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "wd", WatchdogLimit: 10})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,8 +5,8 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
-	"repro/internal/pasta"
 )
 
 // TestAccelFarmKeystream: an N-way farm must produce exactly the
@@ -14,7 +14,7 @@ import (
 // peripheral changes scheduling, never data.
 func TestAccelFarmKeystream(t *testing.T) {
 	ctx := context.Background()
-	cfg := Config{Variant: pasta.Pasta4, KeySeed: "farm"}
+	cfg := Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "farm"}
 
 	sw, err := Open(NameSoftware, cfg)
 	if err != nil {
@@ -80,14 +80,14 @@ func TestAccelFarmKeystream(t *testing.T) {
 // both correctness and conservation of the per-unit accounting.
 func TestAccelFarmConcurrentSessions(t *testing.T) {
 	ctx := context.Background()
-	cfg := Config{Variant: pasta.Pasta4, KeySeed: "farm-concurrent", AccelUnits: 3}
+	cfg := Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "farm-concurrent", AccelUnits: 3}
 	farm, err := Open(NameAccel, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer farm.Close()
 
-	ref, err := Open(NameSoftware, Config{Variant: pasta.Pasta4, KeySeed: "farm-concurrent"})
+	ref, err := Open(NameSoftware, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "farm-concurrent"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,13 +143,13 @@ func TestAccelFarmConcurrentSessions(t *testing.T) {
 // are rejected at open, and forcing the per-cycle oracle still matches
 // the (default) event-driven keystream.
 func TestAccelStepConfig(t *testing.T) {
-	if _, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "k", AccelStep: "warp"}); err == nil {
+	if _, err := Open(NameAccel, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "k", AccelStep: "warp"}); err == nil {
 		t.Fatal("AccelStep \"warp\" accepted")
 	}
 	ctx := context.Background()
 	var out [2]ff.Vec
 	for i, step := range []string{"event", "cycle"} {
-		b, err := Open(NameAccel, Config{Variant: pasta.Pasta4, KeySeed: "step", AccelStep: step})
+		b, err := Open(NameAccel, Config{CipherParams: cipher.Params{Variant: 4}, KeySeed: "step", AccelStep: step})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 )
@@ -22,7 +23,10 @@ func TestToyInstanceAllBackends(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		cfg := Config{PastaParams: &par, KeySeed: "toy-differential"}
+		cfg := Config{
+			CipherParams: cipher.Params{T: par.T, Rounds: par.Rounds, Mod: par.Mod},
+			KeySeed:      "toy-differential",
+		}
 		ref, err := Open(NameSoftware, cfg)
 		if err != nil {
 			t.Fatal(err)

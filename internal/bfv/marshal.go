@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math/bits"
+	"slices"
 
 	"repro/internal/ff"
 	"repro/internal/rlwe"
@@ -92,6 +93,8 @@ func (c *Context) UnmarshalCiphertext(data []byte) (*Ciphertext, error) {
 const (
 	pkMagic  = 0x42465602
 	rlkMagic = 0x42465603
+	gkMagic  = 0x42465604
+	parMagic = 0x42465605
 )
 
 // marshalRNSPoly appends the bit-packed residues of p.
@@ -206,6 +209,142 @@ func (c *Context) UnmarshalRelinKey(data []byte) (*RelinKey, error) {
 		return nil, fmt.Errorf("bfv: trailing bytes in relin-key blob")
 	}
 	return rlk, nil
+}
+
+// MarshalBinary serializes the Galois key set. Galois elements are
+// emitted in ascending order so equal key sets marshal to identical
+// bytes (the e2e tests compare server replies byte-for-byte, and any
+// map-iteration nondeterminism here would leak into derived blobs).
+func (gks *GaloisKeys) MarshalBinary(c *Context) ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, gkMagic)
+	out = binary.LittleEndian.AppendUint16(out, uint16(gks.base))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(gks.keys)))
+	elems := make([]uint64, 0, len(gks.keys))
+	for g := range gks.keys {
+		elems = append(elems, g)
+	}
+	slices.Sort(elems)
+	var err error
+	for _, g := range elems {
+		pairs := gks.keys[g]
+		out = binary.LittleEndian.AppendUint64(out, g)
+		out = binary.LittleEndian.AppendUint16(out, uint16(len(pairs)))
+		for _, pair := range pairs {
+			for _, p := range pair {
+				if out, err = c.marshalRNSPoly(out, p); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// UnmarshalGaloisKeys parses a Galois key set for this context.
+func (c *Context) UnmarshalGaloisKeys(data []byte) (*GaloisKeys, error) {
+	if len(data) < 8 || binary.LittleEndian.Uint32(data) != gkMagic {
+		return nil, fmt.Errorf("bfv: bad galois-key blob")
+	}
+	base := uint(binary.LittleEndian.Uint16(data[4:]))
+	count := int(binary.LittleEndian.Uint16(data[6:]))
+	if count < 1 || count > 4096 {
+		return nil, fmt.Errorf("bfv: implausible galois-key count %d", count)
+	}
+	gks := &GaloisKeys{keys: map[uint64][][2]rlwe.RNSPoly{}, base: base}
+	off := 8
+	for k := 0; k < count; k++ {
+		if off+10 > len(data) {
+			return nil, fmt.Errorf("bfv: truncated galois-key blob")
+		}
+		g := binary.LittleEndian.Uint64(data[off:])
+		digits := int(binary.LittleEndian.Uint16(data[off+8:]))
+		off += 10
+		if digits < 1 || digits > 64 {
+			return nil, fmt.Errorf("bfv: implausible digit count %d", digits)
+		}
+		if _, dup := gks.keys[g]; dup {
+			return nil, fmt.Errorf("bfv: duplicate galois element %d", g)
+		}
+		var pairs [][2]rlwe.RNSPoly
+		for d := 0; d < digits; d++ {
+			var pair [2]rlwe.RNSPoly
+			var err error
+			for j := 0; j < 2; j++ {
+				pair[j], off, err = c.unmarshalRNSPoly(data, off)
+				if err != nil {
+					return nil, err
+				}
+			}
+			pairs = append(pairs, pair)
+		}
+		gks.keys[g] = pairs
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("bfv: trailing bytes in galois-key blob")
+	}
+	return gks, nil
+}
+
+// MarshalBinary serializes the parameter set, so a remote peer can build
+// the exact Context a key blob was generated under before parsing it.
+func (p Params) MarshalBinary() ([]byte, error) {
+	out := binary.LittleEndian.AppendUint32(nil, parMagic)
+	out = binary.LittleEndian.AppendUint32(out, uint32(p.N))
+	out = binary.LittleEndian.AppendUint64(out, p.T)
+	out = binary.LittleEndian.AppendUint16(out, uint16(p.Eta))
+	out = binary.LittleEndian.AppendUint16(out, uint16(p.RelinBits))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.Qs)))
+	for _, q := range p.Qs {
+		out = binary.LittleEndian.AppendUint64(out, q)
+	}
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(p.Ps)))
+	for _, q := range p.Ps {
+		out = binary.LittleEndian.AppendUint64(out, q)
+	}
+	return out, nil
+}
+
+// UnmarshalParams parses a serialized parameter set.
+func UnmarshalParams(data []byte) (Params, error) {
+	var p Params
+	if len(data) < 22 || binary.LittleEndian.Uint32(data) != parMagic {
+		return p, fmt.Errorf("bfv: bad params blob")
+	}
+	p.N = int(binary.LittleEndian.Uint32(data[4:]))
+	p.T = binary.LittleEndian.Uint64(data[8:])
+	p.Eta = int(binary.LittleEndian.Uint16(data[16:]))
+	p.RelinBits = uint(binary.LittleEndian.Uint16(data[18:]))
+	if p.N < 8 || p.N > 1<<20 || p.N&(p.N-1) != 0 {
+		return p, fmt.Errorf("bfv: implausible ring degree %d", p.N)
+	}
+	off := 20
+	for pass := 0; pass < 2; pass++ {
+		if off+2 > len(data) {
+			return p, fmt.Errorf("bfv: truncated params blob")
+		}
+		n := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if n > 64 {
+			return p, fmt.Errorf("bfv: implausible prime count %d", n)
+		}
+		if off+8*n > len(data) {
+			return p, fmt.Errorf("bfv: truncated params blob")
+		}
+		qs := make([]uint64, n)
+		for i := range qs {
+			qs[i] = binary.LittleEndian.Uint64(data[off:])
+			off += 8
+		}
+		if pass == 0 {
+			p.Qs = qs
+		} else {
+			p.Ps = qs
+		}
+	}
+	if off != len(data) {
+		return p, fmt.Errorf("bfv: trailing bytes in params blob")
+	}
+	return p, nil
 }
 
 // CiphertextBytes returns the wire size of a degree-1 ciphertext under

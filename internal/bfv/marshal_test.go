@@ -1,0 +1,141 @@
+package bfv
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rlwe"
+)
+
+// TestGaloisKeysMarshalRoundTrip: marshal → unmarshal → re-marshal must
+// be bit-identical (Galois elements are emitted in sorted order, so the
+// encoding is canonical despite the map representation), and a rotation
+// under the reconstructed keys must produce the exact ciphertext the
+// original keys produce.
+func TestGaloisKeysMarshalRoundTrip(t *testing.T) {
+	par, err := NewParams(1024, 55, 3, 65537)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rlwe.NewPRNG("gk-marshal", []byte{7})
+	sk, pk, _ := ctx.KeyGen(g)
+	gks := ctx.GenGaloisKeys(g, sk, []int{1, 2, 5})
+
+	blob, err := gks.MarshalBinary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ctx.UnmarshalGaloisKeys(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := back.MarshalBinary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, again) {
+		t.Fatalf("galois-key blob does not round-trip bit-identically (%d vs %d bytes)", len(blob), len(again))
+	}
+
+	enc, err := NewEncoder(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := make([]uint64, enc.Slots())
+	for i := range v {
+		v[i] = uint64(i % 65537)
+	}
+	pt, err := enc.Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := ctx.Encrypt(pk, pt, g)
+	want, err := ctx.RotateColumns(ct, 2, gks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ctx.RotateColumns(ct, 2, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.MarshalBinary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gb, err := got.MarshalBinary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb, gb) {
+		t.Fatal("rotation under unmarshaled Galois keys diverges from the original keys")
+	}
+}
+
+// TestGaloisKeysUnmarshalRejects: corruption must error, never panic.
+func TestGaloisKeysUnmarshalRejects(t *testing.T) {
+	par, err := NewParams(1024, 55, 3, 65537)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, err := NewContext(par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := rlwe.NewPRNG("gk-reject", []byte{8})
+	sk, _, _ := ctx.KeyGen(g)
+	gks := ctx.GenGaloisKeys(g, sk, []int{1})
+	blob, err := gks.MarshalBinary(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{0, 4, 7, len(blob) / 3, len(blob) - 1} {
+		if _, err := ctx.UnmarshalGaloisKeys(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	bad := append([]byte(nil), blob...)
+	bad[1] ^= 0x40
+	if _, err := ctx.UnmarshalGaloisKeys(bad); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := ctx.UnmarshalGaloisKeys(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+// TestParamsMarshalRoundTrip: the parameter envelope reproduces every
+// field exactly.
+func TestParamsMarshalRoundTrip(t *testing.T) {
+	par, err := NewParams(1024, 55, 4, 65537)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := par.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := UnmarshalParams(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.N != par.N || back.T != par.T || back.Eta != par.Eta || back.RelinBits != par.RelinBits {
+		t.Fatalf("params round-trip mismatch: %+v != %+v", back, par)
+	}
+	if len(back.Qs) != len(par.Qs) || len(back.Ps) != len(par.Ps) {
+		t.Fatalf("prime chains differ: %+v != %+v", back, par)
+	}
+	for i := range par.Qs {
+		if back.Qs[i] != par.Qs[i] {
+			t.Fatalf("Q[%d] %d != %d", i, back.Qs[i], par.Qs[i])
+		}
+	}
+	for _, n := range []int{0, 3, 10, len(blob) - 1} {
+		if _, err := UnmarshalParams(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/backend"
@@ -171,4 +172,36 @@ func (c *Common) Finish() error {
 func Exit(prog string, err error) {
 	fmt.Fprintln(os.Stderr, prog+":", err)
 	os.Exit(1)
+}
+
+// ParseSize parses a human-readable byte size for flags such as
+// hheserver's -max-eval-keys: a non-negative integer with an optional
+// binary-power suffix K/M/G (case-insensitive; "KiB"/"MB"-style spellings
+// accepted, all meaning 1024-based units). "" and "0" both mean zero,
+// which flags interpret as "use the built-in default".
+func ParseSize(s string) (uint64, error) {
+	t := strings.TrimSpace(s)
+	if t == "" {
+		return 0, nil
+	}
+	upper := strings.ToUpper(t)
+	var shift uint
+	for _, suf := range []struct {
+		text  string
+		shift uint
+	}{{"KIB", 10}, {"MIB", 20}, {"GIB", 30}, {"KB", 10}, {"MB", 20}, {"GB", 30}, {"K", 10}, {"M", 20}, {"G", 30}, {"B", 0}} {
+		if strings.HasSuffix(upper, suf.text) {
+			upper = strings.TrimSpace(strings.TrimSuffix(upper, suf.text))
+			shift = suf.shift
+			break
+		}
+	}
+	n, err := strconv.ParseUint(upper, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("cli: invalid size %q (want e.g. 1048576, 256MiB, 4G)", s)
+	}
+	if shift > 0 && n > (^uint64(0))>>shift {
+		return 0, fmt.Errorf("cli: size %q overflows", s)
+	}
+	return n << shift, nil
 }

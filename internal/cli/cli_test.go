@@ -61,3 +61,30 @@ func TestOpenPasta(t *testing.T) {
 		t.Fatal("empty key seed accepted")
 	}
 }
+
+func TestParseSize(t *testing.T) {
+	good := []struct {
+		in   string
+		want uint64
+	}{
+		{"", 0}, {"0", 0}, {"1024", 1024}, {"  42 ", 42},
+		{"4K", 4 << 10}, {"4k", 4 << 10}, {"4KB", 4 << 10}, {"4KiB", 4 << 10},
+		{"256M", 256 << 20}, {"256MiB", 256 << 20}, {"256 MiB", 256 << 20},
+		{"2G", 2 << 30}, {"2gib", 2 << 30}, {"17B", 17},
+	}
+	for _, tc := range good {
+		got, err := ParseSize(tc.in)
+		if err != nil {
+			t.Errorf("ParseSize(%q): %v", tc.in, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("ParseSize(%q) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	for _, in := range []string{"x", "-1", "4X", "MiB", "1.5G", "99999999999999999999G"} {
+		if v, err := ParseSize(in); err == nil {
+			t.Errorf("ParseSize(%q) = %d, want error", in, v)
+		}
+	}
+}

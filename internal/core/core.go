@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/hw"
 	"repro/internal/hw/area"
@@ -87,10 +88,13 @@ func (s *System) Backend(name string) (backend.BlockCipher, error) {
 	if b, ok := s.backends[name]; ok {
 		return b, nil
 	}
+	num := 3
+	if s.params.Variant == pasta.Pasta4 {
+		num = 4
+	}
 	b, err := backend.Open(name, backend.Config{
-		Variant: s.params.Variant,
-		Width:   s.params.Mod.Bits(),
-		Key:     ff.Vec(s.key),
+		CipherParams: cipher.Params{Variant: num, Width: s.params.Mod.Bits()},
+		Key:          ff.Vec(s.key),
 	})
 	if err != nil {
 		return nil, err

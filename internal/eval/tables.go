@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/hw"
 	"repro/internal/hw/area"
@@ -70,7 +71,11 @@ func Table2(nonceSamples int) ([]Table2Row, error) {
 	ctx := context.Background()
 	var rows []Table2Row
 	for _, v := range []pasta.Variant{pasta.Pasta3, pasta.Pasta4} {
-		cfg := backend.Config{Variant: v, KeySeed: "table2"}
+		num := 3
+		if v == pasta.Pasta4 {
+			num = 4
+		}
+		cfg := backend.Config{CipherParams: cipher.Params{Variant: num}, KeySeed: "table2"}
 		acc, err := backend.Open(backend.NameAccel, cfg)
 		if err != nil {
 			return nil, err

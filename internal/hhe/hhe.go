@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/bfv"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/pasta"
 	"repro/internal/rlwe"
@@ -107,8 +108,8 @@ func NewClientOn(backendName string, p Params, key pasta.Key, seed []byte) (*Cli
 		return nil, err
 	}
 	sym, err := backend.Open(backendName, backend.Config{
-		PastaParams: &p.Pasta,
-		Key:         ff.Vec(key),
+		CipherParams: cipher.Params{T: p.Pasta.T, Rounds: p.Pasta.Rounds, Mod: p.Pasta.Mod},
+		Key:          ff.Vec(key),
 	})
 	if err != nil {
 		return nil, err

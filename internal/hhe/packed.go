@@ -168,6 +168,49 @@ func (s *PackedServer) Transcipher(nonce, block uint64, symCt ff.Vec) (*bfv.Ciph
 	return s.ctx.SubPlainFrom(pt, ks), nil
 }
 
+// TranscipherWith is the payload-dependent tail of Transcipher for a
+// precomputed Enc(KS): keystream evaluation is independent of the
+// symmetric ciphertext, so a cached ks reduces a repeat block to one
+// plaintext encode and one SubPlainFrom (the serving tier's Enc(KS)
+// block cache relies on this).
+func (s *PackedServer) TranscipherWith(ks *bfv.Ciphertext, symCt ff.Vec) (*bfv.Ciphertext, error) {
+	t := s.params.Pasta.T
+	if len(symCt) > t {
+		return nil, fmt.Errorf("hhe: block has %d elements, max %d", len(symCt), t)
+	}
+	padded := make([]uint64, t)
+	copy(padded, symCt)
+	pt, err := s.enc.EncodeReplicated(padded)
+	if err != nil {
+		return nil, err
+	}
+	return s.ctx.SubPlainFrom(pt, ks), nil
+}
+
+// Params returns the parameter set the server evaluates under.
+func (s *PackedServer) Params() Params { return s.params }
+
+// Context returns the server's BFV context (for serializing results).
+func (s *PackedServer) Context() *bfv.Context { return s.ctx }
+
+// PackedNoiseBudget measures the remaining noise budget (bits) of a
+// packed ciphertext against the expected message — the client-side
+// health check after a transcipher round trip.
+func (c *Client) PackedNoiseBudget(ct *bfv.Ciphertext, msg ff.Vec) (int, error) {
+	enc, err := bfv.NewEncoder(c.ctx)
+	if err != nil {
+		return 0, err
+	}
+	t := c.params.Pasta.T
+	padded := make([]uint64, t)
+	copy(padded, msg)
+	pt, err := enc.EncodeReplicated(padded)
+	if err != nil {
+		return 0, err
+	}
+	return c.ctx.NoiseBudget(ct, c.sk, pt), nil
+}
+
 // affine computes M·x + rc by the diagonal method:
 // Σ_d rot(x, d) ⊙ diag_d(M), with diag_d(M)[i] = M[i][(i+d) mod t].
 func (s *PackedServer) affine(x *bfv.Ciphertext, m *ff.Matrix, rc ff.Vec) (*bfv.Ciphertext, error) {

@@ -47,6 +47,10 @@ func (e *RemoteError) Is(target error) bool {
 		return target == ErrBadResume
 	case wire.CodeUnknownCipher:
 		return target == ErrUnknownCipher
+	case wire.CodeNoEvalKeys:
+		return target == ErrNoEvalKeys
+	case wire.CodeTranscipherBudget:
+		return target == ErrTranscipherBudget
 	}
 	return false
 }
@@ -82,10 +86,11 @@ type Client struct {
 // Packed field aliases buf, which the receiving caller must release
 // after extracting the vector.
 type callResult struct {
-	ack  *wire.SessionAck
-	data wire.Data
-	buf  *wire.Buf
-	err  error
+	ack   *wire.SessionAck
+	ekAck *wire.EvalKeysAck
+	data  wire.Data
+	buf   *wire.Buf
+	err   error
 }
 
 // release returns the response's frame buffer to the pool; the caller
@@ -184,6 +189,13 @@ func (c *Client) readLoop() {
 				return
 			}
 			c.deliver(m.ID, callResult{ack: m})
+		case wire.TypeEvalKeysAck:
+			m, err := wire.DecodeEvalKeysAck(payload)
+			if err != nil {
+				c.fail(err)
+				return
+			}
+			c.deliver(m.ID, callResult{ekAck: m})
 		case wire.TypeData:
 			var res callResult
 			if err := wire.DecodeDataInto(&res.data, payload); err != nil {
@@ -534,6 +546,110 @@ func (s *Session) EncryptChunks(chunks []ff.Vec) (cts []ff.Vec, offsets []uint64
 		return nil, nil, err
 	}
 	return cts, offsets, nil
+}
+
+// UploadEvalKeys enrolls the session in the transcipher tier: it
+// uploads the packed eval-key blob (hhe.Client.EvalKeysBlob) in
+// resumable chunks, following the server's acknowledged high-water mark
+// so a retried or partially delivered chunk never stalls the upload,
+// and returns once the server acks Complete — the engine is built and
+// Transcipher requests will be served. A session opened without a
+// symmetric key (wire.SessionOpen with an empty Key) may still enroll;
+// that is the paper's asymmetric deployment, where the uploader holds
+// only BFV key material.
+func (s *Session) UploadEvalKeys(blob []byte) error {
+	return s.uploadEvalKeys(blob, wire.MaxEvalKeysChunk)
+}
+
+func (s *Session) uploadEvalKeys(blob []byte, chunkSize uint64) error {
+	total := uint64(len(blob))
+	if total == 0 {
+		return fmt.Errorf("server: empty eval-key blob")
+	}
+	var off uint64
+	for {
+		end := min(off+chunkSize, total)
+		id := s.c.nextID.Add(1)
+		m := &wire.EvalKeysChunk{
+			Session: s.ID,
+			ID:      id,
+			Counter: s.ctr.Add(1),
+			Offset:  off,
+			Total:   total,
+			Chunk:   blob[off:end],
+		}
+		res, err := s.c.call(wire.TypeEvalKeys, m, id)
+		if err != nil {
+			res.release()
+			return err
+		}
+		ack := res.ekAck
+		res.release()
+		if ack == nil {
+			return fmt.Errorf("server: eval-key chunk got no ack")
+		}
+		if ack.Complete {
+			return nil
+		}
+		if ack.Received >= total {
+			// Every byte is there but the engine did not come up; the
+			// server reports build failures as errors, so this is a
+			// protocol violation.
+			return fmt.Errorf("server: eval-key upload fully received but not complete")
+		}
+		if ack.Received < off {
+			return fmt.Errorf("server: eval-key ack went backwards (%d < %d)", ack.Received, off)
+		}
+		off = ack.Received
+	}
+}
+
+// Transcipher asks the server to homomorphically decrypt symCt — a
+// whole number of symmetric ciphertext blocks covering block indices
+// [first, first+len(symCt)/t) of nonce — under the session's uploaded
+// eval keys. It returns one serialized BFV ciphertext per block
+// (bfv.Context.UnmarshalCiphertext on the client's own context, then
+// hhe.Client.DecryptPacked). UploadEvalKeys must have completed.
+func (s *Session) Transcipher(nonce, first uint64, symCt ff.Vec) ([][]byte, error) {
+	if s.BlockSize <= 0 || len(symCt) == 0 || len(symCt)%s.BlockSize != 0 {
+		return nil, fmt.Errorf("server: %d elements is not a whole number of %d-element blocks",
+			len(symCt), s.BlockSize)
+	}
+	nblocks := len(symCt) / s.BlockSize
+	count, packed, err := wire.PackVec(symCt, s.Bits)
+	if err != nil {
+		return nil, err
+	}
+	id := s.c.nextID.Add(1)
+	req := &wire.TranscipherReq{
+		Session: s.ID,
+		ID:      id,
+		Counter: s.ctr.Add(1),
+		Nonce:   nonce,
+		First:   first,
+		Count:   count,
+		Bits:    s.Bits,
+		Packed:  packed,
+	}
+	res, err := s.c.call(wire.TypeTranscipher, req, id)
+	if err != nil {
+		res.release()
+		return nil, err
+	}
+	defer res.release()
+	blob := res.data.Packed
+	if res.data.Bits != 8 || len(blob)%nblocks != 0 {
+		return nil, fmt.Errorf("server: malformed transcipher reply (%d bytes at %d bits for %d blocks)",
+			len(blob), res.data.Bits, nblocks)
+	}
+	// The reply aliases the pooled frame buffer; copy each ciphertext
+	// out before release.
+	sz := len(blob) / nblocks
+	out := make([][]byte, nblocks)
+	for i := range out {
+		out[i] = append([]byte(nil), blob[i*sz:(i+1)*sz]...)
+	}
+	return out, nil
 }
 
 // Close retires the session on the server (fire-and-forget).

@@ -11,6 +11,7 @@ import (
 	"repro/internal/backend"
 	"repro/internal/cipher"
 	"repro/internal/ff"
+	"repro/internal/transcipher"
 	"repro/internal/wire"
 )
 
@@ -139,6 +140,10 @@ func (c *conn) handle(t wire.Type, payload []byte) bool {
 		return c.handleKeystream(payload)
 	case wire.TypeStream:
 		return c.handleStream(payload)
+	case wire.TypeEvalKeys:
+		return c.handleEvalKeys(payload)
+	case wire.TypeTranscipher:
+		return c.handleTranscipher(payload)
 	default:
 		// Server-bound connections must only carry requests.
 		c.sendError(0, 0, wire.CodeBadRequest, 0,
@@ -177,7 +182,7 @@ func (c *conn) handleOpen(payload []byte) bool {
 	ack := &wire.SessionAck{
 		ID:        m.ID,
 		Session:   sess.id,
-		Cipher:    sess.cipher.Scheme(),
+		Cipher:    sess.scheme,
 		BlockSize: uint32(sess.t),
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
@@ -211,7 +216,7 @@ func (c *conn) handleResume(m *wire.SessionOpen) bool {
 	ack := &wire.SessionAck{
 		ID:        m.ID,
 		Session:   sess.id,
-		Cipher:    sess.cipher.Scheme(),
+		Cipher:    sess.scheme,
 		BlockSize: uint32(sess.t),
 		Modulus:   sess.mod.P(),
 		Bits:      sess.bits,
@@ -279,7 +284,7 @@ func (c *conn) handleEncrypt(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
-	if !c.checkCounter(sess, m.ID, m.Counter) {
+	if !c.checkCounter(sess, m.ID, m.Counter) || !c.checkKeyed(sess, m.ID) {
 		return true
 	}
 	j := getJob()
@@ -308,7 +313,7 @@ func (c *conn) handleKeystream(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
-	if !c.checkCounter(sess, m.ID, m.Counter) {
+	if !c.checkCounter(sess, m.ID, m.Counter) || !c.checkKeyed(sess, m.ID) {
 		return true
 	}
 	j := getJob()
@@ -328,7 +333,7 @@ func (c *conn) handleStream(payload []byte) bool {
 	if sess == nil {
 		return true
 	}
-	if !c.checkCounter(sess, m.ID, m.Counter) {
+	if !c.checkCounter(sess, m.ID, m.Counter) || !c.checkKeyed(sess, m.ID) {
 		return true
 	}
 	// Stream payloads outlive the frame (they sit in the batch until the
@@ -351,6 +356,162 @@ func (c *conn) handleStream(payload []byte) bool {
 	if _, err := sess.acceptStream(m.ID, msg); err != nil {
 		code, retry := c.errCode(err)
 		c.sendError(sess.id, m.ID, code, retry, err.Error())
+	}
+	return true
+}
+
+// handleEvalKeys ingests one chunk of a session's eval-key upload. The
+// ack for a non-final chunk is sent inline; the chunk that completes
+// the blob defers its ack until the transcipher tier has built the
+// evaluation engine on the heavy pool, so a Complete ack is a service
+// guarantee, not a receipt.
+func (c *conn) handleEvalKeys(payload []byte) bool {
+	var m wire.EvalKeysChunk
+	if err := wire.DecodeEvalKeysChunkInto(&m, payload); err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess := c.lookup(m.Session, m.ID)
+	if sess == nil {
+		return true
+	}
+	if !c.checkCounter(sess, m.ID, m.Counter) {
+		return true
+	}
+	c.srv.m.requests.Inc()
+	if !sess.hasPasta {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0,
+			fmt.Sprintf("cipher %q has no homomorphic decryption circuit", sess.scheme))
+		return true
+	}
+	// m.Chunk aliases the frame scratch; AcceptChunk copies it into the
+	// enrollment accumulator before returning, so no retention here.
+	id := m.ID
+	st, deferred, err := c.srv.tc.AcceptChunk(sess.id, sess.pp, m.Offset, m.Total, m.Chunk,
+		func(st transcipher.UploadState, err error) {
+			if err != nil {
+				// The assembled blob failed to parse or build: the upload
+				// itself is at fault, not the server.
+				c.sendError(sess.id, id, wire.CodeBadRequest, 0, err.Error())
+				return
+			}
+			c.sendEvalKeysAck(sess, id, st)
+		})
+	if err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(sess.id, m.ID, code, retry, err.Error())
+		return true
+	}
+	if !deferred {
+		c.sendEvalKeysAck(sess, m.ID, st)
+	}
+	return true
+}
+
+func (c *conn) sendEvalKeysAck(sess *session, id uint64, st transcipher.UploadState) {
+	c.sendMsg(wire.TypeEvalKeysAck, &wire.EvalKeysAck{
+		Session:  sess.id,
+		ID:       id,
+		Received: st.Received,
+		Total:    st.Total,
+		Complete: st.Ready,
+	})
+}
+
+// handleTranscipher admits a homomorphic-decryption request into the
+// transcipher tier. Validation runs on the reader; the circuit runs on
+// the tier's heavy pool and replies through the outbox from there.
+func (c *conn) handleTranscipher(payload []byte) bool {
+	var m wire.TranscipherReq
+	if err := wire.DecodeTranscipherReqInto(&m, payload); err != nil {
+		c.sendError(0, 0, wire.CodeBadRequest, 0, err.Error())
+		return false
+	}
+	sess := c.lookup(m.Session, m.ID)
+	if sess == nil {
+		return true
+	}
+	if !c.checkCounter(sess, m.ID, m.Counter) {
+		return true
+	}
+	c.srv.m.requests.Inc()
+	if m.Bits != sess.bits {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0,
+			fmt.Sprintf("payload packed at %d bits, session modulus needs %d", m.Bits, sess.bits))
+		return true
+	}
+	t := uint64(sess.t)
+	if m.Count == 0 || uint64(m.Count)%t != 0 {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0,
+			fmt.Sprintf("%d elements is not a whole number of %d-element blocks", m.Count, t))
+		return true
+	}
+	nblocks := uint64(m.Count) / t
+	if nblocks > wire.MaxTranscipherBlocks {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0,
+			fmt.Sprintf("%d blocks exceeds the %d-block bound", nblocks, wire.MaxTranscipherBlocks))
+		return true
+	}
+	if ok, retry := sess.takeRate(int(m.Count)); !ok {
+		c.srv.m.rejectedRate.Inc()
+		c.sendError(sess.id, m.ID, wire.CodeRateLimited, retry, "rate limit exceeded")
+		return true
+	}
+	// The symmetric ciphertext outlives the frame (it rides to the heavy
+	// pool), so this path allocates the element copy.
+	v, err := m.Vec()
+	if err != nil {
+		c.sendError(sess.id, m.ID, wire.CodeBadRequest, 0, err.Error())
+		return true
+	}
+	if !c.checkRange(sess, m.ID, v) {
+		return true
+	}
+	blocks := make([]ff.Vec, nblocks)
+	for i := range blocks {
+		blocks[i] = v[uint64(i)*t : uint64(i+1)*t]
+	}
+	id, first := m.ID, m.First
+	err = c.srv.tc.Transcipher(sess.id, m.Nonce, m.First, blocks, func(out []byte, err error) {
+		if err != nil {
+			c.sendJobError(sess, id, err)
+			return
+		}
+		c.sendTranscipherData(sess, id, first, out)
+	})
+	if err != nil {
+		code, retry := c.errCode(err)
+		c.sendError(sess.id, m.ID, code, retry, err.Error())
+	}
+	return true
+}
+
+// sendTranscipherData replies with the concatenated serialized BFV
+// ciphertexts, one per requested block, using the Data frame's byte
+// convention (Bits = 8, Count = byte length, Offset echoes First).
+func (c *conn) sendTranscipherData(sess *session, id, first uint64, blob []byte) {
+	if len(blob) > wire.MaxVecElems {
+		c.sendError(sess.id, id, wire.CodeInternal, 0,
+			fmt.Sprintf("transcipher reply of %d bytes exceeds the frame vector bound", len(blob)))
+		return
+	}
+	c.sendMsg(wire.TypeData, &wire.Data{
+		Session: sess.id,
+		ID:      id,
+		Offset:  first,
+		Count:   uint32(len(blob)),
+		Bits:    8,
+		Packed:  blob,
+	})
+}
+
+// checkKeyed rejects keystream-deriving requests on keyless
+// (transcipher-only) sessions, which have no symmetric cipher.
+func (c *conn) checkKeyed(sess *session, id uint64) bool {
+	if sess.cipher == nil {
+		c.sendError(sess.id, id, wire.CodeBadRequest, 0,
+			"transcipher-only session has no symmetric cipher (opened without a key)")
+		return false
 	}
 	return true
 }
@@ -417,6 +578,22 @@ func (c *conn) errCode(err error) (code uint16, retry time.Duration) {
 		// can renegotiate with a supported cipher.
 		m.rejectedCipher.Inc()
 		return wire.CodeUnknownCipher, 0
+	case errors.Is(err, ErrNoEvalKeys):
+		m.requestErrors.Inc()
+		return wire.CodeNoEvalKeys, 0
+	case errors.Is(err, ErrTranscipherBudget):
+		m.rejectedOverload.Inc()
+		var be *transcipher.BudgetError
+		if errors.As(err, &be) {
+			return wire.CodeTranscipherBudget, be.Retry
+		}
+		return wire.CodeTranscipherBudget, c.srv.cfg.RetryAfter
+	case errors.Is(err, transcipher.ErrUpload):
+		m.requestErrors.Inc()
+		return wire.CodeBadRequest, 0
+	case errors.Is(err, transcipher.ErrClosed):
+		m.rejectedDraining.Inc()
+		return wire.CodeShuttingDown, 0
 	case errors.Is(err, ErrClosed):
 		m.requestErrors.Inc()
 		return wire.CodeUnknownSession, 0

@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/backend"
 	"repro/internal/ff"
+	"repro/internal/transcipher"
 )
 
 // Typed serving-tier failures. The server returns them locally (submit,
@@ -72,6 +73,15 @@ var (
 	// substrate cannot run. The rejection is per-request: the connection
 	// stays up and the client may retry with a supported cipher.
 	ErrUnknownCipher = errors.New("server: unknown or unsupported cipher")
+
+	// ErrNoEvalKeys reports a Transcipher request on a session whose
+	// eval-key upload has not completed. Aliases the transcipher tier's
+	// sentinel so errors.Is matches on both sides of the wire.
+	ErrNoEvalKeys = transcipher.ErrNoEvalKeys
+	// ErrTranscipherBudget reports a Transcipher request rejected by the
+	// tier's cost-model admission; the wire error carries a Retry-After
+	// hint estimating the backlog drain.
+	ErrTranscipherBudget = transcipher.ErrBudget
 )
 
 // Config tunes a Server. The zero value serves PASTA sessions on the
@@ -156,6 +166,29 @@ type Config struct {
 	// blobs, keeping its stream position and replay high-water mark.
 	// 0 (the default) evicts on disconnect, as before.
 	ResumeWindow time.Duration
+
+	// TranscipherWorkers sizes the transcipher tier's dedicated heavy
+	// pool — segregated from the Workers pool above so a multi-second
+	// homomorphic circuit evaluation can never head-of-line-block the
+	// µs-scale keystream path. ≤ 0 means 1.
+	TranscipherWorkers int
+
+	// TranscipherQueue bounds pending transcipher jobs. Default 16.
+	TranscipherQueue int
+
+	// TranscipherBudget caps the transcipher tier's estimated eval
+	// backlog; requests pricing past it are rejected with
+	// CodeTranscipherBudget and a drain-time Retry-After. Default 30s.
+	TranscipherBudget time.Duration
+
+	// TranscipherCacheBlocks sizes the per-session Enc(KS) block cache
+	// (keystream evaluation is payload-independent, so a cache hit
+	// reduces a repeat block to one homomorphic subtraction). Default 32.
+	TranscipherCacheBlocks int
+
+	// MaxEvalKeysBytes caps a session's assembled eval-key upload;
+	// 0 means 256 MiB.
+	MaxEvalKeysBytes uint64
 }
 
 func (c Config) withDefaults() Config {
@@ -254,6 +287,11 @@ type Server struct {
 	cfg Config
 	m   *metrics
 
+	// tc hosts the per-session homomorphic transcipher engines on its
+	// own heavy pool, segregated from the scheduler queue above so
+	// circuit evaluations never block the keystream path.
+	tc *transcipher.Service
+
 	// runCtx cancels in-flight backend work on forced shutdown.
 	runCtx    context.Context
 	runCancel context.CancelFunc
@@ -322,6 +360,13 @@ func New(cfg Config) (*Server, error) {
 		cancel()
 		return nil, fmt.Errorf("server: resumption secret: %w", err)
 	}
+	s.tc = transcipher.New(transcipher.Config{
+		Workers:        cfg.TranscipherWorkers,
+		Queue:          cfg.TranscipherQueue,
+		Budget:         cfg.TranscipherBudget,
+		CacheBlocks:    cfg.TranscipherCacheBlocks,
+		MaxUploadBytes: cfg.MaxEvalKeysBytes,
+	})
 	return s, nil
 }
 
@@ -455,6 +500,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.runCancel() // abort in-flight backend work
 		<-drained
 	}
+
+	// Drain the transcipher tier while connections are still up, so
+	// in-flight circuit evaluations can deliver their replies.
+	s.tc.Close()
 
 	// Queue is drained; now tear down connections and sessions.
 	s.mu.Lock()
@@ -604,15 +653,21 @@ func (s *Server) addSession(sess *session) error {
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		return ErrOverloaded
 	}
+	// Keyless (transcipher-only) sessions derive no keystream, so the
+	// two-time-pad registry does not apply to them.
 	key := streamKey{fp: sess.keyFP, nonce: sess.nonce}
-	if owner, dup := s.streams[key]; dup {
-		s.m.rejectedDupNonce.Inc()
-		return fmt.Errorf("%w (session %d)", ErrDuplicateNonce, owner)
+	if !sess.keyless {
+		if owner, dup := s.streams[key]; dup {
+			s.m.rejectedDupNonce.Inc()
+			return fmt.Errorf("%w (session %d)", ErrDuplicateNonce, owner)
+		}
 	}
 	s.nextSess++
 	sess.id = s.nextSess
 	s.sessions[sess.id] = sess
-	s.streams[key] = sess.id
+	if !sess.keyless {
+		s.streams[key] = sess.id
+	}
 	s.m.sessionsTotal.Inc()
 	s.m.sessionsActive.Set(int64(len(s.sessions)))
 	return nil
@@ -626,7 +681,7 @@ func (s *Server) dropSession(sess *session) {
 	if _, ok := s.sessions[sess.id]; ok {
 		delete(s.sessions, sess.id)
 		key := streamKey{fp: sess.keyFP, nonce: sess.nonce}
-		if s.streams[key] == sess.id {
+		if !sess.keyless && s.streams[key] == sess.id {
 			delete(s.streams, key)
 		}
 		s.m.sessionsActive.Set(int64(len(s.sessions)))

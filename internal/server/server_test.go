@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/backend"
+	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/hhe"
 	"repro/internal/pasta"
@@ -339,7 +340,8 @@ func oracleEncrypt(t *testing.T, blk int, key []uint64, nonce uint64, msg ff.Vec
 		t.Fatal(err)
 	}
 	b, err := backend.Open(backend.NameSoftware, backend.Config{
-		PastaParams: &par, Key: ff.Vec(key),
+		CipherParams: cipher.Params{T: par.T, Rounds: par.Rounds, Mod: par.Mod},
+		Key:          ff.Vec(key),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cipher"
 	"repro/internal/ff"
 	"repro/internal/obs"
+	"repro/internal/pasta"
 	"repro/internal/wire"
 )
 
@@ -40,13 +41,17 @@ import (
 type session struct {
 	id       uint32
 	srv      *Server
-	cipher   backend.BlockCipher
+	cipher   backend.BlockCipher // nil for keyless (transcipher-only) sessions
 	t        int
 	mod      ff.Modulus
 	bits     uint8
-	nonce    uint64   // stream nonce, fixed at SessionOpen
-	keyFP    [32]byte // SHA-256 of the symmetric key (the key itself is wiped)
-	token    []byte   // resumption token minted at open
+	scheme   string       // negotiated cipher family name (acks, fingerprint)
+	pp       pasta.Params // pasta-native parameters, when hasPasta
+	hasPasta bool         // the family resolved to a pasta instance: transcipher-capable
+	keyless  bool         // opened without a symmetric key: transcipher only
+	nonce    uint64       // stream nonce, fixed at SessionOpen
+	keyFP    [32]byte     // SHA-256 of the symmetric key (the key itself is wiped)
+	token    []byte       // resumption token minted at open
 	limiter  *tokenBucket
 	dispatch *obs.Counter
 
@@ -86,6 +91,9 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 	if name == "" {
 		name = srv.cfg.DefaultCipher
 	}
+	if name == "" {
+		name = backend.DefaultCipher
+	}
 	if len(m.CipherParams) > 0 {
 		// No registered family defines extension parameters yet; reject
 		// rather than silently negotiate an instance the client did not
@@ -93,17 +101,35 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		return nil, fmt.Errorf("%w %q: unsupported cipher-params extension blob (%d bytes)",
 			cipher.ErrUnknownCipher, name, len(m.CipherParams))
 	}
+	params := cipher.Params{
+		Width:   uint(m.Width),
+		Variant: int(m.Variant),
+		Rounds:  int(m.Rounds),
+		T:       int(m.T),
+	}
+	// Resolve the registry instance alongside the backend: the
+	// transcipher tier needs the family-native pasta parameters, and a
+	// keyless open has no backend cipher at all. A resolve failure here
+	// is not fatal for keyed sessions — backend.Open re-resolves and
+	// reports it properly.
+	var pp pasta.Params
+	hasPasta := false
+	if spec, serr := cipher.Open(name); serr == nil {
+		if inst, rerr := spec.Resolve(params); rerr == nil {
+			if p, ok := inst.Params.(pasta.Params); ok {
+				pp, hasPasta = p, true
+			}
+		}
+	}
+	if len(m.Key) == 0 {
+		return openKeylessSession(c, m, name, params, pp, hasPasta)
+	}
 	cfg := backend.Config{
-		Cipher: name,
-		CipherParams: cipher.Params{
-			Width:   uint(m.Width),
-			Variant: int(m.Variant),
-			Rounds:  int(m.Rounds),
-			T:       int(m.T),
-		},
-		Key:        ff.Vec(m.Key),
-		Workers:    srv.cfg.BackendWorkers,
-		AccelUnits: srv.cfg.AccelUnits,
+		Cipher:       name,
+		CipherParams: params,
+		Key:          ff.Vec(m.Key),
+		Workers:      srv.cfg.BackendWorkers,
+		AccelUnits:   srv.cfg.AccelUnits,
 	}
 	if srv.cfg.Backend == backend.NameAccel && cfg.AccelUnits > cfg.Workers {
 		// An N-way accelerator farm needs N in-flight blocks to stay
@@ -130,6 +156,9 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 		t:        bc.BlockSize(),
 		mod:      bc.Modulus(),
 		bits:     uint8(bc.Modulus().Bits()),
+		scheme:   bc.Scheme(),
+		pp:       pp,
+		hasPasta: hasPasta,
 		nonce:    m.Nonce,
 		keyFP:    fp,
 		dispatch: dispatchCounter(srv.cfg.Backend),
@@ -140,6 +169,51 @@ func openSession(c *conn, m *wire.SessionOpen) (*session, error) {
 	}
 	if err := srv.addSession(sess); err != nil {
 		bc.Close()
+		return nil, err
+	}
+	sess.token = srv.mintToken(sess.id, sess.keyFP, sess.nonce)
+	return sess, nil
+}
+
+// openKeylessSession opens a transcipher-only session: the client holds
+// BFV keys but no symmetric key (the paper's asymmetric deployment — a
+// constrained edge device did the symmetric encryption; the analyst
+// only ever sees homomorphic material). No backend cipher is opened, so
+// encrypt/keystream/stream requests are rejected, and the session skips
+// the (key, nonce) two-time-pad registry — it derives no keystream to
+// collide on.
+func openKeylessSession(c *conn, m *wire.SessionOpen, name string, params cipher.Params, pp pasta.Params, hasPasta bool) (*session, error) {
+	srv := c.srv
+	spec, err := cipher.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := spec.Resolve(params)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %q: %v", cipher.ErrUnknownCipher, name, err)
+	}
+	if !hasPasta {
+		return nil, fmt.Errorf("%w: %q has no homomorphic decryption circuit (keyless sessions are transcipher-only)",
+			cipher.ErrUnknownCipher, name)
+	}
+	sess := &session{
+		srv:      srv,
+		conn:     c,
+		t:        inst.Block,
+		mod:      inst.Mod,
+		bits:     uint8(inst.Mod.Bits()),
+		scheme:   spec.Name(),
+		pp:       pp,
+		hasPasta: true,
+		keyless:  true,
+		nonce:    m.Nonce,
+		keyFP:    keyFingerprint(nil, spec.Name(), inst.Label),
+		dispatch: dispatchCounter(srv.cfg.Backend),
+	}
+	if srv.cfg.RatePerSec > 0 {
+		sess.limiter = newTokenBucket(srv.cfg.RatePerSec, srv.cfg.RateBurst)
+	}
+	if err := srv.addSession(sess); err != nil {
 		return nil, err
 	}
 	sess.token = srv.mintToken(sess.id, sess.keyFP, sess.nonce)
@@ -217,7 +291,10 @@ func (sess *session) closeLocked() {
 		sess.parkTimer.Stop()
 	}
 	sess.mu.Unlock()
-	sess.cipher.Close()
+	if sess.cipher != nil {
+		sess.cipher.Close()
+	}
+	sess.srv.tc.Drop(sess.id)
 	sess.srv.dropSession(sess)
 }
 

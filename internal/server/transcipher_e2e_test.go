@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/hhe"
+	"repro/internal/pasta"
+	"repro/internal/wire"
+)
+
+// netFixture is the asymmetric-deployment cast: an edge-side hhe client
+// holding the symmetric key and BFV secret key, its serialized eval-key
+// blob, and a local PackedServer oracle built from the SAME blob (every
+// EvalKeysBlob call draws fresh key-encryption randomness, so only a
+// server built from the uploaded bytes is byte-comparable).
+type netFixture struct {
+	par    hhe.Params
+	client *hhe.Client
+	blob   []byte
+	oracle *hhe.PackedServer
+}
+
+func newNetFixture(t testing.TB) *netFixture {
+	t.Helper()
+	par, err := hhe.NewToyParams(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "net-transcipher")
+	client, err := hhe.NewClient(par, key, []byte{33})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := client.EvalKeysBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ctx, keys, err := hhe.UnmarshalPackedEvalKeys(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := hhe.NewPackedServer(hhe.Params{Pasta: par.Pasta, BFV: bp}, ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &netFixture{par: par, client: client, blob: blob, oracle: oracle}
+}
+
+// keylessToyOpen matches newNetFixture's pasta instance (ToyParams(4, 2,
+// P17)) with no symmetric key: a transcipher-only session.
+func keylessToyOpen(nonce uint64) wire.SessionOpen {
+	return wire.SessionOpen{Width: 17, Rounds: 2, T: 4, Nonce: nonce}
+}
+
+// TestTranscipherE2E is the tentpole acceptance test: a client holding
+// only BFV key material enrolls over real TCP, transciphers two blocks,
+// and the networked replies are bit-identical to the local PackedServer
+// oracle; decrypting them recovers the messages.
+func TestTranscipherE2E(t *testing.T) {
+	fx := newNetFixture(t)
+	_, addr := startServer(t, Config{TranscipherBudget: time.Hour})
+	c := dialClient(t, addr)
+
+	sess, err := c.OpenSession(keylessToyOpen(801))
+	if err != nil {
+		t.Fatalf("keyless open: %v", err)
+	}
+	if sess.Cipher != "pasta" || sess.BlockSize != 4 {
+		t.Fatalf("keyless ack: cipher %q block %d, want pasta/4", sess.Cipher, sess.BlockSize)
+	}
+
+	// Keystream-deriving requests must be refused: there is no key.
+	if _, err := sess.Keystream(1, 0, 1); err == nil {
+		t.Fatal("keyless session served keystream")
+	}
+	// Transcipher before enrollment maps to the typed sentinel.
+	msg0, msg1 := ff.Vec{11, 22, 33, 44}, ff.Vec{5, 6, 7, 65000}
+	sym0, err := fx.client.EncryptBlock(7, 0, msg0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sym1, err := fx.client.EncryptBlock(7, 1, msg1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Transcipher(7, 0, sym0); !errors.Is(err, ErrNoEvalKeys) {
+		t.Fatalf("pre-enrollment transcipher: got %v, want ErrNoEvalKeys", err)
+	}
+
+	// Enroll in deliberately small chunks to exercise the resumable
+	// framing end to end (the final ack must wait for the engine build).
+	if err := sess.uploadEvalKeys(fx.blob, uint64(len(fx.blob))/5+1); err != nil {
+		t.Fatalf("UploadEvalKeys: %v", err)
+	}
+
+	symCt := append(append(ff.Vec{}, sym0...), sym1...)
+	cts, err := sess.Transcipher(7, 0, symCt)
+	if err != nil {
+		t.Fatalf("Transcipher: %v", err)
+	}
+	if len(cts) != 2 {
+		t.Fatalf("got %d ciphertexts, want 2", len(cts))
+	}
+
+	ctx := fx.oracle.Context()
+	for i, tc := range []struct {
+		msg ff.Vec
+		sym ff.Vec
+	}{{msg0, sym0}, {msg1, sym1}} {
+		wantCt, err := fx.oracle.Transcipher(7, uint64(i), tc.sym)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wantCt.MarshalBinary(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(cts[i], want) {
+			t.Fatalf("block %d: networked reply is not bit-identical to the local oracle", i)
+		}
+		ct, err := ctx.UnmarshalCiphertext(cts[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := fx.client.DecryptPacked(ct, len(tc.msg))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(tc.msg) {
+			t.Fatalf("block %d decrypts to %v, want %v", i, dec, tc.msg)
+		}
+	}
+
+	// A repeat request serves Enc(KS) from the cache — still the exact
+	// same bytes.
+	again, err := sess.Transcipher(7, 0, symCt)
+	if err != nil {
+		t.Fatalf("cached Transcipher: %v", err)
+	}
+	for i := range cts {
+		if !bytes.Equal(cts[i], again[i]) {
+			t.Fatalf("block %d: cache-hit reply differs from cold evaluation", i)
+		}
+	}
+}
+
+// TestTranscipherDoesNotBlockKeystream: with the heavy pool busy on a
+// multi-block circuit evaluation, concurrent keystream sessions must
+// keep their µs-scale latency — the pools are segregated, so the only
+// coupling is the shared host CPU.
+func TestTranscipherDoesNotBlockKeystream(t *testing.T) {
+	fx := newNetFixture(t)
+	_, addr := startServer(t, Config{TranscipherBudget: time.Hour})
+	c := dialClient(t, addr)
+
+	heavy, err := c.OpenSession(keylessToyOpen(901))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := heavy.UploadEvalKeys(fx.blob); err != nil {
+		t.Fatal(err)
+	}
+	const blocks = 4
+	symCt := make(ff.Vec, 0, blocks*4)
+	for b := uint64(0); b < blocks; b++ {
+		sym, err := fx.client.EncryptBlock(9, b, ff.Vec{1, 2, 3, uint64(b)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		symCt = append(symCt, sym...)
+	}
+
+	ks, err := c.OpenSession(toyOpen(4, testKey(8, 41, ff.P17.P()), 902))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := heavy.Transcipher(9, 0, symCt)
+		done <- err
+	}()
+
+	// Hammer the latency-sensitive path while the circuit runs. The
+	// bound is loose (CI hosts jitter) but far below a single packed
+	// circuit evaluation, so a shared queue would trip it immediately.
+	var wg sync.WaitGroup
+	var worst atomic64Duration
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				start := time.Now()
+				if _, err := ks.Keystream(uint64(w), uint64(i), 1); err != nil {
+					t.Errorf("keystream under transcipher load: %v", err)
+					return
+				}
+				worst.maxOf(time.Since(start))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("background transcipher: %v", err)
+	}
+	if w := worst.load(); w > 2*time.Second {
+		t.Fatalf("worst keystream latency %v under transcipher load", w)
+	}
+	t.Logf("worst keystream latency under %d-block transcipher: %v", blocks, worst.load())
+}
+
+// atomic64Duration tracks a running max latency across goroutines.
+type atomic64Duration struct {
+	mu sync.Mutex
+	d  time.Duration
+}
+
+func (a *atomic64Duration) maxOf(d time.Duration) {
+	a.mu.Lock()
+	if d > a.d {
+		a.d = d
+	}
+	a.mu.Unlock()
+}
+
+func (a *atomic64Duration) load() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.d
+}

@@ -1,0 +1,39 @@
+package transcipher
+
+import "repro/internal/obs"
+
+// metrics are the transciphering-tier instruments, resolved from the
+// process-wide obs registry (same snapshot as the server.* family):
+//
+//	transcipher.enrolled        (sessions with a built engine)
+//	transcipher.upload.bytes    (accepted eval-key upload bytes)
+//	transcipher.queue.depth     (heavy-pool jobs waiting)
+//	transcipher.eval_ns         (per-block circuit latency histogram)
+//	transcipher.cache.hits / transcipher.cache.misses
+//	  (Enc(KS) block cache; a hit skips the whole circuit)
+//	transcipher.rejected.budget (cost-model admission rejections)
+//	transcipher.est_cost_ms     (EWMA per-block cost estimate)
+type metrics struct {
+	enrolled       *obs.Gauge
+	uploadBytes    *obs.Counter
+	queueDepth     *obs.Gauge
+	evalNS         *obs.Histogram
+	cacheHits      *obs.Counter
+	cacheMisses    *obs.Counter
+	rejectedBudget *obs.Counter
+	estCostMS      *obs.Gauge
+}
+
+func newMetrics() *metrics {
+	r := obs.Default()
+	return &metrics{
+		enrolled:       r.Gauge("transcipher.enrolled"),
+		uploadBytes:    r.Counter("transcipher.upload.bytes"),
+		queueDepth:     r.Gauge("transcipher.queue.depth"),
+		evalNS:         r.Histogram("transcipher.eval_ns"),
+		cacheHits:      r.Counter("transcipher.cache.hits"),
+		cacheMisses:    r.Counter("transcipher.cache.misses"),
+		rejectedBudget: r.Counter("transcipher.rejected.budget"),
+		estCostMS:      r.Gauge("transcipher.est_cost_ms"),
+	}
+}

@@ -1,0 +1,469 @@
+// Package transcipher is the serving tier's heavyweight lane: it hosts
+// one hhe.PackedServer per enrolled session and evaluates the
+// homomorphic PASTA decryption circuit (Fig. 1's server side) on a
+// dedicated worker pool, segregated from the µs-scale keystream path so
+// a multi-second circuit evaluation can never head-of-line-block a
+// latency-sensitive request.
+//
+// Enrollment is a chunked, resumable upload of the packed eval-key blob
+// (relin key, per-step Galois keys, encrypted symmetric key — tens of
+// MB at production parameters). The final chunk triggers an engine
+// build on the heavy pool; the transport defers its last ack until the
+// engine is ready, so a Complete ack means "transcipher requests will
+// be served", not just "bytes received".
+//
+// Admission is cost-model based: an EWMA of measured eval time per
+// block prices each request, and requests that would push the estimated
+// backlog past the configured budget are rejected with a retry hint
+// equal to the estimated drain time (the wire layer surfaces it as
+// Retry-After). Keystream evaluation is independent of the payload, so
+// completed Enc(KS) blocks are cached per session: a cache hit reduces
+// a repeat block to one SubPlainFrom.
+package transcipher
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bfv"
+	"repro/internal/ff"
+	"repro/internal/hhe"
+	"repro/internal/pasta"
+)
+
+// Service errors; match with errors.Is. The serving tier maps them to
+// the wire's typed error codes.
+var (
+	// ErrNoEvalKeys reports a transcipher request on a session that has
+	// not completed its eval-key upload.
+	ErrNoEvalKeys = errors.New("transcipher: session has no eval keys")
+	// ErrBudget reports a request rejected by cost-model admission; a
+	// wrapping BudgetError carries the retry hint.
+	ErrBudget = errors.New("transcipher: over eval budget")
+	// ErrClosed reports a request after Close.
+	ErrClosed = errors.New("transcipher: service closed")
+	// ErrUpload reports a malformed or oversized upload chunk.
+	ErrUpload = errors.New("transcipher: bad eval-key upload")
+)
+
+// BudgetError is the admission rejection: the estimated backlog plus
+// this request's estimated cost exceeds the configured budget.
+// Unwraps to ErrBudget.
+type BudgetError struct {
+	// Retry is the estimated time until the backlog drains enough to
+	// admit a request of this size.
+	Retry time.Duration
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("transcipher: over eval budget (retry in %v)", e.Retry)
+}
+
+func (e *BudgetError) Unwrap() error { return ErrBudget }
+
+// Config tunes the service. Zero values select the defaults.
+type Config struct {
+	// Workers is the heavy pool size (default 1: the circuit evaluation
+	// itself parallelizes across the BFV limb pool, so one or two
+	// transcipher workers saturate a small host).
+	Workers int
+	// Queue bounds the pending job count (default 16).
+	Queue int
+	// Budget caps the estimated eval backlog; requests that would push
+	// past it are rejected with a retry hint (default 30s).
+	Budget time.Duration
+	// CacheBlocks is the per-session Enc(KS) LRU capacity (default 32).
+	CacheBlocks int
+	// MaxUploadBytes caps a session's eval-key blob (default
+	// 256 MiB, the wire codec's own MaxEvalKeysTotal).
+	MaxUploadBytes uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.Queue <= 0 {
+		c.Queue = 16
+	}
+	if c.Budget <= 0 {
+		c.Budget = 30 * time.Second
+	}
+	if c.CacheBlocks <= 0 {
+		c.CacheBlocks = 32
+	}
+	if c.MaxUploadBytes == 0 {
+		c.MaxUploadBytes = 1 << 28
+	}
+	return c
+}
+
+// coldEvalMS seeds the cost model before the first measured block: a
+// deliberately conservative per-block estimate so a cold server does
+// not over-admit (production packed evaluation is O(100ms–1s)).
+const coldEvalMS = 250.0
+
+// UploadState reports enrollment progress back to the transport.
+type UploadState struct {
+	Received uint64 // contiguous bytes accepted so far
+	Total    uint64 // declared blob size
+	Ready    bool   // engine built; transcipher requests will be served
+}
+
+// enrollment is one session's upload accumulator and, once built, its
+// evaluation engine and Enc(KS) cache.
+type enrollment struct {
+	mu       sync.Mutex
+	pp       pasta.Params
+	buf      []byte // accumulator; nil once the engine is built
+	received uint64
+	total    uint64
+	building bool
+	engine   *hhe.PackedServer
+
+	// Enc(KS) LRU: key (nonce, block) → *bfv.Ciphertext.
+	cache    map[ksKey]*list.Element
+	cacheLRU list.List // of ksEntry, front = most recent
+}
+
+type ksKey struct{ nonce, block uint64 }
+
+type ksEntry struct {
+	key ksKey
+	ct  *bfv.Ciphertext
+}
+
+// Service runs the transciphering tier: enrollment, admission, the
+// heavy pool, and the per-session engines.
+type Service struct {
+	cfg Config
+	m   *metrics
+
+	mu       sync.Mutex
+	sessions map[uint32]*enrollment
+	closed   bool
+
+	jobs      chan func()
+	wg        sync.WaitGroup
+	startOnce sync.Once // workers start lazily on first submission
+
+	// cost model: EWMA of measured eval ms per (uncached) block, and
+	// the estimated outstanding backlog in ms. Both atomic — admission
+	// runs on transport goroutines, updates on workers.
+	evalMSx1k atomic.Int64 // EWMA × 1000
+	backlogMS atomic.Int64
+
+	enrolled atomic.Int64 // sessions with a built engine (gauge source)
+}
+
+// New creates a service. The heavy pool starts lazily on the first
+// submitted job, so a server that never sees transcipher traffic runs
+// no extra goroutines.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		m:        newMetrics(),
+		sessions: map[uint32]*enrollment{},
+		jobs:     make(chan func(), cfg.Queue),
+	}
+	s.evalMSx1k.Store(int64(coldEvalMS * 1000))
+	return s
+}
+
+// start spins up the worker pool; callers hold s.mu (so a start can
+// never race Close's channel close).
+func (s *Service) start() {
+	s.startOnce.Do(func() {
+		for i := 0; i < s.cfg.Workers; i++ {
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				for job := range s.jobs {
+					job()
+					s.m.queueDepth.Set(int64(len(s.jobs)))
+				}
+			}()
+		}
+	})
+}
+
+// Close stops the workers after draining queued jobs. Pending callbacks
+// still run; new submissions fail with ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.jobs)
+	s.wg.Wait()
+}
+
+// Drop discards a session's enrollment (transport session close).
+func (s *Service) Drop(session uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.sessions[session]; ok {
+		delete(s.sessions, session)
+		e.mu.Lock()
+		ready := e.engine != nil
+		e.mu.Unlock()
+		if ready {
+			s.m.enrolled.Set(s.enrolled.Add(-1))
+		}
+	}
+}
+
+// EvalMSEstimate exposes the cost model's current per-block estimate.
+func (s *Service) EvalMSEstimate() float64 {
+	return float64(s.evalMSx1k.Load()) / 1000
+}
+
+func (s *Service) enrollmentFor(session uint32) (*enrollment, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, ErrClosed
+	}
+	e, ok := s.sessions[session]
+	if !ok {
+		e = &enrollment{cache: map[ksKey]*list.Element{}}
+		s.sessions[session] = e
+	}
+	return e, nil
+}
+
+// AcceptChunk ingests one upload chunk for session (creating the
+// enrollment on first contact). Chunks must arrive offset-contiguous;
+// re-sent already-received ranges are acked idempotently with the
+// current high-water mark, and a zero-length chunk is a pure progress
+// probe. When the chunk completes the blob, the engine build is
+// scheduled on the heavy pool and ready is invoked from a worker once
+// the engine is up (or the build failed) — the transport defers its
+// final ack until then, signalled by deferred=true. A probe on an
+// assembled-but-failed enrollment re-arms the build the same way.
+func (s *Service) AcceptChunk(session uint32, pp pasta.Params, offset, total uint64, chunk []byte, ready func(UploadState, error)) (st UploadState, deferred bool, err error) {
+	if total > s.cfg.MaxUploadBytes {
+		return st, false, fmt.Errorf("%w: blob of %d bytes (max %d)", ErrUpload, total, s.cfg.MaxUploadBytes)
+	}
+	e, err := s.enrollmentFor(session)
+	if err != nil {
+		return st, false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.engine != nil {
+		// Already built: idempotent ack (a client retrying its last
+		// chunk after a lost ack lands here).
+		return UploadState{Received: e.received, Total: e.total, Ready: true}, false, nil
+	}
+	if e.total == 0 && total > 0 {
+		e.total, e.pp = total, pp
+		e.buf = make([]byte, 0, min(total, 4<<20))
+	}
+	if total != 0 && e.total != 0 && total != e.total {
+		return st, false, fmt.Errorf("%w: declared size changed %d → %d", ErrUpload, e.total, total)
+	}
+	if len(chunk) > 0 {
+		switch {
+		case offset > e.received:
+			return st, false, fmt.Errorf("%w: chunk at offset %d but only %d bytes received", ErrUpload, offset, e.received)
+		case offset+uint64(len(chunk)) <= e.received:
+			// Entirely re-sent; ack the high-water mark below.
+		default:
+			fresh := chunk[e.received-offset:]
+			e.buf = append(e.buf, fresh...)
+			e.received += uint64(len(fresh))
+			s.m.uploadBytes.Add(int64(len(fresh)))
+		}
+	}
+	st = UploadState{Received: e.received, Total: e.total}
+	if e.total > 0 && e.received == e.total && !e.building {
+		e.building = true
+		blob := e.buf
+		if err := s.submit(func() { s.buildEngine(session, e, blob, ready) }); err != nil {
+			e.building = false
+			return st, false, err
+		}
+		return st, true, nil
+	}
+	return st, false, nil
+}
+
+// buildEngine parses the assembled blob and constructs the packed
+// evaluation engine (heavy-pool job).
+func (s *Service) buildEngine(session uint32, e *enrollment, blob []byte, ready func(UploadState, error)) {
+	bp, ctx, keys, err := hhe.UnmarshalPackedEvalKeys(blob)
+	var engine *hhe.PackedServer
+	if err == nil {
+		e.mu.Lock()
+		pp := e.pp
+		e.mu.Unlock()
+		engine, err = hhe.NewPackedServer(hhe.Params{Pasta: pp, BFV: bp}, ctx, keys)
+	}
+	e.mu.Lock()
+	e.building = false
+	if err == nil {
+		e.engine = engine
+		e.buf = nil // the accumulator is dead weight once parsed
+	}
+	st := UploadState{Received: e.received, Total: e.total, Ready: e.engine != nil}
+	e.mu.Unlock()
+	if err == nil {
+		s.m.enrolled.Set(s.enrolled.Add(1))
+	}
+	ready(st, err)
+}
+
+// submit enqueues a heavy job without blocking.
+func (s *Service) submit(job func()) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.start()
+	select {
+	case s.jobs <- job:
+		s.m.queueDepth.Set(int64(len(s.jobs)))
+		return nil
+	default:
+		s.m.rejectedBudget.Inc()
+		return &BudgetError{Retry: s.drainEstimate(1)}
+	}
+}
+
+// drainEstimate converts the current backlog plus n more blocks into a
+// wall-clock retry hint.
+func (s *Service) drainEstimate(n int) time.Duration {
+	ms := float64(s.backlogMS.Load()) + float64(n)*s.EvalMSEstimate()
+	d := time.Duration(ms/float64(s.cfg.Workers)) * time.Millisecond
+	return max(d, 10*time.Millisecond)
+}
+
+// Transcipher prices and admits blocks [first, first+len(blocks)) of
+// nonce for session, then evaluates them on the heavy pool. blocks[i]
+// is the symmetric ciphertext of block first+i. On success done is
+// invoked from a worker with one serialized BFV ciphertext per block
+// (all CiphertextBytes() long, concatenated in block order); admission
+// failures return synchronously and done is not called.
+func (s *Service) Transcipher(session uint32, nonce, first uint64, blocks []ff.Vec, done func([]byte, error)) error {
+	e, err := s.enrollmentFor(session)
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	engine := e.engine
+	e.mu.Unlock()
+	if engine == nil {
+		return ErrNoEvalKeys
+	}
+
+	// Cost-model admission: estimated ms for the uncached blocks.
+	miss := 0
+	e.mu.Lock()
+	for i := range blocks {
+		if _, ok := e.cache[ksKey{nonce, first + uint64(i)}]; !ok {
+			miss++
+		}
+	}
+	e.mu.Unlock()
+	cost := int64(float64(miss) * s.EvalMSEstimate())
+	if time.Duration(s.backlogMS.Load()+cost)*time.Millisecond > s.cfg.Budget {
+		s.m.rejectedBudget.Inc()
+		return &BudgetError{Retry: s.drainEstimate(miss)}
+	}
+	s.backlogMS.Add(cost)
+	if err := s.submit(func() {
+		defer s.backlogMS.Add(-cost)
+		done(s.evalBlocks(e, engine, nonce, first, blocks))
+	}); err != nil {
+		s.backlogMS.Add(-cost)
+		return err
+	}
+	return nil
+}
+
+// evalBlocks runs the circuit (or the cache's SubPlainFrom shortcut)
+// for each block and concatenates the serialized results.
+func (s *Service) evalBlocks(e *enrollment, engine *hhe.PackedServer, nonce, first uint64, blocks []ff.Vec) ([]byte, error) {
+	ctx := engine.Context()
+	out := make([]byte, 0, len(blocks)*ctx.CiphertextBytes())
+	for i, sym := range blocks {
+		block := first + uint64(i)
+		ks := e.cachedKS(ksKey{nonce, block})
+		if ks != nil {
+			s.m.cacheHits.Inc()
+		} else {
+			s.m.cacheMisses.Inc()
+			start := time.Now()
+			var err error
+			ks, err = engine.EvalKeystream(nonce, block)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			s.m.evalNS.Observe(elapsed.Nanoseconds())
+			s.observeEvalMS(float64(elapsed.Nanoseconds()) / 1e6)
+			e.storeKS(ksKey{nonce, block}, ks, s.cfg.CacheBlocks)
+		}
+		ct, err := engine.TranscipherWith(ks, sym)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := ct.MarshalBinary(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blob...)
+	}
+	return out, nil
+}
+
+// observeEvalMS folds a measured per-block eval time into the EWMA
+// (α = 0.3) and publishes the estimate gauge.
+func (s *Service) observeEvalMS(ms float64) {
+	for {
+		old := s.evalMSx1k.Load()
+		next := int64(0.7*float64(old) + 0.3*ms*1000)
+		if s.evalMSx1k.CompareAndSwap(old, next) {
+			s.m.estCostMS.Set(next / 1000)
+			return
+		}
+	}
+}
+
+// cachedKS returns the cached Enc(KS) for k, refreshing its recency.
+func (e *enrollment) cachedKS(k ksKey) *bfv.Ciphertext {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.cache[k]
+	if !ok {
+		return nil
+	}
+	e.cacheLRU.MoveToFront(el)
+	return el.Value.(ksEntry).ct
+}
+
+// storeKS inserts a computed Enc(KS), evicting the least recent entry
+// past cap blocks.
+func (e *enrollment) storeKS(k ksKey, ct *bfv.Ciphertext, capBlocks int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, ok := e.cache[k]; ok {
+		return
+	}
+	e.cache[k] = e.cacheLRU.PushFront(ksEntry{key: k, ct: ct})
+	for len(e.cache) > capBlocks {
+		old := e.cacheLRU.Back()
+		delete(e.cache, old.Value.(ksEntry).key)
+		e.cacheLRU.Remove(old)
+	}
+}

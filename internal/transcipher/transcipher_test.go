@@ -1,0 +1,289 @@
+package transcipher
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ff"
+	"repro/internal/hhe"
+	"repro/internal/pasta"
+)
+
+// fixture: a toy HHE client, its serialized eval-key blob, and a local
+// PackedServer oracle built from the SAME blob (PackedEvalKeys draws
+// fresh randomness per call, so the oracle must share the uploaded key
+// material to be byte-comparable).
+type fixture struct {
+	par    hhe.Params
+	client *hhe.Client
+	blob   []byte
+	oracle *hhe.PackedServer
+}
+
+func newFixture(t testing.TB) *fixture {
+	t.Helper()
+	par, err := hhe.NewToyParams(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := pasta.KeyFromSeed(par.Pasta, "transcipher-test")
+	client, err := hhe.NewClient(par, key, []byte{21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := client.EvalKeysBlob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, ctx, keys, err := hhe.UnmarshalPackedEvalKeys(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := hhe.NewPackedServer(hhe.Params{Pasta: par.Pasta, BFV: bp}, ctx, keys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &fixture{par: par, client: client, blob: blob, oracle: oracle}
+}
+
+// enroll uploads fx.blob to svc for session in chunkSize pieces and
+// waits for the engine-ready callback.
+func enroll(t testing.TB, svc *Service, fx *fixture, session uint32, chunkSize int) {
+	t.Helper()
+	readyCh := make(chan error, 1)
+	total := uint64(len(fx.blob))
+	for off := 0; off < len(fx.blob); off += chunkSize {
+		end := min(off+chunkSize, len(fx.blob))
+		st, deferred, err := svc.AcceptChunk(session, fx.par.Pasta, uint64(off), total, fx.blob[off:end],
+			func(st UploadState, err error) {
+				if err == nil && !st.Ready {
+					err = errors.New("ready callback without Ready state")
+				}
+				readyCh <- err
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if end < len(fx.blob) {
+			if deferred {
+				t.Fatal("non-final chunk deferred its ack")
+			}
+			if st.Received != uint64(end) {
+				t.Fatalf("received %d after chunk ending at %d", st.Received, end)
+			}
+		} else if !deferred {
+			t.Fatal("final chunk did not defer to the engine build")
+		}
+	}
+	select {
+	case err := <-readyCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("engine build timed out")
+	}
+}
+
+// transcipherBlocking drives Service.Transcipher and waits for the
+// worker callback.
+func transcipherBlocking(t testing.TB, svc *Service, session uint32, nonce, first uint64, blocks []ff.Vec) []byte {
+	t.Helper()
+	ch := make(chan struct {
+		b   []byte
+		err error
+	}, 1)
+	err := svc.Transcipher(session, nonce, first, blocks, func(b []byte, err error) {
+		ch <- struct {
+			b   []byte
+			err error
+		}{b, err}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := <-ch
+	if res.err != nil {
+		t.Fatal(res.err)
+	}
+	return res.b
+}
+
+// TestEnrollAndTranscipherMatchesOracle: chunked enrollment followed by
+// a two-block transcipher; the service's serialized replies must be
+// byte-identical to the local oracle and decrypt to the message.
+func TestEnrollAndTranscipherMatchesOracle(t *testing.T) {
+	fx := newFixture(t)
+	svc := New(Config{Workers: 1})
+	defer svc.Close()
+	enroll(t, svc, fx, 7, len(fx.blob)/3+1)
+
+	msgs := []ff.Vec{{11, 22, 33, 44}, {5, 6, 7, 65000}}
+	blocks := make([]ff.Vec, len(msgs))
+	for i, m := range msgs {
+		ct, err := fx.client.EncryptBlock(2, uint64(i), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocks[i] = ct
+	}
+	out := transcipherBlocking(t, svc, 7, 2, 0, blocks)
+
+	ctx := fx.oracle.Context()
+	sz := ctx.CiphertextBytes()
+	if len(out) != sz*len(blocks) {
+		t.Fatalf("reply is %d bytes, want %d × %d", len(out), len(blocks), sz)
+	}
+	for i, m := range msgs {
+		wantCt, err := fx.oracle.Transcipher(2, uint64(i), blocks[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := wantCt.MarshalBinary(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := out[i*sz : (i+1)*sz]
+		if !bytes.Equal(got, want) {
+			t.Fatalf("block %d: service reply is not bit-identical to the local oracle", i)
+		}
+		ct, err := ctx.UnmarshalCiphertext(got)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec, err := fx.client.DecryptPacked(ct, len(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dec.Equal(m) {
+			t.Fatalf("block %d decrypts to %v, want %v", i, dec, m)
+		}
+	}
+}
+
+// TestCacheHitIsIdentical: a repeat block must serve from the Enc(KS)
+// cache (skipping the circuit) and still produce the exact bytes of a
+// cold evaluation.
+func TestCacheHitIsIdentical(t *testing.T) {
+	fx := newFixture(t)
+	svc := New(Config{Workers: 1, CacheBlocks: 4})
+	defer svc.Close()
+	enroll(t, svc, fx, 1, len(fx.blob))
+
+	msg := ff.Vec{9, 8, 7, 6}
+	sym, err := fx.client.EncryptBlock(5, 3, msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := transcipherBlocking(t, svc, 1, 5, 3, []ff.Vec{sym})
+	hits0 := svc.m.cacheHits.Value()
+	warm := transcipherBlocking(t, svc, 1, 5, 3, []ff.Vec{sym})
+	if svc.m.cacheHits.Value() != hits0+1 {
+		t.Fatalf("cache hits %d, want %d", svc.m.cacheHits.Value(), hits0+1)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatal("cache-hit reply differs from cold evaluation")
+	}
+}
+
+// TestChunkReorderAndProbe: out-of-order chunks are rejected, re-sent
+// ranges are acked idempotently, and a zero-length probe reports the
+// high-water mark.
+func TestChunkReorderAndProbe(t *testing.T) {
+	fx := newFixture(t)
+	svc := New(Config{})
+	defer svc.Close()
+	total := uint64(len(fx.blob))
+	ready := func(UploadState, error) {}
+
+	if _, _, err := svc.AcceptChunk(3, fx.par.Pasta, 100, total, fx.blob[100:200], ready); !errors.Is(err, ErrUpload) {
+		t.Fatalf("gap chunk: got %v, want ErrUpload", err)
+	}
+	if _, _, err := svc.AcceptChunk(3, fx.par.Pasta, 0, total, fx.blob[:200], ready); err != nil {
+		t.Fatal(err)
+	}
+	st, _, err := svc.AcceptChunk(3, fx.par.Pasta, 0, total, fx.blob[:100], ready)
+	if err != nil || st.Received != 200 {
+		t.Fatalf("idempotent re-send: state %+v err %v", st, err)
+	}
+	st, _, err = svc.AcceptChunk(3, fx.par.Pasta, 150, total, fx.blob[150:300], ready)
+	if err != nil || st.Received != 300 {
+		t.Fatalf("overlapping chunk: state %+v err %v", st, err)
+	}
+	st, _, err = svc.AcceptChunk(3, fx.par.Pasta, 0, 0, nil, ready)
+	if err != nil || st.Received != 300 || st.Ready {
+		t.Fatalf("probe: state %+v err %v", st, err)
+	}
+	if _, _, err := svc.AcceptChunk(3, fx.par.Pasta, 300, total+1, fx.blob[300:301], ready); !errors.Is(err, ErrUpload) {
+		t.Fatalf("changed total: got %v, want ErrUpload", err)
+	}
+}
+
+// TestNoEvalKeysAndBudget: the typed rejections the wire layer maps to
+// CodeNoEvalKeys / CodeTranscipherBudget.
+func TestNoEvalKeysAndBudget(t *testing.T) {
+	fx := newFixture(t)
+	svc := New(Config{Budget: time.Millisecond}) // below the cold estimate
+	defer svc.Close()
+
+	err := svc.Transcipher(9, 1, 0, []ff.Vec{{1}}, func([]byte, error) {})
+	if !errors.Is(err, ErrNoEvalKeys) {
+		t.Fatalf("unenrolled session: got %v, want ErrNoEvalKeys", err)
+	}
+
+	enroll(t, svc, fx, 9, len(fx.blob))
+	err = svc.Transcipher(9, 1, 0, []ff.Vec{{1}}, func([]byte, error) {})
+	if !errors.Is(err, ErrBudget) {
+		t.Fatalf("over budget: got %v, want ErrBudget", err)
+	}
+	var be *BudgetError
+	if !errors.As(err, &be) || be.Retry <= 0 {
+		t.Fatalf("budget rejection carries no retry hint: %v", err)
+	}
+}
+
+// TestDropForgetsSession: after Drop the session must re-enroll.
+func TestDropForgetsSession(t *testing.T) {
+	fx := newFixture(t)
+	svc := New(Config{})
+	defer svc.Close()
+	enroll(t, svc, fx, 4, len(fx.blob))
+	svc.Drop(4)
+	err := svc.Transcipher(4, 1, 0, []ff.Vec{{1}}, func([]byte, error) {})
+	if !errors.Is(err, ErrNoEvalKeys) {
+		t.Fatalf("dropped session: got %v, want ErrNoEvalKeys", err)
+	}
+}
+
+// BenchmarkTranscipherBlock measures the service's per-block cost on
+// the heavy pool: cold (full packed circuit) and cache-hit (one
+// SubPlainFrom) — the asymmetry that motivates the Enc(KS) cache.
+func BenchmarkTranscipherBlock(b *testing.B) {
+	fx := newFixture(b)
+	sym, err := fx.client.EncryptBlock(1, 0, ff.Vec{1, 2, 3, 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cold", func(b *testing.B) {
+		svc := New(Config{CacheBlocks: 1, Budget: time.Hour})
+		defer svc.Close()
+		enroll(b, svc, fx, 1, len(fx.blob))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			// A fresh block number every iteration defeats the cache.
+			transcipherBlocking(b, svc, 1, 1, uint64(i), []ff.Vec{sym})
+		}
+	})
+	b.Run("cache-hit", func(b *testing.B) {
+		svc := New(Config{CacheBlocks: 4, Budget: time.Hour})
+		defer svc.Close()
+		enroll(b, svc, fx, 1, len(fx.blob))
+		transcipherBlocking(b, svc, 1, 1, 0, []ff.Vec{sym}) // warm the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			transcipherBlocking(b, svc, 1, 1, 0, []ff.Vec{sym})
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/cipher"
+	"repro/internal/ff"
 
 	// Link the built-in cipher families so the SessionOpen seed corpus
 	// below covers every registered name.
@@ -51,6 +52,16 @@ func FuzzWireDecode(f *testing.F) {
 	seed(TypeData, (&Data{Session: 2, ID: 5, Offset: 32, Count: 1, Bits: 8, Packed: []byte{0x2a}}).Encode())
 	seed(TypeError, (&ErrorMsg{Session: 2, ID: 6, Code: CodeOverloaded, RetryAfterMillis: 9, Msg: "m"}).Encode())
 	seed(TypeBlob, []byte("opaque"))
+	// Wire v4: the transciphering tier. Seed a mid-upload chunk, the
+	// zero-length progress-probe chunk, both ack shapes, and a
+	// transcipher request.
+	seed(TypeEvalKeys, (&EvalKeysChunk{Session: 2, ID: 7, Counter: 4, Offset: 16, Total: 32,
+		Chunk: bytes.Repeat([]byte{0xee}, 8)}).Encode())
+	seed(TypeEvalKeys, (&EvalKeysChunk{Session: 2, ID: 8, Counter: 5, Offset: 32, Total: 32}).Encode())
+	seed(TypeEvalKeysAck, (&EvalKeysAck{Session: 2, ID: 7, Received: 24, Total: 32}).Encode())
+	seed(TypeEvalKeysAck, (&EvalKeysAck{Session: 2, ID: 8, Received: 32, Total: 32, Complete: true}).Encode())
+	seed(TypeTranscipher, (&TranscipherReq{Session: 2, ID: 9, Counter: 6, Nonce: 1, First: 3,
+		Count: 4, Bits: 17, Packed: bytes.Repeat([]byte{0x11}, ff.PackedSize(4, 17))}).Encode())
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, HeaderSize+4))
 
@@ -116,6 +127,14 @@ func fuzzDecodeInto(t *testing.T, typ Type, payload []byte, msg any, decErr erro
 	case TypeData:
 		m := &Data{}
 		err = DecodeDataInto(m, payload)
+		got = m
+	case TypeEvalKeys:
+		m := &EvalKeysChunk{}
+		err = DecodeEvalKeysChunkInto(m, payload)
+		got = m
+	case TypeTranscipher:
+		m := &TranscipherReq{}
+		err = DecodeTranscipherReqInto(m, payload)
 		got = m
 	default:
 		return

@@ -29,6 +29,20 @@ const (
 	// every registered family today; the blob is the version-3 escape
 	// hatch for families whose parameters do not fit them.
 	MaxCipherParams = 1 << 10
+	// MaxEvalKeysChunk bounds a single EvalKeys upload chunk. Uploads
+	// larger than one chunk are split client-side; the bound keeps each
+	// frame (and the reader's scratch buffer) modest.
+	MaxEvalKeysChunk = 4 << 20
+	// MaxEvalKeysTotal bounds the assembled eval-key upload a chunk may
+	// claim. Production PASTA-3 packed eval keys (relin + t−1 Galois
+	// keys + two encrypted key halves) are tens of MB; the bound leaves
+	// headroom without letting a hostile Total pin gigabytes.
+	MaxEvalKeysTotal = 1 << 28
+	// MaxTranscipherBlocks bounds the block count of one Transcipher
+	// request. Each block costs a full homomorphic PASTA evaluation
+	// (~10^5× a keystream block), so requests stay small and the cost
+	// model meters admission per block.
+	MaxTranscipherBlocks = 256
 )
 
 // Error codes carried by TypeError frames.
@@ -63,6 +77,15 @@ const (
 	// not registered on this server (or parameters/substrate the family
 	// rejects). The connection stays up; Msg lists the supported names.
 	CodeUnknownCipher uint16 = 11
+	// CodeNoEvalKeys: a Transcipher request arrived before the session's
+	// eval-key upload completed (or the upload failed to build an
+	// engine). Upload eval keys, wait for Complete, then retry.
+	CodeNoEvalKeys uint16 = 12
+	// CodeTranscipherBudget: the transcipher tier's cost-model admission
+	// rejected the request — the estimated evaluation backlog exceeds
+	// the configured budget. RetryAfterMillis carries the estimated
+	// drain time of the current backlog.
+	CodeTranscipherBudget uint16 = 13
 )
 
 // CodeString names an error code for diagnostics.
@@ -90,6 +113,10 @@ func CodeString(code uint16) string {
 		return "bad-resume"
 	case CodeUnknownCipher:
 		return "unknown-cipher"
+	case CodeNoEvalKeys:
+		return "no-eval-keys"
+	case CodeTranscipherBudget:
+		return "transcipher-budget"
 	}
 	return fmt.Sprintf("code(%d)", code)
 }
@@ -210,6 +237,63 @@ type ErrorMsg struct {
 	RetryAfterMillis uint32
 	Msg              string
 }
+
+// EvalKeysChunk carries [Offset, Offset+len(Chunk)) of a session's
+// packed-evaluation key blob (version 4). The server accumulates chunks
+// strictly in offset order; a chunk whose range is already received is
+// acknowledged idempotently, so a client can resume an interrupted
+// upload from the acknowledged high-water mark. An empty chunk is a
+// progress probe: it is always accepted and the ack reports the current
+// state (including re-arming engine construction after a transient
+// failure). Total must be identical across all chunks of one upload.
+type EvalKeysChunk struct {
+	Session uint32
+	ID      uint64
+	Counter uint64 // replay counter (see EncryptReq)
+	Offset  uint64 // absolute byte offset of Chunk within the blob
+	Total   uint64 // full blob size in bytes
+	Chunk   []byte
+}
+
+// EvalKeysAck answers an EvalKeysChunk. Received is the contiguous
+// upload high-water mark (the offset the next chunk must start at);
+// Complete is set only once the transcipher engine has been built from
+// the assembled blob — a client must not send Transcipher requests
+// before seeing it.
+type EvalKeysAck struct {
+	Session  uint32
+	ID       uint64
+	Received uint64
+	Total    uint64
+	Complete bool
+}
+
+// TranscipherReq asks the server to homomorphically decrypt the packed
+// symmetric ciphertext elements of blocks [First, First+Count/t) under
+// the session's uploaded eval keys — the server never holds the
+// symmetric key. Count is the element count (a whole number of t-element
+// blocks); the reply is a Data frame with Bits = 8 whose Packed field
+// concatenates one serialized BFV ciphertext per block and whose Offset
+// echoes First.
+type TranscipherReq struct {
+	Session uint32
+	ID      uint64
+	Counter uint64 // replay counter (see EncryptReq)
+	Nonce   uint64
+	First   uint64 // first symmetric block index
+	Count   uint32 // elements packed in Packed (blocks × t)
+	Bits    uint8
+	Packed  []byte
+}
+
+// Vec unpacks the request's payload vector.
+func (m *TranscipherReq) Vec() (ff.Vec, error) {
+	return ff.UnpackBits(m.Packed, int(m.Count), uint(m.Bits))
+}
+
+// VecInto unpacks the request vector into dst (len(dst) == Count)
+// without allocating.
+func (m *TranscipherReq) VecInto(dst ff.Vec) error { return vecInto(dst, m.Count, m.Bits, m.Packed) }
 
 // --- vector packing ------------------------------------------------------
 
@@ -700,6 +784,141 @@ func DecodeErrorMsg(payload []byte) (*ErrorMsg, error) {
 	return m, nil
 }
 
+// Encode serializes the message payload (frame with TypeEvalKeys).
+func (m *EvalKeysChunk) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *EvalKeysChunk) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Counter)
+	e.u64(m.Offset)
+	e.u64(m.Total)
+	e.bytes(m.Chunk)
+	return e.buf
+}
+
+// DecodeEvalKeysChunk parses a TypeEvalKeys payload.
+func DecodeEvalKeysChunk(payload []byte) (*EvalKeysChunk, error) {
+	m := &EvalKeysChunk{}
+	if err := DecodeEvalKeysChunkInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeEvalKeysChunkInto parses a TypeEvalKeys payload into m without
+// allocating. m.Chunk aliases payload and is only valid until the
+// caller reuses the frame buffer (DESIGN.md §9).
+func DecodeEvalKeysChunkInto(m *EvalKeysChunk, payload []byte) error {
+	d := decoder{b: payload}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Counter = d.u64()
+	m.Offset = d.u64()
+	m.Total = d.u64()
+	m.Chunk = d.bytes(MaxEvalKeysChunk)
+	if d.err == nil {
+		switch {
+		case m.Total > MaxEvalKeysTotal:
+			d.fail("eval-key blob of %d bytes (max %d)", m.Total, MaxEvalKeysTotal)
+		case m.Offset > m.Total:
+			d.fail("chunk offset %d beyond blob size %d", m.Offset, m.Total)
+		case m.Offset+uint64(len(m.Chunk)) > m.Total:
+			d.fail("chunk [%d, %d) overruns blob size %d", m.Offset, m.Offset+uint64(len(m.Chunk)), m.Total)
+		}
+	}
+	return d.finish()
+}
+
+// Encode serializes the message payload (frame with TypeEvalKeysAck).
+func (m *EvalKeysAck) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *EvalKeysAck) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Received)
+	e.u64(m.Total)
+	var c uint8
+	if m.Complete {
+		c = 1
+	}
+	e.u8(c)
+	return e.buf
+}
+
+// DecodeEvalKeysAck parses a TypeEvalKeysAck payload.
+func DecodeEvalKeysAck(payload []byte) (*EvalKeysAck, error) {
+	d := decoder{b: payload}
+	m := &EvalKeysAck{}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Received = d.u64()
+	m.Total = d.u64()
+	switch d.u8() {
+	case 0:
+	case 1:
+		m.Complete = true
+	default:
+		d.fail("eval-keys ack completeness flag is not boolean")
+	}
+	if err := d.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Encode serializes the message payload (frame with TypeTranscipher).
+func (m *TranscipherReq) Encode() []byte { return m.AppendPayload(nil) }
+
+// AppendPayload appends the message payload to dst.
+func (m *TranscipherReq) AppendPayload(dst []byte) []byte {
+	e := encoder{buf: dst}
+	e.u32(m.Session)
+	e.u64(m.ID)
+	e.u64(m.Counter)
+	e.u64(m.Nonce)
+	e.u64(m.First)
+	e.u32(m.Count)
+	e.u8(m.Bits)
+	e.bytes(m.Packed)
+	return e.buf
+}
+
+// DecodeTranscipherReq parses a TypeTranscipher payload.
+func DecodeTranscipherReq(payload []byte) (*TranscipherReq, error) {
+	m := &TranscipherReq{}
+	if err := DecodeTranscipherReqInto(m, payload); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// DecodeTranscipherReqInto parses a TypeTranscipher payload into m
+// without allocating. m.Packed aliases payload and is only valid until
+// the caller reuses the frame buffer (DESIGN.md §9). The block-size
+// divisibility check is the server's (t is a session property); the
+// codec bounds the element count.
+func DecodeTranscipherReqInto(m *TranscipherReq, payload []byte) error {
+	d := decoder{b: payload}
+	m.Session = d.u32()
+	m.ID = d.u64()
+	m.Counter = d.u64()
+	m.Nonce = d.u64()
+	m.First = d.u64()
+	m.Count = d.u32()
+	m.Bits = d.u8()
+	m.Packed = d.bytes(DefaultMaxPayload)
+	d.checkPacked(m.Count, m.Bits, m.Packed)
+	if d.err == nil && m.Count == 0 {
+		d.fail("transcipher request for zero elements")
+	}
+	return d.finish()
+}
+
 // DecodeAny parses a payload according to its frame type, returning one
 // of the typed messages above. TypeBlob payloads pass through as []byte.
 // This is the single entry point the fuzzer drives.
@@ -723,6 +942,12 @@ func DecodeAny(t Type, payload []byte) (any, error) {
 		return DecodeErrorMsg(payload)
 	case TypeBlob:
 		return payload, nil
+	case TypeEvalKeys:
+		return DecodeEvalKeysChunk(payload)
+	case TypeEvalKeysAck:
+		return DecodeEvalKeysAck(payload)
+	case TypeTranscipher:
+		return DecodeTranscipherReq(payload)
 	}
 	return nil, fmt.Errorf("%w: %d", ErrBadType, uint8(t))
 }

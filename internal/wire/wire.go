@@ -43,7 +43,12 @@ const Magic uint32 = 0x50454848
 // names any registered cipher family, SessionOpen gained the opaque
 // CipherParams extension blob, SessionAck echoes the negotiated cipher
 // name, and the unknown-cipher error code was assigned.
-const Version uint8 = 3
+// Version 4 added the transciphering tier: chunked, resumable EvalKeys
+// uploads (TypeEvalKeys/TypeEvalKeysAck), Transcipher requests
+// (TypeTranscipher) answered by Data frames carrying opaque BFV
+// ciphertext bytes, and the no-eval-keys / transcipher-budget error
+// codes.
+const Version uint8 = 4
 
 // HeaderSize is the fixed frame header length in bytes.
 const HeaderSize = 10
@@ -74,8 +79,21 @@ const (
 	// TypeBlob is an opaque application payload (used by the protocol
 	// demos for FHE key and ciphertext transport).
 	TypeBlob Type = 9
+	// TypeEvalKeys carries one chunk of a session's packed-evaluation
+	// key upload (relin key, Galois keys, encrypted symmetric key) —
+	// tens of MB in production, so the upload is chunked and resumable.
+	TypeEvalKeys Type = 10
+	// TypeEvalKeysAck acknowledges an EvalKeys chunk with the upload
+	// high-water mark; Complete is set once the transcipher engine for
+	// the session is built and ready.
+	TypeEvalKeysAck Type = 11
+	// TypeTranscipher asks the server to homomorphically decrypt a range
+	// of symmetric-cipher blocks into BFV ciphertexts (Fig. 1's
+	// server-side HHE decryption). The reply is a Data frame whose
+	// Packed field holds the concatenated serialized BFV ciphertexts.
+	TypeTranscipher Type = 12
 
-	maxType = TypeBlob
+	maxType = TypeTranscipher
 )
 
 // String names the frame type for diagnostics.
@@ -99,6 +117,12 @@ func (t Type) String() string {
 		return "error"
 	case TypeBlob:
 		return "blob"
+	case TypeEvalKeys:
+		return "eval-keys"
+	case TypeEvalKeysAck:
+		return "eval-keys-ack"
+	case TypeTranscipher:
+		return "transcipher"
 	}
 	return fmt.Sprintf("type(%d)", uint8(t))
 }
